@@ -1,0 +1,473 @@
+//! Brute-force (exact) solver — the baseline of Fig. 6a/6b.
+//!
+//! The paper compares GSO's control algorithm against brute-force search of
+//! the full joint problem: enumerate, for every publisher source, which
+//! streams to publish (at most one bitrate per resolution), and for every
+//! subscriber, which published streams to take, subject to all uplink,
+//! downlink, codec and subscription constraints; maximize total QoE.
+//!
+//! The search space is exponential in both the number of participants and
+//! the number of bitrate levels — exactly the scaling the paper plots. To
+//! make exact answers reachable at the sizes the paper evaluates (up to 8
+//! participants), the enumeration here uses depth-first search with
+//! branch-and-bound:
+//!
+//! * **Pruning by uplink** as soon as a partial publish assignment exceeds a
+//!   client's budget (publishing more never lowers the usage).
+//! * **Admissible bound**: with some sources fixed, the per-subscriber
+//!   optimum when every undecided source offers its *full* ladder is an
+//!   upper bound, because a concrete publish choice is always a subset.
+//! * **Warm start**: the GSO solution's value is the initial incumbent;
+//!   since GSO is near-optimal, most of the tree prunes immediately.
+//!
+//! The result is still worst-case exponential (as it must be), but exact.
+
+use crate::mckp;
+use crate::problem::{Problem, SourceId};
+use crate::solution::{PublishPolicy, ReceivedStream, Solution};
+use crate::solver::{self, SolverConfig};
+use crate::types::{Resolution, StreamSpec};
+use gso_util::{Bitrate, ClientId};
+use std::collections::BTreeMap;
+
+/// Outcome of the exhaustive search.
+#[derive(Debug, Clone)]
+pub struct BruteResult {
+    /// The best solution found (the global optimum when `exact`).
+    pub solution: Solution,
+    /// Number of search-tree nodes visited.
+    pub nodes: u64,
+    /// True if the search ran to completion; false if the node budget was
+    /// exhausted first (the solution is then only a lower bound).
+    pub exact: bool,
+}
+
+/// One subscriber's knapsack class description.
+struct Class {
+    source_idx: usize,
+    max_res: Resolution,
+    boost: f64,
+    presence: f64,
+    /// Items when the source is undecided: the full capped ladder.
+    full_items: Vec<StreamSpec>,
+}
+
+struct Subscriber {
+    id: ClientId,
+    downlink: Bitrate,
+    /// (subscriber, source, tag) classes in deterministic order.
+    classes: Vec<Class>,
+    /// Tags, parallel to `classes` (kept separate for solution assembly).
+    tags: Vec<u8>,
+}
+
+struct Search<'a> {
+    problem: &'a Problem,
+    unit: Bitrate,
+    sources: Vec<SourceId>,
+    /// All publish configurations per source, best-first by total QoE.
+    configs: Vec<Vec<Vec<StreamSpec>>>,
+    subscribers: Vec<Subscriber>,
+    node_budget: u64,
+    nodes: u64,
+    best_value: f64,
+    best_assignment: Option<Vec<usize>>,
+    use_bound: bool,
+}
+
+/// Exhaustively solve the orchestration problem with branch-and-bound.
+///
+/// `node_budget` caps the number of search nodes (`None` = unbounded); when
+/// hit, the best solution so far is returned with `exact = false`.
+pub fn solve_brute(problem: &Problem, cfg: &SolverConfig, node_budget: Option<u64>) -> BruteResult {
+    solve_brute_inner(problem, cfg, node_budget, true)
+}
+
+/// Exhaustively solve *without* bounding or warm start — the naive search
+/// whose cost grows exponentially with participants and bitrate levels,
+/// as plotted in Fig. 6a/6b of the paper. Only uplink infeasibility prunes.
+pub fn solve_brute_naive(
+    problem: &Problem,
+    cfg: &SolverConfig,
+    node_budget: Option<u64>,
+) -> BruteResult {
+    solve_brute_inner(problem, cfg, node_budget, false)
+}
+
+/// Product of per-source uplink-feasible publish configurations — the naive
+/// search's leaf count, used to extrapolate its cost at sizes where running
+/// it is impractical (as the paper notes, it "becomes intractable").
+pub fn naive_leaf_count(problem: &Problem) -> f64 {
+    problem
+        .sources()
+        .iter()
+        .map(|s| {
+            let uplink = problem
+                .client(s.id.client)
+                .map(|c| c.uplink)
+                .unwrap_or(Bitrate::ZERO);
+            enumerate_configs(&s.ladder)
+                .iter()
+                .filter(|c| c.iter().map(|sp| sp.bitrate).sum::<Bitrate>() <= uplink)
+                .count() as f64
+        })
+        .product()
+}
+
+fn solve_brute_inner(
+    problem: &Problem,
+    cfg: &SolverConfig,
+    node_budget: Option<u64>,
+    use_bound: bool,
+) -> BruteResult {
+    let sources: Vec<SourceId> = problem.sources().iter().map(|s| s.id).collect();
+    let configs: Vec<Vec<Vec<StreamSpec>>> = problem
+        .sources()
+        .iter()
+        .map(|s| enumerate_configs(&s.ladder))
+        .collect();
+
+    let subscribers: Vec<Subscriber> = problem
+        .clients()
+        .iter()
+        .filter(|c| !problem.subscriptions_of(c.id).is_empty())
+        .map(|c| {
+            let subs = problem.subscriptions_of(c.id);
+            let classes = subs
+                .iter()
+                .map(|s| Class {
+                    source_idx: sources.iter().position(|&src| src == s.source).unwrap(),
+                    max_res: s.max_resolution,
+                    boost: s.qoe_boost,
+                    presence: s.presence_bonus,
+                    full_items: problem
+                        .source(s.source)
+                        .map(|src| src.ladder.capped(s.max_resolution))
+                        .unwrap_or_default(),
+                })
+                .collect();
+            Subscriber {
+                id: c.id,
+                downlink: c.downlink,
+                classes,
+                tags: subs.iter().map(|s| s.tag).collect(),
+            }
+        })
+        .collect();
+
+    let mut search = Search {
+        problem,
+        unit: cfg.unit,
+        sources,
+        configs,
+        subscribers,
+        node_budget: node_budget.unwrap_or(u64::MAX),
+        nodes: 0,
+        best_value: f64::NEG_INFINITY,
+        best_assignment: None,
+        use_bound,
+    };
+
+    // Warm start with GSO's near-optimal value (the assignment itself is
+    // reconstructed only for true leaves, so seed just the value). The
+    // naive mode forgoes it, like the paper's plain exhaustive baseline.
+    let gso = solver::solve(problem, cfg);
+    if use_bound {
+        search.best_value = gso.total_qoe - 1e-9;
+    }
+
+    let mut assignment = vec![0usize; search.sources.len()];
+    let mut uplink_used: BTreeMap<ClientId, Bitrate> = BTreeMap::new();
+    let exact = search.dfs(0, &mut assignment, &mut uplink_used);
+
+    let solution = match &search.best_assignment {
+        Some(a) => search.assemble(a),
+        // No leaf beat the warm start; GSO's own solution is optimal.
+        None => gso,
+    };
+    BruteResult { solution, nodes: search.nodes, exact }
+}
+
+/// All ways a source can publish: the cartesian product over its resolutions
+/// of "skip or pick one bitrate", ordered best-first by total QoE.
+fn enumerate_configs(ladder: &crate::types::Ladder) -> Vec<Vec<StreamSpec>> {
+    let mut configs: Vec<Vec<StreamSpec>> = vec![Vec::new()];
+    for res in ladder.resolutions() {
+        let specs = ladder.at_resolution(res);
+        let mut next = Vec::with_capacity(configs.len() * (specs.len() + 1));
+        for c in &configs {
+            next.push(c.clone()); // skip this resolution
+            for s in &specs {
+                let mut c2 = c.clone();
+                c2.push(*s);
+                next.push(c2);
+            }
+        }
+        configs = next;
+    }
+    configs.sort_by(|a, b| {
+        let qa: f64 = a.iter().map(|s| s.qoe).sum();
+        let qb: f64 = b.iter().map(|s| s.qoe).sum();
+        qb.total_cmp(&qa)
+    });
+    configs
+}
+
+impl Search<'_> {
+    /// Returns false if the node budget ran out (search is then inexact).
+    fn dfs(
+        &mut self,
+        depth: usize,
+        assignment: &mut Vec<usize>,
+        uplink_used: &mut BTreeMap<ClientId, Bitrate>,
+    ) -> bool {
+        self.nodes += 1;
+        if self.nodes > self.node_budget {
+            return false;
+        }
+
+        if depth == self.sources.len() {
+            let value = self.evaluate(assignment, depth);
+            if value > self.best_value {
+                self.best_value = value;
+                self.best_assignment = Some(assignment.clone());
+            }
+            return true;
+        }
+
+        // Admissible upper bound with sources[depth..] free.
+        if self.use_bound && self.evaluate(assignment, depth) <= self.best_value {
+            return true;
+        }
+
+        let client = self.sources[depth].client;
+        let uplink = self.problem.client(client).map(|c| c.uplink).unwrap_or(Bitrate::ZERO);
+        let n_configs = self.configs[depth].len();
+        for ci in 0..n_configs {
+            let rate: Bitrate = self.configs[depth][ci].iter().map(|s| s.bitrate).sum();
+            let used = uplink_used.get(&client).copied().unwrap_or(Bitrate::ZERO);
+            if used + rate > uplink {
+                continue;
+            }
+            assignment[depth] = ci;
+            uplink_used.insert(client, used + rate);
+            let ok = self.dfs(depth + 1, assignment, uplink_used);
+            uplink_used.insert(client, used);
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Total QoE when sources `0..decided` follow `assignment` and the rest
+    /// offer their full ladders (an upper bound; exact when
+    /// `decided == sources.len()`).
+    fn evaluate(&self, assignment: &[usize], decided: usize) -> f64 {
+        let mut total = 0.0;
+        for sub in &self.subscribers {
+            let classes: Vec<Vec<(Bitrate, f64)>> = sub
+                .classes
+                .iter()
+                .map(|class| {
+                    if class.source_idx < decided {
+                        self.configs[class.source_idx][assignment[class.source_idx]]
+                            .iter()
+                            .filter(|s| s.resolution <= class.max_res)
+                            .map(|s| (s.bitrate, s.qoe * class.boost + class.presence))
+                            .collect()
+                    } else {
+                        class
+                            .full_items
+                            .iter()
+                            .map(|s| (s.bitrate, s.qoe * class.boost + class.presence))
+                            .collect()
+                    }
+                })
+                .collect();
+            total += mckp::solve_bitrates(&classes, sub.downlink, self.unit).value;
+        }
+        total
+    }
+
+    /// Rebuild the full [`Solution`] for the winning leaf assignment.
+    fn assemble(&self, assignment: &[usize]) -> Solution {
+        let mut publish: BTreeMap<SourceId, Vec<PublishPolicy>> = BTreeMap::new();
+        let mut received: BTreeMap<ClientId, Vec<ReceivedStream>> = BTreeMap::new();
+        let mut total_qoe = 0.0;
+
+        for sub in &self.subscribers {
+            let classes: Vec<Vec<(Bitrate, f64)>> = sub
+                .classes
+                .iter()
+                .map(|class| {
+                    self.configs[class.source_idx][assignment[class.source_idx]]
+                        .iter()
+                        .filter(|s| s.resolution <= class.max_res)
+                        .map(|s| (s.bitrate, s.qoe * class.boost))
+                        .collect()
+                })
+                .collect();
+            let picked = mckp::solve_bitrates(&classes, sub.downlink, self.unit);
+            for ((class, tag), choice) in
+                sub.classes.iter().zip(&sub.tags).zip(&picked.choices)
+            {
+                let Some(i) = choice else { continue };
+                let spec: StreamSpec = self.configs[class.source_idx][assignment[class.source_idx]]
+                    .iter()
+                    .filter(|s| s.resolution <= class.max_res)
+                    .nth(*i)
+                    .copied()
+                    .expect("choice index valid");
+                let source = self.sources[class.source_idx];
+                let qoe = spec.qoe * class.boost + class.presence;
+                total_qoe += qoe;
+                received.entry(sub.id).or_default().push(ReceivedStream {
+                    source,
+                    tag: *tag,
+                    resolution: spec.resolution,
+                    bitrate: spec.bitrate,
+                    qoe,
+                });
+                // Attach to (or create) the matching publish policy.
+                let policies = publish.entry(source).or_default();
+                match policies.iter_mut().find(|p| p.resolution == spec.resolution) {
+                    Some(p) => p.audience.push((sub.id, *tag)),
+                    None => policies.push(PublishPolicy {
+                        resolution: spec.resolution,
+                        bitrate: spec.bitrate,
+                        audience: vec![(sub.id, *tag)],
+                    }),
+                }
+            }
+        }
+        // Streams the winning config offered but nobody took are simply not
+        // published (they would only waste uplink).
+        Solution { publish, received, total_qoe, iterations: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ladders;
+    use crate::problem::{ClientSpec, Subscription};
+
+    fn kbps(k: u64) -> Bitrate {
+        Bitrate::from_kbps(k)
+    }
+
+    fn symmetric_meeting(n: u32, downlink_kbps: u64) -> Problem {
+        let ladder = ladders::paper_table1();
+        let clients: Vec<ClientSpec> = (1..=n)
+            .map(|i| {
+                ClientSpec::new(ClientId(i), kbps(5_000), kbps(downlink_kbps), ladder.clone())
+            })
+            .collect();
+        let mut subs = Vec::new();
+        for i in 1..=n {
+            for j in 1..=n {
+                if i != j {
+                    subs.push(Subscription::new(
+                        ClientId(i),
+                        SourceId::video(ClientId(j)),
+                        Resolution::R720,
+                    ));
+                }
+            }
+        }
+        Problem::new(clients, subs).unwrap()
+    }
+
+    #[test]
+    fn brute_matches_gso_when_unconstrained() {
+        let p = symmetric_meeting(3, 10_000);
+        let cfg = SolverConfig::default();
+        let gso = solver::solve(&p, &cfg);
+        let brute = solve_brute(&p, &cfg, None);
+        assert!(brute.exact);
+        brute.solution.validate(&p).unwrap();
+        // Everyone can take everyone's max stream: both must hit the same QoE.
+        assert!((brute.solution.total_qoe - gso.total_qoe).abs() < 1e-6);
+    }
+
+    #[test]
+    fn brute_is_never_worse_than_gso() {
+        for downlink in [400u64, 900, 1_700, 2_600] {
+            let p = symmetric_meeting(3, downlink);
+            let cfg = SolverConfig::default();
+            let gso = solver::solve(&p, &cfg);
+            let brute = solve_brute(&p, &cfg, None);
+            assert!(brute.exact);
+            brute.solution.validate(&p).unwrap();
+            assert!(
+                brute.solution.total_qoe >= gso.total_qoe - 1e-6,
+                "downlink {downlink}: brute {} < gso {}",
+                brute.solution.total_qoe,
+                gso.total_qoe
+            );
+        }
+    }
+
+    #[test]
+    fn gso_stays_near_optimal_under_uplink_pressure() {
+        // Tight uplinks force the Reduction step; GSO may lose a little QoE
+        // but must stay close to the exact optimum (Fig. 6a/6b show
+        // optimality ≈ 1).
+        let ladder = ladders::paper_table1();
+        let clients = vec![
+            ClientSpec::new(ClientId(1), kbps(900), kbps(5_000), ladder.clone()),
+            ClientSpec::new(ClientId(2), kbps(700), kbps(5_000), ladder.clone()),
+            ClientSpec::new(ClientId(3), kbps(1_200), kbps(1_200), ladder),
+        ];
+        let mut subs = Vec::new();
+        for i in 1..=3u32 {
+            for j in 1..=3u32 {
+                if i != j {
+                    subs.push(Subscription::new(
+                        ClientId(i),
+                        SourceId::video(ClientId(j)),
+                        Resolution::R720,
+                    ));
+                }
+            }
+        }
+        let p = Problem::new(clients, subs).unwrap();
+        let cfg = SolverConfig::default();
+        let gso = solver::solve(&p, &cfg);
+        gso.validate(&p).unwrap();
+        let brute = solve_brute(&p, &cfg, None);
+        assert!(brute.exact);
+        brute.solution.validate(&p).unwrap();
+        let ratio = gso.total_qoe / brute.solution.total_qoe;
+        assert!(ratio > 0.85 && ratio <= 1.0 + 1e-9, "optimality ratio {ratio}");
+    }
+
+    #[test]
+    fn node_budget_degrades_gracefully() {
+        let p = symmetric_meeting(4, 1_500);
+        let cfg = SolverConfig::default();
+        let r = solve_brute(&p, &cfg, Some(3));
+        // Budget too small for exactness, but a valid solution (the GSO warm
+        // start) is still returned.
+        assert!(!r.exact);
+        r.solution.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn enumerate_configs_counts() {
+        // paper ladder: resolutions with 3, 4, 2 bitrates -> (3+1)(4+1)(2+1).
+        let configs = enumerate_configs(&ladders::paper_table1());
+        assert_eq!(configs.len(), 4 * 5 * 3);
+        // Best-first: the first config has maximal total QoE.
+        let q0: f64 = configs[0].iter().map(|s| s.qoe).sum();
+        assert!(configs.iter().all(|c| c.iter().map(|s| s.qoe).sum::<f64>() <= q0));
+        // Every config has at most one stream per resolution.
+        for c in &configs {
+            let mut rs: Vec<_> = c.iter().map(|s| s.resolution).collect();
+            rs.sort();
+            rs.dedup();
+            assert_eq!(rs.len(), c.len());
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Solution diffs — the minimal reconfiguration between controller rounds.
+//!
+//! The controller re-solves every 1–3 s; most rounds change little. The
+//! diff identifies exactly which publisher layers must be reconfigured and
+//! which subscribers must be switched, which is what the feedback executor
+//! transmits and what operators watch to judge churn (reconfigurations cost
+//! quality: every layer switch splices on a keyframe).
+
+use crate::problem::SourceId;
+use crate::solution::Solution;
+use crate::types::Resolution;
+use gso_util::{Bitrate, ClientId};
+use std::collections::BTreeMap;
+
+/// One publisher layer whose target changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerChange {
+    /// The source whose layer changed.
+    pub source: SourceId,
+    /// The layer's resolution.
+    pub resolution: Resolution,
+    /// Previous bitrate (zero = was disabled).
+    pub from: Bitrate,
+    /// New bitrate (zero = now disabled).
+    pub to: Bitrate,
+}
+
+/// One subscriber whose selected stream changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchChange {
+    /// The receiving client.
+    pub subscriber: ClientId,
+    /// The source it receives from.
+    pub source: SourceId,
+    /// Virtual-publisher tag.
+    pub tag: u8,
+    /// Previous (resolution, bitrate); `None` = was not receiving.
+    pub from: Option<(Resolution, Bitrate)>,
+    /// New (resolution, bitrate); `None` = no longer receiving.
+    pub to: Option<(Resolution, Bitrate)>,
+}
+
+/// The difference between two solutions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolutionDiff {
+    /// Publisher-side layer reconfigurations (GTMB content).
+    pub layer_changes: Vec<LayerChange>,
+    /// Subscriber-side stream switches (forwarding-rule content).
+    pub switch_changes: Vec<SwitchChange>,
+}
+
+impl SolutionDiff {
+    /// True when nothing changed — the controller round was a no-op.
+    pub fn is_empty(&self) -> bool {
+        self.layer_changes.is_empty() && self.switch_changes.is_empty()
+    }
+
+    /// Number of subscribers that experience a visible switch.
+    pub fn switched_subscribers(&self) -> usize {
+        let mut subs: Vec<ClientId> =
+            self.switch_changes.iter().map(|c| c.subscriber).collect();
+        subs.sort();
+        subs.dedup();
+        subs.len()
+    }
+}
+
+/// Compute the reconfiguration from `old` to `new`.
+pub fn diff(old: &Solution, new: &Solution) -> SolutionDiff {
+    let mut out = SolutionDiff::default();
+
+    // Publisher layers: per (source, resolution) → bitrate (0 = absent).
+    let layer_map = |s: &Solution| -> BTreeMap<(SourceId, Resolution), Bitrate> {
+        s.publish
+            .iter()
+            .flat_map(|(&src, ps)| ps.iter().map(move |p| ((src, p.resolution), p.bitrate)))
+            .collect()
+    };
+    let old_layers = layer_map(old);
+    let new_layers = layer_map(new);
+    let mut keys: Vec<(SourceId, Resolution)> =
+        old_layers.keys().chain(new_layers.keys()).copied().collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        let from = old_layers.get(&key).copied().unwrap_or(Bitrate::ZERO);
+        let to = new_layers.get(&key).copied().unwrap_or(Bitrate::ZERO);
+        if from != to {
+            out.layer_changes.push(LayerChange {
+                source: key.0,
+                resolution: key.1,
+                from,
+                to,
+            });
+        }
+    }
+
+    // Subscriber streams: per (subscriber, source, tag).
+    let recv_map = |s: &Solution| -> BTreeMap<(ClientId, SourceId, u8), (Resolution, Bitrate)> {
+        s.received
+            .iter()
+            .flat_map(|(&sub, rs)| {
+                rs.iter().map(move |r| ((sub, r.source, r.tag), (r.resolution, r.bitrate)))
+            })
+            .collect()
+    };
+    let old_recv = recv_map(old);
+    let new_recv = recv_map(new);
+    let mut keys: Vec<(ClientId, SourceId, u8)> =
+        old_recv.keys().chain(new_recv.keys()).copied().collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        let from = old_recv.get(&key).copied();
+        let to = new_recv.get(&key).copied();
+        if from != to {
+            out.switch_changes.push(SwitchChange {
+                subscriber: key.0,
+                source: key.1,
+                tag: key.2,
+                from,
+                to,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ladders;
+    use crate::problem::{ClientSpec, Problem, Subscription};
+    use crate::solver::{self, SolverConfig};
+
+    fn solve_with_downlink(down_kbps: u64) -> (Problem, Solution) {
+        let ladder = ladders::paper_table1();
+        let a = ClientId(1);
+        let b = ClientId(2);
+        let p = Problem::new(
+            vec![
+                ClientSpec::new(a, Bitrate::from_mbps(5), Bitrate::from_mbps(5), ladder.clone()),
+                ClientSpec::new(b, Bitrate::from_mbps(5), Bitrate::from_kbps(down_kbps), ladder),
+            ],
+            vec![Subscription::new(b, SourceId::video(a), crate::types::Resolution::R720)],
+        )
+        .unwrap();
+        let s = solver::solve(&p, &SolverConfig::default());
+        (p, s)
+    }
+
+    #[test]
+    fn identical_solutions_diff_empty() {
+        let (_, s) = solve_with_downlink(2_000);
+        let d = diff(&s, &s);
+        assert!(d.is_empty());
+        assert_eq!(d.switched_subscribers(), 0);
+    }
+
+    #[test]
+    fn downlink_drop_produces_layer_and_switch_changes() {
+        let (_, before) = solve_with_downlink(2_000); // 720P 1.5M
+        let (_, after) = solve_with_downlink(700); // 360P 600K
+        let d = diff(&before, &after);
+        assert!(!d.is_empty());
+        // The 720P layer turns off, the 360P layer turns on.
+        assert!(d.layer_changes.iter().any(|c| c.resolution == crate::types::Resolution::R720
+            && c.to == Bitrate::ZERO));
+        assert!(d.layer_changes.iter().any(|c| c.resolution == crate::types::Resolution::R360
+            && c.from == Bitrate::ZERO
+            && c.to == Bitrate::from_kbps(600)));
+        // Exactly one subscriber switches.
+        assert_eq!(d.switched_subscribers(), 1);
+        let sw = &d.switch_changes[0];
+        assert_eq!(sw.from.map(|(r, _)| r), Some(crate::types::Resolution::R720));
+        assert_eq!(sw.to.map(|(_, b)| b), Some(Bitrate::from_kbps(600)));
+    }
+
+    #[test]
+    fn diff_from_empty_solution_lists_everything_as_new() {
+        let (_, s) = solve_with_downlink(2_000);
+        let d = diff(&Solution::default(), &s);
+        assert!(d.layer_changes.iter().all(|c| c.from == Bitrate::ZERO));
+        assert!(d.switch_changes.iter().all(|c| c.from.is_none()));
+        assert!(!d.is_empty());
+    }
+}

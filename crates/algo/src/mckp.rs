@@ -1,0 +1,255 @@
+//! Multiple-choice knapsack (MCKP) solver — Step 1 of the control algorithm.
+//!
+//! For a given subscriber `i'`, the downlink is a knapsack of capacity
+//! `B_d(i')`; each subscription is a *class*, and each feasible stream of the
+//! subscribed source is an *item* with weight = bitrate and value = QoE
+//! utility (Eq. 1–4 of the paper). At most one item per class may be chosen.
+//!
+//! The problem is NP-hard but solvable by dynamic programming in
+//! pseudo-polynomial time `O(Σ_classes |items| · W)`, where `W` is the
+//! quantized capacity. Bandwidths are quantized to a configurable unit
+//! (10 kbps by default): item weights are rounded **up** and the capacity
+//! **down**, so a DP solution can never violate the real constraint.
+//!
+//! ## Determinism
+//!
+//! Tie-breaking is fully deterministic and matches the worked examples of
+//! Table 1 in the paper: classes are processed in the caller's order
+//! (publisher id ascending), items within a class in ascending bitrate, and a
+//! candidate replaces the incumbent only when *strictly* better. The
+//! consequence is that among equal-value solutions, earlier-ordered
+//! publishers receive the higher-bitrate allocations.
+
+use gso_util::Bitrate;
+
+/// An item of a knapsack class: one candidate stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McItem {
+    /// Quantized weight (bitrate in capacity units), rounded up.
+    pub weight: u64,
+    /// Value (QoE utility × subscription boost).
+    pub value: f64,
+}
+
+/// The DP result: per class, the index of the chosen item (or `None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct McSolution {
+    /// `choices[c] = Some(i)` selects `classes[c][i]`; `None` skips class `c`.
+    pub choices: Vec<Option<usize>>,
+    /// Total value of the selection.
+    pub value: f64,
+}
+
+/// Solve the MCKP over quantized units.
+///
+/// `classes[c]` lists the candidate items of class `c`; callers must order
+/// items ascending by weight for the documented tie-breaking (the solver
+/// itself is correct for any order). `capacity` is in the same units as the
+/// item weights.
+pub fn solve_units(classes: &[Vec<McItem>], capacity: u64) -> McSolution {
+    if classes.is_empty() {
+        return McSolution { choices: Vec::new(), value: 0.0 };
+    }
+    // The DP never needs more capacity than what all classes could jointly
+    // use; trimming keeps the table small when the downlink is huge.
+    let max_useful: u64 = classes
+        .iter()
+        .map(|c| c.iter().map(|i| i.weight).max().unwrap_or(0))
+        .sum();
+    let w_max = capacity.min(max_useful) as usize;
+
+    // dp[w] = best value using the classes processed so far with weight ≤ w.
+    let mut dp = vec![0.0f64; w_max + 1];
+    // choice[c][w] = item picked for class c when the DP passes through
+    // weight w, or -1 when the class is skipped on that path.
+    let mut choice: Vec<Vec<i32>> = Vec::with_capacity(classes.len());
+
+    for class in classes {
+        let mut next = dp.clone(); // skipping the class is always allowed
+        let mut ch = vec![-1i32; w_max + 1];
+        for (i, item) in class.iter().enumerate() {
+            if item.weight as usize > w_max {
+                continue;
+            }
+            let wi = item.weight as usize;
+            for w in wi..=w_max {
+                let cand = dp[w - wi] + item.value;
+                if cand > next[w] {
+                    next[w] = cand;
+                    ch[w] = i as i32;
+                }
+            }
+        }
+        choice.push(ch);
+        dp = next;
+    }
+
+    // dp is monotone in w, so the optimum sits at w_max. Backtrack.
+    let value = dp[w_max];
+    let mut choices = vec![None; classes.len()];
+    let mut w = w_max;
+    for c in (0..classes.len()).rev() {
+        let picked = choice[c][w];
+        if picked >= 0 {
+            let i = picked as usize;
+            choices[c] = Some(i);
+            w -= classes[c][i].weight as usize;
+        }
+    }
+    McSolution { choices, value }
+}
+
+/// Quantize a bitrate-weighted class list and solve.
+///
+/// `classes[c]` holds `(bitrate, value)` candidates; `unit` is the
+/// quantization granularity. Weights round up and capacity rounds down, so
+/// the returned selection satisfies `Σ bitrate ≤ capacity` exactly.
+pub fn solve_bitrates(
+    classes: &[Vec<(Bitrate, f64)>],
+    capacity: Bitrate,
+    unit: Bitrate,
+) -> McSolution {
+    assert!(!unit.is_zero(), "quantization unit must be non-zero");
+    let u = unit.as_bps();
+    let quantized: Vec<Vec<McItem>> = classes
+        .iter()
+        .map(|c| {
+            c.iter()
+                .map(|&(b, v)| McItem { weight: b.as_bps().div_ceil(u), value: v })
+                .collect()
+        })
+        .collect();
+    solve_units(&quantized, capacity.as_bps() / u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kbps(k: u64) -> Bitrate {
+        Bitrate::from_kbps(k)
+    }
+
+    const UNIT: Bitrate = Bitrate::from_kbps(10);
+
+    #[test]
+    fn empty_problem() {
+        let s = solve_units(&[], 100);
+        assert_eq!(s.value, 0.0);
+        assert!(s.choices.is_empty());
+    }
+
+    #[test]
+    fn single_class_picks_best_fitting() {
+        let classes = vec![vec![
+            (kbps(100), 100.0),
+            (kbps(300), 300.0),
+            (kbps(400), 360.0),
+        ]];
+        let s = solve_bitrates(&classes, kbps(350), UNIT);
+        assert_eq!(s.choices, vec![Some(1)]);
+        assert_eq!(s.value, 300.0);
+    }
+
+    #[test]
+    fn class_skipped_when_nothing_fits() {
+        let classes = vec![vec![(kbps(500), 440.0)], vec![(kbps(100), 100.0)]];
+        let s = solve_bitrates(&classes, kbps(200), UNIT);
+        assert_eq!(s.choices, vec![None, Some(0)]);
+        assert_eq!(s.value, 100.0);
+    }
+
+    #[test]
+    fn at_most_one_item_per_class() {
+        // One class with two small items that would both fit: only one may
+        // be selected.
+        let classes = vec![vec![(kbps(100), 100.0), (kbps(200), 150.0)]];
+        let s = solve_bitrates(&classes, kbps(1000), UNIT);
+        assert_eq!(s.choices, vec![Some(1)]);
+        assert_eq!(s.value, 150.0);
+    }
+
+    #[test]
+    fn capacity_exactly_consumed() {
+        let classes = vec![
+            vec![(kbps(400), 360.0)],
+            vec![(kbps(100), 100.0)],
+        ];
+        let s = solve_bitrates(&classes, kbps(500), UNIT);
+        assert_eq!(s.choices, vec![Some(0), Some(0)]);
+        assert_eq!(s.value, 460.0);
+    }
+
+    /// The tie from Table 1 case 1 (subscriber C): {A@400K, B@100K} and
+    /// {A@100K, B@400K} both score 460 under a 500 Kbps downlink; the paper's
+    /// solution gives the earlier publisher (A) the larger stream.
+    #[test]
+    fn tie_breaks_toward_earlier_class() {
+        let ladder: Vec<(Bitrate, f64)> = vec![
+            (kbps(100), 100.0),
+            (kbps(300), 300.0),
+            (kbps(400), 360.0),
+            (kbps(500), 440.0),
+            (kbps(600), 530.0),
+            (kbps(800), 700.0),
+        ];
+        let classes = vec![ladder.clone(), ladder];
+        let s = solve_bitrates(&classes, kbps(500), UNIT);
+        assert_eq!(s.value, 460.0);
+        // Class 0 (publisher A) gets 400K, class 1 (publisher B) gets 100K.
+        assert_eq!(s.choices, vec![Some(2), Some(0)]);
+    }
+
+    #[test]
+    fn weight_rounds_up_capacity_rounds_down() {
+        // 105 kbps item with a 10 kbps unit weighs 11 units; a 109 kbps
+        // capacity has 10 units — so the item must not fit.
+        let classes = vec![vec![(kbps(105), 1.0)]];
+        let s = solve_bitrates(&classes, kbps(109), UNIT);
+        assert_eq!(s.choices, vec![None]);
+        // With 110 kbps capacity it fits.
+        let s = solve_bitrates(&classes, kbps(110), UNIT);
+        assert_eq!(s.choices, vec![Some(0)]);
+    }
+
+    #[test]
+    fn many_classes_optimal_vs_exhaustive() {
+        // Cross-check the DP against exhaustive enumeration on a small
+        // random-ish instance.
+        let classes: Vec<Vec<(Bitrate, f64)>> = vec![
+            vec![(kbps(100), 90.0), (kbps(250), 200.0), (kbps(700), 520.0)],
+            vec![(kbps(150), 140.0), (kbps(300), 260.0)],
+            vec![(kbps(50), 60.0), (kbps(450), 400.0), (kbps(900), 640.0)],
+        ];
+        let cap = kbps(1000);
+        let dp = solve_bitrates(&classes, cap, UNIT);
+
+        let mut best = 0.0f64;
+        for a in [None, Some(0), Some(1), Some(2)] {
+            for b in [None, Some(0), Some(1)] {
+                for c in [None, Some(0), Some(1), Some(2)] {
+                    let picks = [(0usize, a), (1, b), (2, c)];
+                    let (mut w, mut v) = (0u64, 0.0f64);
+                    for (cls, pick) in picks {
+                        if let Some(i) = pick {
+                            w += classes[cls][i].0.as_bps();
+                            v += classes[cls][i].1;
+                        }
+                    }
+                    if w <= cap.as_bps() && v > best {
+                        best = v;
+                    }
+                }
+            }
+        }
+        assert_eq!(dp.value, best);
+    }
+
+    #[test]
+    fn zero_capacity_selects_nothing() {
+        let classes = vec![vec![(kbps(100), 100.0)]];
+        let s = solve_bitrates(&classes, Bitrate::ZERO, UNIT);
+        assert_eq!(s.choices, vec![None]);
+        assert_eq!(s.value, 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! QoE utility weight generation.
+//!
+//! §4.4 of the paper sets two requirements on the utility weights:
+//!
+//! 1. within a resolution, QoE must increase with bitrate (so upgrades pay);
+//! 2. **small-stream protection** — the QoE-per-bit ratio must be higher for
+//!    small streams than for large ones, so that when two streams compete for
+//!    one downlink the knapsack prefers carrying both at reduced bitrate over
+//!    dropping one entirely.
+//!
+//! A concave power law satisfies both. The exponent 0.9 is calibrated so the
+//! generated weights track the hand-tuned values in Table 1 of the paper to
+//! within a few percent.
+
+use gso_util::Bitrate;
+
+/// Concavity exponent of the default utility curve.
+pub const UTILITY_EXPONENT: f64 = 0.9;
+
+/// Scale factor chosen so `default_utility(300 Kbps) ≈ 300`, matching the
+/// paper's Table 1 anchoring.
+pub const UTILITY_SCALE: f64 = 1.77;
+
+/// The default QoE utility of a stream bitrate: `scale · kbps^0.9`.
+///
+/// Strictly increasing in bitrate, with a strictly decreasing
+/// utility-per-bit ratio (`scale · kbps^-0.1`) — the small-stream protection
+/// property.
+pub fn default_utility(bitrate: Bitrate) -> f64 {
+    UTILITY_SCALE * (bitrate.as_kbps() as f64).powf(UTILITY_EXPONENT)
+}
+
+/// Default priority boost for the active speaker's streams (§4.4: "give the
+/// host's or speaker's streams higher QoE weights").
+///
+/// Deliberately modest: §4.4 also demands that "small streams are
+/// protected" — a large multiplicative boost would make the knapsack drop
+/// every non-speaker stream instead of accommodating everyone at reduced
+/// bitrate, because the utility curve is only mildly concave.
+pub const SPEAKER_BOOST: f64 = 1.5;
+
+/// Default priority boost for screen-share streams, which are usually the
+/// most important content in a meeting.
+pub const SCREEN_BOOST: f64 = 2.0;
+
+/// Verify the small-stream protection property over a set of
+/// `(bitrate, qoe)` pairs: sorted by bitrate, QoE/bitrate must be
+/// non-increasing.
+pub fn protects_small_streams(pairs: &[(Bitrate, f64)]) -> bool {
+    let mut sorted: Vec<_> = pairs.to_vec();
+    sorted.sort_by_key(|(b, _)| *b);
+    sorted
+        .windows(2)
+        .all(|w| {
+            let r0 = w[0].1 / w[0].0.as_bps() as f64;
+            let r1 = w[1].1 / w[1].0.as_bps() as f64;
+            r1 <= r0 + 1e-12
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utility_increases_with_bitrate() {
+        let mut prev = 0.0;
+        for kbps in [100u64, 300, 400, 500, 600, 800, 1000, 1300, 1500] {
+            let u = default_utility(Bitrate::from_kbps(kbps));
+            assert!(u > prev, "{kbps} kbps: {u} <= {prev}");
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn utility_per_bit_decreases() {
+        let pairs: Vec<(Bitrate, f64)> = [100u64, 300, 600, 1000, 1500]
+            .iter()
+            .map(|&k| {
+                let b = Bitrate::from_kbps(k);
+                (b, default_utility(b))
+            })
+            .collect();
+        assert!(protects_small_streams(&pairs));
+    }
+
+    #[test]
+    fn anchored_near_table1_values() {
+        // Table 1: 300 Kbps → 300, 100 Kbps → 100, 1.5 Mbps → 1200.
+        let u300 = default_utility(Bitrate::from_kbps(300));
+        let u100 = default_utility(Bitrate::from_kbps(100));
+        let u1500 = default_utility(Bitrate::from_kbps(1500));
+        assert!((u300 - 300.0).abs() / 300.0 < 0.1, "u(300K) = {u300}");
+        assert!((u100 - 100.0).abs() / 100.0 < 0.15, "u(100K) = {u100}");
+        assert!((u1500 - 1200.0).abs() / 1200.0 < 0.15, "u(1.5M) = {u1500}");
+    }
+
+    #[test]
+    fn protection_check_rejects_convex_weights() {
+        let pairs = vec![
+            (Bitrate::from_kbps(100), 50.0),
+            (Bitrate::from_kbps(200), 200.0), // per-bit ratio doubles: not protective
+        ];
+        assert!(!protects_small_streams(&pairs));
+    }
+}

@@ -1,0 +1,52 @@
+//! Fig. 12 — CDF of the controller call interval under network churn.
+
+use criterion::Criterion;
+use gso_bench::banner;
+use gso_sim::experiments::fig12;
+
+fn print_figure() {
+    banner("Fig. 12: CDF of GSO control algorithm call interval");
+    let samples = fig12::fig12(21, 240);
+    println!("samples: {}", samples.len());
+    println!(
+        "min {:.2}s  mean {:.2}s  max {:.2}s   (paper: min 1s, mean 1.8s, max 3s)",
+        samples.min(),
+        samples.mean(),
+        samples.max()
+    );
+    println!("{:>10} {:>8}", "interval", "CDF");
+    let cdf = samples.cdf();
+    // Print ~20 evenly spaced CDF points.
+    let step = (cdf.len() / 20).max(1);
+    for (v, p) in cdf.iter().step_by(step) {
+        println!("{:>9.2}s {:>8.3}", v, p);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_scheduler");
+    group.sample_size(50);
+    group.bench_function("scheduler_10k_polls", |b| {
+        b.iter(|| {
+            let mut s = gso_control::ControlScheduler::new(Default::default());
+            let mut fired = 0u32;
+            for i in 0..10_000u64 {
+                if i % 17 == 0 {
+                    s.trigger_event();
+                }
+                if s.poll(gso_util::SimTime::from_millis(i * 10)) {
+                    fired += 1;
+                }
+            }
+            fired
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    print_figure();
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,61 @@
+//! Fig. 6a — compute time (normalized, log scale in the paper) and QoE
+//! optimality vs. the number of participants.
+
+use criterion::Criterion;
+use gso_bench::{banner, normalized};
+use gso_sim::experiments::fig6;
+
+fn print_figure() {
+    banner("Fig. 6a: GSO vs brute force, participants 2-8");
+    let rows = fig6::fig6a(Some(2_000_000));
+    let brute_norm = normalized(&rows.iter().map(|r| r.brute_secs).collect::<Vec<_>>());
+    let gso_norm: Vec<f64> = {
+        let max_brute = rows.iter().map(|r| r.brute_secs).fold(0.0, f64::max);
+        rows.iter().map(|r| r.gso_secs / max_brute).collect()
+    };
+    println!(
+        "{:>4} {:>14} {:>14} {:>12} {:>12} {:>10} {:>6}",
+        "n", "brute(norm)", "gso(norm)", "brute(s)", "gso(s)", "optimality", "mode"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "{:>4} {:>14.3e} {:>14.3e} {:>12.4e} {:>12.4e} {:>10.4} {:>6}",
+            r.x,
+            brute_norm[i],
+            gso_norm[i],
+            r.brute_secs,
+            r.gso_secs,
+            r.optimality,
+            if r.extrapolated { "proj" } else { "meas" },
+        );
+    }
+    println!("(brute time grows exponentially; GSO stays flat; optimality ≈ 1 — the Fig. 6a shape)");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a_gso_solver");
+    group.sample_size(15);
+    for n in [2usize, 4, 8] {
+        let ladder = gso_algo::ladders::uniform(
+            &[
+                gso_algo::Resolution::R180,
+                gso_algo::Resolution::R360,
+                gso_algo::Resolution::R720,
+            ],
+            2,
+        );
+        let problem = fig6::asymmetric_meeting(n, n, 6);
+        let _ = ladder;
+        group.bench_function(format!("participants_{n}"), |b| {
+            b.iter(|| gso_algo::solver::solve(&problem, &Default::default()))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_figure();
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

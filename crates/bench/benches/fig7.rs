@@ -1,0 +1,64 @@
+//! Fig. 7 — transient bitrate adaptation: GSO (fine ladder) vs Non-GSO
+//! (coarse ladder) under abrupt downlink caps.
+
+use criterion::Criterion;
+use gso_bench::banner;
+use gso_sim::experiments::fig7;
+use gso_sim::PolicyMode;
+use gso_util::SimTime;
+
+fn print_mode(mode: PolicyMode, label: &str) {
+    banner(&format!("Fig. 7{label}: transient adaptation ({mode:?})"));
+    let traces = fig7::fig7(mode, 11);
+    print!("{:>6}", "t(s)");
+    for t in &traces {
+        print!(" {:>10}", format!("cap={}", t.cap));
+    }
+    println!();
+    for sec in (2..=80).step_by(2) {
+        print!("{:>6}", sec);
+        for t in &traces {
+            let v = t
+                .series
+                .window_mean(SimTime::from_secs(sec - 2), SimTime::from_secs(sec))
+                .unwrap_or(0.0);
+            print!(" {:>10.0}", v / 1000.0);
+        }
+        println!();
+    }
+    for t in &traces {
+        let capped = fig7::capped_window_mean(&t.series).unwrap_or(0.0) / 1000.0;
+        let recovered = fig7::recovered_mean(&t.series).unwrap_or(0.0) / 1000.0;
+        println!(
+            "cap {}: capped-window mean {:.0} kbps, post-recovery {:.0} kbps",
+            t.cap, capped, recovered
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // The transient scenario is seconds of simulated time; benchmark one
+    // short run as the end-to-end kernel.
+    let mut group = c.benchmark_group("fig7_scenario");
+    group.sample_size(10);
+    group.bench_function("gso_625k_20s", |b| {
+        b.iter(|| {
+            let mut s = gso_sim::workloads::slow_link_scenario(
+                PolicyMode::Gso,
+                gso_sim::workloads::slow_link_cases()[0],
+                1,
+            );
+            s.duration = gso_util::SimDuration::from_secs(5);
+            s.run()
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    print_mode(PolicyMode::Gso, "a");
+    print_mode(PolicyMode::NonGso, "b");
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,647 @@
+//! Delay-gradient + loss-based bandwidth estimation (GCC-style).
+//!
+//! GSO relies on *sender-side* estimation (§4.2): the sender keeps a history
+//! of what it sent, the receiver returns per-packet arrival times
+//! (transport-wide feedback), and the estimator derives available bandwidth
+//! from the delay trend, observed loss and delivered throughput.
+//!
+//! The structure follows the Google Congestion Control draft the paper
+//! cites: a trendline filter detects queue build-up from the slope of
+//! one-way delay, an AIMD controller converges on a rate, and a loss
+//! controller caps it when packets die. Two production lessons from §7 are
+//! modelled explicitly:
+//!
+//! * **Over-estimation on small streams** — when the send rate is far below
+//!   capacity the delay trend stays flat, so a naive estimator grows without
+//!   bound. Like GCC, the rate is therefore capped near the *measured*
+//!   throughput (`1.5×`), which in turn under-uses big links...
+//! * **...fixed by probing** — short paced bursts (see [`crate::probe`])
+//!   carry `is_probe` packets; a feedback window dominated by probe traffic
+//!   is allowed to raise the estimate directly to the probed goodput.
+
+use gso_util::{Bitrate, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// One sent packet's fate, resolved from transport feedback by
+/// [`crate::history::SendHistory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketResult {
+    /// When the sender transmitted it.
+    pub sent_at: SimTime,
+    /// When the receiver saw it; `None` = lost.
+    pub arrived_at: Option<SimTime>,
+    /// Wire size in bytes.
+    pub size: usize,
+    /// True if this was probe padding.
+    pub probe: bool,
+}
+
+/// Detector state, as in the GCC draft.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandwidthUsage {
+    /// Delay stable.
+    Normal,
+    /// Delay rising: the bottleneck queue is filling.
+    Overuse,
+    /// Delay falling: the queue is draining.
+    Underuse,
+}
+
+/// Estimator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct BweConfig {
+    /// Floor of the estimate.
+    pub min_rate: Bitrate,
+    /// Ceiling of the estimate.
+    pub max_rate: Bitrate,
+    /// Starting estimate before any feedback.
+    pub initial_rate: Bitrate,
+    /// Multiplicative increase per second in the increase state.
+    pub increase_per_sec: f64,
+    /// Back-off factor applied to measured throughput on overuse.
+    pub beta: f64,
+    /// Delay-slope threshold (ms of delay growth per second) for overuse.
+    pub slope_threshold: f64,
+    /// Throughput multiple the estimate may not exceed without probing.
+    pub throughput_cap: f64,
+    /// Minimum spacing between delay-triggered multiplicative decreases: a
+    /// deep queue takes a while to drain and keeps the delay slope positive;
+    /// decreasing on every window during the drain would collapse the
+    /// estimate far below the link rate.
+    pub decrease_cooldown: SimDuration,
+    /// Minimum spacing between loss-triggered decreases. Shorter than the
+    /// delay cooldown: a loss *burst* (queue overflow) lasts about one
+    /// drain, while *sustained* random loss must keep pushing the rate down
+    /// (GCC's loss controller), so the loss path may fire a few times per
+    /// second.
+    pub loss_cooldown: SimDuration,
+}
+
+impl Default for BweConfig {
+    fn default() -> Self {
+        BweConfig {
+            min_rate: Bitrate::from_kbps(50),
+            max_rate: Bitrate::from_mbps(20),
+            initial_rate: Bitrate::from_kbps(300),
+            increase_per_sec: 1.08,
+            beta: 0.85,
+            slope_threshold: 12.0,
+            throughput_cap: 1.5,
+            decrease_cooldown: SimDuration::from_millis(1_500),
+            loss_cooldown: SimDuration::from_millis(400),
+        }
+    }
+}
+
+/// Sender-side bandwidth estimator.
+#[derive(Debug)]
+pub struct SenderBwe {
+    cfg: BweConfig,
+    rate: f64,
+    usage: BandwidthUsage,
+    /// (arrival ms, delay-variation accumulator ms) samples for the trend.
+    trend_samples: VecDeque<(f64, f64)>,
+    accumulated_delay_ms: f64,
+    last_pair: Option<(SimTime, SimTime)>,
+    last_update: Option<SimTime>,
+    last_decrease: Option<SimTime>,
+    last_loss_decrease: Option<SimTime>,
+    last_overuse: Option<SimTime>,
+    /// Smoothed loss fraction.
+    loss: f64,
+    /// Last measured delivered throughput.
+    throughput: f64,
+    overuse_streak: u32,
+    /// Delay-trend samples are discarded until this instant: a probe burst
+    /// queues *media* packets behind it, and their inflated delays would
+    /// read as overuse.
+    trend_blackout_until: Option<SimTime>,
+    /// Adaptive over-use threshold (GCC §5 of the draft): recurring benign
+    /// delay spikes — keyframes, wireless schedulers — raise the threshold
+    /// so they stop reading as congestion, while sustained queue growth
+    /// still overshoots it.
+    threshold: f64,
+    last_threshold_update: Option<SimTime>,
+    /// Highest path capacity ever demonstrated — by probe bursts (whose
+    /// packet spacing measures the bottleneck line rate) or by delivered
+    /// throughput exceeding the previous belief. Clamps the rate so the
+    /// 1.5×-throughput growth cap cannot compound indefinitely; when the
+    /// true capacity later *drops*, the clamp simply goes inactive and the
+    /// over-use/loss controllers take over.
+    capacity: Option<f64>,
+}
+
+impl SenderBwe {
+    /// Create an estimator.
+    pub fn new(cfg: BweConfig) -> Self {
+        let rate = cfg.initial_rate.as_bps() as f64;
+        let threshold = cfg.slope_threshold;
+        SenderBwe {
+            cfg,
+            rate,
+            usage: BandwidthUsage::Normal,
+            trend_samples: VecDeque::new(),
+            accumulated_delay_ms: 0.0,
+            last_pair: None,
+            last_update: None,
+            last_decrease: None,
+            last_loss_decrease: None,
+            last_overuse: None,
+            loss: 0.0,
+            throughput: 0.0,
+            overuse_streak: 0,
+            trend_blackout_until: None,
+            threshold,
+            last_threshold_update: None,
+            capacity: None,
+        }
+    }
+
+    /// Current estimate.
+    pub fn estimate(&self) -> Bitrate {
+        Bitrate::from_bps(self.rate as u64)
+    }
+
+    /// Current detector state (exposed for tests/telemetry).
+    pub fn usage(&self) -> BandwidthUsage {
+        self.usage
+    }
+
+    /// Smoothed loss fraction seen by the estimator.
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// Last measured delivered throughput.
+    pub fn throughput(&self) -> Bitrate {
+        Bitrate::from_bps(self.throughput as u64)
+    }
+
+    /// Ingest one feedback window's packet results (chronological by send
+    /// time) and update the estimate.
+    pub fn on_feedback(&mut self, now: SimTime, results: &[PacketResult]) {
+        if results.is_empty() {
+            return;
+        }
+        // ---- Loss ---------------------------------------------------------
+        let lost = results.iter().filter(|r| r.arrived_at.is_none()).count();
+        let window_loss = lost as f64 / results.len() as f64;
+        self.loss = 0.5 * self.loss + 0.5 * window_loss;
+
+        // ---- Throughput over the feedback window --------------------------
+        // Media only: probe padding is short-burst and would inflate the
+        // apparent delivery rate (and with it the growth cap).
+        let delivered: usize = results
+            .iter()
+            .filter(|r| !r.probe && r.arrived_at.is_some())
+            .map(|r| r.size)
+            .sum();
+        let arrivals: Vec<(SimTime, usize)> = results
+            .iter()
+            .filter(|r| !r.probe)
+            .filter_map(|r| r.arrived_at.map(|a| (a, r.size)))
+            .collect();
+        if arrivals.len() >= 2 {
+            let first = arrivals.iter().min_by_key(|&&(a, _)| a).copied().unwrap();
+            let last = arrivals.iter().map(|&(a, _)| a).max().unwrap();
+            let span = last.saturating_since(first.0).as_secs_f64();
+            if span > 1e-3 {
+                // The earliest packet only opens the measurement window; its
+                // bytes are excluded so two packets measure one gap.
+                self.throughput = (delivered - first.1) as f64 * 8.0 / span;
+            }
+        }
+
+        // ---- Delay trend ---------------------------------------------------
+        // Probe clusters poison the trend twice over: the probes themselves
+        // ride at line rate, and the media packets queued *behind* them
+        // inherit the inflated delay. Any window containing probe traffic
+        // therefore resets the trend and opens a short blackout during which
+        // no samples are collected — the over-use detector only ever sees
+        // steady-state media (this mirrors WebRTC's separate handling of
+        // probe clusters).
+        if results.iter().any(|r| r.probe) {
+            let last_arrival = results.iter().filter_map(|r| r.arrived_at).max();
+            self.trend_blackout_until =
+                Some(last_arrival.unwrap_or(now) + SimDuration::from_millis(400));
+            self.trend_samples.clear();
+            self.accumulated_delay_ms = 0.0;
+            self.last_pair = None;
+        }
+        let blacked_out =
+            self.trend_blackout_until.map(|t| now < t).unwrap_or(false);
+        if !blacked_out {
+            for r in results {
+                if r.probe {
+                    continue;
+                }
+                let Some(arr) = r.arrived_at else { continue };
+                if let Some((prev_sent, prev_arr)) = self.last_pair {
+                    let d_send = r.sent_at.saturating_since(prev_sent).as_secs_f64() * 1e3;
+                    let d_arr = arr.saturating_since(prev_arr).as_secs_f64() * 1e3;
+                    self.accumulated_delay_ms += d_arr - d_send;
+                    let t_ms = arr.as_secs_f64() * 1e3;
+                    self.trend_samples.push_back((t_ms, self.accumulated_delay_ms));
+                    if self.trend_samples.len() > 40 {
+                        self.trend_samples.pop_front();
+                    }
+                }
+                self.last_pair = Some((r.sent_at, arr));
+            }
+        }
+        let slope = self.delay_slope_ms_per_sec();
+        // Adapt the threshold (GCC's k_up/k_down): drift toward |slope| when
+        // exceeded (fast), decay back toward the configured base (slow), and
+        // never adapt to extreme outliers, which must stay detectable.
+        let dt_thresh = self
+            .last_threshold_update
+            .map(|t| now.saturating_since(t).as_secs_f64())
+            .unwrap_or(0.1)
+            .clamp(0.0, 1.0);
+        self.last_threshold_update = Some(now);
+        let abs_slope = slope.abs();
+        if abs_slope < 4.0 * self.threshold {
+            let k = if abs_slope > self.threshold { 1.2 } else { 0.06 };
+            let target = if abs_slope > self.threshold {
+                abs_slope
+            } else {
+                self.cfg.slope_threshold
+            };
+            self.threshold += k * (target - self.threshold) * dt_thresh;
+            self.threshold = self.threshold.clamp(self.cfg.slope_threshold, 8.0 * self.cfg.slope_threshold);
+        }
+        let new_usage = if slope > self.threshold {
+            BandwidthUsage::Overuse
+        } else if slope < -self.threshold {
+            BandwidthUsage::Underuse
+        } else {
+            BandwidthUsage::Normal
+        };
+        self.overuse_streak =
+            if new_usage == BandwidthUsage::Overuse { self.overuse_streak + 1 } else { 0 };
+        if new_usage == BandwidthUsage::Overuse {
+            self.last_overuse = Some(now);
+        }
+        self.usage = new_usage;
+
+        // ---- Probe shortcut -------------------------------------------------
+        // A delivered probe cluster measures real path capacity: its packets
+        // crossed the bottleneck back-to-back, so their arrival spacing is
+        // the line rate. The throughput is computed over the probe packets
+        // alone — averaging over the whole (mostly idle) feedback window
+        // would just re-measure the application rate.
+        let probe_arrivals: Vec<(SimTime, usize)> = results
+            .iter()
+            .filter(|r| r.probe)
+            .filter_map(|r| r.arrived_at.map(|a| (a, r.size)))
+            .collect();
+        let mut probe_rate = 0.0;
+        if probe_arrivals.len() >= 3 {
+            let first = probe_arrivals.iter().min_by_key(|&&(a, _)| a).copied().unwrap();
+            let last = probe_arrivals.iter().map(|&(a, _)| a).max().unwrap();
+            let span = last.saturating_since(first.0).as_secs_f64();
+            let bytes: usize = probe_arrivals.iter().map(|&(_, s)| s).sum();
+            if span > 1e-4 {
+                probe_rate = (bytes - first.1) as f64 * 8.0 / span;
+            }
+        }
+        let probed = probe_rate > 0.0 && window_loss < 0.05;
+
+        // ---- Rate update ----------------------------------------------------
+        let dt = self
+            .last_update
+            .map(|t| now.saturating_since(t).as_secs_f64())
+            .unwrap_or(0.1)
+            .clamp(0.0, 1.0);
+        self.last_update = Some(now);
+
+        let pre_rate = self.rate;
+        let cooled_down = self
+            .last_decrease
+            .map(|t| now.saturating_since(t) >= self.cfg.decrease_cooldown)
+            .unwrap_or(true);
+        match self.usage {
+            BandwidthUsage::Overuse if self.overuse_streak >= 2 && cooled_down => {
+                // β × measured throughput, but never a cliff: an app-limited
+                // window can make the throughput sample tiny relative to the
+                // estimate, and a single window must not erase it.
+                let target = self.cfg.beta * self.throughput.max(self.cfg.min_rate.as_bps() as f64);
+                self.rate = target.max(0.5 * self.rate);
+                self.last_decrease = Some(now);
+                // Reset the trend after acting on it.
+                self.trend_samples.clear();
+                self.accumulated_delay_ms = 0.0;
+                self.overuse_streak = 0;
+            }
+            BandwidthUsage::Overuse | BandwidthUsage::Underuse => { /* hold */ }
+            BandwidthUsage::Normal => {
+                self.rate *= self.cfg.increase_per_sec.powf(dt);
+            }
+        }
+
+        // Growth cap near measured throughput: without congestion signals
+        // the estimate never *decreases* (this is precisely the
+        // over-estimation behaviour §7 describes for small streams), but it
+        // may not grow beyond ~1.5× what was actually delivered — unless a
+        // probe burst demonstrated real capacity.
+        if probed {
+            self.rate = self.rate.max(0.9 * probe_rate);
+            self.capacity = Some(self.capacity.map_or(probe_rate, |c| c.max(probe_rate)));
+        } else if self.throughput > 0.0 {
+            let cap = self.cfg.throughput_cap * self.throughput + 20_000.0;
+            self.rate = self.rate.min(cap.max(pre_rate));
+        }
+
+        // Loss controller (GCC): heavy loss in this window backs off
+        // multiplicatively — rate-limited so a single burst of queue drops
+        // cannot compound across consecutive 100 ms windows, but frequent
+        // enough that *sustained* random loss keeps driving the rate down.
+        // …and only when the delay signal corroborates congestion: loss that
+        // arrives with a flat delay trend is *random* (radio, last-hop), and
+        // backing off cannot fix it — it would only starve the stream (the
+        // NACK path is the tool for that regime). Loss-and-delay gating is
+        // how production estimators survive lossy links.
+        let loss_cooled = self
+            .last_loss_decrease
+            .map(|t| now.saturating_since(t) >= self.cfg.loss_cooldown)
+            .unwrap_or(true);
+        let congestive = self
+            .last_overuse
+            .map(|t| now.saturating_since(t) <= SimDuration::from_secs(1))
+            .unwrap_or(false);
+        if window_loss > 0.10 && loss_cooled && congestive {
+            self.rate *= 1.0 - 0.5 * window_loss;
+            self.last_decrease = Some(now);
+            self.last_loss_decrease = Some(now);
+        }
+
+        // Delivering more than the believed capacity disproves the belief.
+        if let Some(c) = self.capacity.as_mut() {
+            if self.throughput > *c {
+                *c = self.throughput;
+            }
+        }
+        if let Some(c) = self.capacity {
+            self.rate = self.rate.min(0.95 * c);
+        }
+        self.rate = self
+            .rate
+            .clamp(self.cfg.min_rate.as_bps() as f64, self.cfg.max_rate.as_bps() as f64);
+    }
+
+    /// Least-squares slope of the accumulated-delay samples, in ms of delay
+    /// per second of time; 0 with fewer than 5 samples.
+    fn delay_slope_ms_per_sec(&self) -> f64 {
+        let n = self.trend_samples.len();
+        if n < 5 {
+            return 0.0;
+        }
+        let mean_t: f64 = self.trend_samples.iter().map(|&(t, _)| t).sum::<f64>() / n as f64;
+        let mean_d: f64 = self.trend_samples.iter().map(|&(_, d)| d).sum::<f64>() / n as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(t, d) in &self.trend_samples {
+            num += (t - mean_t) * (d - mean_d);
+            den += (t - mean_t) * (t - mean_t);
+        }
+        if den < 1e-9 {
+            0.0
+        } else {
+            // ms of delay per ms of time → per second.
+            (num / den) * 1e3
+        }
+    }
+
+    /// Time since the estimate last decreased; used by the hysteresis gate.
+    pub fn since_last_decrease(&self, now: SimTime) -> Option<SimDuration> {
+        self.last_decrease.map(|t| now.saturating_since(t))
+    }
+
+    /// Probe-demonstrated path capacity, if any probe completed yet.
+    pub fn capacity(&self) -> Option<Bitrate> {
+        self.capacity.map(|c| Bitrate::from_bps(c as u64))
+    }
+
+    /// True when the current estimate is pressing against (or beyond) what
+    /// probing has demonstrated — the sender should validate with a fresh
+    /// probe burst rather than commit media to an unproven rate.
+    pub fn needs_validation(&self) -> bool {
+        match self.capacity {
+            None => true,
+            Some(c) => self.rate >= 0.9 * c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive the estimator against a virtual bottleneck: packets are sent at
+    /// `send_rate`, serialized through `capacity` with a FIFO queue, for
+    /// `seconds`; feedback every 100 ms. Returns the estimator.
+    fn drive(
+        bwe: &mut SenderBwe,
+        capacity: Bitrate,
+        send_rate_of: impl Fn(&SenderBwe) -> Bitrate,
+        seconds: f64,
+        probe_plan: impl Fn(SimTime) -> bool,
+    ) {
+        let pkt = 1200usize;
+        let mut queue_free_at = SimTime::ZERO;
+        let mut window: Vec<PacketResult> = Vec::new();
+        let mut next_feedback = SimTime::from_millis(100);
+        let mut t = SimTime::ZERO;
+        let end = SimTime::ZERO + SimDuration::from_secs_f64(seconds);
+        while t < end {
+            let rate = send_rate_of(bwe).as_bps().max(1);
+            let gap = SimDuration::from_secs_f64(pkt as f64 * 8.0 / rate as f64);
+            // Transmit through the bottleneck.
+            let start = queue_free_at.max(t);
+            let ser = capacity.serialization_time(pkt).unwrap();
+            let queue_delay = start.saturating_since(t);
+            let (arrived, probe) = if queue_delay > SimDuration::from_millis(500) {
+                (None, probe_plan(t)) // tail-dropped
+            } else {
+                queue_free_at = start + ser;
+                (Some(start + ser + SimDuration::from_millis(20)), probe_plan(t))
+            };
+            window.push(PacketResult { sent_at: t, arrived_at: arrived, size: pkt, probe });
+            t += gap;
+            if t >= next_feedback {
+                bwe.on_feedback(next_feedback, &window);
+                window.clear();
+                next_feedback += SimDuration::from_millis(100);
+            }
+        }
+    }
+
+    fn end_of(secs: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn converges_below_capacity() {
+        let mut bwe = SenderBwe::new(BweConfig::default());
+        let cap = Bitrate::from_mbps(1);
+        drive(&mut bwe, cap, |b| b.estimate(), 30.0, |_| false);
+        let est = bwe.estimate().as_bps() as f64;
+        assert!(est > 0.5e6, "estimate too low: {est}");
+        assert!(est < 1.3e6, "estimate exceeds capacity band: {est}");
+        let _ = end_of(30.0);
+    }
+
+    #[test]
+    fn small_stream_estimate_capped_near_throughput() {
+        // Sending 200 Kbps on a 10 Mbps link: without probing the estimate
+        // must stay near 1.5× the send rate (the §7 over-estimation guard).
+        let mut bwe = SenderBwe::new(BweConfig::default());
+        let cap = Bitrate::from_mbps(10);
+        drive(&mut bwe, cap, |_| Bitrate::from_kbps(200), 10.0, |_| false);
+        let est = bwe.estimate().as_kbps();
+        assert!(est <= 340, "cap failed: {est} kbps");
+    }
+
+    #[test]
+    fn probing_discovers_capacity_beyond_app_rate() {
+        let mut bwe = SenderBwe::new(BweConfig::default());
+        let cap = Bitrate::from_mbps(4);
+        // App sends 200 Kbps; every 3 s a 200 ms probe burst at 8× estimate.
+        drive(
+            &mut bwe,
+            cap,
+            |b| {
+                Bitrate::from_kbps(200).max(Bitrate::from_bps(
+                    (b.estimate().as_bps() as f64 * 0.0) as u64,
+                ))
+            },
+            2.0,
+            |_| false,
+        );
+        let before = bwe.estimate();
+        // Probe phase: send at 8× current estimate, marked as probe.
+        let mut t = SimTime::from_secs(2);
+        let mut window = Vec::new();
+        let probe_rate = Bitrate::from_bps(before.as_bps() * 8).min(cap);
+        let pkt = 1200;
+        let gap = SimDuration::from_secs_f64(pkt as f64 * 8.0 / probe_rate.as_bps() as f64);
+        let mut free = t;
+        for _ in 0..100 {
+            let ser = cap.serialization_time(pkt).unwrap();
+            let start = free.max(t);
+            free = start + ser;
+            window.push(PacketResult {
+                sent_at: t,
+                arrived_at: Some(start + ser + SimDuration::from_millis(20)),
+                size: pkt,
+                probe: true,
+            });
+            t += gap;
+        }
+        bwe.on_feedback(t, &window);
+        let after = bwe.estimate();
+        assert!(
+            after.as_bps() > before.as_bps() * 2,
+            "probe should lift the estimate: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn heavy_loss_backs_off() {
+        let mut bwe = SenderBwe::new(BweConfig::default());
+        // 50% of packets lost, flat delay.
+        let mut t = SimTime::ZERO;
+        for round in 0..20 {
+            let mut window = Vec::new();
+            for i in 0..20 {
+                let sent = t + SimDuration::from_millis(i * 5);
+                window.push(PacketResult {
+                    sent_at: sent,
+                    arrived_at: (i % 2 == 0).then(|| sent + SimDuration::from_millis(30)),
+                    size: 1200,
+                    probe: false,
+                });
+            }
+            t += SimDuration::from_millis(100);
+            bwe.on_feedback(t, &window);
+            let _ = round;
+        }
+        assert!(bwe.loss() > 0.3);
+        // 240 Kbps delivered at 50% loss: estimate must sit well below the
+        // unconstrained growth path.
+        assert!(bwe.estimate() < Bitrate::from_kbps(400), "got {}", bwe.estimate());
+    }
+
+    #[test]
+    fn rising_delay_triggers_overuse_and_decrease() {
+        let mut bwe = SenderBwe::new(BweConfig::default());
+        let mut t = SimTime::ZERO;
+        // Arrival delay grows 5 ms per packet: a severe queue build-up.
+        let mut delay = 20u64;
+        for _ in 0..10 {
+            let mut window = Vec::new();
+            for i in 0..10u64 {
+                let sent = t + SimDuration::from_millis(i * 10);
+                delay += 5;
+                window.push(PacketResult {
+                    sent_at: sent,
+                    arrived_at: Some(sent + SimDuration::from_millis(delay)),
+                    size: 1200,
+                    probe: false,
+                });
+            }
+            t += SimDuration::from_millis(100);
+            bwe.on_feedback(t, &window);
+        }
+        // With a persistently rising queue the rate must be pinned at
+        // β × measured throughput rather than growing.
+        assert!(bwe.since_last_decrease(t).is_some(), "overuse must trigger a decrease");
+        let ceiling = bwe.throughput().as_bps() as f64 * 0.9;
+        assert!(
+            (bwe.estimate().as_bps() as f64) <= ceiling,
+            "got {} vs throughput {}",
+            bwe.estimate(),
+            bwe.throughput()
+        );
+    }
+
+    #[test]
+    fn estimate_respects_bounds_and_probed_capacity() {
+        let cfg = BweConfig {
+            min_rate: Bitrate::from_kbps(100),
+            max_rate: Bitrate::from_kbps(5_000),
+            ..BweConfig::default()
+        };
+        let mut bwe = SenderBwe::new(cfg);
+        // Clean, fast feedback for a long time: must clamp at max.
+        let mut t = SimTime::ZERO;
+        for _ in 0..600 {
+            let mut window = Vec::new();
+            for i in 0..50u64 {
+                let sent = t + SimDuration::from_millis(i * 2);
+                window.push(PacketResult {
+                    sent_at: sent,
+                    arrived_at: Some(sent + SimDuration::from_millis(10)),
+                    size: 1200,
+                    probe: true,
+                });
+            }
+            t += SimDuration::from_millis(100);
+            bwe.on_feedback(t, &window);
+        }
+        // Clamped by the configured ceiling AND by 0.95× the capacity the
+        // probe packets demonstrated (whichever is lower).
+        assert!(bwe.estimate() <= Bitrate::from_kbps(5_000));
+        let cap = bwe.capacity().expect("probes demonstrated capacity");
+        assert!(bwe.estimate().as_bps() as f64 <= 0.95 * cap.as_bps() as f64 + 1.0);
+        assert!(bwe.estimate() >= Bitrate::from_mbps(4), "got {}", bwe.estimate());
+    }
+
+    #[test]
+    fn empty_feedback_is_noop() {
+        let mut bwe = SenderBwe::new(BweConfig::default());
+        let before = bwe.estimate();
+        bwe.on_feedback(SimTime::from_secs(1), &[]);
+        assert_eq!(bwe.estimate(), before);
+    }
+}

@@ -1,0 +1,152 @@
+//! Sender-side packet history, resolving transport feedback into
+//! [`PacketResult`]s.
+//!
+//! The sender records every outgoing packet keyed by `(ssrc, sequence)`;
+//! when a [`TransportFeedback`] for that SSRC arrives, the reported arrival
+//! times are joined against the history. Entries older than a horizon are
+//! garbage-collected.
+
+use crate::estimator::PacketResult;
+use gso_rtp::TransportFeedback;
+use gso_util::{SimDuration, SimTime, Ssrc};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy)]
+struct SentRecord {
+    sent_at: SimTime,
+    size: usize,
+    probe: bool,
+}
+
+/// History of sent packets across all of one sender's streams.
+#[derive(Debug, Default)]
+pub struct SendHistory {
+    records: BTreeMap<(Ssrc, u16), SentRecord>,
+}
+
+/// Keep records this long before pruning.
+const HORIZON: SimDuration = SimDuration::from_secs(5);
+
+impl SendHistory {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an outgoing packet.
+    pub fn record(&mut self, ssrc: Ssrc, sequence: u16, now: SimTime, size: usize, probe: bool) {
+        self.records.insert((ssrc, sequence), SentRecord { sent_at: now, size, probe });
+    }
+
+    /// Join a feedback message against the history, in send order. Packets
+    /// the history does not know are skipped (e.g. pruned or pre-restart).
+    pub fn resolve(&mut self, ssrc: Ssrc, fb: &TransportFeedback) -> Vec<PacketResult> {
+        let mut out = Vec::with_capacity(fb.arrivals.len());
+        for (i, arrival) in fb.arrivals.iter().enumerate() {
+            let seq = fb.base_seq.wrapping_add(i as u16);
+            if let Some(rec) = self.records.remove(&(ssrc, seq)) {
+                out.push(PacketResult {
+                    sent_at: rec.sent_at,
+                    arrived_at: arrival.map(SimTime::from_micros),
+                    size: rec.size,
+                    probe: rec.probe,
+                });
+            }
+        }
+        out.sort_by_key(|r| r.sent_at);
+        out
+    }
+
+    /// Discard records older than the horizon.
+    pub fn prune(&mut self, now: SimTime) {
+        self.records.retain(|_, r| now.saturating_since(r.sent_at) <= HORIZON);
+    }
+
+    /// Number of unresolved records (for tests).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no packets are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_joins_arrivals_and_losses() {
+        let mut h = SendHistory::new();
+        let ssrc = Ssrc(1);
+        for i in 0..5u16 {
+            h.record(ssrc, 100 + i, SimTime::from_millis(i as u64 * 10), 1200, false);
+        }
+        let fb = TransportFeedback {
+            sender_ssrc: Ssrc(9),
+            feedback_seq: 0,
+            base_seq: 100,
+            arrivals: vec![Some(50_000), None, Some(70_000), Some(80_000), None],
+        };
+        let results = h.resolve(ssrc, &fb);
+        assert_eq!(results.len(), 5);
+        assert_eq!(results[0].arrived_at, Some(SimTime::from_millis(50)));
+        assert_eq!(results[1].arrived_at, None);
+        assert!(h.is_empty(), "resolved records are consumed");
+    }
+
+    #[test]
+    fn unknown_sequences_skipped() {
+        let mut h = SendHistory::new();
+        h.record(Ssrc(1), 5, SimTime::ZERO, 100, false);
+        let fb = TransportFeedback {
+            sender_ssrc: Ssrc(9),
+            feedback_seq: 0,
+            base_seq: 0,
+            arrivals: vec![Some(1); 3], // seqs 0,1,2 unknown
+        };
+        assert!(h.resolve(Ssrc(1), &fb).is_empty());
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn wrong_ssrc_not_consumed() {
+        let mut h = SendHistory::new();
+        h.record(Ssrc(1), 0, SimTime::ZERO, 100, false);
+        let fb = TransportFeedback {
+            sender_ssrc: Ssrc(9),
+            feedback_seq: 0,
+            base_seq: 0,
+            arrivals: vec![Some(1)],
+        };
+        assert!(h.resolve(Ssrc(2), &fb).is_empty());
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn prune_discards_old_records() {
+        let mut h = SendHistory::new();
+        h.record(Ssrc(1), 0, SimTime::ZERO, 100, false);
+        h.record(Ssrc(1), 1, SimTime::from_secs(8), 100, false);
+        h.prune(SimTime::from_secs(10));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn wrapping_base_seq() {
+        let mut h = SendHistory::new();
+        h.record(Ssrc(1), u16::MAX, SimTime::ZERO, 100, false);
+        h.record(Ssrc(1), 0, SimTime::from_millis(1), 100, false);
+        let fb = TransportFeedback {
+            sender_ssrc: Ssrc(9),
+            feedback_seq: 0,
+            base_seq: u16::MAX,
+            arrivals: vec![Some(10_000), Some(20_000)],
+        };
+        let r = h.resolve(Ssrc(1), &fb);
+        assert_eq!(r.len(), 2);
+        assert!(r[0].sent_at < r[1].sent_at);
+    }
+}

@@ -1,0 +1,26 @@
+//! Sender-side bandwidth estimation for GSO-Simulcast.
+//!
+//! GSO collects uplink bandwidth at the sender and downlink bandwidth at the
+//! accessing node — both via sender-side estimation over transport-wide
+//! feedback (§4.2). This crate provides that estimator plus the production
+//! refinements of §7:
+//!
+//! * [`estimator`] — GCC-style delay-gradient + loss + AIMD estimation, with
+//!   the small-stream over-estimation guard.
+//! * [`history`] — sender packet history joined against feedback.
+//! * [`twcc`] — receive-side transport feedback generation.
+//! * [`probe`] — short paced probe bursts that discover headroom beyond the
+//!   application's send rate.
+//! * [`semb`] — SEMB report scheduling with time + event triggers.
+
+pub mod estimator;
+pub mod history;
+pub mod probe;
+pub mod semb;
+pub mod twcc;
+
+pub use estimator::{BandwidthUsage, BweConfig, PacketResult, SenderBwe};
+pub use history::SendHistory;
+pub use probe::{ProbeCluster, ProbeConfig, ProbeController};
+pub use semb::{SembConfig, SembScheduler};
+pub use twcc::TwccGenerator;

@@ -1,0 +1,124 @@
+//! SEMB report scheduling (§7 "Reducing message reporting frequency").
+//!
+//! Uplink estimates are reported to the conference node in APP/SEMB
+//! messages. Reporting on every estimator update would overwhelm the
+//! conference node, so the paper deploys **both a time trigger and an event
+//! trigger**: periodic refreshes, plus immediate reports when the estimate
+//! moves significantly — rate-limited by a minimum gap.
+
+use gso_util::{Bitrate, SimDuration, SimTime};
+
+/// Reporting policy.
+#[derive(Debug, Clone)]
+pub struct SembConfig {
+    /// Periodic refresh interval (the time trigger).
+    pub time_trigger: SimDuration,
+    /// Relative change that fires the event trigger.
+    pub change_threshold: f64,
+    /// Minimum gap between any two reports.
+    pub min_gap: SimDuration,
+}
+
+impl Default for SembConfig {
+    fn default() -> Self {
+        SembConfig {
+            time_trigger: SimDuration::from_secs(1),
+            change_threshold: 0.10,
+            min_gap: SimDuration::from_millis(100),
+        }
+    }
+}
+
+/// Decides when a SEMB report should be sent.
+#[derive(Debug)]
+pub struct SembScheduler {
+    cfg: SembConfig,
+    last_report: Option<(SimTime, Bitrate)>,
+}
+
+impl SembScheduler {
+    /// New scheduler; the first poll always reports.
+    pub fn new(cfg: SembConfig) -> Self {
+        SembScheduler { cfg, last_report: None }
+    }
+
+    /// Should a report with the current `estimate` be sent now? If yes, the
+    /// report is recorded and the value to send is returned.
+    pub fn poll(&mut self, now: SimTime, estimate: Bitrate) -> Option<Bitrate> {
+        let fire = match self.last_report {
+            None => true,
+            Some((at, value)) => {
+                let elapsed = now.saturating_since(at);
+                if elapsed < self.cfg.min_gap {
+                    false
+                } else if elapsed >= self.cfg.time_trigger {
+                    true
+                } else {
+                    let prev = value.as_bps() as f64;
+                    let cur = estimate.as_bps() as f64;
+                    let change = if prev > 0.0 { (cur - prev).abs() / prev } else { 1.0 };
+                    change >= self.cfg.change_threshold
+                }
+            }
+        };
+        if fire {
+            self.last_report = Some((now, estimate));
+            Some(estimate)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: u64) -> Bitrate {
+        Bitrate::from_kbps(v)
+    }
+
+    #[test]
+    fn first_poll_reports() {
+        let mut s = SembScheduler::new(SembConfig::default());
+        assert_eq!(s.poll(SimTime::ZERO, k(500)), Some(k(500)));
+    }
+
+    #[test]
+    fn time_trigger_fires_periodically() {
+        let mut s = SembScheduler::new(SembConfig::default());
+        s.poll(SimTime::ZERO, k(500));
+        assert_eq!(s.poll(SimTime::from_millis(900), k(500)), None);
+        assert_eq!(s.poll(SimTime::from_millis(1_000), k(500)), Some(k(500)));
+    }
+
+    #[test]
+    fn event_trigger_fires_on_significant_change() {
+        let mut s = SembScheduler::new(SembConfig::default());
+        s.poll(SimTime::ZERO, k(500));
+        // 5% change: below threshold.
+        assert_eq!(s.poll(SimTime::from_millis(300), k(525)), None);
+        // 20% change: fires immediately.
+        assert_eq!(s.poll(SimTime::from_millis(400), k(600)), Some(k(600)));
+    }
+
+    #[test]
+    fn min_gap_rate_limits_event_storms() {
+        let mut s = SembScheduler::new(SembConfig::default());
+        s.poll(SimTime::ZERO, k(500));
+        // Large change but within the minimum gap: suppressed.
+        assert_eq!(s.poll(SimTime::from_millis(50), k(1_000)), None);
+        assert_eq!(s.poll(SimTime::from_millis(150), k(1_000)), Some(k(1_000)));
+    }
+
+    #[test]
+    fn change_measured_against_last_report_not_last_poll() {
+        let mut s = SembScheduler::new(SembConfig::default());
+        s.poll(SimTime::ZERO, k(500));
+        // Creep in small steps: each below threshold vs the last *report*…
+        assert_eq!(s.poll(SimTime::from_millis(200), k(520)), None);
+        assert_eq!(s.poll(SimTime::from_millis(400), k(540)), None);
+        // …until the cumulative drift exceeds 10% of 500.
+        assert_eq!(s.poll(SimTime::from_millis(600), k(560)), Some(k(560)));
+    }
+}

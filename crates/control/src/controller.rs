@@ -1,0 +1,365 @@
+//! The GSO controller — the "brain" of a conference (§3).
+//!
+//! Composes the global picture, the bandwidth hysteresis gate, the control
+//! scheduler, the solver and the feedback executor into one component with a
+//! small event-driven surface: feed it reports and membership changes, call
+//! [`GsoController::tick`] periodically, transmit whatever it returns.
+
+use crate::failure::fallback_solution;
+use crate::feedback::{FeedbackConfig, FeedbackExecutor, ForwardingRule};
+use crate::hysteresis::{BandwidthHysteresis, HysteresisConfig};
+use crate::scheduler::{ControlScheduler, SchedulerConfig};
+use crate::state::{CodecCapability, GlobalPicture, SubscribeIntent};
+use gso_algo::{solver, Solution, SolverConfig, SourceId};
+use gso_rtp::{GsoTmmbn, GsoTmmbr};
+use gso_util::{Bitrate, ClientId, SimTime, Ssrc};
+use std::collections::BTreeMap;
+
+/// Link direction, used as part of the hysteresis key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// Client → accessing node.
+    Uplink,
+    /// Accessing node → client.
+    Downlink,
+}
+
+/// Aggregate configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ControllerConfig {
+    /// Solver knobs.
+    pub solver: SolverConfig,
+    /// Scheduling cadence (1–3 s in production).
+    pub scheduler: SchedulerConfig,
+    /// Oscillation-avoidance gate.
+    pub hysteresis: HysteresisConfig,
+    /// GTMB reliability.
+    pub feedback: FeedbackConfig,
+    /// Relative bandwidth change that is an event trigger.
+    pub event_threshold: f64,
+    /// Keep the previous solution when it still satisfies the current
+    /// constraints and the fresh one improves total QoE by less than this
+    /// fraction — reconfiguration itself costs quality (layer switches wait
+    /// for keyframes), so marginal wins are not worth taking (§7).
+    pub stickiness: f64,
+}
+
+impl ControllerConfig {
+    /// Paper-calibrated defaults.
+    pub fn paper_defaults() -> Self {
+        ControllerConfig {
+            solver: SolverConfig::default(),
+            scheduler: SchedulerConfig::default(),
+            hysteresis: HysteresisConfig::default(),
+            feedback: FeedbackConfig::default(),
+            event_threshold: 0.15,
+            stickiness: 0.10,
+        }
+    }
+}
+
+/// One orchestration round's output.
+#[derive(Debug)]
+pub struct ControlOutput {
+    /// Per-client layer configurations to transmit (GTMB).
+    pub configs: Vec<(ClientId, GsoTmmbr)>,
+    /// Media-plane forwarding rules.
+    pub rules: Vec<ForwardingRule>,
+    /// The full solution (for metrics/inspection).
+    pub solution: Solution,
+    /// True when this round used the single-stream fallback (§7).
+    pub fallback: bool,
+}
+
+/// The controller.
+pub struct GsoController {
+    /// The conference node's state store (public: signaling writes into it).
+    pub picture: GlobalPicture,
+    cfg: ControllerConfig,
+    scheduler: ControlScheduler,
+    hysteresis: BandwidthHysteresis<(ClientId, Direction)>,
+    executor: FeedbackExecutor,
+    fallback_mode: bool,
+    last_solution: Option<Solution>,
+}
+
+impl GsoController {
+    /// Build a controller; `controller_ssrc` identifies it in feedback.
+    pub fn new(cfg: ControllerConfig, controller_ssrc: Ssrc) -> Self {
+        GsoController {
+            picture: GlobalPicture::new(),
+            scheduler: ControlScheduler::new(cfg.scheduler.clone()),
+            hysteresis: BandwidthHysteresis::new(cfg.hysteresis.clone()),
+            executor: FeedbackExecutor::new(cfg.feedback.clone(), controller_ssrc),
+            cfg,
+            fallback_mode: false,
+            last_solution: None,
+        }
+    }
+
+    /// A client joined (signaling + SDP/simulcastInfo negotiation done).
+    pub fn on_join(&mut self, id: ClientId, caps: CodecCapability) {
+        self.picture.join(id, caps);
+        self.scheduler.trigger_event();
+    }
+
+    /// A client left.
+    pub fn on_leave(&mut self, id: ClientId) {
+        self.picture.leave(id);
+        self.scheduler.trigger_event();
+    }
+
+    /// A client updated its subscriptions.
+    pub fn on_subscriptions(&mut self, id: ClientId, intents: Vec<SubscribeIntent>) {
+        self.picture.set_subscriptions(id, intents);
+        self.scheduler.trigger_event();
+    }
+
+    /// The active speaker changed.
+    pub fn on_speaker(&mut self, id: Option<ClientId>) {
+        self.picture.set_speaker(id);
+        self.scheduler.trigger_event();
+    }
+
+    /// An uplink SEMB report arrived.
+    pub fn on_uplink_report(&mut self, now: SimTime, client: ClientId, measured: Bitrate) {
+        let prev = self.picture.uplink_of(client);
+        let effective = self.hysteresis.filter((client, Direction::Uplink), now, measured);
+        self.picture.report_uplink(client, now, effective);
+        self.maybe_trigger(prev, effective);
+    }
+
+    /// A downlink report from an accessing node arrived.
+    pub fn on_downlink_report(&mut self, now: SimTime, client: ClientId, measured: Bitrate) {
+        let prev = self.picture.downlink_of(client);
+        let effective = self.hysteresis.filter((client, Direction::Downlink), now, measured);
+        self.picture.report_downlink(client, now, effective);
+        self.maybe_trigger(prev, effective);
+    }
+
+    fn maybe_trigger(&mut self, prev: Option<Bitrate>, new: Bitrate) {
+        let Some(prev) = prev else {
+            self.scheduler.trigger_event();
+            return;
+        };
+        let p = prev.as_bps() as f64;
+        if p <= 0.0 {
+            self.scheduler.trigger_event();
+            return;
+        }
+        let change = (new.as_bps() as f64 - p).abs() / p;
+        if change >= self.cfg.event_threshold {
+            self.scheduler.trigger_event();
+        }
+    }
+
+    /// A GTBN acknowledgement from a client.
+    pub fn on_ack(&mut self, client: ClientId, ack: &GsoTmmbn) {
+        self.executor.on_ack(client, ack);
+    }
+
+    /// Enter/leave the single-stream fallback mode (§7 "Design for
+    /// failure"); entering triggers an immediate reconfiguration.
+    pub fn set_fallback(&mut self, on: bool) {
+        if self.fallback_mode != on {
+            self.fallback_mode = on;
+            self.scheduler.trigger_event();
+        }
+    }
+
+    /// Run one controller step: orchestrate if the scheduler says so, and
+    /// collect any due retransmissions.
+    ///
+    /// Returns `(orchestration_output, retransmissions)`.
+    pub fn tick(&mut self, now: SimTime) -> (Option<ControlOutput>, Vec<(ClientId, GsoTmmbr)>) {
+        let retransmissions = self.executor.poll(now);
+        // Undeliverable configuration is the trigger for fallback (§7).
+        if !self.executor.take_failed().is_empty() {
+            self.set_fallback(true);
+        }
+
+        // An empty conference never orchestrates (and records no call
+        // intervals — the Fig. 12 data starts with the first participant).
+        if self.picture.is_empty() || !self.scheduler.poll(now) {
+            return (None, retransmissions);
+        }
+
+        let problem = match self.picture.to_problem() {
+            Ok(p) => p,
+            Err(_) => {
+                // An inconsistent picture is an exception: fall back rather
+                // than dropping control entirely.
+                self.fallback_mode = true;
+                return (None, retransmissions);
+            }
+        };
+        let (solution, fallback) = if self.fallback_mode {
+            (fallback_solution(&problem), true)
+        } else {
+            let fresh = solver::solve(&problem, &self.cfg.solver);
+            // Solution stickiness: a still-valid previous configuration is
+            // kept unless the fresh one is a clear improvement.
+            let keep_previous = self
+                .last_solution
+                .as_ref()
+                .filter(|prev| prev.validate(&problem).is_ok())
+                .filter(|prev| {
+                    fresh.total_qoe < prev.total_qoe * (1.0 + self.cfg.stickiness)
+                })
+                .cloned();
+            (keep_previous.unwrap_or(fresh), false)
+        };
+
+        let ladder_layers: BTreeMap<SourceId, Vec<u16>> = problem
+            .sources()
+            .iter()
+            .map(|s| {
+                (s.id, s.ladder.resolutions().iter().map(|r| r.0).collect::<Vec<u16>>())
+            })
+            .collect();
+        let (configs, rules) = self.executor.execute(now, &solution, &ladder_layers);
+        self.last_solution = Some(solution.clone());
+        (Some(ControlOutput { configs, rules, solution, fallback }), retransmissions)
+    }
+
+    /// The most recent solution, if any.
+    pub fn last_solution(&self) -> Option<&Solution> {
+        self.last_solution.as_ref()
+    }
+
+    /// Recorded controller call intervals (Fig. 12).
+    pub fn call_intervals(&self) -> &[gso_util::SimDuration] {
+        self.scheduler.intervals()
+    }
+
+    /// Earliest/latest next run, for timer programming.
+    pub fn next_deadline(&self, now: SimTime) -> SimTime {
+        self.scheduler.next_deadline(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gso_algo::{ladders, Resolution};
+    use gso_util::StreamKind;
+
+    fn caps() -> CodecCapability {
+        CodecCapability { ladders: vec![(StreamKind::Video, ladders::paper_table1())] }
+    }
+
+    fn k(v: u64) -> Bitrate {
+        Bitrate::from_kbps(v)
+    }
+
+    fn two_party() -> GsoController {
+        let mut c = GsoController::new(ControllerConfig::paper_defaults(), Ssrc(0xc0de));
+        c.on_join(ClientId(1), caps());
+        c.on_join(ClientId(2), caps());
+        c.on_subscriptions(
+            ClientId(2),
+            vec![SubscribeIntent {
+                source: SourceId::video(ClientId(1)),
+                max_resolution: Resolution::R720,
+                tag: 0,
+            }],
+        );
+        c.on_uplink_report(SimTime::ZERO, ClientId(1), k(5_000));
+        c.on_downlink_report(SimTime::ZERO, ClientId(2), k(2_000));
+        c
+    }
+
+    #[test]
+    fn first_tick_orchestrates() {
+        let mut c = two_party();
+        let (out, _) = c.tick(SimTime::from_millis(10));
+        let out = out.expect("first tick runs");
+        assert!(!out.fallback);
+        assert!(!out.configs.is_empty());
+        assert_eq!(out.rules.len(), 1);
+        // 2 Mbps minus 50 Kbps protection → the 1.5 Mbps 720P stream fits.
+        assert_eq!(out.rules[0].bitrate, k(1_500));
+    }
+
+    #[test]
+    fn bandwidth_drop_triggers_fast_reconfiguration() {
+        let mut c = two_party();
+        let (out, _) = c.tick(SimTime::from_millis(10));
+        assert!(out.is_some());
+        // Big downlink drop at t=1.5s.
+        c.on_downlink_report(SimTime::from_millis(1_500), ClientId(2), k(700));
+        let (out, _) = c.tick(SimTime::from_millis(1_600));
+        let out = out.expect("event trigger must fire after min interval");
+        // 700 × 0.9 headroom − 50 protection = 580 Kbps → 500 Kbps 360P.
+        assert_eq!(out.rules[0].bitrate, k(500));
+    }
+
+    #[test]
+    fn min_interval_suppresses_immediate_rerun() {
+        let mut c = two_party();
+        let _ = c.tick(SimTime::from_millis(10));
+        c.on_downlink_report(SimTime::from_millis(100), ClientId(2), k(700));
+        let (out, _) = c.tick(SimTime::from_millis(200));
+        assert!(out.is_none(), "within the 1 s minimum interval");
+    }
+
+    #[test]
+    fn fallback_mode_issues_single_stream() {
+        let mut c = two_party();
+        let _ = c.tick(SimTime::from_millis(10));
+        c.set_fallback(true);
+        let (out, _) = c.tick(SimTime::from_millis(1_200));
+        let out = out.unwrap();
+        assert!(out.fallback);
+        assert_eq!(out.rules.len(), 1);
+        assert_eq!(out.rules[0].bitrate, k(100), "smallest stream only");
+    }
+
+    #[test]
+    fn undelivered_config_forces_fallback() {
+        let mut c = two_party();
+        let (out, _) = c.tick(SimTime::from_millis(10));
+        assert!(out.is_some());
+        // Never ack; poll past the retransmission budget (5 × 200 ms).
+        for ms in (200..2_500).step_by(200) {
+            let _ = c.tick(SimTime::from_millis(ms));
+        }
+        // Next orchestration is fallback.
+        let (out, _) = c.tick(SimTime::from_secs(6));
+        assert!(out.expect("scheduled run").fallback);
+    }
+
+    #[test]
+    fn empty_conference_never_orchestrates() {
+        let mut c = GsoController::new(ControllerConfig::paper_defaults(), Ssrc(1));
+        let (out, retx) = c.tick(SimTime::from_secs(1));
+        assert!(out.is_none());
+        assert!(retx.is_empty());
+    }
+
+    #[test]
+    fn call_intervals_recorded_within_bounds() {
+        let mut c = two_party();
+        let mut acked = Vec::new();
+        for ms in (0..20_000).step_by(100) {
+            let (out, retx) = c.tick(SimTime::from_millis(ms));
+            if let Some(out) = out {
+                acked.extend(out.configs);
+            }
+            acked.extend(retx);
+            // Ack everything promptly so no fallback trips.
+            for (client, msg) in acked.drain(..) {
+                c.on_ack(
+                    client,
+                    &GsoTmmbn { sender_ssrc: Ssrc(9), request_seq: msg.request_seq, entries: vec![] },
+                );
+            }
+        }
+        let intervals = c.call_intervals();
+        assert!(!intervals.is_empty());
+        for &d in intervals {
+            assert!(d >= gso_util::SimDuration::from_secs(1));
+            assert!(d <= gso_util::SimDuration::from_millis(3_100));
+        }
+    }
+}

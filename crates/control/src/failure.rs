@@ -1,0 +1,222 @@
+//! Design for failure (§7).
+//!
+//! Two mechanisms from the paper:
+//!
+//! * **Server-side fallback**: "when an exception is raised, GSO-Simulcast
+//!   would ask clients to fall back to a single stream configuration so the
+//!   service could continue, at the cost of reduced QoE."
+//!   [`fallback_solution`] builds that configuration: every source publishes
+//!   exactly its smallest stream, every subscriber takes it.
+//! * **Client-side downgrade**: "a server instructs a client to send
+//!   multiple streams, however, only a low bitrate stream is received" — the
+//!   [`DowngradeMonitor`] watches which configured layers actually produce
+//!   packets and switches subscriptions to the highest layer that is alive.
+
+use gso_algo::{Problem, PublishPolicy, ReceivedStream, Solution, SourceId};
+use gso_util::{SimDuration, SimTime, Ssrc};
+use std::collections::BTreeMap;
+
+/// The minimal safe configuration: one (smallest) stream per source,
+/// delivered to every subscriber whose cap admits it.
+pub fn fallback_solution(problem: &Problem) -> Solution {
+    let mut publish: BTreeMap<SourceId, Vec<PublishPolicy>> = BTreeMap::new();
+    let mut received: BTreeMap<_, Vec<ReceivedStream>> = BTreeMap::new();
+    let mut total_qoe = 0.0;
+
+    for source in problem.sources() {
+        let Some(spec) = source.ladder.specs().first().copied() else { continue };
+        let mut audience = Vec::new();
+        for sub in problem.subscribers_of(source.id) {
+            if spec.resolution > sub.max_resolution {
+                continue;
+            }
+            // Downlink safety: only attach subscribers with room for the
+            // minimal stream on top of what they already take.
+            let used: u64 = received
+                .get(&sub.subscriber)
+                .map(|rs: &Vec<ReceivedStream>| rs.iter().map(|r| r.bitrate.as_bps()).sum())
+                .unwrap_or(0);
+            let budget = problem
+                .client(sub.subscriber)
+                .map(|c| c.downlink.as_bps())
+                .unwrap_or(0);
+            if used + spec.bitrate.as_bps() > budget {
+                continue;
+            }
+            audience.push((sub.subscriber, sub.tag));
+            let qoe = spec.qoe * sub.qoe_boost + sub.presence_bonus;
+            total_qoe += qoe;
+            received.entry(sub.subscriber).or_default().push(ReceivedStream {
+                source: source.id,
+                tag: sub.tag,
+                resolution: spec.resolution,
+                bitrate: spec.bitrate,
+                qoe,
+            });
+        }
+        if !audience.is_empty() {
+            publish.insert(
+                source.id,
+                vec![PublishPolicy {
+                    resolution: spec.resolution,
+                    bitrate: spec.bitrate,
+                    audience,
+                }],
+            );
+        }
+    }
+    Solution { publish, received, total_qoe, iterations: 0 }
+}
+
+/// Watches per-layer liveness on the receive path and recommends
+/// downgrades when configured layers stop flowing.
+#[derive(Debug)]
+pub struct DowngradeMonitor {
+    /// A layer is dead if silent for this long while configured active.
+    timeout: SimDuration,
+    last_seen: BTreeMap<Ssrc, SimTime>,
+}
+
+impl DowngradeMonitor {
+    /// New monitor with the given liveness timeout.
+    pub fn new(timeout: SimDuration) -> Self {
+        DowngradeMonitor { timeout, last_seen: BTreeMap::new() }
+    }
+
+    /// Record traffic on a layer.
+    pub fn on_packet(&mut self, now: SimTime, ssrc: Ssrc) {
+        self.last_seen.insert(ssrc, now);
+    }
+
+    /// Given the layers a subscriber is *supposed* to be able to use
+    /// (descending preference), pick the best one that is demonstrably
+    /// alive; falls back to the last layer (lowest) if none have been seen,
+    /// matching the paper's "switch the high-bitrate subscription to a
+    /// low-bitrate subscription".
+    pub fn best_alive(&self, now: SimTime, preference: &[Ssrc]) -> Option<Ssrc> {
+        for &ssrc in preference {
+            if let Some(&seen) = self.last_seen.get(&ssrc) {
+                if now.saturating_since(seen) <= self.timeout {
+                    return Some(ssrc);
+                }
+            }
+        }
+        preference.last().copied()
+    }
+
+    /// Is a specific layer alive?
+    pub fn is_alive(&self, now: SimTime, ssrc: Ssrc) -> bool {
+        self.last_seen
+            .get(&ssrc)
+            .map(|&seen| now.saturating_since(seen) <= self.timeout)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gso_algo::{ladders, ClientSpec, Resolution, Subscription};
+    use gso_util::{Bitrate, ClientId};
+
+    fn k(v: u64) -> Bitrate {
+        Bitrate::from_kbps(v)
+    }
+
+    fn meeting() -> Problem {
+        let ladder = ladders::paper_table1();
+        let ids = [ClientId(1), ClientId(2), ClientId(3)];
+        let clients = ids
+            .iter()
+            .map(|&id| ClientSpec::new(id, k(5_000), k(5_000), ladder.clone()))
+            .collect();
+        let mut subs = Vec::new();
+        for &i in &ids {
+            for &j in &ids {
+                if i != j {
+                    subs.push(Subscription::new(i, SourceId::video(j), Resolution::R720));
+                }
+            }
+        }
+        Problem::new(clients, subs).unwrap()
+    }
+
+    #[test]
+    fn fallback_is_single_smallest_stream_and_valid() {
+        let p = meeting();
+        let sol = fallback_solution(&p);
+        sol.validate(&p).unwrap();
+        for c in p.clients() {
+            let policies = sol.policies(SourceId::video(c.id));
+            assert_eq!(policies.len(), 1, "single stream per source");
+            assert_eq!(policies[0].bitrate, k(100), "smallest ladder entry");
+            assert_eq!(policies[0].audience.len(), 2);
+        }
+    }
+
+    #[test]
+    fn fallback_respects_tiny_downlinks() {
+        let ladder = ladders::paper_table1();
+        let p = Problem::new(
+            vec![
+                ClientSpec::new(ClientId(1), k(5_000), k(5_000), ladder.clone()),
+                ClientSpec::new(ClientId(2), k(5_000), k(150), ladder),
+            ],
+            vec![
+                Subscription::new(ClientId(2), SourceId::video(ClientId(1)), Resolution::R720),
+            ],
+        )
+        .unwrap();
+        let sol = fallback_solution(&p);
+        sol.validate(&p).unwrap();
+        // 150 Kbps downlink fits one 100 Kbps stream.
+        assert_eq!(sol.receive_rate(ClientId(2)), k(100));
+    }
+
+    #[test]
+    fn fallback_respects_resolution_caps() {
+        // A ladder whose smallest entry is 720P cannot serve a 180P-capped
+        // subscriber.
+        let ladder = gso_algo::Ladder::new(vec![gso_algo::StreamSpec::new(
+            Resolution::R720,
+            k(1_000),
+            750.0,
+        )])
+        .unwrap();
+        let p = Problem::new(
+            vec![
+                ClientSpec::new(ClientId(1), k(5_000), k(5_000), ladder.clone()),
+                ClientSpec::new(ClientId(2), k(5_000), k(5_000), ladder),
+            ],
+            vec![Subscription::new(ClientId(2), SourceId::video(ClientId(1)), Resolution::R180)],
+        )
+        .unwrap();
+        let sol = fallback_solution(&p);
+        sol.validate(&p).unwrap();
+        assert!(sol.publish.is_empty());
+    }
+
+    #[test]
+    fn downgrade_monitor_picks_best_alive() {
+        let mut m = DowngradeMonitor::new(SimDuration::from_secs(2));
+        let prefs = [Ssrc(3), Ssrc(2), Ssrc(1)]; // high → low
+        m.on_packet(SimTime::from_secs(1), Ssrc(3));
+        m.on_packet(SimTime::from_secs(1), Ssrc(1));
+        assert_eq!(m.best_alive(SimTime::from_secs(2), &prefs), Some(Ssrc(3)));
+        // High layer goes silent; low keeps flowing.
+        m.on_packet(SimTime::from_secs(5), Ssrc(1));
+        assert_eq!(m.best_alive(SimTime::from_secs(6), &prefs), Some(Ssrc(1)));
+        assert!(!m.is_alive(SimTime::from_secs(6), Ssrc(3)));
+    }
+
+    #[test]
+    fn downgrade_monitor_defaults_to_lowest() {
+        let m = DowngradeMonitor::new(SimDuration::from_secs(2));
+        assert_eq!(
+            m.best_alive(SimTime::from_secs(1), &[Ssrc(3), Ssrc(1)]),
+            Some(Ssrc(1)),
+            "nothing seen yet: subscribe low, not high"
+        );
+        assert_eq!(m.best_alive(SimTime::ZERO, &[]), None);
+    }
+}

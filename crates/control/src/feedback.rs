@@ -1,0 +1,293 @@
+//! Feedback execution (§4.3): turning a solution into reliable GTMB
+//! configuration messages and SFU forwarding rules.
+//!
+//! For every publisher the executor derives the per-layer bitrate vector
+//! (zero = stop pushing that layer), addresses each layer by the SSRC that
+//! was assigned to its resolution at negotiation time, and wraps it in an
+//! APP/GTMB message carrying a request sequence number. RTCP has no delivery
+//! guarantee, so the executor retransmits a request until the matching
+//! GTBN acknowledgement arrives.
+
+use gso_algo::{Solution, SourceId};
+use gso_rtp::{ssrc_for, GsoTmmbn, GsoTmmbr, TmmbrEntry};
+use gso_util::{Bitrate, ClientId, SimDuration, SimTime, Ssrc};
+use std::collections::BTreeMap;
+
+/// A forwarding instruction for the media plane: which exact stream a
+/// subscriber receives from a source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForwardingRule {
+    /// The receiving client.
+    pub subscriber: ClientId,
+    /// The publisher source.
+    pub source: SourceId,
+    /// Virtual-publisher tag of the subscription.
+    pub tag: u8,
+    /// The SSRC to forward (selects resolution).
+    pub ssrc: Ssrc,
+    /// The configured bitrate of that stream.
+    pub bitrate: Bitrate,
+}
+
+/// Executor policy.
+#[derive(Debug, Clone)]
+pub struct FeedbackConfig {
+    /// Retransmit an unacknowledged GTMB after this long.
+    pub retransmit_after: SimDuration,
+    /// Give up after this many transmissions (the client is then handled by
+    /// the failure path).
+    pub max_transmissions: u32,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig {
+            retransmit_after: SimDuration::from_millis(200),
+            max_transmissions: 5,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Outstanding {
+    message: GsoTmmbr,
+    sent_at: SimTime,
+    transmissions: u32,
+}
+
+/// Tracks per-client configuration delivery.
+#[derive(Debug)]
+pub struct FeedbackExecutor {
+    cfg: FeedbackConfig,
+    next_seq: u32,
+    controller_ssrc: Ssrc,
+    outstanding: BTreeMap<ClientId, Outstanding>,
+    /// Last acknowledged layer configuration per client (to skip no-ops).
+    applied: BTreeMap<ClientId, Vec<TmmbrEntry>>,
+    /// Clients that exhausted retransmissions since the last drain.
+    failed: Vec<ClientId>,
+}
+
+impl FeedbackExecutor {
+    /// New executor; `controller_ssrc` identifies the accessing node in the
+    /// GTMB sender field.
+    pub fn new(cfg: FeedbackConfig, controller_ssrc: Ssrc) -> Self {
+        FeedbackExecutor {
+            cfg,
+            next_seq: 1,
+            controller_ssrc,
+            outstanding: BTreeMap::new(),
+            applied: BTreeMap::new(),
+            failed: Vec::new(),
+        }
+    }
+
+    /// Translate a solution into per-client GTMB messages (returned for
+    /// transmission) and the forwarding rules for the media plane.
+    ///
+    /// `ladder_layers` maps each source to the full list of (resolution
+    /// lines) it negotiated, so disabled layers get explicit zero entries.
+    pub fn execute(
+        &mut self,
+        now: SimTime,
+        solution: &Solution,
+        ladder_layers: &BTreeMap<SourceId, Vec<u16>>,
+    ) -> (Vec<(ClientId, GsoTmmbr)>, Vec<ForwardingRule>) {
+        // Forwarding rules straight from the solution's receive map.
+        let mut rules = Vec::new();
+        for (&subscriber, streams) in &solution.received {
+            for r in streams {
+                rules.push(ForwardingRule {
+                    subscriber,
+                    source: r.source,
+                    tag: r.tag,
+                    ssrc: ssrc_for(r.source.client, r.source.kind, r.resolution.0),
+                    bitrate: r.bitrate,
+                });
+            }
+        }
+
+        // Per-client layer configuration vectors.
+        let mut per_client: BTreeMap<ClientId, Vec<TmmbrEntry>> = BTreeMap::new();
+        for (&source, lines_list) in ladder_layers {
+            let policies = solution.policies(source);
+            for &lines in lines_list {
+                let bitrate = policies
+                    .iter()
+                    .find(|p| p.resolution.0 == lines)
+                    .map(|p| p.bitrate)
+                    .unwrap_or(Bitrate::ZERO);
+                per_client.entry(source.client).or_default().push(TmmbrEntry {
+                    ssrc: ssrc_for(source.client, source.kind, lines),
+                    bitrate,
+                    overhead: 40,
+                });
+            }
+        }
+
+        let mut messages = Vec::new();
+        for (client, entries) in per_client {
+            if self.applied.get(&client) == Some(&entries)
+                && !self.outstanding.contains_key(&client)
+            {
+                continue; // configuration unchanged and acknowledged
+            }
+            let message = GsoTmmbr {
+                sender_ssrc: self.controller_ssrc,
+                request_seq: self.next_seq,
+                entries,
+            };
+            self.next_seq += 1;
+            self.outstanding.insert(
+                client,
+                Outstanding { message: message.clone(), sent_at: now, transmissions: 1 },
+            );
+            messages.push((client, message));
+        }
+        (messages, rules)
+    }
+
+    /// Process a GTBN acknowledgement from a client.
+    pub fn on_ack(&mut self, client: ClientId, ack: &GsoTmmbn) {
+        if let Some(out) = self.outstanding.get(&client) {
+            if out.message.request_seq == ack.request_seq {
+                let out = self.outstanding.remove(&client).expect("present");
+                self.applied.insert(client, out.message.entries);
+            }
+        }
+    }
+
+    /// Retransmission poll; returns messages to resend now.
+    pub fn poll(&mut self, now: SimTime) -> Vec<(ClientId, GsoTmmbr)> {
+        let mut resend = Vec::new();
+        let mut exhausted = Vec::new();
+        for (&client, out) in self.outstanding.iter_mut() {
+            if now.saturating_since(out.sent_at) >= self.cfg.retransmit_after {
+                if out.transmissions >= self.cfg.max_transmissions {
+                    exhausted.push(client);
+                } else {
+                    out.transmissions += 1;
+                    out.sent_at = now;
+                    resend.push((client, out.message.clone()));
+                }
+            }
+        }
+        for client in exhausted {
+            self.outstanding.remove(&client);
+            self.failed.push(client);
+        }
+        resend
+    }
+
+    /// Clients whose configuration could not be delivered (for the failure
+    /// handler); clears the list.
+    pub fn take_failed(&mut self) -> Vec<ClientId> {
+        std::mem::take(&mut self.failed)
+    }
+
+    /// Is a configuration still awaiting acknowledgement?
+    pub fn pending(&self, client: ClientId) -> bool {
+        self.outstanding.contains_key(&client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gso_algo::{ladders, ClientSpec, Problem, Resolution, Subscription};
+    use gso_util::StreamKind;
+
+    fn solved() -> (Solution, BTreeMap<SourceId, Vec<u16>>) {
+        let ladder = ladders::paper_table1();
+        let a = ClientId(1);
+        let b = ClientId(2);
+        let p = Problem::new(
+            vec![
+                ClientSpec::new(a, Bitrate::from_mbps(5), Bitrate::from_mbps(5), ladder.clone()),
+                ClientSpec::new(b, Bitrate::from_mbps(5), Bitrate::from_kbps(900), ladder),
+            ],
+            vec![Subscription::new(b, SourceId::video(a), Resolution::R720)],
+        )
+        .unwrap();
+        let sol = gso_algo::solver::solve(&p, &Default::default());
+        let mut layers = BTreeMap::new();
+        layers.insert(SourceId::video(a), vec![180u16, 360, 720]);
+        layers.insert(SourceId::video(b), vec![180u16, 360, 720]);
+        (sol, layers)
+    }
+
+    #[test]
+    fn execute_emits_config_and_rules() {
+        let (sol, layers) = solved();
+        let mut ex = FeedbackExecutor::new(FeedbackConfig::default(), Ssrc(0xffff));
+        let (msgs, rules) = ex.execute(SimTime::ZERO, &sol, &layers);
+        // Both clients get a config (B's layers are all zero).
+        assert_eq!(msgs.len(), 2);
+        let a_msg = &msgs.iter().find(|(c, _)| *c == ClientId(1)).unwrap().1;
+        assert_eq!(a_msg.entries.len(), 3);
+        // B subscribed at 900 Kbps downlink minus nothing → 800 Kbps 360P.
+        let active: Vec<&TmmbrEntry> =
+            a_msg.entries.iter().filter(|e| !e.bitrate.is_zero()).collect();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].ssrc, ssrc_for(ClientId(1), StreamKind::Video, 360));
+        assert_eq!(active[0].bitrate, Bitrate::from_kbps(800));
+        // One forwarding rule for B.
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].subscriber, ClientId(2));
+        assert_eq!(rules[0].ssrc, ssrc_for(ClientId(1), StreamKind::Video, 360));
+    }
+
+    #[test]
+    fn ack_stops_retransmission() {
+        let (sol, layers) = solved();
+        let mut ex = FeedbackExecutor::new(FeedbackConfig::default(), Ssrc(1));
+        let (msgs, _) = ex.execute(SimTime::ZERO, &sol, &layers);
+        let (client, msg) = &msgs[0];
+        assert!(ex.pending(*client));
+        ex.on_ack(*client, &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: msg.request_seq, entries: vec![] });
+        assert!(!ex.pending(*client));
+        // Nothing to resend for the acknowledged client.
+        let resent = ex.poll(SimTime::from_secs(1));
+        assert!(resent.iter().all(|(c, _)| c != client));
+    }
+
+    #[test]
+    fn unacked_message_retransmits_then_fails() {
+        let (sol, layers) = solved();
+        let cfg = FeedbackConfig { retransmit_after: SimDuration::from_millis(200), max_transmissions: 3 };
+        let mut ex = FeedbackExecutor::new(cfg, Ssrc(1));
+        let (msgs, _) = ex.execute(SimTime::ZERO, &sol, &layers);
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(ex.poll(SimTime::from_millis(100)).len(), 0, "too early");
+        assert_eq!(ex.poll(SimTime::from_millis(250)).len(), 2, "first retransmit");
+        assert_eq!(ex.poll(SimTime::from_millis(500)).len(), 2, "second retransmit");
+        assert_eq!(ex.poll(SimTime::from_millis(750)).len(), 0, "exhausted");
+        let failed = ex.take_failed();
+        assert_eq!(failed.len(), 2);
+        assert!(ex.take_failed().is_empty(), "failure list drains");
+    }
+
+    #[test]
+    fn stale_ack_ignored() {
+        let (sol, layers) = solved();
+        let mut ex = FeedbackExecutor::new(FeedbackConfig::default(), Ssrc(1));
+        let (msgs, _) = ex.execute(SimTime::ZERO, &sol, &layers);
+        let (client, msg) = &msgs[0];
+        ex.on_ack(*client, &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: msg.request_seq + 99, entries: vec![] });
+        assert!(ex.pending(*client), "wrong seq must not ack");
+    }
+
+    #[test]
+    fn unchanged_configuration_not_resent() {
+        let (sol, layers) = solved();
+        let mut ex = FeedbackExecutor::new(FeedbackConfig::default(), Ssrc(1));
+        let (msgs, _) = ex.execute(SimTime::ZERO, &sol, &layers);
+        for (client, msg) in &msgs {
+            ex.on_ack(*client, &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: msg.request_seq, entries: vec![] });
+        }
+        // Same solution again: no new messages.
+        let (msgs2, rules2) = ex.execute(SimTime::from_secs(2), &sol, &layers);
+        assert!(msgs2.is_empty());
+        assert!(!rules2.is_empty(), "rules are still reported");
+    }
+}

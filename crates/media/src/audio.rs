@@ -1,0 +1,105 @@
+//! Audio source.
+//!
+//! Audio is not orchestrated by GSO (§5: "pure audio communication is not
+//! handled by GSO-Simulcast"), but it shares links with video, which is why
+//! the controller subtracts a protection bandwidth before allocating video
+//! (§7 "Protecting audios") — and why reduced video congestion improves
+//! voice stalls (§6). The source emits constant-bitrate 20 ms frames.
+
+use gso_rtp::RtpPacket;
+use gso_util::{Bitrate, SimDuration, SimTime, Ssrc};
+
+/// Audio frame cadence (one packet per 20 ms, the Opus default).
+pub const AUDIO_FRAME_INTERVAL: SimDuration = SimDuration::from_millis(20);
+
+/// Default audio bitrate.
+pub const AUDIO_BITRATE: Bitrate = Bitrate::from_kbps(24);
+
+/// Bandwidth headroom reserved for audio + control when allocating video
+/// (§7 "Protecting audios"): audio itself plus RTCP and retransmissions.
+pub const AUDIO_PROTECTION: Bitrate = Bitrate::from_kbps(50);
+
+/// A constant-bitrate audio packet source.
+#[derive(Debug)]
+pub struct AudioSource {
+    ssrc: Ssrc,
+    next_seq: u16,
+    payload_type: u8,
+    frame_bytes: usize,
+    work_units: f64,
+}
+
+impl AudioSource {
+    /// Create a source at [`AUDIO_BITRATE`].
+    pub fn new(ssrc: Ssrc, payload_type: u8) -> Self {
+        let frame_bytes =
+            (AUDIO_BITRATE.as_bps() as f64 / 8.0 * AUDIO_FRAME_INTERVAL.as_secs_f64()) as usize;
+        AudioSource { ssrc, next_seq: 0, payload_type, frame_bytes, work_units: 0.0 }
+    }
+
+    /// The packet cadence.
+    pub fn frame_interval(&self) -> SimDuration {
+        AUDIO_FRAME_INTERVAL
+    }
+
+    /// Produce the packet for this tick.
+    pub fn tick(&mut self, now: SimTime) -> RtpPacket {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.work_units += crate::cost::AUDIO_FRAME_COST;
+        RtpPacket {
+            marker: false,
+            payload_type: self.payload_type,
+            sequence: seq,
+            timestamp: (now.as_micros() * 48 / 1_000) as u32, // 48 kHz clock
+            ssrc: self.ssrc,
+            payload: bytes::Bytes::from(vec![0u8; self.frame_bytes]),
+        }
+    }
+
+    /// Accumulated encode work units.
+    pub fn work_units(&self) -> f64 {
+        self.work_units
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_packets_at_cadence() {
+        let mut src = AudioSource::new(Ssrc(9), 111);
+        let p0 = src.tick(SimTime::ZERO);
+        let p1 = src.tick(SimTime::from_millis(20));
+        assert_eq!(p0.sequence, 0);
+        assert_eq!(p1.sequence, 1);
+        assert_eq!(p0.ssrc, Ssrc(9));
+        // 24 kbps × 20 ms = 60 bytes.
+        assert_eq!(p0.payload.len(), 60);
+        assert_eq!(p1.timestamp - p0.timestamp, 960); // 20 ms at 48 kHz
+    }
+
+    #[test]
+    fn sequence_wraps() {
+        let mut src = AudioSource::new(Ssrc(9), 111);
+        src.next_seq = u16::MAX;
+        let a = src.tick(SimTime::ZERO);
+        let b = src.tick(SimTime::from_millis(20));
+        assert_eq!(a.sequence, u16::MAX);
+        assert_eq!(b.sequence, 0);
+    }
+
+    #[test]
+    fn rate_matches_constant() {
+        let mut src = AudioSource::new(Ssrc(1), 111);
+        let mut bytes = 0usize;
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(10) {
+            bytes += src.tick(t).payload.len();
+            t += src.frame_interval();
+        }
+        let rate = bytes as f64 * 8.0 / 10.0;
+        assert!((rate - 24_000.0).abs() < 500.0, "rate {rate}");
+    }
+}

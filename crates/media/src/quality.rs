@@ -1,0 +1,89 @@
+//! Video quality model — the VMAF substitution.
+//!
+//! The paper scores slow-link tests with VMAF (Fig. 8, footnote 8), which
+//! needs real decoded pixels. The simulator substitutes a parametric model
+//! with VMAF's qualitative properties: quality rises concavely with bitrate,
+//! saturates at a resolution-dependent ceiling, degrades when the bitrate is
+//! stretched over too many pixels, and is discounted by low framerate. The
+//! absolute numbers are on a 0–100 scale like VMAF; only relative
+//! comparisons are used by the experiments (Fig. 8 normalizes to the best
+//! case, as does the paper).
+
+use gso_util::Bitrate;
+
+/// Model a VMAF-like score for a stream delivered at `bitrate` and rendered
+/// at `fps`, with the given vertical resolution.
+pub fn vmaf_proxy(resolution_lines: u16, bitrate: Bitrate, fps: f64) -> f64 {
+    if bitrate.is_zero() || fps <= 0.0 {
+        return 0.0;
+    }
+    let kbps = bitrate.as_kbps() as f64;
+    // Bitrate needed to reach ~63 % of the resolution's ceiling.
+    let knee = match resolution_lines {
+        0..=180 => 150.0,
+        181..=360 => 450.0,
+        361..=720 => 1000.0,
+        _ => 2200.0,
+    };
+    // Higher resolutions can reach higher ceilings when fed enough bits.
+    let ceiling = match resolution_lines {
+        0..=180 => 55.0,
+        181..=360 => 72.0,
+        361..=720 => 95.0,
+        _ => 100.0,
+    };
+    let spatial = ceiling * (1.0 - (-kbps / knee).exp());
+    // Framerate discount: full score at ≥ 15 fps, sharp penalty below.
+    let temporal = (fps / 15.0).min(1.0).powf(0.7);
+    spatial * temporal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(kbps: u64) -> Bitrate {
+        Bitrate::from_kbps(kbps)
+    }
+
+    #[test]
+    fn increases_with_bitrate() {
+        let q1 = vmaf_proxy(720, k(500), 15.0);
+        let q2 = vmaf_proxy(720, k(1000), 15.0);
+        let q3 = vmaf_proxy(720, k(1500), 15.0);
+        assert!(q1 < q2 && q2 < q3);
+    }
+
+    #[test]
+    fn higher_resolution_wins_when_bits_suffice() {
+        assert!(vmaf_proxy(720, k(1500), 15.0) > vmaf_proxy(360, k(1500), 15.0));
+        assert!(vmaf_proxy(360, k(800), 15.0) > vmaf_proxy(180, k(800), 15.0));
+    }
+
+    #[test]
+    fn starved_high_resolution_loses_to_fed_low_resolution() {
+        // 720P at 200 Kbps looks worse than 180P at 200 Kbps — the
+        // video/network mismatch the controller avoids.
+        assert!(vmaf_proxy(720, k(200), 15.0) < vmaf_proxy(180, k(200), 15.0));
+    }
+
+    #[test]
+    fn framerate_discount() {
+        let full = vmaf_proxy(360, k(600), 15.0);
+        let half = vmaf_proxy(360, k(600), 7.5);
+        assert!(half < full);
+        assert!(half > 0.5 * full, "discount is concave, not linear");
+        assert_eq!(vmaf_proxy(360, k(600), 0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_bitrate_scores_zero_and_range_holds() {
+        assert_eq!(vmaf_proxy(720, Bitrate::ZERO, 15.0), 0.0);
+        for lines in [180u16, 360, 720, 1080] {
+            for kbps in [50u64, 300, 1500, 10_000] {
+                let q = vmaf_proxy(lines, k(kbps), 30.0);
+                assert!((0.0..=100.0).contains(&q), "{lines}p {kbps}k -> {q}");
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Token-bucket pacer.
+//!
+//! §7 of the paper: probing packets are sent "in short bursts controlled by
+//! a pacer". A pacer also smooths media bursts (keyframes) so a
+//! well-fitted stream does not spike the bottleneck queue. This
+//! implementation is a classic token bucket with a byte-denominated budget:
+//! packets are queued and released when enough tokens have accrued; the
+//! caller polls for due packets and for the next release time.
+
+use crate::node::Packet;
+use gso_util::{Bitrate, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Pacer configuration.
+#[derive(Debug, Clone)]
+pub struct PacerConfig {
+    /// Sustained release rate.
+    pub rate: Bitrate,
+    /// Bucket depth: how many bytes may be released back-to-back.
+    pub burst_bytes: usize,
+    /// Hard bound on queued bytes; excess packets are dropped (the pacer
+    /// must never become an unbounded latency source).
+    pub max_queue_bytes: usize,
+}
+
+impl PacerConfig {
+    /// A pacer at `rate` with a burst of ~10 MTU packets and a 500 ms queue
+    /// bound (WebRTC-like defaults).
+    pub fn at_rate(rate: Bitrate) -> Self {
+        PacerConfig {
+            rate,
+            burst_bytes: 12_000,
+            max_queue_bytes: (rate.bytes_in(SimDuration::from_millis(500)) as usize).max(24_000),
+        }
+    }
+}
+
+/// A token-bucket packet pacer.
+#[derive(Debug)]
+pub struct Pacer {
+    cfg: PacerConfig,
+    tokens: f64,
+    last_refill: SimTime,
+    queue: VecDeque<Packet>,
+    queued_bytes: usize,
+    /// Packets dropped due to the queue bound.
+    pub dropped: u64,
+}
+
+impl Pacer {
+    /// New pacer with a full bucket.
+    pub fn new(cfg: PacerConfig) -> Self {
+        Pacer {
+            tokens: cfg.burst_bytes as f64,
+            cfg,
+            last_refill: SimTime::ZERO,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+        dropped: 0,
+        }
+    }
+
+    /// Update the sustained rate (e.g. when the media target changes).
+    pub fn set_rate(&mut self, rate: Bitrate) {
+        self.cfg.rate = rate;
+    }
+
+    /// Enqueue a packet for paced release.
+    pub fn enqueue(&mut self, packet: Packet) {
+        let size = packet.wire_size();
+        if self.queued_bytes + size > self.cfg.max_queue_bytes {
+            self.dropped += 1;
+            return;
+        }
+        self.queued_bytes += size;
+        self.queue.push_back(packet);
+    }
+
+    /// Number of bytes currently queued.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued_bytes
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + dt * self.cfg.rate.as_bps() as f64 / 8.0)
+            .min(self.cfg.burst_bytes as f64);
+    }
+
+    /// Release every packet whose tokens are available at `now`.
+    pub fn poll(&mut self, now: SimTime) -> Vec<Packet> {
+        self.refill(now);
+        let mut out = Vec::new();
+        while let Some(front) = self.queue.front() {
+            let size = front.wire_size() as f64;
+            // Epsilon absorbs float error from the seconds conversion; a
+            // micro-byte of missing budget must not delay a packet a full
+            // refill period.
+            if self.tokens + 1e-6 < size {
+                break;
+            }
+            self.tokens -= size;
+            self.queued_bytes -= front.wire_size();
+            out.push(self.queue.pop_front().expect("front exists"));
+        }
+        out
+    }
+
+    /// When the head packet will have enough tokens, if anything is queued.
+    pub fn next_release(&self, now: SimTime) -> Option<SimTime> {
+        let front = self.queue.front()?;
+        let deficit = front.wire_size() as f64 - self.tokens;
+        if deficit <= 1e-6 {
+            return Some(now);
+        }
+        let secs = deficit * 8.0 / self.cfg.rate.as_bps().max(1) as f64;
+        Some(now + SimDuration::from_secs_f64(secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn pkt(payload: usize) -> Packet {
+        Packet::new(Bytes::from(vec![0u8; payload]))
+    }
+
+    fn pacer(rate_kbps: u64) -> Pacer {
+        Pacer::new(PacerConfig::at_rate(Bitrate::from_kbps(rate_kbps)))
+    }
+
+    #[test]
+    fn burst_releases_immediately_up_to_bucket_depth() {
+        let mut p = pacer(1_000);
+        for _ in 0..20 {
+            p.enqueue(pkt(972)); // 1000 wire bytes
+        }
+        let released = p.poll(SimTime::ZERO);
+        // 12 kB bucket → 12 packets at once, the rest wait.
+        assert_eq!(released.len(), 12);
+        assert_eq!(p.queued_bytes(), 8 * 1000);
+    }
+
+    #[test]
+    fn sustained_rate_is_respected() {
+        let mut p = Pacer::new(PacerConfig {
+            rate: Bitrate::from_kbps(1_000), // 125 kB/s
+            burst_bytes: 12_000,
+            max_queue_bytes: 500_000,
+        });
+        for _ in 0..200 {
+            p.enqueue(pkt(972));
+        }
+        let mut released = p.poll(SimTime::ZERO).len();
+        for ms in (100..=1_000).step_by(100) {
+            released += p.poll(SimTime::from_millis(ms)).len();
+        }
+        // 1 s at 125 kB/s = 125 packets + the 12-packet initial burst.
+        assert!((130..=140).contains(&released), "released {released}");
+    }
+
+    #[test]
+    fn next_release_predicts_token_availability() {
+        let mut p = pacer(800); // 100 kB/s
+        for _ in 0..13 {
+            p.enqueue(pkt(972));
+        }
+        let _ = p.poll(SimTime::ZERO); // drains the burst (12 packets)
+        let next = p.next_release(SimTime::ZERO).expect("one packet queued");
+        // 1000 bytes at 100 kB/s = 10 ms.
+        assert_eq!(next, SimTime::from_millis(10));
+        assert!(p.poll(SimTime::from_millis(9)).is_empty());
+        assert_eq!(p.poll(SimTime::from_millis(10)).len(), 1);
+    }
+
+    #[test]
+    fn queue_bound_drops_excess() {
+        let mut p = Pacer::new(PacerConfig {
+            rate: Bitrate::from_kbps(100),
+            burst_bytes: 2_000,
+            max_queue_bytes: 3_000,
+        });
+        for _ in 0..10 {
+            p.enqueue(pkt(972));
+        }
+        assert_eq!(p.dropped, 7, "only three 1000B packets fit 3000B");
+    }
+
+    #[test]
+    fn empty_pacer_has_no_next_release() {
+        let p = pacer(500);
+        assert_eq!(p.next_release(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn rate_change_applies_to_future_refills() {
+        let mut p = pacer(1_000);
+        for _ in 0..50 {
+            p.enqueue(pkt(972));
+        }
+        let _ = p.poll(SimTime::ZERO);
+        p.set_rate(Bitrate::from_kbps(8_000)); // 1 MB/s
+        // After 100 ms, 100 kB of tokens accrued (capped at burst 12 kB)…
+        let released = p.poll(SimTime::from_millis(100));
+        assert_eq!(released.len(), 12, "capped by bucket depth");
+    }
+}

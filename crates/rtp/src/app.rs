@@ -1,0 +1,185 @@
+//! Application-defined RTCP packets (type 204) — GSO's control channel.
+//!
+//! §4.2–4.3 of the paper: both the uplink bandwidth reports and the
+//! orchestration feedback ride in APP packets (RTCP type 204, reserved for
+//! experimental use by RFC 3550) so they cannot be confused with the
+//! congestion-control TMMBR of RFC 8888.
+//!
+//! Three messages are defined:
+//!
+//! * **SEMB** (`"SEMB"`) — *sender estimated maximum bitrate*: a client
+//!   reports its sender-side uplink estimate, encoded exactly like REMB
+//!   (mantissa·2^exp, 18-bit mantissa).
+//! * **GTMB** (`"GTMB"`) — the orchestration TMMBR: per-SSRC bitrate
+//!   configuration from the controller (zero mantissa disables a stream),
+//!   carrying a request sequence number for reliability.
+//! * **GTBN** (`"GTBN"`) — the corresponding notification echoed by the
+//!   client; the accessing node retransmits GTMB until the matching GTBN
+//!   arrives (§4.3).
+
+use crate::error::ParseError;
+use crate::feedback::TmmbrEntry;
+use crate::mantissa;
+use bytes::{Buf, BufMut, BytesMut};
+use gso_util::{Bitrate, Ssrc};
+
+/// Sender estimated maximum bitrate report (APP name `SEMB`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Semb {
+    /// Reporting client (its primary SSRC).
+    pub sender_ssrc: Ssrc,
+    /// Sender-side uplink bandwidth estimate (`B = Mantissa · 2^Exp`).
+    pub bitrate: Bitrate,
+    /// Streams covered by the estimate (may be empty = whole transport).
+    pub ssrcs: Vec<Ssrc>,
+}
+
+impl Semb {
+    pub(crate) const NAME: &'static [u8; 4] = b"SEMB";
+
+    pub(crate) fn write_body(&self, b: &mut BytesMut) {
+        let (exp, m) = mantissa::encode(self.bitrate, mantissa::REMB_MANTISSA_BITS);
+        let word = ((self.ssrcs.len() as u32 & 0xff) << 24) | ((exp as u32) << 18) | m;
+        b.put_u32(word);
+        for s in &self.ssrcs {
+            b.put_u32(s.0);
+        }
+    }
+
+    pub(crate) fn read_body(sender_ssrc: Ssrc, b: &mut impl Buf) -> Result<Semb, ParseError> {
+        if b.remaining() < 4 {
+            return Err(ParseError::Truncated { needed: 4, got: b.remaining() });
+        }
+        let word = b.get_u32();
+        let n = (word >> 24) as usize;
+        let exp = ((word >> 18) & 0x3f) as u8;
+        let m = word & 0x3ffff;
+        if b.remaining() < n * 4 {
+            return Err(ParseError::Truncated { needed: n * 4, got: b.remaining() });
+        }
+        let ssrcs = (0..n).map(|_| Ssrc(b.get_u32())).collect();
+        Ok(Semb { sender_ssrc, bitrate: mantissa::decode(exp, m), ssrcs })
+    }
+}
+
+/// Orchestration TMMBR in APP framing (name `GTMB`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GsoTmmbr {
+    /// The accessing node issuing the configuration.
+    pub sender_ssrc: Ssrc,
+    /// Sequence number matched by the GTBN acknowledgement; used for the
+    /// retransmission scheme of §4.3.
+    pub request_seq: u32,
+    /// Per-layer bitrate configuration; zero bitrate disables the layer.
+    pub entries: Vec<TmmbrEntry>,
+}
+
+/// Orchestration TMMBN acknowledgement (name `GTBN`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GsoTmmbn {
+    /// The acknowledging client.
+    pub sender_ssrc: Ssrc,
+    /// Echo of the request's sequence number.
+    pub request_seq: u32,
+    /// Echo of the applied configuration.
+    pub entries: Vec<TmmbrEntry>,
+}
+
+impl GsoTmmbr {
+    pub(crate) const NAME: &'static [u8; 4] = b"GTMB";
+
+    pub(crate) fn write_body(&self, b: &mut BytesMut) {
+        b.put_u32(self.request_seq);
+        for e in &self.entries {
+            e.write(b);
+        }
+    }
+
+    pub(crate) fn read_body(sender_ssrc: Ssrc, b: &mut impl Buf) -> Result<GsoTmmbr, ParseError> {
+        let (request_seq, entries) = read_seq_entries(b)?;
+        Ok(GsoTmmbr { sender_ssrc, request_seq, entries })
+    }
+}
+
+impl GsoTmmbn {
+    pub(crate) const NAME: &'static [u8; 4] = b"GTBN";
+
+    pub(crate) fn write_body(&self, b: &mut BytesMut) {
+        b.put_u32(self.request_seq);
+        for e in &self.entries {
+            e.write(b);
+        }
+    }
+
+    pub(crate) fn read_body(sender_ssrc: Ssrc, b: &mut impl Buf) -> Result<GsoTmmbn, ParseError> {
+        let (request_seq, entries) = read_seq_entries(b)?;
+        Ok(GsoTmmbn { sender_ssrc, request_seq, entries })
+    }
+}
+
+fn read_seq_entries(b: &mut impl Buf) -> Result<(u32, Vec<TmmbrEntry>), ParseError> {
+    if b.remaining() < 4 {
+        return Err(ParseError::Truncated { needed: 4, got: b.remaining() });
+    }
+    let seq = b.get_u32();
+    if !b.remaining().is_multiple_of(TmmbrEntry::WIRE_LEN) {
+        return Err(ParseError::BadLength);
+    }
+    let n = b.remaining() / TmmbrEntry::WIRE_LEN;
+    Ok((seq, (0..n).map(|_| TmmbrEntry::read(b)).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semb_roundtrip() {
+        let s = Semb {
+            sender_ssrc: Ssrc(11),
+            bitrate: Bitrate::from_kbps(4096),
+            ssrcs: vec![Ssrc(100), Ssrc(101)],
+        };
+        let mut b = BytesMut::new();
+        s.write_body(&mut b);
+        let back = Semb::read_body(Ssrc(11), &mut b.freeze()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn gtmb_roundtrip_with_disable_entry() {
+        let g = GsoTmmbr {
+            sender_ssrc: Ssrc(1),
+            request_seq: 0xdeadbeef,
+            entries: vec![
+                TmmbrEntry { ssrc: Ssrc(100), bitrate: Bitrate::from_kbps(800), overhead: 40 },
+                TmmbrEntry { ssrc: Ssrc(101), bitrate: Bitrate::ZERO, overhead: 0 },
+            ],
+        };
+        let mut b = BytesMut::new();
+        g.write_body(&mut b);
+        let back = GsoTmmbr::read_body(Ssrc(1), &mut b.freeze()).unwrap();
+        assert_eq!(back.request_seq, 0xdeadbeef);
+        assert_eq!(back.entries[0].bitrate, Bitrate::from_kbps(800));
+        assert!(back.entries[1].bitrate.is_zero(), "zero mantissa disables the stream");
+    }
+
+    #[test]
+    fn gtbn_echoes_request() {
+        let n = GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: 7, entries: vec![] };
+        let mut b = BytesMut::new();
+        n.write_body(&mut b);
+        let back = GsoTmmbn::read_body(Ssrc(2), &mut b.freeze()).unwrap();
+        assert_eq!(back.request_seq, 7);
+        assert!(back.entries.is_empty());
+    }
+
+    #[test]
+    fn rejects_ragged_entry_list() {
+        let mut b = BytesMut::new();
+        b.put_u32(1); // seq
+        b.put_u32(2); // half an entry
+        let err = GsoTmmbr::read_body(Ssrc(1), &mut b.freeze()).unwrap_err();
+        assert_eq!(err, ParseError::BadLength);
+    }
+}

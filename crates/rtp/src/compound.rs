@@ -1,0 +1,324 @@
+//! RTCP packet framing and compound packets (RFC 3550 §6.1).
+//!
+//! Every RTCP packet starts with the common header
+//! `V(2)|P(1)|RC/FMT(5)|PT(8)|length(16)`, where `length` counts 32-bit
+//! words minus one. Packets whose body is not word-aligned are padded with
+//! zeros (the simulator keeps packet bodies aligned by construction, so the
+//! padding bit itself is unused).
+
+use crate::app::{GsoTmmbn, GsoTmmbr, Semb};
+use crate::error::ParseError;
+use crate::feedback::{Nack, Remb, Tmmbn, Tmmbr, TransportFeedback};
+use crate::report::{ReceiverReport, SenderReport};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gso_util::Ssrc;
+
+/// RTCP packet types used in this stack.
+mod pt {
+    pub const SR: u8 = 200;
+    pub const RR: u8 = 201;
+    pub const APP: u8 = 204;
+    pub const RTPFB: u8 = 205;
+    pub const PSFB: u8 = 206;
+}
+
+/// FMT values for PT 205 (transport feedback).
+mod fmt {
+    pub const NACK: u8 = 1;
+    pub const TMMBR: u8 = 3;
+    pub const TMMBN: u8 = 4;
+    pub const TRANSPORT_CC: u8 = 15;
+    /// FMT 15 for PT 206 is application-layer feedback (REMB).
+    pub const ALFB: u8 = 15;
+}
+
+/// APP subtypes for our three messages.
+mod subtype {
+    pub const SEMB: u8 = 0;
+    pub const GTMB: u8 = 1;
+    pub const GTBN: u8 = 2;
+}
+
+/// Any RTCP packet this stack understands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtcpPacket {
+    /// Sender report (PT 200).
+    SenderReport(SenderReport),
+    /// Receiver report (PT 201).
+    ReceiverReport(ReceiverReport),
+    /// RFC 5104 TMMBR (PT 205 FMT 3) — congestion-control use.
+    Tmmbr(Tmmbr),
+    /// RFC 5104 TMMBN (PT 205 FMT 4).
+    Tmmbn(Tmmbn),
+    /// Generic NACK (PT 205 FMT 1).
+    Nack(Nack),
+    /// REMB (PT 206 FMT 15).
+    Remb(Remb),
+    /// Transport-wide feedback (PT 205 FMT 15).
+    TransportFeedback(TransportFeedback),
+    /// GSO uplink bandwidth report (APP "SEMB").
+    Semb(Semb),
+    /// GSO orchestration feedback (APP "GTMB").
+    GsoTmmbr(GsoTmmbr),
+    /// GSO orchestration acknowledgement (APP "GTBN").
+    GsoTmmbn(GsoTmmbn),
+}
+
+impl RtcpPacket {
+    /// Serialize one packet including its RTCP header.
+    pub fn serialize(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        let (count_or_fmt, packet_type, name): (u8, u8, Option<&[u8; 4]>) = match self {
+            RtcpPacket::SenderReport(p) => {
+                p.write_body(&mut body);
+                (p.reports.len() as u8, pt::SR, None)
+            }
+            RtcpPacket::ReceiverReport(p) => {
+                p.write_body(&mut body);
+                (p.reports.len() as u8, pt::RR, None)
+            }
+            RtcpPacket::Tmmbr(p) => {
+                p.write_body(&mut body);
+                (fmt::TMMBR, pt::RTPFB, None)
+            }
+            RtcpPacket::Tmmbn(p) => {
+                p.write_body(&mut body);
+                (fmt::TMMBN, pt::RTPFB, None)
+            }
+            RtcpPacket::Nack(p) => {
+                p.write_body(&mut body);
+                (fmt::NACK, pt::RTPFB, None)
+            }
+            RtcpPacket::Remb(p) => {
+                p.write_body(&mut body);
+                (fmt::ALFB, pt::PSFB, None)
+            }
+            RtcpPacket::TransportFeedback(p) => {
+                p.write_body(&mut body);
+                (fmt::TRANSPORT_CC, pt::RTPFB, None)
+            }
+            RtcpPacket::Semb(p) => {
+                body.put_u32(p.sender_ssrc.0);
+                body.extend_from_slice(Semb::NAME);
+                p.write_body(&mut body);
+                (subtype::SEMB, pt::APP, None)
+            }
+            RtcpPacket::GsoTmmbr(p) => {
+                body.put_u32(p.sender_ssrc.0);
+                body.extend_from_slice(GsoTmmbr::NAME);
+                p.write_body(&mut body);
+                (subtype::GTMB, pt::APP, None)
+            }
+            RtcpPacket::GsoTmmbn(p) => {
+                body.put_u32(p.sender_ssrc.0);
+                body.extend_from_slice(GsoTmmbn::NAME);
+                p.write_body(&mut body);
+                (subtype::GTBN, pt::APP, None)
+            }
+        };
+        let _ = name;
+        // Pad the body to a 32-bit boundary.
+        while !body.len().is_multiple_of(4) {
+            body.put_u8(0);
+        }
+        let words = body.len() / 4; // header adds one word; length = words
+        let mut out = BytesMut::with_capacity(4 + body.len());
+        out.put_u8(0b1000_0000 | (count_or_fmt & 0x1f));
+        out.put_u8(packet_type);
+        out.put_u16(words as u16);
+        out.extend_from_slice(&body);
+        out.freeze()
+    }
+
+    /// Parse exactly one packet from the front of `data`, returning it and
+    /// the remaining bytes.
+    pub fn parse(mut data: Bytes) -> Result<(RtcpPacket, Bytes), ParseError> {
+        if data.len() < 4 {
+            return Err(ParseError::Truncated { needed: 4, got: data.len() });
+        }
+        let b0 = data.get_u8();
+        let version = b0 >> 6;
+        if version != 2 {
+            return Err(ParseError::BadVersion(version));
+        }
+        let count_or_fmt = b0 & 0x1f;
+        let packet_type = data.get_u8();
+        let words = data.get_u16() as usize;
+        let body_len = words * 4;
+        if data.len() < body_len {
+            return Err(ParseError::Truncated { needed: body_len, got: data.len() });
+        }
+        let rest = data.split_off(body_len);
+        let mut body = data;
+
+        let packet = match packet_type {
+            pt::SR => RtcpPacket::SenderReport(SenderReport::read_body(count_or_fmt, &mut body)?),
+            pt::RR => {
+                RtcpPacket::ReceiverReport(ReceiverReport::read_body(count_or_fmt, &mut body)?)
+            }
+            pt::RTPFB => match count_or_fmt {
+                fmt::NACK => RtcpPacket::Nack(Nack::read_body(&mut body)?),
+                fmt::TMMBR => RtcpPacket::Tmmbr(Tmmbr::read_body(&mut body)?),
+                fmt::TMMBN => RtcpPacket::Tmmbn(Tmmbn::read_body(&mut body)?),
+                fmt::TRANSPORT_CC => {
+                    RtcpPacket::TransportFeedback(TransportFeedback::read_body(&mut body)?)
+                }
+                other => {
+                    return Err(ParseError::UnknownFormat { packet_type, fmt: other });
+                }
+            },
+            pt::PSFB => match count_or_fmt {
+                fmt::ALFB => RtcpPacket::Remb(Remb::read_body(&mut body)?),
+                other => {
+                    return Err(ParseError::UnknownFormat { packet_type, fmt: other });
+                }
+            },
+            pt::APP => {
+                if body.remaining() < 8 {
+                    return Err(ParseError::Truncated { needed: 8, got: body.remaining() });
+                }
+                let sender = Ssrc(body.get_u32());
+                let mut name = [0u8; 4];
+                body.copy_to_slice(&mut name);
+                match &name {
+                    n if n == Semb::NAME => {
+                        RtcpPacket::Semb(Semb::read_body(sender, &mut body)?)
+                    }
+                    n if n == GsoTmmbr::NAME => {
+                        RtcpPacket::GsoTmmbr(GsoTmmbr::read_body(sender, &mut body)?)
+                    }
+                    n if n == GsoTmmbn::NAME => {
+                        RtcpPacket::GsoTmmbn(GsoTmmbn::read_body(sender, &mut body)?)
+                    }
+                    _ => return Err(ParseError::UnknownAppName(name)),
+                }
+            }
+            other => return Err(ParseError::UnknownPacketType(other)),
+        };
+        Ok((packet, rest))
+    }
+
+    /// Serialize a compound packet (several RTCP packets back to back).
+    pub fn serialize_compound(packets: &[RtcpPacket]) -> Bytes {
+        let mut out = BytesMut::new();
+        for p in packets {
+            out.extend_from_slice(&p.serialize());
+        }
+        out.freeze()
+    }
+
+    /// Parse a full compound packet into its parts.
+    pub fn parse_compound(mut data: Bytes) -> Result<Vec<RtcpPacket>, ParseError> {
+        let mut packets = Vec::new();
+        while !data.is_empty() {
+            let (p, rest) = RtcpPacket::parse(data)?;
+            packets.push(p);
+            data = rest;
+        }
+        Ok(packets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feedback::TmmbrEntry;
+    use crate::report::ReportBlock;
+    use gso_util::Bitrate;
+
+    fn sample_rr() -> RtcpPacket {
+        RtcpPacket::ReceiverReport(ReceiverReport {
+            sender_ssrc: Ssrc(1),
+            reports: vec![ReportBlock {
+                ssrc: Ssrc(2),
+                fraction_lost: 10,
+                cumulative_lost: 5,
+                highest_seq: 1000,
+                jitter: 3,
+                last_sr: 7,
+                delay_since_last_sr: 11,
+            }],
+        })
+    }
+
+    fn sample_sr() -> RtcpPacket {
+        RtcpPacket::SenderReport(SenderReport {
+            sender_ssrc: Ssrc(3),
+            ntp_micros: 123_456_789,
+            rtp_timestamp: 90_000,
+            packet_count: 42,
+            octet_count: 42_000,
+            reports: vec![],
+        })
+    }
+
+    fn sample_gtmb() -> RtcpPacket {
+        RtcpPacket::GsoTmmbr(GsoTmmbr {
+            sender_ssrc: Ssrc(4),
+            request_seq: 9,
+            entries: vec![TmmbrEntry {
+                ssrc: Ssrc(100),
+                bitrate: Bitrate::from_kbps(512),
+                overhead: 40,
+            }],
+        })
+    }
+
+    #[test]
+    fn single_packet_roundtrips() {
+        for p in [sample_rr(), sample_sr(), sample_gtmb()] {
+            let wire = p.serialize();
+            let (back, rest) = RtcpPacket::parse(wire).unwrap();
+            assert!(rest.is_empty());
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let packets = vec![
+            sample_sr(),
+            sample_rr(),
+            RtcpPacket::Tmmbr(Tmmbr {
+                sender_ssrc: Ssrc(1),
+                entries: vec![TmmbrEntry { ssrc: Ssrc(5), bitrate: Bitrate::from_kbps(256), overhead: 0 }],
+            }),
+            RtcpPacket::Tmmbn(Tmmbn { sender_ssrc: Ssrc(1), entries: vec![] }),
+            RtcpPacket::Nack(Nack { sender_ssrc: Ssrc(1), media_ssrc: Ssrc(2), lost: vec![5, 6] }),
+            RtcpPacket::Remb(Remb { sender_ssrc: Ssrc(1), bitrate: Bitrate::from_kbps(1024), ssrcs: vec![Ssrc(7)] }),
+            RtcpPacket::TransportFeedback(TransportFeedback {
+                sender_ssrc: Ssrc(1),
+                feedback_seq: 3,
+                base_seq: 100,
+                arrivals: vec![Some(10), None],
+            }),
+            RtcpPacket::Semb(Semb { sender_ssrc: Ssrc(1), bitrate: Bitrate::from_kbps(2048), ssrcs: vec![] }),
+            sample_gtmb(),
+            RtcpPacket::GsoTmmbn(GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: 9, entries: vec![] }),
+        ];
+        let wire = RtcpPacket::serialize_compound(&packets);
+        let back = RtcpPacket::parse_compound(wire).unwrap();
+        assert_eq!(back, packets);
+    }
+
+    #[test]
+    fn compound_parse_stops_at_garbage() {
+        let mut wire = BytesMut::from(&sample_rr().serialize()[..]);
+        wire.extend_from_slice(&[0x80, 199, 0, 0]); // unknown PT 199
+        let err = RtcpPacket::parse_compound(wire.freeze()).unwrap_err();
+        assert_eq!(err, ParseError::UnknownPacketType(199));
+    }
+
+    #[test]
+    fn length_field_counts_words() {
+        let wire = sample_sr().serialize();
+        let words = u16::from_be_bytes([wire[2], wire[3]]) as usize;
+        assert_eq!(wire.len(), 4 + words * 4);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let err = RtcpPacket::parse(Bytes::from_static(&[0x80, 200])).unwrap_err();
+        assert!(matches!(err, ParseError::Truncated { .. }));
+    }
+}

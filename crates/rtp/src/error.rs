@@ -1,0 +1,41 @@
+//! Parse errors for RTP/RTCP wire formats.
+
+use std::fmt;
+
+/// Why a packet failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Fewer bytes than the fixed header (or declared length) requires.
+    Truncated { needed: usize, got: usize },
+    /// The RTP/RTCP version field is not 2.
+    BadVersion(u8),
+    /// An RTCP packet type we do not understand.
+    UnknownPacketType(u8),
+    /// A feedback message (FMT) we do not understand for a known type.
+    UnknownFormat { packet_type: u8, fmt: u8 },
+    /// An APP packet whose 4-byte name is not one of ours.
+    UnknownAppName([u8; 4]),
+    /// A declared length field is inconsistent with the payload.
+    BadLength,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { needed, got } => {
+                write!(f, "truncated packet: needed {needed} bytes, got {got}")
+            }
+            ParseError::BadVersion(v) => write!(f, "bad protocol version {v}"),
+            ParseError::UnknownPacketType(t) => write!(f, "unknown RTCP packet type {t}"),
+            ParseError::UnknownFormat { packet_type, fmt } => {
+                write!(f, "unknown FMT {fmt} for RTCP type {packet_type}")
+            }
+            ParseError::UnknownAppName(n) => {
+                write!(f, "unknown APP name {:?}", String::from_utf8_lossy(n))
+            }
+            ParseError::BadLength => write!(f, "inconsistent length field"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

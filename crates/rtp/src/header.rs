@@ -1,0 +1,172 @@
+//! The RTP fixed header (RFC 3550 §5.1).
+//!
+//! ```text
+//!  0                   1                   2                   3
+//!  0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |V=2|P|X|  CC   |M|     PT      |       sequence number         |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |                           timestamp                           |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |           synchronization source (SSRC) identifier            |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! ```
+//!
+//! CSRC lists, padding and header extensions are not used by the simulator
+//! and parse to an error if flagged, keeping the implementation honest about
+//! what it supports (in the spirit of explicitly-scoped stacks like smoltcp).
+
+use crate::error::ParseError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gso_util::Ssrc;
+
+/// Size of the fixed RTP header in bytes.
+pub const RTP_HEADER_LEN: usize = 12;
+
+/// A parsed RTP fixed header plus payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtpPacket {
+    /// Marker bit; set on the last packet of a video frame.
+    pub marker: bool,
+    /// Payload type (96–127 are dynamic; the simulator assigns per codec).
+    pub payload_type: u8,
+    /// Sequence number, increments per packet per SSRC.
+    pub sequence: u16,
+    /// Media timestamp in the stream's clock rate.
+    pub timestamp: u32,
+    /// Synchronization source; one per simulcast layer in GSO (§4.2).
+    pub ssrc: Ssrc,
+    /// Opaque payload bytes.
+    pub payload: Bytes,
+}
+
+impl RtpPacket {
+    /// Serialized size in bytes.
+    pub fn wire_len(&self) -> usize {
+        RTP_HEADER_LEN + self.payload.len()
+    }
+
+    /// Serialize to wire format.
+    pub fn serialize(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.wire_len());
+        // V=2, P=0, X=0, CC=0.
+        b.put_u8(0b1000_0000);
+        b.put_u8((u8::from(self.marker) << 7) | (self.payload_type & 0x7f));
+        b.put_u16(self.sequence);
+        b.put_u32(self.timestamp);
+        b.put_u32(self.ssrc.0);
+        b.extend_from_slice(&self.payload);
+        b.freeze()
+    }
+
+    /// Parse from wire format.
+    pub fn parse(mut data: Bytes) -> Result<RtpPacket, ParseError> {
+        if data.len() < RTP_HEADER_LEN {
+            return Err(ParseError::Truncated { needed: RTP_HEADER_LEN, got: data.len() });
+        }
+        let b0 = data.get_u8();
+        let version = b0 >> 6;
+        if version != 2 {
+            return Err(ParseError::BadVersion(version));
+        }
+        let padding = b0 & 0b0010_0000 != 0;
+        let extension = b0 & 0b0001_0000 != 0;
+        let csrc_count = b0 & 0x0f;
+        if padding || extension || csrc_count != 0 {
+            // Unsupported features are rejected rather than silently skipped.
+            return Err(ParseError::BadLength);
+        }
+        let b1 = data.get_u8();
+        let marker = b1 & 0x80 != 0;
+        let payload_type = b1 & 0x7f;
+        let sequence = data.get_u16();
+        let timestamp = data.get_u32();
+        let ssrc = Ssrc(data.get_u32());
+        Ok(RtpPacket { marker, payload_type, sequence, timestamp, ssrc, payload: data })
+    }
+}
+
+/// Compare two sequence numbers with wrap-around (RFC 3550 A.1 style):
+/// returns true if `a` is newer than `b`.
+pub fn seq_newer(a: u16, b: u16) -> bool {
+    a != b && a.wrapping_sub(b) < 0x8000
+}
+
+/// Distance from `b` forward to `a` with wrap-around.
+pub fn seq_distance(a: u16, b: u16) -> u16 {
+    a.wrapping_sub(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RtpPacket {
+        RtpPacket {
+            marker: true,
+            payload_type: 96,
+            sequence: 0xfffe,
+            timestamp: 0x01020304,
+            ssrc: Ssrc(0xdeadbeef),
+            payload: Bytes::from_static(&[1, 2, 3, 4, 5]),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        let wire = p.serialize();
+        assert_eq!(wire.len(), p.wire_len());
+        let q = RtpPacket::parse(wire).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn marker_bit_independent_of_payload_type() {
+        let mut p = sample();
+        p.marker = false;
+        p.payload_type = 127;
+        let q = RtpPacket::parse(p.serialize()).unwrap();
+        assert!(!q.marker);
+        assert_eq!(q.payload_type, 127);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let err = RtpPacket::parse(Bytes::from_static(&[0x80, 0x60, 0, 1])).unwrap_err();
+        assert!(matches!(err, ParseError::Truncated { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut wire = BytesMut::from(&sample().serialize()[..]);
+        wire[0] = 0x40; // version 1
+        let err = RtpPacket::parse(wire.freeze()).unwrap_err();
+        assert_eq!(err, ParseError::BadVersion(1));
+    }
+
+    #[test]
+    fn rejects_unsupported_features() {
+        let mut wire = BytesMut::from(&sample().serialize()[..]);
+        wire[0] = 0xa0; // padding bit
+        assert!(RtpPacket::parse(wire.freeze()).is_err());
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let mut p = sample();
+        p.payload = Bytes::new();
+        let q = RtpPacket::parse(p.serialize()).unwrap();
+        assert!(q.payload.is_empty());
+    }
+
+    #[test]
+    fn sequence_wraparound_compare() {
+        assert!(seq_newer(1, 0xffff));
+        assert!(!seq_newer(0xffff, 1));
+        assert!(seq_newer(100, 99));
+        assert!(!seq_newer(99, 99));
+        assert_eq!(seq_distance(1, 0xffff), 2);
+        assert_eq!(seq_distance(5, 3), 2);
+    }
+}

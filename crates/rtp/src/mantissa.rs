@@ -1,0 +1,100 @@
+//! Mantissa·2^exp bitrate encodings.
+//!
+//! Both the TMMBR/TMMBN messages of RFC 5104 (17-bit mantissa, 6-bit
+//! exponent) and the REMB draft (18-bit mantissa, 6-bit exponent) encode a
+//! bitrate as `mantissa × 2^exp`. The paper's SEMB message reuses the REMB
+//! encoding, and its orchestration feedback reuses the TMMBR field layout
+//! (§4.2–4.3). Encoding picks the smallest exponent that fits, which gives
+//! the best precision; a disabled stream is the zero mantissa.
+
+use gso_util::Bitrate;
+
+/// Encode a bitrate into `(exp, mantissa)` with a mantissa of `mantissa_bits`
+/// bits. Values too large for the 6-bit exponent saturate at the maximum
+/// representable bitrate.
+pub fn encode(bitrate: Bitrate, mantissa_bits: u32) -> (u8, u32) {
+    let max_mantissa: u64 = (1 << mantissa_bits) - 1;
+    let mut value = bitrate.as_bps();
+    let mut exp = 0u8;
+    while value > max_mantissa {
+        value >>= 1;
+        exp += 1;
+        if exp >= 64 {
+            break;
+        }
+    }
+    if exp > 63 {
+        // Saturate: the largest representable value.
+        return (63, max_mantissa as u32);
+    }
+    (exp, value as u32)
+}
+
+/// Decode `(exp, mantissa)` back to a bitrate.
+pub fn decode(exp: u8, mantissa: u32) -> Bitrate {
+    Bitrate::from_bps((mantissa as u64) << exp.min(63))
+}
+
+/// Mantissa width used by TMMBR/TMMBN (RFC 5104).
+pub const TMMBR_MANTISSA_BITS: u32 = 17;
+
+/// Mantissa width used by REMB and the paper's SEMB.
+pub const REMB_MANTISSA_BITS: u32 = 18;
+
+/// Worst-case relative encoding error for a 17-bit mantissa: one part in
+/// 2^17, i.e. < 0.001 %. Exposed for tests.
+pub fn max_relative_error(mantissa_bits: u32) -> f64 {
+    1.0 / (1u64 << mantissa_bits) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_small_values() {
+        for bps in [0u64, 1, 1000, 100_000, (1 << 17) - 1] {
+            let (e, m) = encode(Bitrate::from_bps(bps), TMMBR_MANTISSA_BITS);
+            assert_eq!(decode(e, m).as_bps(), bps);
+        }
+    }
+
+    #[test]
+    fn near_exact_for_large_values() {
+        for kbps in [500u64, 1_500, 10_000, 1_000_000] {
+            let b = Bitrate::from_kbps(kbps);
+            let (e, m) = encode(b, TMMBR_MANTISSA_BITS);
+            let back = decode(e, m);
+            let rel = (b.as_bps() as f64 - back.as_bps() as f64).abs() / b.as_bps() as f64;
+            assert!(rel <= max_relative_error(TMMBR_MANTISSA_BITS), "{kbps} kbps: rel {rel}");
+            // Encoding truncates, never rounds up: back ≤ original, so an
+            // encoded constraint is always conservative.
+            assert!(back <= b);
+        }
+    }
+
+    #[test]
+    fn zero_means_disabled() {
+        let (e, m) = encode(Bitrate::ZERO, TMMBR_MANTISSA_BITS);
+        assert_eq!(m, 0);
+        assert_eq!(decode(e, m), Bitrate::ZERO);
+    }
+
+    #[test]
+    fn remb_width_covers_more_precisely() {
+        let b = Bitrate::from_kbps(1_234_567);
+        let (e17, m17) = encode(b, TMMBR_MANTISSA_BITS);
+        let (e18, m18) = encode(b, REMB_MANTISSA_BITS);
+        let err17 = b.as_bps() - decode(e17, m17).as_bps();
+        let err18 = b.as_bps() - decode(e18, m18).as_bps();
+        assert!(err18 <= err17);
+    }
+
+    #[test]
+    fn mantissa_fits_width() {
+        for kbps in 1..2000u64 {
+            let (_, m) = encode(Bitrate::from_kbps(kbps * 13), TMMBR_MANTISSA_BITS);
+            assert!(m < (1 << TMMBR_MANTISSA_BITS));
+        }
+    }
+}

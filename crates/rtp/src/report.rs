@@ -1,0 +1,163 @@
+//! RTCP sender/receiver reports (RFC 3550 §6.4).
+//!
+//! The simulator uses these for RTT measurement (LSR/DLSR) and loss
+//! accounting. NTP timestamps are carried as microseconds of simulated time
+//! in a 64-bit field, which keeps the math exact without implementing the
+//! 1900-epoch fixed-point format.
+
+use crate::error::ParseError;
+use bytes::{Buf, BufMut, BytesMut};
+use gso_util::Ssrc;
+
+/// One reception report block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportBlock {
+    /// Stream this block reports on.
+    pub ssrc: Ssrc,
+    /// Fraction of packets lost since the previous report, as a fixed-point
+    /// value out of 256.
+    pub fraction_lost: u8,
+    /// Cumulative packets lost (24-bit on the wire).
+    pub cumulative_lost: u32,
+    /// Extended highest sequence number received.
+    pub highest_seq: u32,
+    /// Interarrival jitter estimate, in timestamp units.
+    pub jitter: u32,
+    /// Middle 32 bits of the last SR's timestamp (here: µs truncated).
+    pub last_sr: u32,
+    /// Delay since that SR, in µs (RFC uses 1/65536 s; µs is our unit).
+    pub delay_since_last_sr: u32,
+}
+
+impl ReportBlock {
+    pub(crate) fn write(&self, b: &mut BytesMut) {
+        b.put_u32(self.ssrc.0);
+        b.put_u8(self.fraction_lost);
+        b.put_u8(((self.cumulative_lost >> 16) & 0xff) as u8);
+        b.put_u16((self.cumulative_lost & 0xffff) as u16);
+        b.put_u32(self.highest_seq);
+        b.put_u32(self.jitter);
+        b.put_u32(self.last_sr);
+        b.put_u32(self.delay_since_last_sr);
+    }
+
+    pub(crate) fn read(b: &mut impl Buf) -> ReportBlock {
+        let ssrc = Ssrc(b.get_u32());
+        let fraction_lost = b.get_u8();
+        let hi = b.get_u8() as u32;
+        let lo = b.get_u16() as u32;
+        ReportBlock {
+            ssrc,
+            fraction_lost,
+            cumulative_lost: (hi << 16) | lo,
+            highest_seq: b.get_u32(),
+            jitter: b.get_u32(),
+            last_sr: b.get_u32(),
+            delay_since_last_sr: b.get_u32(),
+        }
+    }
+
+    /// Wire size of one block.
+    pub(crate) const WIRE_LEN: usize = 24;
+
+    /// Fraction lost as a float in [0, 1].
+    pub fn loss_fraction(&self) -> f64 {
+        self.fraction_lost as f64 / 256.0
+    }
+}
+
+/// A sender report (PT 200).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SenderReport {
+    /// Reporting sender.
+    pub sender_ssrc: Ssrc,
+    /// Send time, µs of simulated time (stands in for the NTP timestamp).
+    pub ntp_micros: u64,
+    /// RTP timestamp corresponding to `ntp_micros`.
+    pub rtp_timestamp: u32,
+    /// Total packets sent.
+    pub packet_count: u32,
+    /// Total payload bytes sent.
+    pub octet_count: u32,
+    /// Reception reports piggybacked by a sender that also receives.
+    pub reports: Vec<ReportBlock>,
+}
+
+/// A receiver report (PT 201).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceiverReport {
+    /// Reporting receiver.
+    pub sender_ssrc: Ssrc,
+    /// One block per stream received.
+    pub reports: Vec<ReportBlock>,
+}
+
+impl SenderReport {
+    pub(crate) fn write_body(&self, b: &mut BytesMut) {
+        b.put_u32(self.sender_ssrc.0);
+        b.put_u64(self.ntp_micros);
+        b.put_u32(self.rtp_timestamp);
+        b.put_u32(self.packet_count);
+        b.put_u32(self.octet_count);
+        for r in &self.reports {
+            r.write(b);
+        }
+    }
+
+    pub(crate) fn read_body(count: u8, b: &mut impl Buf) -> Result<SenderReport, ParseError> {
+        let needed = 24 + count as usize * ReportBlock::WIRE_LEN;
+        if b.remaining() < needed {
+            return Err(ParseError::Truncated { needed, got: b.remaining() });
+        }
+        let sender_ssrc = Ssrc(b.get_u32());
+        let ntp_micros = b.get_u64();
+        let rtp_timestamp = b.get_u32();
+        let packet_count = b.get_u32();
+        let octet_count = b.get_u32();
+        let reports = (0..count).map(|_| ReportBlock::read(b)).collect();
+        Ok(SenderReport { sender_ssrc, ntp_micros, rtp_timestamp, packet_count, octet_count, reports })
+    }
+}
+
+impl ReceiverReport {
+    pub(crate) fn write_body(&self, b: &mut BytesMut) {
+        b.put_u32(self.sender_ssrc.0);
+        for r in &self.reports {
+            r.write(b);
+        }
+    }
+
+    pub(crate) fn read_body(count: u8, b: &mut impl Buf) -> Result<ReceiverReport, ParseError> {
+        let needed = 4 + count as usize * ReportBlock::WIRE_LEN;
+        if b.remaining() < needed {
+            return Err(ParseError::Truncated { needed, got: b.remaining() });
+        }
+        let sender_ssrc = Ssrc(b.get_u32());
+        let reports = (0..count).map(|_| ReportBlock::read(b)).collect();
+        Ok(ReceiverReport { sender_ssrc, reports })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_block_roundtrip_with_24bit_loss() {
+        let block = ReportBlock {
+            ssrc: Ssrc(7),
+            fraction_lost: 128,
+            cumulative_lost: 0x00ab_cdef,
+            highest_seq: 0x1234_5678,
+            jitter: 99,
+            last_sr: 0x0a0b_0c0d,
+            delay_since_last_sr: 1_000_000,
+        };
+        let mut buf = BytesMut::new();
+        block.write(&mut buf);
+        assert_eq!(buf.len(), ReportBlock::WIRE_LEN);
+        let back = ReportBlock::read(&mut buf.freeze());
+        assert_eq!(back, block);
+        assert!((back.loss_fraction() - 0.5).abs() < 1e-9);
+    }
+}

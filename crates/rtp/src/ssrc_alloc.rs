@@ -1,0 +1,80 @@
+//! Deterministic SSRC allocation.
+//!
+//! §4.2: "we assign a different synchronization source (SSRC) for each
+//! stream resolution to facilitate the feedback control". The allocator
+//! packs (client, stream kind, resolution slot) into the 32-bit SSRC so any
+//! component can map an SSRC back to its layer without a lookup table.
+//!
+//! Layout: `client_id (16) | kind (4) | slot (12)`, where `slot` is the
+//! resolution's line count / 4 (180 → 45, 360 → 90, 720 → 180, 1080 → 270),
+//! all of which fit 12 bits.
+
+use gso_util::{ClientId, Ssrc, StreamKind};
+
+fn kind_code(kind: StreamKind) -> u32 {
+    match kind {
+        StreamKind::Audio => 0,
+        StreamKind::Video => 1,
+        StreamKind::Screen => 2,
+    }
+}
+
+fn kind_from_code(code: u32) -> Option<StreamKind> {
+    match code {
+        0 => Some(StreamKind::Audio),
+        1 => Some(StreamKind::Video),
+        2 => Some(StreamKind::Screen),
+        _ => None,
+    }
+}
+
+/// SSRC for a client's layer at a given resolution (vertical lines; 0 for
+/// audio).
+pub fn ssrc_for(client: ClientId, kind: StreamKind, resolution_lines: u16) -> Ssrc {
+    let slot = (resolution_lines as u32 / 4) & 0xfff;
+    Ssrc(((client.0 & 0xffff) << 16) | (kind_code(kind) << 12) | slot)
+}
+
+/// Decompose an SSRC produced by [`ssrc_for`].
+pub fn decode_ssrc(ssrc: Ssrc) -> Option<(ClientId, StreamKind, u16)> {
+    let client = ClientId(ssrc.0 >> 16);
+    let kind = kind_from_code((ssrc.0 >> 12) & 0xf)?;
+    let lines = ((ssrc.0 & 0xfff) * 4) as u16;
+    Some((client, kind, lines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds_and_resolutions() {
+        for kind in StreamKind::ALL {
+            for lines in [0u16, 180, 360, 720, 1080] {
+                let s = ssrc_for(ClientId(4242), kind, lines);
+                assert_eq!(decode_ssrc(s), Some((ClientId(4242), kind, lines)));
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_per_layer() {
+        let a = ssrc_for(ClientId(1), StreamKind::Video, 180);
+        let b = ssrc_for(ClientId(1), StreamKind::Video, 720);
+        let c = ssrc_for(ClientId(1), StreamKind::Screen, 720);
+        let d = ssrc_for(ClientId(2), StreamKind::Video, 180);
+        let all = [a, b, c, d];
+        for i in 0..all.len() {
+            for j in 0..all.len() {
+                if i != j {
+                    assert_ne!(all[i], all[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_kind_code_rejected() {
+        assert_eq!(decode_ssrc(Ssrc(0xf000)), None);
+    }
+}

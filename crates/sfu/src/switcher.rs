@@ -1,0 +1,120 @@
+//! Keyframe-aligned stream switching.
+//!
+//! When the SFU changes which simulcast layer a subscriber receives, it must
+//! not splice mid-GoP: the subscriber's decoder needs a keyframe on the new
+//! layer. The [`LayerSwitcher`] forwards the current layer until the target
+//! layer produces a frame-starting keyframe packet, then switches atomically.
+
+use gso_util::Ssrc;
+
+/// Per-(subscriber, publisher-source) switching state.
+#[derive(Debug, Clone, Default)]
+pub struct LayerSwitcher {
+    current: Option<Ssrc>,
+    pending: Option<Ssrc>,
+}
+
+impl LayerSwitcher {
+    /// New switcher with no layer selected.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The layer currently forwarded.
+    pub fn current(&self) -> Option<Ssrc> {
+        self.current
+    }
+
+    /// The layer we are trying to switch to, if any.
+    pub fn pending(&self) -> Option<Ssrc> {
+        self.pending
+    }
+
+    /// Request that the subscriber receive `target` (or nothing).
+    ///
+    /// Switching down to `None` (unsubscribe) is immediate. A first-ever
+    /// selection waits for a keyframe like any other switch.
+    pub fn request(&mut self, target: Option<Ssrc>) {
+        match target {
+            None => {
+                self.current = None;
+                self.pending = None;
+            }
+            Some(t) if Some(t) == self.current => {
+                self.pending = None;
+            }
+            Some(t) => {
+                self.pending = Some(t);
+            }
+        }
+    }
+
+    /// Should a packet from `ssrc` be forwarded? `keyframe_start` must be
+    /// true for the first packet of a keyframe.
+    pub fn should_forward(&mut self, ssrc: Ssrc, keyframe_start: bool) -> bool {
+        if self.pending == Some(ssrc) && keyframe_start {
+            self.current = Some(ssrc);
+            self.pending = None;
+        }
+        self.current == Some(ssrc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_selection_waits_for_keyframe() {
+        let mut sw = LayerSwitcher::new();
+        sw.request(Some(Ssrc(1)));
+        assert!(!sw.should_forward(Ssrc(1), false), "no splice mid-GoP");
+        assert!(sw.should_forward(Ssrc(1), true));
+        assert!(sw.should_forward(Ssrc(1), false), "forwarding continues");
+        assert_eq!(sw.current(), Some(Ssrc(1)));
+    }
+
+    #[test]
+    fn switch_keeps_old_layer_until_new_keyframe() {
+        let mut sw = LayerSwitcher::new();
+        sw.request(Some(Ssrc(1)));
+        assert!(sw.should_forward(Ssrc(1), true));
+        sw.request(Some(Ssrc(2)));
+        // Old layer still flows; new layer's delta frames don't.
+        assert!(sw.should_forward(Ssrc(1), false));
+        assert!(!sw.should_forward(Ssrc(2), false));
+        // New keyframe: atomic switch.
+        assert!(sw.should_forward(Ssrc(2), true));
+        assert!(!sw.should_forward(Ssrc(1), false), "old layer cut after switch");
+        assert_eq!(sw.current(), Some(Ssrc(2)));
+        assert_eq!(sw.pending(), None);
+    }
+
+    #[test]
+    fn unsubscribe_is_immediate() {
+        let mut sw = LayerSwitcher::new();
+        sw.request(Some(Ssrc(1)));
+        assert!(sw.should_forward(Ssrc(1), true));
+        sw.request(None);
+        assert!(!sw.should_forward(Ssrc(1), false));
+        assert!(!sw.should_forward(Ssrc(1), true));
+    }
+
+    #[test]
+    fn rerequesting_current_cancels_pending_switch() {
+        let mut sw = LayerSwitcher::new();
+        sw.request(Some(Ssrc(1)));
+        assert!(sw.should_forward(Ssrc(1), true));
+        sw.request(Some(Ssrc(2)));
+        sw.request(Some(Ssrc(1))); // controller changed its mind
+        assert!(!sw.should_forward(Ssrc(2), true), "cancelled switch must not land");
+        assert!(sw.should_forward(Ssrc(1), false));
+    }
+
+    #[test]
+    fn unrelated_ssrc_never_forwarded() {
+        let mut sw = LayerSwitcher::new();
+        sw.request(Some(Ssrc(1)));
+        assert!(!sw.should_forward(Ssrc(9), true));
+    }
+}

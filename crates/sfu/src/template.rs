@@ -1,0 +1,127 @@
+//! Publisher-side template policies — the non-GSO uplink half.
+//!
+//! In traditional Simulcast "a publisher decides what to push based on
+//! his/her local view of the upstream network" (§1), using hand-tuned
+//! template rules. These templates reproduce that behaviour for the
+//! baselines: given only the local uplink estimate (and the participant
+//! count the template was tuned for), decide which coarse layers to encode.
+//! The publisher has no idea what anyone subscribes to — which is exactly
+//! how the wasted-uplink situation of Fig. 3a arises.
+
+use gso_util::Bitrate;
+
+/// A layer a template decides to send: (resolution lines, bitrate).
+pub type TemplateLayer = (u16, Bitrate);
+
+/// Which baseline system a template models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplateKind {
+    /// Traditional 3-level Simulcast (the paper's Non-GSO baseline).
+    NonGso,
+    /// "Competitor 1": two-level Chime-like template.
+    Competitor1,
+    /// "Competitor 2": single adaptive stream.
+    Competitor2,
+}
+
+/// The coarse layer set of the Non-GSO baseline: 1.5M/720P, 600K/360P,
+/// 300K/180P (ratios up to 5× between adjacent levels, as §1 describes).
+pub const NON_GSO_LAYERS: [TemplateLayer; 3] = [
+    (180, Bitrate::from_kbps(300)),
+    (360, Bitrate::from_kbps(600)),
+    (720, Bitrate::from_kbps(1500)),
+];
+
+/// Evaluate a template: which layers should the publisher push given its
+/// local uplink estimate?
+pub fn layers_for(kind: TemplateKind, uplink_estimate: Bitrate) -> Vec<TemplateLayer> {
+    match kind {
+        TemplateKind::NonGso => {
+            // Enable layers smallest-first while the cumulative rate fits
+            // 90% of the estimate — the template has no subscriber
+            // knowledge, so it pushes everything it can afford (Fig. 3a).
+            let budget = uplink_estimate.mul_f64(0.9);
+            let mut total = Bitrate::ZERO;
+            let mut out = Vec::new();
+            for &(lines, rate) in &NON_GSO_LAYERS {
+                if total + rate <= budget {
+                    total += rate;
+                    out.push((lines, rate));
+                }
+            }
+            out
+        }
+        TemplateKind::Competitor1 => {
+            // §1 footnote 2: 360P at 600 Kbps if the uplink clears 300 Kbps
+            // (plus a thumbnail), otherwise nothing but the thumbnail.
+            let mut out = vec![(180, Bitrate::from_kbps(150))];
+            if uplink_estimate > Bitrate::from_kbps(300) {
+                out.push((360, Bitrate::from_kbps(600)));
+            }
+            out
+        }
+        TemplateKind::Competitor2 => {
+            // One stream, adapted to the local uplink only: resolution by
+            // rate band.
+            let rate = uplink_estimate.mul_f64(0.85).min(Bitrate::from_kbps(1500));
+            if rate < Bitrate::from_kbps(100) {
+                return Vec::new();
+            }
+            let lines = if rate >= Bitrate::from_kbps(900) {
+                720
+            } else if rate >= Bitrate::from_kbps(400) {
+                360
+            } else {
+                180
+            };
+            vec![(lines, rate)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: u64) -> Bitrate {
+        Bitrate::from_kbps(v)
+    }
+
+    #[test]
+    fn non_gso_pushes_everything_it_can_afford() {
+        // 5 Mbps uplink: all three layers (2.4 Mbps total) — including the
+        // 1.5 Mbps stream even if no one wants it (Fig. 3a).
+        let ls = layers_for(TemplateKind::NonGso, k(5_000));
+        assert_eq!(ls.len(), 3);
+        // 2 Mbps uplink: 0.9 × 2M = 1.8M < 2.4M, so the 720P layer is cut.
+        let ls = layers_for(TemplateKind::NonGso, k(2_000));
+        assert_eq!(ls.len(), 2);
+        assert!(ls.iter().all(|&(lines, _)| lines <= 360));
+        // 500 Kbps uplink: only the small stream.
+        let ls = layers_for(TemplateKind::NonGso, k(500));
+        assert_eq!(ls, vec![(180, k(300))]);
+        // 100 Kbps: nothing fits.
+        assert!(layers_for(TemplateKind::NonGso, k(100)).is_empty());
+    }
+
+    #[test]
+    fn competitor1_threshold_rule() {
+        let ls = layers_for(TemplateKind::Competitor1, k(1_000));
+        assert_eq!(ls.len(), 2);
+        assert!(ls.contains(&(360, k(600))));
+        let ls = layers_for(TemplateKind::Competitor1, k(250));
+        assert_eq!(ls, vec![(180, k(150))]);
+    }
+
+    #[test]
+    fn competitor2_single_adaptive_stream() {
+        let ls = layers_for(TemplateKind::Competitor2, k(2_000));
+        assert_eq!(ls.len(), 1);
+        assert_eq!(ls[0].0, 720);
+        assert_eq!(ls[0].1, k(1_500), "capped at the ladder top");
+        let ls = layers_for(TemplateKind::Competitor2, k(600));
+        assert_eq!(ls[0].0, 360);
+        assert_eq!(ls[0].1, k(510));
+        assert!(layers_for(TemplateKind::Competitor2, k(50)).is_empty());
+    }
+}

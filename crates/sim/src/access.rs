@@ -1,0 +1,846 @@
+//! The accessing node (media-plane SFU).
+//!
+//! Terminates clients' media, generates transport feedback for their
+//! uplinks, estimates each subscriber's downlink with a sender-side BWE
+//! (probing when app-limited), selectively forwards simulcast layers with
+//! keyframe-aligned switching, relays control traffic to/from the
+//! conference node, and — in baseline modes — runs the local selection
+//! policy instead of controller rules.
+
+use crate::client::PolicyMode;
+use crate::ctrl::CtrlMessage;
+use gso_algo::SourceId;
+use gso_bwe::{
+    BweConfig, ProbeConfig, ProbeController, SembConfig, SembScheduler, SendHistory, SenderBwe,
+};
+use gso_bwe::TwccGenerator;
+use gso_control::SubscribeIntent;
+use gso_media::FragmentHeader;
+use gso_net::{Actions, Node, NodeId, Packet};
+use gso_rtp::{decode_ssrc, ssrc_for, RtcpPacket, RtpPacket};
+use gso_sfu::{
+    LargestFitSelector, LayerSwitcher, OfferedLayer, PassthroughSelector, StreamSelector,
+    TwoLevelSelector,
+};
+use gso_util::{Bitrate, ClientId, SimDuration, SimTime, Ssrc, StreamKind};
+use std::any::Any;
+use std::collections::BTreeMap;
+
+const FAST_TICK: u64 = 1;
+const SLOW_TICK: u64 = 2;
+const FAST_INTERVAL: SimDuration = SimDuration::from_millis(100);
+const SLOW_INTERVAL: SimDuration = SimDuration::from_millis(500);
+
+/// Per-subscriber downlink path state.
+struct DownPath {
+    endpoint: NodeId,
+    history: SendHistory,
+    bwe: SenderBwe,
+    probes: ProbeController,
+    reporter: SembScheduler,
+    probe_seq: u16,
+    bytes_window: u64,
+}
+
+impl DownPath {
+    fn new(endpoint: NodeId) -> Self {
+        DownPath {
+            endpoint,
+            history: SendHistory::new(),
+            bwe: SenderBwe::new(BweConfig::default()),
+            probes: ProbeController::new(ProbeConfig::default()),
+            reporter: SembScheduler::new(SembConfig::default()),
+            probe_seq: 0,
+            bytes_window: 0,
+        }
+    }
+}
+
+/// Layer liveness/rate tracking for the local (baseline) policies.
+#[derive(Debug, Default, Clone, Copy)]
+struct LayerRate {
+    bytes_window: u64,
+    rate: Bitrate,
+}
+
+/// The accessing node.
+pub struct AccessNode {
+    mode: PolicyMode,
+    conference: Option<NodeId>,
+    /// Attached clients and their network endpoints.
+    clients: BTreeMap<ClientId, NodeId>,
+    endpoint_to_client: BTreeMap<NodeId, ClientId>,
+    /// Clients served by peer accessing nodes, and the peer that serves
+    /// each (the media-plane mesh of §3).
+    remote_clients: BTreeMap<ClientId, NodeId>,
+    /// Relay routes for locally-published streams toward peer nodes, with
+    /// per-link deduplication.
+    relay: gso_sfu::RelayTable,
+    twcc_up: BTreeMap<ClientId, TwccGenerator>,
+    down: BTreeMap<ClientId, DownPath>,
+    /// (subscriber, source, tag) → layer switcher.
+    switchers: BTreeMap<(ClientId, SourceId, u8), LayerSwitcher>,
+    /// Subscriptions as signaled (used by baseline selection and audio
+    /// fan-out).
+    subs: BTreeMap<ClientId, Vec<SubscribeIntent>>,
+    /// Observed publisher layers.
+    layer_rates: BTreeMap<Ssrc, LayerRate>,
+    last_slow: SimTime,
+    started: bool,
+}
+
+impl AccessNode {
+    /// Build an accessing node. `conference` is required in GSO mode.
+    pub fn new(mode: PolicyMode, conference: Option<NodeId>) -> Self {
+        AccessNode {
+            mode,
+            conference,
+            clients: BTreeMap::new(),
+            endpoint_to_client: BTreeMap::new(),
+            remote_clients: BTreeMap::new(),
+            relay: gso_sfu::RelayTable::new(),
+            twcc_up: BTreeMap::new(),
+            down: BTreeMap::new(),
+            switchers: BTreeMap::new(),
+            subs: BTreeMap::new(),
+            layer_rates: BTreeMap::new(),
+            last_slow: SimTime::ZERO,
+            started: false,
+        }
+    }
+
+    /// Register an attached client endpoint (done by the scenario builder).
+    pub fn attach(&mut self, client: ClientId, endpoint: NodeId) {
+        self.clients.insert(client, endpoint);
+        self.endpoint_to_client.insert(endpoint, client);
+        self.twcc_up.insert(client, TwccGenerator::new());
+        self.down.insert(client, DownPath::new(endpoint));
+    }
+
+    /// Register a client served by a peer accessing node; media for it is
+    /// relayed through that peer.
+    pub fn attach_remote(&mut self, client: ClientId, peer: NodeId) {
+        self.remote_clients.insert(client, peer);
+    }
+
+    fn is_peer(&self, node: NodeId) -> bool {
+        self.remote_clients.values().any(|&p| p == node)
+    }
+
+    /// Downlink estimate for a client (for tests/metrics).
+    pub fn downlink_estimate(&self, client: ClientId) -> Option<Bitrate> {
+        self.down.get(&client).map(|d| d.bwe.estimate())
+    }
+
+    /// Kick off periodic timers.
+    pub fn schedule_boot(node: NodeId, sim: &mut gso_net::Simulator) {
+        sim.schedule_timer(node, SimTime::ZERO, FAST_TICK);
+        sim.schedule_timer(node, SimTime::ZERO, SLOW_TICK);
+    }
+
+    fn forward_to(&mut self, now: SimTime, subscriber: ClientId, pkt: &RtpPacket, out: &mut Actions) {
+        let Some(path) = self.down.get_mut(&subscriber) else { return };
+        path.history.record(pkt.ssrc, pkt.sequence, now, pkt.wire_len() + 28, false);
+        path.bytes_window += pkt.wire_len() as u64;
+        out.send(path.endpoint, Packet::new(pkt.serialize()));
+    }
+
+    fn handle_rtp(
+        &mut self,
+        now: SimTime,
+        from: ClientId,
+        from_local: bool,
+        pkt: RtpPacket,
+        out: &mut Actions,
+    ) {
+        if from_local {
+            if let Some(twcc) = self.twcc_up.get_mut(&from) {
+                twcc.on_packet(now, pkt.ssrc, pkt.sequence);
+            }
+        }
+        if pkt.payload_type == 127 {
+            return; // probe padding terminates here
+        }
+        let Some((publisher, kind, _lines)) = decode_ssrc(pkt.ssrc) else { return };
+        if publisher != from {
+            return; // spoofed SSRC
+        }
+        match kind {
+            StreamKind::Audio => {
+                // Audio fans out to every *local* subscriber of this
+                // publisher; for remote subscribers, relay once per peer.
+                let targets: Vec<ClientId> = self
+                    .subs
+                    .iter()
+                    .filter(|(&sub, intents)| {
+                        sub != publisher
+                            && self.clients.contains_key(&sub)
+                            && intents.iter().any(|i| i.source.client == publisher)
+                    })
+                    .map(|(&sub, _)| sub)
+                    .collect();
+                for sub in targets {
+                    self.forward_to(now, sub, &pkt, out);
+                }
+                if from_local {
+                    let peers: std::collections::BTreeSet<NodeId> = self
+                        .subs
+                        .iter()
+                        .filter(|(&sub, intents)| {
+                            sub != publisher
+                                && intents.iter().any(|i| i.source.client == publisher)
+                        })
+                        .filter_map(|(&sub, _)| self.remote_clients.get(&sub).copied())
+                        .collect();
+                    for peer in peers {
+                        out.send(peer, Packet::new(pkt.serialize()));
+                    }
+                }
+            }
+            StreamKind::Video | StreamKind::Screen => {
+                self.layer_rates.entry(pkt.ssrc).or_default().bytes_window +=
+                    pkt.wire_len() as u64;
+                let keyframe_start = FragmentHeader::parse(&pkt.payload)
+                    .map(|h| h.keyframe && h.frag_index == 0)
+                    .unwrap_or(false);
+                let source = SourceId { client: publisher, kind };
+                let targets: Vec<ClientId> = self
+                    .switchers
+                    .iter_mut()
+                    .filter(|((_, src, _), _)| *src == source)
+                    .filter_map(|((sub, _, _), sw)| {
+                        sw.should_forward(pkt.ssrc, keyframe_start).then_some(*sub)
+                    })
+                    .collect();
+                for sub in targets {
+                    self.forward_to(now, sub, &pkt, out);
+                }
+                // Relay locally-published streams to peer nodes whose
+                // subscribers need them — once per peer link, however many
+                // remote subscribers sit behind it.
+                if from_local {
+                    for target in self.relay.targets(pkt.ssrc) {
+                        if let gso_sfu::RelayTarget::Peer(peer) = target {
+                            out.send(NodeId(peer), Packet::new(pkt.serialize()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_rtcp(&mut self, now: SimTime, from: ClientId, data: bytes::Bytes, out: &mut Actions) {
+        let Ok(packets) = RtcpPacket::parse_compound(data) else { return };
+        // Feedback for all streams of this downlink is merged and fed to the
+        // estimator once, in send order — per-stream slices would confuse
+        // the delay-trend filter (time would jump backwards between streams)
+        // and measure per-stream instead of per-path throughput.
+        let mut feedback_results = Vec::new();
+        for p in packets {
+            match p {
+                RtcpPacket::TransportFeedback(fb) => {
+                    if let Some(path) = self.down.get_mut(&from) {
+                        feedback_results.extend(path.history.resolve(fb.sender_ssrc, &fb));
+                    }
+                }
+                RtcpPacket::Nack(nack) => {
+                    // Relay the retransmission request toward the publisher:
+                    // directly if local, via the hosting peer otherwise.
+                    if let Some((publisher, _, _)) = decode_ssrc(nack.media_ssrc) {
+                        let dest = self
+                            .clients
+                            .get(&publisher)
+                            .or_else(|| self.remote_clients.get(&publisher))
+                            .copied();
+                        if let Some(dest) = dest {
+                            out.send(
+                                dest,
+                                Packet::new(RtcpPacket::serialize_compound(&[RtcpPacket::Nack(
+                                    nack,
+                                )])),
+                            );
+                        }
+                    }
+                }
+                RtcpPacket::Semb(semb) => {
+                    if let (PolicyMode::Gso, Some(cn)) = (self.mode, self.conference) {
+                        out.send(
+                            cn,
+                            Packet::new(
+                                CtrlMessage::UplinkReport { client: from, bitrate: semb.bitrate }
+                                    .serialize(),
+                            ),
+                        );
+                    }
+                }
+                RtcpPacket::GsoTmmbn(ack) => {
+                    if let Some(cn) = self.conference {
+                        out.send(
+                            cn,
+                            Packet::new(
+                                CtrlMessage::AckRelay {
+                                    client: from,
+                                    rtcp: RtcpPacket::serialize_compound(&[
+                                        RtcpPacket::GsoTmmbn(ack),
+                                    ]),
+                                }
+                                .serialize(),
+                            ),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !feedback_results.is_empty() {
+            feedback_results.sort_by_key(|r| r.sent_at);
+            if let Some(path) = self.down.get_mut(&from) {
+                path.bwe.on_feedback(now, &feedback_results);
+            }
+        }
+    }
+
+    fn handle_ctrl(&mut self, _now: SimTime, from: NodeId, msg: CtrlMessage, out: &mut Actions) {
+        let from_client = self.endpoint_to_client.get(&from).copied();
+        match msg {
+            // Client → CN signaling, recorded locally for baseline policy
+            // and audio fan-out, then relayed.
+            CtrlMessage::Join { .. }
+            | CtrlMessage::Leave { .. }
+            | CtrlMessage::SdpOffer { .. } => {
+                if let Some(cn) = self.conference {
+                    out.send(cn, Packet::new(msg.serialize()));
+                }
+            }
+            CtrlMessage::SdpAnswer { client, .. } => {
+                if let Some(&endpoint) = self.clients.get(&client) {
+                    out.send(endpoint, Packet::new(msg.serialize()));
+                }
+            }
+            CtrlMessage::Subscribe { client, ref intents } => {
+                self.subs.insert(client, intents.clone());
+                if let Some(cn) = self.conference {
+                    out.send(cn, Packet::new(msg.serialize()));
+                }
+            }
+            CtrlMessage::KeyframeRequest { source } => {
+                // From a subscriber (or a peer relaying one); deliver to the
+                // publisher's endpoint or to the peer that hosts it.
+                let dest = self
+                    .clients
+                    .get(&source.client)
+                    .or_else(|| self.remote_clients.get(&source.client))
+                    .copied();
+                if let Some(dest) = dest {
+                    if dest != from {
+                        out.send(
+                            dest,
+                            Packet::new(CtrlMessage::KeyframeRequest { source }.serialize()),
+                        );
+                    }
+                }
+            }
+            // CN → AN.
+            CtrlMessage::ConfigPush { client, rtcp } => {
+                if let Some(&endpoint) = self.clients.get(&client) {
+                    out.send(endpoint, Packet::new(rtcp));
+                }
+            }
+            CtrlMessage::Rules { rules } => {
+                // Full replacement: local switchers serve locally-attached
+                // subscribers; relay routes carry locally-published streams
+                // to the peers whose subscribers need them.
+                let mut covered: Vec<(ClientId, SourceId, u8)> = Vec::new();
+                let mut keyframe_needed: std::collections::BTreeSet<SourceId> =
+                    std::collections::BTreeSet::new();
+                self.relay = gso_sfu::RelayTable::new();
+                for r in &rules {
+                    if self.clients.contains_key(&r.subscriber) {
+                        let key = (r.subscriber, r.source, r.tag);
+                        covered.push(key);
+                        let sw = self
+                            .switchers
+                            .entry(key)
+                            .or_default();
+                        sw.request(Some(r.ssrc));
+                        // A pending switch would otherwise wait a whole GoP
+                        // for the target layer's next keyframe; ask the
+                        // publisher to produce one now.
+                        if sw.pending().is_some() {
+                            keyframe_needed.insert(r.source);
+                        }
+                    } else if self.clients.contains_key(&r.source.client) {
+                        if let Some(&peer) = self.remote_clients.get(&r.subscriber) {
+                            self.relay
+                                .subscribe(r.ssrc, gso_sfu::RelayTarget::Peer(peer.0));
+                        }
+                    }
+                }
+                for (key, sw) in self.switchers.iter_mut() {
+                    if !covered.contains(key) {
+                        sw.request(None);
+                    }
+                }
+                for source in keyframe_needed {
+                    let dest = self
+                        .clients
+                        .get(&source.client)
+                        .or_else(|| self.remote_clients.get(&source.client))
+                        .copied();
+                    if let Some(dest) = dest {
+                        out.send(
+                            dest,
+                            Packet::new(CtrlMessage::KeyframeRequest { source }.serialize()),
+                        );
+                    }
+                }
+            }
+            _ => {
+                let _ = from_client;
+            }
+        }
+    }
+
+    /// Baseline-mode local selection (the fragmented view of §2.3).
+    ///
+    /// Like any competent SFU, a pending layer switch asks the publisher for
+    /// a keyframe so the splice completes quickly — the baseline's handicap
+    /// is its fragmented view and coarse ladder, not broken switching.
+    fn apply_local_policy(&mut self, out: &mut Actions) {
+        if self.mode == PolicyMode::Gso {
+            return;
+        }
+        let mut keyframe_needed: std::collections::BTreeSet<SourceId> =
+            std::collections::BTreeSet::new();
+        let selector: Box<dyn StreamSelector> = match self.mode {
+            PolicyMode::NonGso => Box::new(LargestFitSelector::default()),
+            PolicyMode::Competitor1 => Box::new(TwoLevelSelector),
+            PolicyMode::Competitor2 => Box::new(PassthroughSelector),
+            PolicyMode::Gso => unreachable!(),
+        };
+        let subs: Vec<(ClientId, Vec<SubscribeIntent>)> =
+            self.subs.iter().map(|(&c, i)| (c, i.clone())).collect();
+        for (subscriber, intents) in subs {
+            let video_intents: Vec<&SubscribeIntent> = intents
+                .iter()
+                .filter(|i| i.source.kind != StreamKind::Audio && i.tag == 0)
+                .collect();
+            if video_intents.is_empty() {
+                continue;
+            }
+            let budget_total = self
+                .down
+                .get(&subscriber)
+                .map(|d| d.bwe.estimate())
+                .unwrap_or(Bitrate::ZERO)
+                .saturating_sub(gso_media::AUDIO_PROTECTION);
+            // The local policy splits the budget evenly — it has no global
+            // view to do better (stream competition, Fig. 3c).
+            let per_pub = Bitrate::from_bps(budget_total.as_bps() / video_intents.len() as u64);
+            for intent in video_intents {
+                let source = intent.source;
+                let layers: Vec<OfferedLayer> = self
+                    .layer_rates
+                    .iter()
+                    .filter_map(|(&ssrc, lr)| {
+                        let (publisher, kind, lines) = decode_ssrc(ssrc)?;
+                        (publisher == source.client
+                            && kind == source.kind
+                            && lines <= intent.max_resolution.0
+                            && !lr.rate.is_zero())
+                        .then_some(OfferedLayer {
+                            ssrc,
+                            resolution_lines: lines,
+                            bitrate: lr.rate,
+                        })
+                    })
+                    .collect();
+                let mut sorted = layers;
+                sorted.sort_by_key(|l| l.bitrate);
+                let sw = self
+                    .switchers
+                    .entry((subscriber, source, intent.tag))
+                    .or_default();
+                // Switching dead-band (every real SFU has one): keep the
+                // current layer while it still fits; upgrade only to a layer
+                // that fits *comfortably* (25 % slack). Without this, a
+                // budget sitting near a layer boundary flaps the selection
+                // every evaluation, and each flap costs a keyframe splice.
+                let current_layer = sw
+                    .current()
+                    .and_then(|cur| sorted.iter().find(|l| l.ssrc == cur).copied());
+                let current_fits = current_layer
+                    .map(|l| l.bitrate <= per_pub)
+                    .unwrap_or(false);
+                let choice = if current_fits {
+                    let comfortable = selector.select(&sorted, per_pub.mul_f64(0.75));
+                    match (comfortable, current_layer) {
+                        (Some(up), Some(cur)) => {
+                            let up_rate = sorted
+                                .iter()
+                                .find(|l| l.ssrc == up)
+                                .map(|l| l.bitrate)
+                                .unwrap_or(Bitrate::ZERO);
+                            if up_rate > cur.bitrate {
+                                Some(up)
+                            } else {
+                                Some(cur.ssrc)
+                            }
+                        }
+                        _ => current_layer.map(|l| l.ssrc),
+                    }
+                } else {
+                    selector.select(&sorted, per_pub)
+                };
+                sw.request(choice);
+                if sw.pending().is_some() {
+                    keyframe_needed.insert(source);
+                }
+            }
+        }
+        for source in keyframe_needed {
+            if let Some(&endpoint) = self.clients.get(&source.client) {
+                out.send(
+                    endpoint,
+                    Packet::new(CtrlMessage::KeyframeRequest { source }.serialize()),
+                );
+            }
+        }
+    }
+
+    fn emit_downlink_probe(
+        path: &mut DownPath,
+        now: SimTime,
+        cluster: gso_bwe::ProbeCluster,
+        out: &mut Actions,
+    ) {
+        let bytes = cluster.target_rate.bytes_in(cluster.duration);
+        // Short burst (§7: probing redundancy must be carefully bounded):
+        // enough packets to measure line rate, few enough not to push the
+        // bottleneck queue into dropping media.
+        let count = (bytes / 1200).clamp(5, 15);
+        // Probe padding uses a reserved pseudo-client id.
+        let ssrc = ssrc_for(ClientId(0xFFFF), StreamKind::Video, 16);
+        for _ in 0..count {
+            let seq = path.probe_seq;
+            path.probe_seq = path.probe_seq.wrapping_add(1);
+            let pkt = RtpPacket {
+                marker: false,
+                payload_type: 127,
+                sequence: seq,
+                timestamp: 0,
+                ssrc,
+                payload: bytes::Bytes::from(vec![0u8; 1172]),
+            };
+            path.history.record(pkt.ssrc, pkt.sequence, now, pkt.wire_len() + 28, true);
+            out.send(path.endpoint, Packet::new(pkt.serialize()));
+        }
+    }
+}
+
+impl Node for AccessNode {
+    fn on_packet(&mut self, now: SimTime, from: NodeId, packet: Packet, out: &mut Actions) {
+        let data = packet.data;
+        if data.is_empty() {
+            return;
+        }
+        if CtrlMessage::is_ctrl(&data) {
+            if let Some(msg) = CtrlMessage::parse(data) {
+                self.handle_ctrl(now, from, msg, out);
+            }
+            return;
+        }
+        match self.endpoint_to_client.get(&from).copied() {
+            Some(client) => {
+                if data.len() >= 2 && (200..=206).contains(&data[1]) {
+                    self.handle_rtcp(now, client, data, out);
+                } else if let Ok(pkt) = RtpPacket::parse(data) {
+                    self.handle_rtp(now, client, true, pkt, out);
+                }
+            }
+            None if self.is_peer(from) => {
+                // Media relayed from a peer node: forward to local
+                // subscribers (never re-relayed — single-hop mesh).
+                if data.len() >= 2 && (200..=206).contains(&data[1]) {
+                    // RTCP from a peer: NACKs relayed toward a local
+                    // publisher.
+                    if let Ok(packets) = RtcpPacket::parse_compound(data) {
+                        for p in packets {
+                            if let RtcpPacket::Nack(nack) = p {
+                                if let Some((publisher, _, _)) = decode_ssrc(nack.media_ssrc) {
+                                    if let Some(&endpoint) = self.clients.get(&publisher) {
+                                        out.send(
+                                            endpoint,
+                                            Packet::new(RtcpPacket::serialize_compound(&[
+                                                RtcpPacket::Nack(nack),
+                                            ])),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                } else if let Ok(pkt) = RtpPacket::parse(data) {
+                    if let Some((publisher, _, _)) = decode_ssrc(pkt.ssrc) {
+                        self.handle_rtp(now, publisher, false, pkt, out);
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, token: u64, out: &mut Actions) {
+        match token {
+            FAST_TICK => {
+                if !self.started {
+                    self.started = true;
+                    self.last_slow = now;
+                }
+                // Uplink transport feedback toward each client.
+                let clients: Vec<ClientId> = self.clients.keys().copied().collect();
+                for client in clients {
+                    let fbs = self.twcc_up.get_mut(&client).map(|g| g.poll()).unwrap_or_default();
+                    if fbs.is_empty() {
+                        continue;
+                    }
+                    let rtcp: Vec<RtcpPacket> = fbs
+                        .into_iter()
+                        .map(|(_, fb)| RtcpPacket::TransportFeedback(fb))
+                        .collect();
+                    let endpoint = self.clients[&client];
+                    out.send(endpoint, Packet::new(RtcpPacket::serialize_compound(&rtcp)));
+                }
+                out.timer_in(now, FAST_INTERVAL, FAST_TICK);
+            }
+            SLOW_TICK => {
+                let dt = now.saturating_since(self.last_slow).as_secs_f64().max(1e-9);
+                self.last_slow = now;
+                // Update observed layer rates (with decay to zero).
+                for lr in self.layer_rates.values_mut() {
+                    lr.rate = Bitrate::from_bps((lr.bytes_window as f64 * 8.0 / dt) as u64);
+                    lr.bytes_window = 0;
+                }
+
+                // Downlink reports to the conference node + probing.
+                let clients: Vec<ClientId> = self.down.keys().copied().collect();
+                for client in clients {
+                    let path = self.down.get_mut(&client).expect("present");
+                    let estimate = path.bwe.estimate();
+                    let sent_rate = path.bytes_window as f64 * 8.0 / dt;
+                    path.bytes_window = 0;
+                    let app_limited = sent_rate < 0.7 * estimate.as_bps() as f64;
+                    let want_probe = app_limited || path.bwe.needs_validation();
+                    if let Some(cluster) = path.probes.poll(now, estimate, want_probe) {
+                        Self::emit_downlink_probe(path, now, cluster, out);
+                    }
+                    path.history.prune(now);
+                    if self.mode == PolicyMode::Gso {
+                        if let Some(report) = path.reporter.poll(now, estimate) {
+                            if let Some(cn) = self.conference {
+                                out.send(
+                                    cn,
+                                    Packet::new(
+                                        CtrlMessage::DownlinkReport { client, bitrate: report }
+                                            .serialize(),
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+
+                self.apply_local_policy(out);
+                out.timer_in(now, SLOW_INTERVAL, SLOW_TICK);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctrl::CtrlMessage;
+    use gso_control::ForwardingRule;
+    use gso_media::{frame, EncodedFrame};
+    use gso_net::Node;
+    use gso_rtp::{GsoTmmbn, Semb};
+    use gso_util::SimTime;
+
+    fn an_with_two_clients() -> (AccessNode, NodeId, NodeId, NodeId) {
+        let cn = NodeId(0);
+        let mut an = AccessNode::new(PolicyMode::Gso, Some(cn));
+        let (e1, e2) = (NodeId(10), NodeId(11));
+        an.attach(ClientId(1), e1);
+        an.attach(ClientId(2), e2);
+        (an, cn, e1, e2)
+    }
+
+    fn video_packet(client: u32, keyframe: bool) -> gso_rtp::RtpPacket {
+        let f = EncodedFrame {
+            ssrc: ssrc_for(ClientId(client), StreamKind::Video, 360),
+            frame_id: 1,
+            keyframe,
+            size: 500,
+            resolution_lines: 360,
+            captured_at: SimTime::from_millis(10),
+        };
+        let mut seq = 5;
+        frame::packetize(&f, &mut seq, 96).remove(0)
+    }
+
+    fn rules_for(sub: u32, publisher: u32) -> CtrlMessage {
+        CtrlMessage::Rules {
+            rules: vec![ForwardingRule {
+                subscriber: ClientId(sub),
+                source: SourceId::video(ClientId(publisher)),
+                tag: 0,
+                ssrc: ssrc_for(ClientId(publisher), StreamKind::Video, 360),
+                bitrate: Bitrate::from_kbps(600),
+            }],
+        }
+    }
+
+    #[test]
+    fn rules_install_switcher_and_forward_on_keyframe() {
+        let (mut an, cn, e1, e2) = an_with_two_clients();
+        let mut out = Actions::default();
+        an.on_packet(SimTime::ZERO, cn, Packet::new(rules_for(2, 1).serialize()), &mut out);
+        // Delta packet before a keyframe: not forwarded.
+        let mut out = Actions::default();
+        an.on_packet(SimTime::from_millis(1), e1, Packet::new(video_packet(1, false).serialize()), &mut out);
+        assert!(out.is_empty(), "no splice mid-GoP");
+        // Keyframe: forwarded to client 2's endpoint.
+        let mut out = Actions::default();
+        an.on_packet(SimTime::from_millis(2), e1, Packet::new(video_packet(1, true).serialize()), &mut out);
+        let dests: Vec<NodeId> = out.sends().iter().map(|(d, _)| *d).collect();
+        assert_eq!(dests, vec![e2]);
+    }
+
+    #[test]
+    fn spoofed_ssrc_dropped() {
+        let (mut an, cn, e1, _e2) = an_with_two_clients();
+        let mut out = Actions::default();
+        an.on_packet(SimTime::ZERO, cn, Packet::new(rules_for(2, 2).serialize()), &mut out);
+        // Client 1's endpoint sends a packet claiming client 2's SSRC.
+        let mut out = Actions::default();
+        an.on_packet(SimTime::ZERO, e1, Packet::new(video_packet(2, true).serialize()), &mut out);
+        assert!(out.is_empty(), "spoofed media must not be forwarded");
+    }
+
+    #[test]
+    fn probe_padding_absorbed() {
+        let (mut an, _cn, e1, _e2) = an_with_two_clients();
+        let pkt = gso_rtp::RtpPacket {
+            marker: false,
+            payload_type: 127,
+            sequence: 1,
+            timestamp: 0,
+            ssrc: ssrc_for(ClientId(1), StreamKind::Video, 16),
+            payload: bytes::Bytes::from(vec![0u8; 100]),
+        };
+        let mut out = Actions::default();
+        an.on_packet(SimTime::ZERO, e1, Packet::new(pkt.serialize()), &mut out);
+        assert!(out.is_empty(), "probe padding terminates at the node");
+    }
+
+    #[test]
+    fn semb_relayed_to_conference_as_uplink_report() {
+        let (mut an, cn, e1, _e2) = an_with_two_clients();
+        let semb = RtcpPacket::Semb(Semb {
+            sender_ssrc: ssrc_for(ClientId(1), StreamKind::Video, 0),
+            bitrate: Bitrate::from_kbps(2_048),
+            ssrcs: vec![],
+        });
+        let mut out = Actions::default();
+        an.on_packet(SimTime::ZERO, e1, Packet::new(RtcpPacket::serialize_compound(&[semb])), &mut out);
+        assert_eq!(out.sends().len(), 1);
+        let (dest, pkt) = &out.sends()[0];
+        assert_eq!(*dest, cn);
+        let msg = CtrlMessage::parse(pkt.data.clone()).unwrap();
+        assert_eq!(
+            msg,
+            CtrlMessage::UplinkReport { client: ClientId(1), bitrate: Bitrate::from_kbps(2_048) }
+        );
+    }
+
+    #[test]
+    fn gtbn_relayed_to_conference() {
+        let (mut an, cn, e1, _e2) = an_with_two_clients();
+        let ack = RtcpPacket::GsoTmmbn(GsoTmmbn {
+            sender_ssrc: ssrc_for(ClientId(1), StreamKind::Video, 0),
+            request_seq: 7,
+            entries: vec![],
+        });
+        let mut out = Actions::default();
+        an.on_packet(SimTime::ZERO, e1, Packet::new(RtcpPacket::serialize_compound(&[ack])), &mut out);
+        assert_eq!(out.sends().len(), 1);
+        assert_eq!(out.sends()[0].0, cn);
+        assert!(matches!(
+            CtrlMessage::parse(out.sends()[0].1.data.clone()),
+            Some(CtrlMessage::AckRelay { client, .. }) if client == ClientId(1)
+        ));
+    }
+
+    #[test]
+    fn config_push_forwarded_to_client_endpoint() {
+        let (mut an, cn, e1, _e2) = an_with_two_clients();
+        let msg = CtrlMessage::ConfigPush {
+            client: ClientId(1),
+            rtcp: bytes::Bytes::from_static(b"\x80\xcc\x00\x00"),
+        };
+        let mut out = Actions::default();
+        an.on_packet(SimTime::ZERO, cn, Packet::new(msg.serialize()), &mut out);
+        assert_eq!(out.sends().len(), 1);
+        assert_eq!(out.sends()[0].0, e1);
+    }
+
+    #[test]
+    fn pending_switch_triggers_keyframe_request() {
+        let (mut an, cn, e1, _e2) = an_with_two_clients();
+        let mut out = Actions::default();
+        an.on_packet(SimTime::ZERO, cn, Packet::new(rules_for(2, 1).serialize()), &mut out);
+        // A fresh switch is pending: a keyframe request must go to client 1.
+        let kf: Vec<_> = out
+            .sends()
+            .iter()
+            .filter(|(d, p)| *d == e1 && CtrlMessage::is_ctrl(&p.data))
+            .collect();
+        assert_eq!(kf.len(), 1);
+        assert!(matches!(
+            CtrlMessage::parse(kf[0].1.data.clone()),
+            Some(CtrlMessage::KeyframeRequest { source }) if source == SourceId::video(ClientId(1))
+        ));
+    }
+
+    #[test]
+    fn remote_client_rules_build_relay_routes() {
+        let cn = NodeId(0);
+        let peer = NodeId(99);
+        let mut an = AccessNode::new(PolicyMode::Gso, Some(cn));
+        an.attach(ClientId(1), NodeId(10));
+        an.attach_remote(ClientId(2), peer);
+        // Client 2 (remote) subscribes to local client 1.
+        let mut out = Actions::default();
+        an.on_packet(SimTime::ZERO, cn, Packet::new(rules_for(2, 1).serialize()), &mut out);
+        // A keyframed packet from client 1 is relayed to the peer.
+        let mut out = Actions::default();
+        an.on_packet(
+            SimTime::from_millis(1),
+            NodeId(10),
+            Packet::new(video_packet(1, true).serialize()),
+            &mut out,
+        );
+        let dests: Vec<NodeId> = out.sends().iter().map(|(d, _)| *d).collect();
+        assert_eq!(dests, vec![peer]);
+    }
+}

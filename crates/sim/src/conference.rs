@@ -1,0 +1,183 @@
+//! The conference node (control plane, §3).
+//!
+//! Hosts the [`GsoController`], fed by control messages relayed from
+//! accessing nodes: signaling (join/leave/subscribe/speaker), SEMB-derived
+//! uplink reports, accessing-node downlink reports, and GTBN
+//! acknowledgements. On each controller run it pushes per-client GTMB
+//! configurations (via the client's accessing node, in-band) and the
+//! forwarding rules to every accessing node.
+
+use crate::ctrl::CtrlMessage;
+use gso_control::{CodecCapability, ControllerConfig, GsoController};
+use gso_net::{Actions, Node, NodeId, Packet};
+use gso_rtp::RtcpPacket;
+use gso_util::{ClientId, SimDuration, SimTime, Ssrc};
+use std::any::Any;
+use std::collections::BTreeMap;
+
+const TICK: u64 = 1;
+const TICK_INTERVAL: SimDuration = SimDuration::from_millis(100);
+/// Timer tokens at or above this bit encode a scheduled speaker change:
+/// `SPEAKER_EVENT | 0` clears the speaker, `SPEAKER_EVENT | (id + 1)` sets
+/// it. Used by scenarios to script "speaker first" dynamics (§4.4).
+pub const SPEAKER_EVENT: u64 = 1 << 32;
+
+/// The conference node.
+pub struct ConferenceNode {
+    /// The controller (public for post-run inspection: solutions, call
+    /// intervals).
+    pub controller: GsoController,
+    /// Accessing nodes to broadcast rules to.
+    access_nodes: Vec<NodeId>,
+    /// Which accessing node serves each client.
+    client_an: BTreeMap<ClientId, NodeId>,
+    /// Accessing node that relayed each client's join (learned dynamically).
+    default_an: Option<NodeId>,
+}
+
+impl ConferenceNode {
+    /// Build a conference node that will broadcast rules to `access_nodes`.
+    pub fn new(cfg: ControllerConfig, access_nodes: Vec<NodeId>) -> Self {
+        ConferenceNode {
+            controller: GsoController::new(cfg, Ssrc(0xC0DE)),
+            access_nodes,
+            client_an: BTreeMap::new(),
+            default_an: None,
+        }
+    }
+
+    /// Kick off the controller tick.
+    pub fn schedule_boot(node: NodeId, sim: &mut gso_net::Simulator) {
+        sim.schedule_timer(node, SimTime::ZERO, TICK);
+    }
+
+    /// Register an accessing node for rule/subscription broadcast (used by
+    /// the scenario builder after the media plane is wired).
+    pub fn register_access_node(&mut self, an: NodeId) {
+        if !self.access_nodes.contains(&an) {
+            self.access_nodes.push(an);
+        }
+    }
+}
+
+impl Node for ConferenceNode {
+    fn on_packet(&mut self, now: SimTime, from: NodeId, packet: Packet, _out: &mut Actions) {
+        let Some(msg) = CtrlMessage::parse(packet.data) else { return };
+        self.default_an.get_or_insert(from);
+        match msg {
+            CtrlMessage::Join { client, ladders } => {
+                self.client_an.insert(client, from);
+                self.controller.on_join(client, CodecCapability { ladders });
+            }
+            CtrlMessage::SdpOffer { client, sdp } => {
+                // §4.2: negotiate the offer, store the capabilities, and
+                // answer with the per-layer SSRC assignments.
+                let Ok(offer) = gso_control::SdpOffer::parse(&sdp) else { return };
+                if offer.client != client {
+                    return;
+                }
+                let (answer, caps) = offer.negotiate();
+                self.client_an.insert(client, from);
+                self.controller.on_join(client, caps);
+                _out.send(
+                    from,
+                    Packet::new(
+                        CtrlMessage::SdpAnswer { client, sdp: answer.to_sdp() }.serialize(),
+                    ),
+                );
+            }
+            CtrlMessage::Leave { client } => {
+                self.client_an.remove(&client);
+                self.controller.on_leave(client);
+            }
+            CtrlMessage::Subscribe { client, intents } => {
+                self.controller.on_subscriptions(client, intents.clone());
+                // Re-broadcast to the other accessing nodes: they need the
+                // subscription map for audio fan-out across the mesh.
+                let rebroadcast = CtrlMessage::Subscribe { client, intents };
+                for &an in &self.access_nodes {
+                    if an != from {
+                        _out.send(an, Packet::new(rebroadcast.serialize()));
+                    }
+                }
+            }
+            CtrlMessage::UplinkReport { client, bitrate } => {
+                self.controller.on_uplink_report(now, client, bitrate);
+            }
+            CtrlMessage::DownlinkReport { client, bitrate } => {
+                self.controller.on_downlink_report(now, client, bitrate);
+            }
+            CtrlMessage::Speaker { client } => {
+                self.controller.on_speaker(client);
+            }
+            CtrlMessage::AckRelay { client, rtcp } => {
+                if let Ok(packets) = RtcpPacket::parse_compound(rtcp) {
+                    for p in packets {
+                        if let RtcpPacket::GsoTmmbn(ack) = p {
+                            self.controller.on_ack(client, &ack);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, token: u64, out: &mut Actions) {
+        if token & SPEAKER_EVENT != 0 {
+            let raw = (token & 0xffff_ffff) as u32;
+            self.controller.on_speaker((raw > 0).then(|| ClientId(raw - 1)));
+            return;
+        }
+        if token != TICK {
+            return;
+        }
+        let (output, retransmissions) = self.controller.tick(now);
+
+        let mut pushes: Vec<(ClientId, Vec<RtcpPacket>)> = Vec::new();
+        if let Some(output) = &output {
+            for (client, gtmb) in &output.configs {
+                pushes.push((*client, vec![RtcpPacket::GsoTmmbr(gtmb.clone())]));
+            }
+        }
+        for (client, gtmb) in retransmissions {
+            pushes.push((client, vec![RtcpPacket::GsoTmmbr(gtmb)]));
+        }
+        for (client, rtcp) in pushes {
+            let an = self.client_an.get(&client).copied().or(self.default_an);
+            if let Some(an) = an {
+                out.send(
+                    an,
+                    Packet::new(
+                        CtrlMessage::ConfigPush {
+                            client,
+                            rtcp: RtcpPacket::serialize_compound(&rtcp),
+                        }
+                        .serialize(),
+                    ),
+                );
+            }
+        }
+
+        if let Some(output) = output {
+            let msg = CtrlMessage::Rules { rules: output.rules.clone() }.serialize();
+            let targets: Vec<NodeId> = if self.access_nodes.is_empty() {
+                self.default_an.into_iter().collect()
+            } else {
+                self.access_nodes.clone()
+            };
+            for an in targets {
+                out.send(an, Packet::new(msg.clone()));
+            }
+        }
+        out.timer_in(now, TICK_INTERVAL, TICK);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,128 @@
+//! Fig. 7 — transient bitrate adaptation under abrupt bandwidth changes.
+//!
+//! One publisher streams to one subscriber through an accessing node. At
+//! t = 20 s the subscriber's downlink is capped to 750/625/500/375 Kbps; at
+//! t = 57 s the cap is lifted. GSO (fine 15-level ladder, global control)
+//! fits the video just under the cap; Non-GSO (coarse 3-level template)
+//! has to fall to the next coarse level, wasting bandwidth (§5).
+
+use crate::client::PolicyMode;
+use crate::scenario::{ClientScenario, Scenario};
+use crate::workloads::ladder_for_mode;
+use gso_algo::Resolution;
+use gso_net::{LinkConfig, Schedule};
+use gso_util::stats::TimeSeries;
+use gso_util::{Bitrate, ClientId, SimDuration, SimTime};
+
+/// The caps applied in the experiment.
+pub const CAPS_KBPS: [u64; 4] = [750, 625, 500, 375];
+
+/// When the cap is applied and lifted.
+pub const CAP_AT: SimTime = SimTime::from_secs(20);
+/// When the cap is lifted.
+pub const RECOVER_AT: SimTime = SimTime::from_secs(57);
+/// Total run length.
+pub const RUN_FOR: SimDuration = SimDuration::from_secs(80);
+
+/// The received-video-rate trace for one (mode, cap) run.
+#[derive(Debug)]
+pub struct TransientTrace {
+    /// The applied cap.
+    pub cap: Bitrate,
+    /// Receive rate at the subscriber over time.
+    pub series: TimeSeries,
+}
+
+/// Run the transient experiment for one mode across all four caps.
+pub fn fig7(mode: PolicyMode, seed: u64) -> Vec<TransientTrace> {
+    CAPS_KBPS
+        .iter()
+        .map(|&kbps| {
+            let cap = Bitrate::from_kbps(kbps);
+            let series = run_one(mode, cap, seed);
+            TransientTrace { cap, series }
+        })
+        .collect()
+}
+
+/// Run a single (mode, cap) scenario and return the subscriber's receive
+/// rate series.
+pub fn run_one(mode: PolicyMode, cap: Bitrate, seed: u64) -> TimeSeries {
+    let ladder = ladder_for_mode(mode);
+    let base = Bitrate::from_mbps(4);
+    let publisher = ClientId(1);
+    let subscriber = ClientId(2);
+
+    let mut sub = ClientScenario::clean(subscriber, base, base, ladder.clone());
+    sub.downlink = LinkConfig::clean(base, SimDuration::from_millis(20)).with_rate_schedule(
+        Schedule::steps(vec![
+            (SimTime::ZERO, base),
+            (CAP_AT, cap),
+            (RECOVER_AT, base),
+        ]),
+    );
+
+    let mut s = Scenario {
+        seed,
+        mode,
+        duration: RUN_FOR,
+        clients: vec![
+            ClientScenario::clean(publisher, base, base, ladder),
+            sub,
+        ],
+        speaker_schedule: Vec::new(),
+    };
+    // Only the subscriber watches; the publisher receives nothing (the
+    // paper's one-way setup).
+    s.clients[1].subscriptions = vec![gso_control::SubscribeIntent {
+        source: gso_algo::SourceId::video(publisher),
+        max_resolution: Resolution::R720,
+        tag: 0,
+    }];
+    let result = s.run();
+    result.recv_series[&subscriber].clone()
+}
+
+/// Mean received rate inside the capped window (for shape checks).
+pub fn capped_window_mean(series: &TimeSeries) -> Option<f64> {
+    series.window_mean(SimTime::from_secs(35), SimTime::from_secs(55))
+}
+
+/// Mean received rate after recovery.
+pub fn recovered_mean(series: &TimeSeries) -> Option<f64> {
+    series.window_mean(SimTime::from_secs(70), SimTime::from_secs(80))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gso_fits_just_under_625k_cap_while_non_gso_drops_to_300k() {
+        // The paper's headline example: at a 625 Kbps limit GSO sends
+        // ~600 Kbps while coarse Non-GSO falls to 300 Kbps.
+        let cap = Bitrate::from_kbps(625);
+        let gso = run_one(PolicyMode::Gso, cap, 11);
+        let non = run_one(PolicyMode::NonGso, cap, 11);
+        let g = capped_window_mean(&gso).expect("gso trace");
+        let n = capped_window_mean(&non).expect("non-gso trace");
+        // Our conservative GCC implementation plus the controller's
+        // allocation headroom fill ~65-80% of the cap (the paper's
+        // production estimator tracks tighter); the coarse baseline is
+        // pinned at its 300 Kbps rung. The figure's shape — a fine rung
+        // just under the budget vs a coarse cliff — is what must hold.
+        assert!(g > 380_000.0, "GSO should fill most of the cap, got {g}");
+        assert!(g < 640_000.0, "GSO must stay under the cap, got {g}");
+        assert!(n < 420_000.0, "Non-GSO coarse ladder should drop low, got {n}");
+        assert!(g > n * 1.25, "GSO {g} vs non-GSO {n}: utilization gap expected");
+    }
+
+    #[test]
+    fn rates_recover_after_cap_lifts() {
+        let cap = Bitrate::from_kbps(500);
+        let gso = run_one(PolicyMode::Gso, cap, 12);
+        let during = capped_window_mean(&gso).unwrap();
+        let after = recovered_mean(&gso).unwrap();
+        assert!(after > during * 1.5, "recovery expected: {during} -> {after}");
+    }
+}

@@ -1,0 +1,386 @@
+//! Scenario construction and execution.
+//!
+//! A [`Scenario`] declares a conference — clients, their link impairments,
+//! the policy mode — and [`Scenario::run`] wires the full system (clients,
+//! accessing node, conference node and controller) onto the packet
+//! simulator, runs it, and harvests per-client QoE metrics.
+
+use crate::access::AccessNode;
+use crate::client::{ClientConfig, ClientNode, PolicyMode, SessionMetrics};
+use crate::conference::ConferenceNode;
+use gso_algo::{Ladder, Resolution, SourceId};
+use gso_control::{ControllerConfig, SubscribeIntent};
+use gso_net::{LinkConfig, NodeId, Simulator};
+use gso_util::stats::TimeSeries;
+use gso_util::{Bitrate, ClientId, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// One participant's declaration.
+#[derive(Debug, Clone)]
+pub struct ClientScenario {
+    /// Identity (must be unique).
+    pub id: ClientId,
+    /// Client → accessing node link.
+    pub uplink: LinkConfig,
+    /// Accessing node → client link.
+    pub downlink: LinkConfig,
+    /// Negotiated camera ladder.
+    pub ladder: Ladder,
+    /// Optional screen-share ladder.
+    pub screen_ladder: Option<Ladder>,
+    /// Subscription intents.
+    pub subscriptions: Vec<SubscribeIntent>,
+    /// Which accessing node serves this client (region index). Region 0 by
+    /// default; multi-region scenarios exercise the inter-node relay mesh.
+    pub region: usize,
+}
+
+impl ClientScenario {
+    /// A client on clean symmetric links at the given rates.
+    pub fn clean(id: ClientId, uplink: Bitrate, downlink: Bitrate, ladder: Ladder) -> Self {
+        ClientScenario {
+            id,
+            uplink: LinkConfig::clean(uplink, SimDuration::from_millis(20)),
+            downlink: LinkConfig::clean(downlink, SimDuration::from_millis(20)),
+            ladder,
+            screen_ladder: None,
+            subscriptions: Vec::new(),
+            region: 0,
+        }
+    }
+}
+
+/// A full conference declaration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Deterministic seed for all randomness.
+    pub seed: u64,
+    /// Stream policy under test.
+    pub mode: PolicyMode,
+    /// Session length.
+    pub duration: SimDuration,
+    /// Participants.
+    pub clients: Vec<ClientScenario>,
+    /// Scripted active-speaker changes: at each time, the given client (or
+    /// nobody) becomes the speaker, boosting its camera subscriptions (§4.4).
+    pub speaker_schedule: Vec<(SimTime, Option<ClientId>)>,
+}
+
+impl Scenario {
+    /// Subscribe every client to every other client's camera at `max_res`.
+    pub fn subscribe_all_to_all(&mut self, max_res: Resolution) {
+        let ids: Vec<ClientId> = self.clients.iter().map(|c| c.id).collect();
+        for c in &mut self.clients {
+            c.subscriptions = ids
+                .iter()
+                .filter(|&&other| other != c.id)
+                .map(|&other| SubscribeIntent {
+                    source: SourceId::video(other),
+                    max_resolution: max_res,
+                    tag: 0,
+                })
+                .collect();
+        }
+    }
+
+    /// Wire and run the scenario; returns collected metrics.
+    pub fn run(&self) -> ScenarioResult {
+        let mut sim = Simulator::new(self.seed);
+
+        // Control plane (always built; inert for baseline modes).
+        let cn = sim.add_node(Box::new(ConferenceNode::new(
+            ControllerConfig::paper_defaults(),
+            Vec::new(),
+        )));
+
+        // One accessing node per region, fully meshed over the backbone.
+        let n_regions = self.clients.iter().map(|c| c.region).max().unwrap_or(0) + 1;
+        let ans: Vec<NodeId> = (0..n_regions)
+            .map(|_| {
+                sim.add_node(Box::new(AccessNode::new(
+                    self.mode,
+                    (self.mode == PolicyMode::Gso).then_some(cn),
+                )))
+            })
+            .collect();
+        for &an in &ans {
+            sim.add_duplex_link(
+                an,
+                cn,
+                LinkConfig::clean(Bitrate::from_mbps(1_000), SimDuration::from_millis(2)),
+            );
+            if let Some(conference) = sim.node_mut::<ConferenceNode>(cn) {
+                conference.register_access_node(an);
+            }
+        }
+        for i in 0..ans.len() {
+            for j in (i + 1)..ans.len() {
+                // Inter-region backbone: fat but not instantaneous.
+                sim.add_duplex_link(
+                    ans[i],
+                    ans[j],
+                    LinkConfig::clean(Bitrate::from_mbps(1_000), SimDuration::from_millis(40)),
+                );
+            }
+        }
+
+        let mut endpoints: BTreeMap<ClientId, NodeId> = BTreeMap::new();
+        for (i, c) in self.clients.iter().enumerate() {
+            let an = ans[c.region.min(ans.len() - 1)];
+            let cfg = ClientConfig {
+                id: c.id,
+                mode: self.mode,
+                ladder: c.ladder.clone(),
+                screen_ladder: c.screen_ladder.clone(),
+                subscriptions: c.subscriptions.clone(),
+                audio: true,
+                bwe: Default::default(),
+            };
+            let node = sim.add_node(Box::new(ClientNode::new(cfg, an, self.seed)));
+            endpoints.insert(c.id, node);
+            sim.add_link(node, an, c.uplink.clone());
+            sim.add_link(an, node, c.downlink.clone());
+            if let Some(access) = sim.node_mut::<AccessNode>(an) {
+                access.attach(c.id, node);
+            }
+            // Every other region's node learns this client as remote.
+            for (r, &other) in ans.iter().enumerate() {
+                if r != c.region.min(ans.len() - 1) {
+                    if let Some(access) = sim.node_mut::<AccessNode>(other) {
+                        access.attach_remote(c.id, an);
+                    }
+                }
+            }
+            // Stagger boots so keyframe cadences (and thus their bursts)
+            // never align across clients, as they would not in reality.
+            sim.schedule_timer(node, SimTime::from_millis(137 * i as u64), 0);
+        }
+        ConferenceNode::schedule_boot(cn, &mut sim);
+        for &an in &ans {
+            AccessNode::schedule_boot(an, &mut sim);
+        }
+        for &(at, speaker) in &self.speaker_schedule {
+            let token = crate::conference::SPEAKER_EVENT
+                | speaker.map(|c| c.0 as u64 + 1).unwrap_or(0);
+            sim.schedule_timer(cn, at, token);
+        }
+
+        let end = SimTime::ZERO + self.duration;
+        sim.run_until(end);
+
+        let mut per_client = BTreeMap::new();
+        let mut recv_series = BTreeMap::new();
+        let mut send_series = BTreeMap::new();
+        let mut uplink_estimates = BTreeMap::new();
+        for (&id, &node) in &endpoints {
+            let client: &ClientNode = sim.node(node).expect("client node");
+            per_client.insert(id, client.session_metrics(end));
+            recv_series.insert(id, client.metrics.recv_rate.clone());
+            send_series.insert(id, client.metrics.send_rate.clone());
+            uplink_estimates.insert(id, client.uplink_estimate());
+        }
+        let controller_intervals = sim
+            .node::<ConferenceNode>(cn)
+            .map(|c| c.controller.call_intervals().to_vec())
+            .unwrap_or_default();
+
+        ScenarioResult {
+            per_client,
+            recv_series,
+            send_series,
+            uplink_estimates,
+            controller_intervals,
+            end,
+        }
+    }
+}
+
+/// Everything harvested from one scenario run.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// Session QoE metrics per client.
+    pub per_client: BTreeMap<ClientId, SessionMetrics>,
+    /// Received-rate time series per client (Fig. 7).
+    pub recv_series: BTreeMap<ClientId, TimeSeries>,
+    /// Sent-rate time series per client.
+    pub send_series: BTreeMap<ClientId, TimeSeries>,
+    /// Final uplink estimates.
+    pub uplink_estimates: BTreeMap<ClientId, Bitrate>,
+    /// Controller call intervals (GSO mode only; Fig. 12).
+    pub controller_intervals: Vec<SimDuration>,
+    /// Session end time.
+    pub end: SimTime,
+}
+
+impl ScenarioResult {
+    /// Mean video stall over all clients.
+    pub fn mean_video_stall(&self) -> f64 {
+        mean(self.per_client.values().map(|m| m.video_stall))
+    }
+
+    /// Mean voice stall over all clients.
+    pub fn mean_voice_stall(&self) -> f64 {
+        mean(self.per_client.values().map(|m| m.voice_stall))
+    }
+
+    /// Mean framerate over all clients.
+    pub fn mean_framerate(&self) -> f64 {
+        mean(self.per_client.values().map(|m| m.framerate))
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::ladder_for_mode;
+
+    fn two_party(mode: PolicyMode, seed: u64) -> Scenario {
+        let ladder = ladder_for_mode(mode);
+        let mut s = Scenario {
+            seed,
+            mode,
+            duration: SimDuration::from_secs(20),
+            clients: vec![
+                ClientScenario::clean(
+                    ClientId(1),
+                    Bitrate::from_mbps(4),
+                    Bitrate::from_mbps(4),
+                    ladder.clone(),
+                ),
+                ClientScenario::clean(
+                    ClientId(2),
+                    Bitrate::from_mbps(4),
+                    Bitrate::from_mbps(4),
+                    ladder,
+                ),
+            ],
+            speaker_schedule: Vec::new(),
+        };
+        s.subscribe_all_to_all(Resolution::R720);
+        s
+    }
+
+    #[test]
+    fn gso_two_party_media_flows() {
+        let r = two_party(PolicyMode::Gso, 42).run();
+        for (&id, m) in &r.per_client {
+            assert!(m.framerate > 10.0, "{id}: framerate {}", m.framerate);
+            assert!(m.video_stall < 0.35, "{id}: stall {}", m.video_stall);
+            assert!(m.voice_stall < 0.2, "{id}: voice stall {}", m.voice_stall);
+        }
+        // The controller actually ran at the production cadence.
+        assert!(!r.controller_intervals.is_empty());
+        // Received video converges to a healthy rate on a 4 Mbps clean link.
+        let late = r.recv_series[&ClientId(2)]
+            .window_mean(SimTime::from_secs(12), SimTime::from_secs(20))
+            .unwrap();
+        assert!(late > 500_000.0, "late receive rate {late}");
+    }
+
+    #[test]
+    fn non_gso_two_party_media_flows() {
+        let r = two_party(PolicyMode::NonGso, 42).run();
+        for m in r.per_client.values() {
+            assert!(m.framerate > 8.0, "framerate {}", m.framerate);
+        }
+        assert!(r.controller_intervals.is_empty(), "no controller in baseline mode");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = two_party(PolicyMode::Gso, 7).run();
+        let b = two_party(PolicyMode::Gso, 7).run();
+        assert_eq!(
+            a.recv_series[&ClientId(1)].points(),
+            b.recv_series[&ClientId(1)].points()
+        );
+    }
+}
+
+#[cfg(test)]
+mod region_tests {
+    use super::*;
+    use crate::workloads::ladder_for_mode;
+
+    /// Two regions, one client each: media must cross the inter-node relay.
+    #[test]
+    fn cross_region_conference_flows_through_relay() {
+        let ladder = ladder_for_mode(PolicyMode::Gso);
+        let mut clients = vec![
+            ClientScenario::clean(
+                ClientId(1),
+                Bitrate::from_mbps(4),
+                Bitrate::from_mbps(4),
+                ladder.clone(),
+            ),
+            ClientScenario::clean(
+                ClientId(2),
+                Bitrate::from_mbps(4),
+                Bitrate::from_mbps(4),
+                ladder,
+            ),
+        ];
+        clients[1].region = 1;
+        let mut s = Scenario {
+            seed: 55,
+            mode: PolicyMode::Gso,
+            duration: SimDuration::from_secs(20),
+            clients,
+            speaker_schedule: Vec::new(),
+        };
+        s.subscribe_all_to_all(Resolution::R720);
+        let r = s.run();
+        for (id, m) in &r.per_client {
+            assert!(m.framerate > 10.0, "{id}: framerate {}", m.framerate);
+            assert!(m.video_stall < 0.3, "{id}: stall {}", m.video_stall);
+            assert!(m.voice_stall < 0.2, "{id}: voice stall {}", m.voice_stall);
+        }
+        // Healthy receive rates in steady state despite the extra hop.
+        for id in [ClientId(1), ClientId(2)] {
+            let late = r.recv_series[&id]
+                .window_mean(SimTime::from_secs(12), SimTime::from_secs(20))
+                .unwrap_or(0.0);
+            assert!(late > 400_000.0, "{id}: late recv {late}");
+        }
+    }
+
+    /// Mixed: two clients share region 0, a third sits in region 1; every
+    /// stream still reaches every subscriber exactly once.
+    #[test]
+    fn three_clients_two_regions() {
+        let ladder = ladder_for_mode(PolicyMode::Gso);
+        let mut clients: Vec<ClientScenario> = (1..=3u32)
+            .map(|i| {
+                ClientScenario::clean(
+                    ClientId(i),
+                    Bitrate::from_mbps(4),
+                    Bitrate::from_mbps(4),
+                    ladder.clone(),
+                )
+            })
+            .collect();
+        clients[2].region = 1;
+        let mut s = Scenario {
+            seed: 56,
+            mode: PolicyMode::Gso,
+            duration: SimDuration::from_secs(20),
+            clients,
+            speaker_schedule: Vec::new(),
+        };
+        s.subscribe_all_to_all(Resolution::R720);
+        let r = s.run();
+        // All three hear and see both others.
+        for m in r.per_client.values() {
+            assert!(m.framerate > 10.0, "framerate {}", m.framerate);
+        }
+    }
+}

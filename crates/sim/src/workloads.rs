@@ -1,0 +1,165 @@
+//! Standard workloads: the slow-link impairment matrix of Table 2 and
+//! scenario builders shared by the experiments.
+
+use crate::client::PolicyMode;
+use crate::scenario::{ClientScenario, Scenario};
+use gso_algo::{ladders, Ladder, Resolution};
+use gso_net::LinkConfig;
+use gso_util::{Bitrate, ClientId, SimDuration};
+
+/// Which direction an impairment applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → accessing node.
+    Uplink,
+    /// Accessing node → client.
+    Downlink,
+}
+
+/// The kind of impairment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Impairment {
+    /// No impairment (the "normal" case).
+    None,
+    /// Exponential jitter with the given mean.
+    Jitter(SimDuration),
+    /// i.i.d. packet loss probability.
+    Loss(f64),
+    /// Bandwidth cap.
+    BandwidthLimit(Bitrate),
+}
+
+/// One slow-link test case: a name, a direction and an impairment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowLinkCase {
+    /// Case label as in Table 2 (e.g. "up-30%", "down-1M").
+    pub name: &'static str,
+    /// Affected direction.
+    pub direction: Direction,
+    /// The impairment.
+    pub impairment: Impairment,
+}
+
+/// The 15 cases of Table 2 (the "normal" baseline plus 14 impairments).
+pub fn slow_link_cases() -> Vec<SlowLinkCase> {
+    use Direction::*;
+    use Impairment::*;
+    vec![
+        SlowLinkCase { name: "normal", direction: Downlink, impairment: None },
+        SlowLinkCase { name: "up-30%", direction: Uplink, impairment: Loss(0.30) },
+        SlowLinkCase { name: "up-50%", direction: Uplink, impairment: Loss(0.50) },
+        SlowLinkCase { name: "up-50ms", direction: Uplink, impairment: Jitter(SimDuration::from_millis(50)) },
+        SlowLinkCase { name: "up-100ms", direction: Uplink, impairment: Jitter(SimDuration::from_millis(100)) },
+        SlowLinkCase { name: "up-0.5M", direction: Uplink, impairment: BandwidthLimit(Bitrate::from_kbps(500)) },
+        SlowLinkCase { name: "up-1M", direction: Uplink, impairment: BandwidthLimit(Bitrate::from_mbps(1)) },
+        SlowLinkCase { name: "up-1.5M", direction: Uplink, impairment: BandwidthLimit(Bitrate::from_kbps(1_500)) },
+        SlowLinkCase { name: "down-30%", direction: Downlink, impairment: Loss(0.30) },
+        SlowLinkCase { name: "down-50%", direction: Downlink, impairment: Loss(0.50) },
+        SlowLinkCase { name: "down-50ms", direction: Downlink, impairment: Jitter(SimDuration::from_millis(50)) },
+        SlowLinkCase { name: "down-100ms", direction: Downlink, impairment: Jitter(SimDuration::from_millis(100)) },
+        SlowLinkCase { name: "down-0.5M", direction: Downlink, impairment: BandwidthLimit(Bitrate::from_kbps(500)) },
+        SlowLinkCase { name: "down-1M", direction: Downlink, impairment: BandwidthLimit(Bitrate::from_mbps(1)) },
+        SlowLinkCase { name: "down-1.5M", direction: Downlink, impairment: BandwidthLimit(Bitrate::from_kbps(1_500)) },
+    ]
+}
+
+/// Apply an impairment to a clean link config.
+pub fn impaired_link(base_rate: Bitrate, case: Impairment) -> LinkConfig {
+    let delay = SimDuration::from_millis(20);
+    match case {
+        Impairment::None => LinkConfig::clean(base_rate, delay),
+        Impairment::Jitter(mean) => LinkConfig::clean(base_rate, delay).with_jitter(mean),
+        Impairment::Loss(p) => LinkConfig::clean(base_rate, delay).with_loss(p),
+        Impairment::BandwidthLimit(cap) => LinkConfig::clean(cap.min(base_rate), delay),
+    }
+}
+
+/// The ladder a client negotiates under each policy: GSO uses the
+/// fine-grained 15-level ladder; the baselines use the coarse template
+/// ladder (their templates cannot manage more levels, §1).
+pub fn ladder_for_mode(mode: PolicyMode) -> Ladder {
+    match mode {
+        PolicyMode::Gso => ladders::fine15(),
+        PolicyMode::NonGso => ladders::coarse3(),
+        PolicyMode::Competitor1 => ladders::coarse3(),
+        PolicyMode::Competitor2 => ladders::coarse3(),
+    }
+}
+
+/// The small-meeting setup of the slow-link tests (§5): three clients on a
+/// controlled network, with the impairment applied to client 1's chosen
+/// link.
+pub fn slow_link_scenario(mode: PolicyMode, case: SlowLinkCase, seed: u64) -> Scenario {
+    let ladder = ladder_for_mode(mode);
+    // Modest last-mile links, as in the paper's controlled lab setup: wide
+    // enough for one good stream per publisher, tight enough that the
+    // template baseline's habit of pushing *every* layer (2.4 Mbps of
+    // mostly-unwatched video, Fig. 3a) eats into the margin.
+    let clean_rate = Bitrate::from_kbps(3_000);
+    let mut clients = Vec::new();
+    for i in 1..=3u32 {
+        let mut c = ClientScenario::clean(
+            ClientId(i),
+            clean_rate,
+            clean_rate,
+            ladder.clone(),
+        );
+        if i == 1 {
+            match case.direction {
+                Direction::Uplink => c.uplink = impaired_link(clean_rate, case.impairment),
+                Direction::Downlink => c.downlink = impaired_link(clean_rate, case.impairment),
+            }
+        }
+        clients.push(c);
+    }
+    let mut s = Scenario {
+        seed,
+        mode,
+        duration: SimDuration::from_secs(60),
+        clients,
+        speaker_schedule: Vec::new(),
+    };
+    s.subscribe_all_to_all(Resolution::R720);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_15_cases() {
+        let cases = slow_link_cases();
+        assert_eq!(cases.len(), 15);
+        assert_eq!(cases.iter().filter(|c| c.direction == Direction::Uplink).count(), 7);
+        assert_eq!(
+            cases.iter().filter(|c| matches!(c.impairment, Impairment::Loss(_))).count(),
+            4
+        );
+        assert_eq!(
+            cases
+                .iter()
+                .filter(|c| matches!(c.impairment, Impairment::BandwidthLimit(_)))
+                .count(),
+            6
+        );
+    }
+
+    #[test]
+    fn scenario_builder_applies_impairment_to_client1_only() {
+        let case = slow_link_cases()[5]; // up-0.5M
+        let s = slow_link_scenario(PolicyMode::Gso, case, 1);
+        assert_eq!(s.clients.len(), 3);
+        assert_eq!(s.clients[0].subscriptions.len(), 2);
+        let capped = s.clients[0].uplink.rate.at(gso_util::SimTime::ZERO);
+        assert_eq!(capped, Bitrate::from_kbps(500));
+        let other = s.clients[1].uplink.rate.at(gso_util::SimTime::ZERO);
+        assert_eq!(other, Bitrate::from_kbps(3_000));
+    }
+
+    #[test]
+    fn mode_ladders() {
+        assert_eq!(ladder_for_mode(PolicyMode::Gso).len(), 15);
+        assert_eq!(ladder_for_mode(PolicyMode::NonGso).len(), 3);
+    }
+}

@@ -1,0 +1,28 @@
+//! Foundation types shared by every GSO-Simulcast crate.
+//!
+//! All simulation components in this workspace are deterministic and
+//! event-driven. This crate provides the primitives that make that possible:
+//!
+//! * [`time`] — microsecond-resolution simulated clock ([`SimTime`],
+//!   [`SimDuration`]); there is no wall-clock anywhere in the simulator.
+//! * [`bitrate`] — a strongly-typed [`Bitrate`] in bits per second, used for
+//!   stream configurations, link capacities and estimator outputs alike.
+//! * [`ids`] — newtype identifiers for clients, SSRCs and media streams.
+//! * [`rng`] — seed-derived deterministic random number generation so that
+//!   every experiment is exactly reproducible from a scenario seed.
+//! * [`stats`] — streaming statistics (mean/variance, percentiles, CDFs,
+//!   time-series recorders) used by the metric pipeline.
+//! * [`ewma`] — exponentially-weighted moving averages used by filters in
+//!   the bandwidth estimator and QoE trackers.
+
+pub mod bitrate;
+pub mod ewma;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use bitrate::Bitrate;
+pub use ids::{ClientId, Ssrc, StreamKind};
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};

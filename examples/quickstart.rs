@@ -1,0 +1,67 @@
+//! Quickstart: solve a small conference with the GSO control algorithm.
+//!
+//! Three participants with heterogeneous links; the controller decides what
+//! everyone publishes (resolution + fine-grained bitrate) and what everyone
+//! receives, respecting every constraint of §4.1 of the paper.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use gso_simulcast::algo::{
+    ladders, solver, ClientSpec, Problem, Resolution, SourceId, Subscription,
+};
+use gso_simulcast::util::{Bitrate, ClientId};
+
+fn main() {
+    // The production-style fine ladder: 15 bitrate levels across 180P/360P/720P.
+    let ladder = ladders::fine15();
+
+    // Three clients: a well-connected host, a typical participant, and a
+    // mobile user on a weak downlink.
+    let host = ClientId(1);
+    let peer = ClientId(2);
+    let mobile = ClientId(3);
+    let clients = vec![
+        ClientSpec::new(host, Bitrate::from_mbps(5), Bitrate::from_mbps(5), ladder.clone()),
+        ClientSpec::new(peer, Bitrate::from_mbps(2), Bitrate::from_mbps(3), ladder.clone()),
+        ClientSpec::new(mobile, Bitrate::from_kbps(800), Bitrate::from_kbps(900), ladder),
+    ];
+
+    // Everyone watches everyone (like a gallery view), up to 720P.
+    let mut subscriptions = Vec::new();
+    for &a in &[host, peer, mobile] {
+        for &b in &[host, peer, mobile] {
+            if a != b {
+                subscriptions.push(Subscription::new(a, SourceId::video(b), Resolution::R720));
+            }
+        }
+    }
+
+    let problem = Problem::new(clients, subscriptions).expect("valid conference");
+    let solution = solver::solve(&problem, &Default::default());
+    solution.validate(&problem).expect("solution satisfies every constraint");
+
+    println!("GSO orchestration for a 3-party conference:\n");
+    for &c in &[host, peer, mobile] {
+        println!("{c} publishes:");
+        for p in solution.policies(SourceId::video(c)) {
+            println!(
+                "  {} @ {}  -> {} subscriber(s)",
+                p.resolution,
+                p.bitrate,
+                p.audience.len()
+            );
+        }
+        let received = solution.received.get(&c).map(Vec::as_slice).unwrap_or(&[]);
+        println!("{c} receives:");
+        for r in received {
+            println!("  {} @ {} from {}", r.resolution, r.bitrate, r.source);
+        }
+        println!(
+            "  (uplink used {}, downlink used {})\n",
+            solution.publish_rate(c),
+            solution.receive_rate(c)
+        );
+    }
+    println!("total QoE utility: {:.0}", solution.total_qoe);
+    println!("solver iterations: {}", solution.iterations);
+}

@@ -1,0 +1,35 @@
+//! Reprint Table 1 of the paper from the implemented control algorithm.
+//!
+//! Run with: `cargo run --example table1_cases`
+
+use gso_simulcast::sim::experiments::table1;
+
+fn main() {
+    println!("Table 1: examples of GSO-Simulcast's control algorithm");
+    println!("(9-level ladder: 720P {{1.5M,1.3M,1M}}, 360P {{800K,600K,500K,400K}}, 180P {{300K,100K}})\n");
+    let descriptions = [
+        "case 1: C's downlink limited to 500 Kbps",
+        "case 2: B's uplink limited to 600 Kbps",
+        "case 3: B's uplink (600 Kbps) and downlink (700 Kbps) limited",
+    ];
+    for (case, description) in descriptions.iter().enumerate() {
+        println!("{description}");
+        println!("  {:<8} {:>10} {:>10} {:>10}", "client", "720P", "360P", "180P");
+        let rows = table1::solve_case(case);
+        let paper = table1::paper_rows(case);
+        for (row, expect) in rows.iter().zip(&paper) {
+            let fmt = |b: Option<gso_simulcast::util::Bitrate>| {
+                b.map(|b| b.to_string()).unwrap_or_else(|| "-".into())
+            };
+            println!(
+                "  {:<8} {:>10} {:>10} {:>10}   {}",
+                row.client,
+                fmt(row.r720),
+                fmt(row.r360),
+                fmt(row.r180),
+                if row == expect { "✓ matches the paper" } else { "✗ MISMATCH" }
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,33 @@
+//! GSO-Simulcast — a from-scratch Rust reproduction of
+//! *"GSO-Simulcast: Global Stream Orchestration in Simulcast Video
+//! Conferencing Systems"* (SIGCOMM '22).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`algo`] — the Knapsack–Merge–Reduction control algorithm (the paper's
+//!   core contribution), exact brute-force baseline, ladders and QoE model.
+//! * [`rtp`] — RTP/RTCP wire formats including the paper's SEMB and
+//!   orchestration TMMBR/TMMBN (GTMB/GTBN) messages.
+//! * [`net`] — deterministic discrete-event packet network simulator.
+//! * [`media`] — simulcast encoders, packetization, receive pipeline, and
+//!   the paper's stall/framerate/quality metrics.
+//! * [`bwe`] — GCC-style sender-side bandwidth estimation with probing.
+//! * [`sfu`] — selective-forwarding building blocks and baseline policies.
+//! * [`control`] — conference node, GSO controller, feedback execution.
+//! * [`sim`] — the full-system harness and the per-figure experiment
+//!   drivers.
+//! * [`util`] — simulated time, bitrates, deterministic RNG, statistics.
+//!
+//! See `examples/quickstart.rs` for a three-line tour, and the
+//! `crates/bench` targets for the regeneration of every table and figure in
+//! the paper's evaluation.
+
+pub use gso_algo as algo;
+pub use gso_bwe as bwe;
+pub use gso_control as control;
+pub use gso_media as media;
+pub use gso_net as net;
+pub use gso_rtp as rtp;
+pub use gso_sfu as sfu;
+pub use gso_sim as sim;
+pub use gso_util as util;

@@ -1,0 +1,47 @@
+//! The paper's headline deployment claims (§6), checked in direction and
+//! rough magnitude against the simulator: with GSO, average video stall
+//! drops, voice stall drops, and framerate does not regress, across a mixed
+//! slow-link workload. The exact production percentages (−35 %, −50 %, +6 %)
+//! cannot be reproduced without Dingtalk's traffic; the *sign and rough
+//! size* of each delta is the reproducible claim.
+
+use gso_simulcast::sim::deployment::{measure_improvements, simulate_deployment, window_mean, Rollout};
+
+#[test]
+fn gso_improves_the_population_metrics() {
+    // A 5-case sample of the Table 2 matrix under both systems.
+    let f = measure_improvements(77, 3);
+    assert!(
+        f.video_stall_reduction > 0.10,
+        "video stall should drop by a sizable fraction, got {:.3}",
+        f.video_stall_reduction
+    );
+    assert!(
+        f.voice_stall_reduction > -0.05,
+        "voice stall must not regress, got {:.3}",
+        f.voice_stall_reduction
+    );
+    assert!(
+        f.framerate_gain > -0.02,
+        "framerate must not regress, got {:.3}",
+        f.framerate_gain
+    );
+}
+
+#[test]
+fn rollout_series_reflects_measured_improvements() {
+    let f = measure_improvements(78, 5);
+    let days = simulate_deployment(Rollout::paper(), f, 78);
+    let before = window_mean(&days, 0..50, |d| d.video_stall);
+    let after = window_mean(&days, 80..106, |d| d.video_stall);
+    assert!(
+        after < before,
+        "video stall must fall across the rollout: {before:.4} -> {after:.4}"
+    );
+    let sat_before = window_mean(&days, 0..50, |d| d.satisfaction);
+    let sat_after = window_mean(&days, 80..106, |d| d.satisfaction);
+    assert!(
+        sat_after > sat_before,
+        "satisfaction must rise across the rollout: {sat_before:.4} -> {sat_after:.4}"
+    );
+}

@@ -102,10 +102,7 @@ pub fn naive_leaf_count(problem: &Problem) -> f64 {
         .sources()
         .iter()
         .map(|s| {
-            let uplink = problem
-                .client(s.id.client)
-                .map(|c| c.uplink)
-                .unwrap_or(Bitrate::ZERO);
+            let uplink = problem.client(s.id.client).map_or(Bitrate::ZERO, |c| c.uplink);
             enumerate_configs(&s.ladder)
                 .iter()
                 .filter(|c| c.iter().map(|sp| sp.bitrate).sum::<Bitrate>() <= uplink)
@@ -121,11 +118,8 @@ fn solve_brute_inner(
     use_bound: bool,
 ) -> BruteResult {
     let sources: Vec<SourceId> = problem.sources().iter().map(|s| s.id).collect();
-    let configs: Vec<Vec<Vec<StreamSpec>>> = problem
-        .sources()
-        .iter()
-        .map(|s| enumerate_configs(&s.ladder))
-        .collect();
+    let configs: Vec<Vec<Vec<StreamSpec>>> =
+        problem.sources().iter().map(|s| enumerate_configs(&s.ladder)).collect();
 
     let subscribers: Vec<Subscriber> = problem
         .clients()
@@ -136,7 +130,10 @@ fn solve_brute_inner(
             let classes = subs
                 .iter()
                 .map(|s| Class {
-                    source_idx: sources.iter().position(|&src| src == s.source).unwrap(),
+                    source_idx: sources
+                        .iter()
+                        .position(|&src| src == s.source)
+                        .expect("invariant: Problem::new validated every subscription source"),
                     max_res: s.max_resolution,
                     boost: s.qoe_boost,
                     presence: s.presence_bonus,
@@ -241,7 +238,7 @@ impl Search<'_> {
         }
 
         let client = self.sources[depth].client;
-        let uplink = self.problem.client(client).map(|c| c.uplink).unwrap_or(Bitrate::ZERO);
+        let uplink = self.problem.client(client).map_or(Bitrate::ZERO, |c| c.uplink);
         let n_configs = self.configs[depth].len();
         for ci in 0..n_configs {
             let rate: Bitrate = self.configs[depth][ci].iter().map(|s| s.bitrate).sum();
@@ -309,16 +306,14 @@ impl Search<'_> {
                 })
                 .collect();
             let picked = mckp::solve_bitrates(&classes, sub.downlink, self.unit);
-            for ((class, tag), choice) in
-                sub.classes.iter().zip(&sub.tags).zip(&picked.choices)
-            {
+            for ((class, tag), choice) in sub.classes.iter().zip(&sub.tags).zip(&picked.choices) {
                 let Some(i) = choice else { continue };
                 let spec: StreamSpec = self.configs[class.source_idx][assignment[class.source_idx]]
                     .iter()
                     .filter(|s| s.resolution <= class.max_res)
                     .nth(*i)
                     .copied()
-                    .expect("choice index valid");
+                    .expect("invariant: assignments enumerate only in-range choice indices");
                 let source = self.sources[class.source_idx];
                 let qoe = spec.qoe * class.boost + class.presence;
                 total_qoe += qoe;
@@ -360,9 +355,7 @@ mod tests {
     fn symmetric_meeting(n: u32, downlink_kbps: u64) -> Problem {
         let ladder = ladders::paper_table1();
         let clients: Vec<ClientSpec> = (1..=n)
-            .map(|i| {
-                ClientSpec::new(ClientId(i), kbps(5_000), kbps(downlink_kbps), ladder.clone())
-            })
+            .map(|i| ClientSpec::new(ClientId(i), kbps(5_000), kbps(downlink_kbps), ladder.clone()))
             .collect();
         let mut subs = Vec::new();
         for i in 1..=n {

@@ -57,8 +57,7 @@ impl SolutionDiff {
 
     /// Number of subscribers that experience a visible switch.
     pub fn switched_subscribers(&self) -> usize {
-        let mut subs: Vec<ClientId> =
-            self.switch_changes.iter().map(|c| c.subscriber).collect();
+        let mut subs: Vec<ClientId> = self.switch_changes.iter().map(|c| c.subscriber).collect();
         subs.sort();
         subs.dedup();
         subs.len()
@@ -86,12 +85,7 @@ pub fn diff(old: &Solution, new: &Solution) -> SolutionDiff {
         let from = old_layers.get(&key).copied().unwrap_or(Bitrate::ZERO);
         let to = new_layers.get(&key).copied().unwrap_or(Bitrate::ZERO);
         if from != to {
-            out.layer_changes.push(LayerChange {
-                source: key.0,
-                resolution: key.1,
-                from,
-                to,
-            });
+            out.layer_changes.push(LayerChange { source: key.0, resolution: key.1, from, to });
         }
     }
 
@@ -164,8 +158,10 @@ mod tests {
         let d = diff(&before, &after);
         assert!(!d.is_empty());
         // The 720P layer turns off, the 360P layer turns on.
-        assert!(d.layer_changes.iter().any(|c| c.resolution == crate::types::Resolution::R720
-            && c.to == Bitrate::ZERO));
+        assert!(d
+            .layer_changes
+            .iter()
+            .any(|c| c.resolution == crate::types::Resolution::R720 && c.to == Bitrate::ZERO));
         assert!(d.layer_changes.iter().any(|c| c.resolution == crate::types::Resolution::R360
             && c.from == Bitrate::ZERO
             && c.to == Bitrate::from_kbps(600)));

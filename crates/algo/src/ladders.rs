@@ -94,11 +94,7 @@ pub fn uniform(resolutions: &[Resolution], levels_per_res: usize) -> Ladder {
     for &res in resolutions {
         let (lo, hi) = band(res);
         for i in 0..levels_per_res {
-            let f = if levels_per_res == 1 {
-                1.0
-            } else {
-                i as f64 / (levels_per_res - 1) as f64
-            };
+            let f = if levels_per_res == 1 { 1.0 } else { i as f64 / (levels_per_res - 1) as f64 };
             // Geometric interpolation inside the band, rounded to 10 kbps so
             // the solver's quantization is exact.
             let kbps = (lo as f64 * (hi as f64 / lo as f64).powf(f) / 10.0).round() as u64 * 10;
@@ -177,10 +173,7 @@ mod tests {
     #[test]
     fn uniform_ladder_counts_and_uniqueness() {
         for levels in 1..=8 {
-            let l = uniform(
-                &[Resolution::R180, Resolution::R360, Resolution::R720],
-                levels,
-            );
+            let l = uniform(&[Resolution::R180, Resolution::R360, Resolution::R720], levels);
             assert_eq!(l.len(), 3 * levels, "levels={levels}");
             // Ladder::new enforces bitrate uniqueness; reaching here is the test.
         }

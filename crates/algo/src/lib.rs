@@ -59,8 +59,8 @@ pub mod solution;
 pub mod solver;
 pub mod types;
 
-pub use problem::{ClientSpec, Problem, ProblemError, PublisherSource, SourceId, Subscription};
 pub use diff::{diff, LayerChange, SolutionDiff, SwitchChange};
+pub use problem::{ClientSpec, Problem, ProblemError, PublisherSource, SourceId, Subscription};
 pub use solution::{ConstraintViolation, PublishPolicy, ReceivedStream, Solution};
-pub use solver::SolverConfig;
+pub use solver::{IterationTrace, ReductionTrace, Request, SolveTrace, SolverConfig};
 pub use types::{Ladder, LadderError, Resolution, StreamSpec};

@@ -52,10 +52,8 @@ pub fn solve_units(classes: &[Vec<McItem>], capacity: u64) -> McSolution {
     }
     // The DP never needs more capacity than what all classes could jointly
     // use; trimming keeps the table small when the downlink is huge.
-    let max_useful: u64 = classes
-        .iter()
-        .map(|c| c.iter().map(|i| i.weight).max().unwrap_or(0))
-        .sum();
+    let max_useful: u64 =
+        classes.iter().map(|c| c.iter().map(|i| i.weight).max().unwrap_or(0)).sum();
     let w_max = capacity.min(max_useful) as usize;
 
     // dp[w] = best value using the classes processed so far with weight ≤ w.
@@ -114,9 +112,7 @@ pub fn solve_bitrates(
     let quantized: Vec<Vec<McItem>> = classes
         .iter()
         .map(|c| {
-            c.iter()
-                .map(|&(b, v)| McItem { weight: b.as_bps().div_ceil(u), value: v })
-                .collect()
+            c.iter().map(|&(b, v)| McItem { weight: b.as_bps().div_ceil(u), value: v }).collect()
         })
         .collect();
     solve_units(&quantized, capacity.as_bps() / u)
@@ -141,11 +137,7 @@ mod tests {
 
     #[test]
     fn single_class_picks_best_fitting() {
-        let classes = vec![vec![
-            (kbps(100), 100.0),
-            (kbps(300), 300.0),
-            (kbps(400), 360.0),
-        ]];
+        let classes = vec![vec![(kbps(100), 100.0), (kbps(300), 300.0), (kbps(400), 360.0)]];
         let s = solve_bitrates(&classes, kbps(350), UNIT);
         assert_eq!(s.choices, vec![Some(1)]);
         assert_eq!(s.value, 300.0);
@@ -171,10 +163,7 @@ mod tests {
 
     #[test]
     fn capacity_exactly_consumed() {
-        let classes = vec![
-            vec![(kbps(400), 360.0)],
-            vec![(kbps(100), 100.0)],
-        ];
+        let classes = vec![vec![(kbps(400), 360.0)], vec![(kbps(100), 100.0)]];
         let s = solve_bitrates(&classes, kbps(500), UNIT);
         assert_eq!(s.choices, vec![Some(0), Some(0)]);
         assert_eq!(s.value, 460.0);
@@ -210,6 +199,22 @@ mod tests {
         // With 110 kbps capacity it fits.
         let s = solve_bitrates(&classes, kbps(110), UNIT);
         assert_eq!(s.choices, vec![Some(0)]);
+    }
+
+    #[test]
+    fn non_multiple_bitrates_round_up_per_item() {
+        // Two 105 kbps items under a 210 kbps capacity. Their true sum fits
+        // exactly, but quantization is per-item and conservative: each item
+        // weighs ⌈105/10⌉ = 11 units against a 21-unit capacity, so only one
+        // is admitted. Rounding weights down (or to nearest) would instead
+        // admit both and rely on exact arithmetic never drifting — the
+        // guarantee `Σ bitrate ≤ capacity` must come from the DP itself.
+        let classes = vec![vec![(kbps(105), 1.0)], vec![(kbps(105), 1.0)]];
+        let s = solve_bitrates(&classes, kbps(210), UNIT);
+        assert_eq!(s.choices.iter().flatten().count(), 1);
+        // A capacity covering both rounded weights admits both.
+        let s = solve_bitrates(&classes, kbps(220), UNIT);
+        assert_eq!(s.choices.iter().flatten().count(), 2);
     }
 
     #[test]

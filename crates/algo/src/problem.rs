@@ -176,7 +176,9 @@ impl fmt::Display for ProblemError {
         match self {
             ProblemError::DuplicateClient(c) => write!(f, "duplicate client {c}"),
             ProblemError::UnknownClient(c) => write!(f, "subscription references unknown {c}"),
-            ProblemError::UnknownSource(s) => write!(f, "subscription references unknown source {s}"),
+            ProblemError::UnknownSource(s) => {
+                write!(f, "subscription references unknown source {s}")
+            }
             ProblemError::SelfSubscription(c) => write!(f, "{c} subscribes to itself"),
             ProblemError::DuplicateSubscription(c, s, t) => {
                 write!(f, "duplicate subscription ({c}, {s}, tag {t})")

@@ -49,13 +49,11 @@ pub const SCREEN_BOOST: f64 = 2.0;
 pub fn protects_small_streams(pairs: &[(Bitrate, f64)]) -> bool {
     let mut sorted: Vec<_> = pairs.to_vec();
     sorted.sort_by_key(|(b, _)| *b);
-    sorted
-        .windows(2)
-        .all(|w| {
-            let r0 = w[0].1 / w[0].0.as_bps() as f64;
-            let r1 = w[1].1 / w[1].0.as_bps() as f64;
-            r1 <= r0 + 1e-12
-        })
+    sorted.windows(2).all(|w| {
+        let r0 = w[0].1 / w[0].0.as_bps() as f64;
+        let r1 = w[1].1 / w[1].0.as_bps() as f64;
+        r1 <= r0 + 1e-12
+    })
 }
 
 #[cfg(test)]

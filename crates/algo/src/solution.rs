@@ -64,15 +64,12 @@ impl Solution {
 
     /// Total bitrate a client receives.
     pub fn receive_rate(&self, client: ClientId) -> Bitrate {
-        self.received
-            .get(&client)
-            .map(|rs| rs.iter().map(|r| r.bitrate).sum())
-            .unwrap_or(Bitrate::ZERO)
+        self.received.get(&client).map_or(Bitrate::ZERO, |rs| rs.iter().map(|r| r.bitrate).sum())
     }
 
     /// The publish policies of one source (empty if it sends nothing).
     pub fn policies(&self, source: SourceId) -> &[PublishPolicy] {
-        self.publish.get(&source).map(Vec::as_slice).unwrap_or(&[])
+        self.publish.get(&source).map_or(&[], Vec::as_slice)
     }
 
     /// The stream a subscriber receives from a source under a given tag.
@@ -82,11 +79,7 @@ impl Solution {
         source: SourceId,
         tag: u8,
     ) -> Option<ReceivedStream> {
-        self.received
-            .get(&subscriber)?
-            .iter()
-            .copied()
-            .find(|r| r.source == source && r.tag == tag)
+        self.received.get(&subscriber)?.iter().copied().find(|r| r.source == source && r.tag == tag)
     }
 
     /// Validate the solution against every constraint family of §4.1.
@@ -98,10 +91,8 @@ impl Solution {
         // and every published bitrate must exist in the source's ladder at
         // that resolution.
         for (src, policies) in &self.publish {
-            let ladder = &problem
-                .source(*src)
-                .ok_or(ConstraintViolation::UnknownSource(*src))?
-                .ladder;
+            let ladder =
+                &problem.source(*src).ok_or(ConstraintViolation::UnknownSource(*src))?.ladder;
             let mut seen = Vec::new();
             for p in policies {
                 if seen.contains(&p.resolution) {
@@ -300,8 +291,18 @@ mod tests {
     fn two_client_problem() -> Problem {
         Problem::new(
             vec![
-                ClientSpec::new(ClientId(1), Bitrate::from_mbps(5), Bitrate::from_mbps(5), ladder()),
-                ClientSpec::new(ClientId(2), Bitrate::from_mbps(5), Bitrate::from_mbps(5), ladder()),
+                ClientSpec::new(
+                    ClientId(1),
+                    Bitrate::from_mbps(5),
+                    Bitrate::from_mbps(5),
+                    ladder(),
+                ),
+                ClientSpec::new(
+                    ClientId(2),
+                    Bitrate::from_mbps(5),
+                    Bitrate::from_mbps(5),
+                    ladder(),
+                ),
             ],
             vec![Subscription::new(ClientId(2), SourceId::video(ClientId(1)), Resolution::R720)],
         )
@@ -342,8 +343,18 @@ mod tests {
     fn detects_uplink_violation() {
         let problem = Problem::new(
             vec![
-                ClientSpec::new(ClientId(1), Bitrate::from_kbps(500), Bitrate::from_mbps(5), ladder()),
-                ClientSpec::new(ClientId(2), Bitrate::from_mbps(5), Bitrate::from_mbps(5), ladder()),
+                ClientSpec::new(
+                    ClientId(1),
+                    Bitrate::from_kbps(500),
+                    Bitrate::from_mbps(5),
+                    ladder(),
+                ),
+                ClientSpec::new(
+                    ClientId(2),
+                    Bitrate::from_mbps(5),
+                    Bitrate::from_mbps(5),
+                    ladder(),
+                ),
             ],
             vec![Subscription::new(ClientId(2), SourceId::video(ClientId(1)), Resolution::R720)],
         )
@@ -356,8 +367,18 @@ mod tests {
     fn detects_downlink_violation() {
         let problem = Problem::new(
             vec![
-                ClientSpec::new(ClientId(1), Bitrate::from_mbps(5), Bitrate::from_mbps(5), ladder()),
-                ClientSpec::new(ClientId(2), Bitrate::from_mbps(5), Bitrate::from_kbps(200), ladder()),
+                ClientSpec::new(
+                    ClientId(1),
+                    Bitrate::from_mbps(5),
+                    Bitrate::from_mbps(5),
+                    ladder(),
+                ),
+                ClientSpec::new(
+                    ClientId(2),
+                    Bitrate::from_mbps(5),
+                    Bitrate::from_kbps(200),
+                    ladder(),
+                ),
             ],
             vec![Subscription::new(ClientId(2), SourceId::video(ClientId(1)), Resolution::R720)],
         )
@@ -388,8 +409,18 @@ mod tests {
     fn detects_resolution_cap_violation() {
         let problem = Problem::new(
             vec![
-                ClientSpec::new(ClientId(1), Bitrate::from_mbps(5), Bitrate::from_mbps(5), ladder()),
-                ClientSpec::new(ClientId(2), Bitrate::from_mbps(5), Bitrate::from_mbps(5), ladder()),
+                ClientSpec::new(
+                    ClientId(1),
+                    Bitrate::from_mbps(5),
+                    Bitrate::from_mbps(5),
+                    ladder(),
+                ),
+                ClientSpec::new(
+                    ClientId(2),
+                    Bitrate::from_mbps(5),
+                    Bitrate::from_mbps(5),
+                    ladder(),
+                ),
             ],
             vec![Subscription::new(ClientId(2), SourceId::video(ClientId(1)), Resolution::R180)],
         )
@@ -404,8 +435,6 @@ mod tests {
         assert_eq!(s.publish_rate(ClientId(1)), Bitrate::from_kbps(1500));
         assert_eq!(s.receive_rate(ClientId(2)), Bitrate::from_kbps(1500));
         assert_eq!(s.receive_rate(ClientId(1)), Bitrate::ZERO);
-        assert!(s
-            .received_from(ClientId(2), SourceId::video(ClientId(1)), 0)
-            .is_some());
+        assert!(s.received_from(ClientId(2), SourceId::video(ClientId(1)), 0).is_some());
     }
 }

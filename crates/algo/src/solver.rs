@@ -45,14 +45,74 @@ impl Default for SolverConfig {
 /// What one subscriber requested from one subscription after Step 1:
 /// the `(i, s_ii')` pairs of the candidate set `D_i'` (Eq. 6).
 #[derive(Debug, Clone, Copy)]
-struct Request {
-    subscriber: ClientId,
-    tag: u8,
-    spec: StreamSpec,
+pub struct Request {
+    /// The requesting subscriber.
+    pub subscriber: ClientId,
+    /// Virtual-publisher tag of the subscription.
+    pub tag: u8,
+    /// The stream the subscriber's knapsack selected.
+    pub spec: StreamSpec,
+}
+
+/// One Reduction event (Eq. 18–20): a whole resolution removed from one
+/// source's feasible set.
+#[derive(Debug, Clone, Copy)]
+pub struct ReductionTrace {
+    /// The source whose ladder shrank.
+    pub source: SourceId,
+    /// The resolution that was removed.
+    pub resolution: Resolution,
+    /// Ladder entries at `resolution` *after* the removal. The Reduction
+    /// step must remove whole resolutions, so this is invariantly zero;
+    /// the auditor verifies it.
+    pub remaining_at_resolution: usize,
+}
+
+/// Record of one Knapsack–Merge–Reduction iteration, kept for auditing.
+#[derive(Debug, Clone, Default)]
+pub struct IterationTrace {
+    /// Step-1 output: per source, what every subscriber requested.
+    pub requests: BTreeMap<SourceId, Vec<Request>>,
+    /// Step-2 output: per source, the merged `(resolution, min bitrate)`
+    /// pairs (Eq. 12) — before any Step-3 uplink repair lowers them.
+    pub merged: BTreeMap<SourceId, Vec<(Resolution, Bitrate)>>,
+    /// Clients whose uplink overflow was repaired in place (the "fixable"
+    /// branch of Step 3, Eq. 16–17); their final bitrates may sit below
+    /// the merged minima.
+    pub repaired: Vec<ClientId>,
+    /// The Reduction taken this iteration, if any (`None` on the terminal
+    /// iteration).
+    pub reduction: Option<ReductionTrace>,
+}
+
+/// Full solver execution trace: evidence for the invariants that cannot be
+/// established from a `(Problem, Solution)` pair alone (the merge-minimum
+/// rule needs the Step-1 requests; the reduction rule needs ladder diffs).
+#[derive(Debug, Clone, Default)]
+pub struct SolveTrace {
+    /// One entry per iteration, in execution order; the last entry is the
+    /// terminal iteration that produced the solution.
+    pub iterations: Vec<IterationTrace>,
 }
 
 /// Solve the orchestration problem with the GSO control algorithm.
 pub fn solve(problem: &Problem, cfg: &SolverConfig) -> Solution {
+    solve_impl(problem, cfg, None)
+}
+
+/// Like [`solve`], additionally returning the per-iteration [`SolveTrace`]
+/// that `gso-audit` uses to verify solver-internal invariants.
+pub fn solve_traced(problem: &Problem, cfg: &SolverConfig) -> (Solution, SolveTrace) {
+    let mut trace = SolveTrace::default();
+    let solution = solve_impl(problem, cfg, Some(&mut trace));
+    (solution, trace)
+}
+
+fn solve_impl(
+    problem: &Problem,
+    cfg: &SolverConfig,
+    mut trace: Option<&mut SolveTrace>,
+) -> Solution {
     // Working copy whose ladders the Reduction step shrinks.
     let mut wp = problem.clone();
     // Upper bound on iterations per the convergence argument, plus one for
@@ -106,9 +166,7 @@ pub fn solve(problem: &Problem, cfg: &SolverConfig) -> Solution {
         for (source, reqs) in &requests_by_source {
             let mut by_res: BTreeMap<Resolution, (Bitrate, Vec<(ClientId, u8)>)> = BTreeMap::new();
             for r in reqs {
-                let entry = by_res
-                    .entry(r.spec.resolution)
-                    .or_insert((r.spec.bitrate, Vec::new()));
+                let entry = by_res.entry(r.spec.resolution).or_insert((r.spec.bitrate, Vec::new()));
                 entry.0 = entry.0.min(r.spec.bitrate); // Meg(): s_i^R = min (Eq. 12)
                 entry.1.push((r.subscriber, r.tag));
             }
@@ -124,6 +182,16 @@ pub fn solve(problem: &Problem, cfg: &SolverConfig) -> Solution {
                     .collect(),
             );
         }
+
+        let mut iter_trace = trace.as_ref().map(|_| IterationTrace {
+            requests: requests_by_source.clone(),
+            merged: policies
+                .iter()
+                .map(|(src, ps)| (*src, ps.iter().map(|p| (p.resolution, p.bitrate)).collect()))
+                .collect(),
+            repaired: Vec::new(),
+            reduction: None,
+        });
 
         // ---- Step 3: uplink check / repair / reduction --------------------
         let mut reduction: Option<(SourceId, Resolution)> = None;
@@ -141,9 +209,7 @@ pub fn solve(problem: &Problem, cfg: &SolverConfig) -> Solution {
             // at each already-selected resolution?
             let min_total: Bitrate = client_sources
                 .iter()
-                .flat_map(|src| {
-                    policies.get(src).into_iter().flatten().map(move |p| (src, p))
-                })
+                .flat_map(|src| policies.get(src).into_iter().flatten().map(move |p| (src, p)))
                 .map(|(src, p)| {
                     wp.source(*src)
                         .and_then(|s| s.ladder.min_bitrate_at(p.resolution))
@@ -152,15 +218,16 @@ pub fn solve(problem: &Problem, cfg: &SolverConfig) -> Solution {
                 .sum();
             if min_total <= client.uplink {
                 repair_uplink(&wp, &mut policies, client.id, client.uplink, cfg.unit);
+                if let Some(t) = iter_trace.as_mut() {
+                    t.repaired.push(client.id);
+                }
             } else {
                 // Not fixable: drop the highest resolution this client
                 // currently publishes (Eq. 18) and restart — one publisher
                 // at a time, per the paper.
                 let worst = client_sources
                     .iter()
-                    .flat_map(|src| {
-                        policies.get(src).into_iter().flatten().map(move |p| (*src, p))
-                    })
+                    .flat_map(|src| policies.get(src).into_iter().flatten().map(move |p| (*src, p)))
                     .max_by_key(|(_, p)| (p.resolution, p.bitrate))
                     .map(|(src, p)| (src, p.resolution));
                 reduction = worst;
@@ -169,13 +236,48 @@ pub fn solve(problem: &Problem, cfg: &SolverConfig) -> Solution {
         }
 
         if let Some((source, res)) = reduction {
-            let shrunk = wp.source(source).expect("source exists").ladder.without_resolution(res);
+            let shrunk = wp
+                .source(source)
+                .expect("invariant: reduction targets a source present in the problem")
+                .ladder
+                .without_resolution(res);
+            if let Some(t) = iter_trace.take() {
+                if let Some(trace) = trace.as_mut() {
+                    trace.iterations.push(IterationTrace {
+                        reduction: Some(ReductionTrace {
+                            source,
+                            resolution: res,
+                            remaining_at_resolution: shrunk.at_resolution(res).len(),
+                        }),
+                        ..t
+                    });
+                }
+            }
             wp.set_ladder(source, shrunk);
             continue;
         }
 
+        if let Some(t) = iter_trace.take() {
+            if let Some(trace) = trace.as_mut() {
+                trace.iterations.push(t);
+            }
+        }
+
         // Terminal iteration: assemble the solution.
-        return assemble(problem, &wp, policies, &requests_by_source, iteration);
+        let solution = assemble(problem, &wp, policies, &requests_by_source, iteration);
+        // Solver-exit audit hook (debug builds only): the solution must
+        // satisfy every §4.1 constraint family and the convergence bound.
+        debug_assert!(
+            solution.validate(problem).is_ok(),
+            "solver emitted an invalid solution: {:?}",
+            solution.validate(problem)
+        );
+        debug_assert!(
+            solution.iterations <= max_iters,
+            "solver exceeded the convergence bound: {} > {max_iters}",
+            solution.iterations
+        );
+        return solution;
     }
 
     unreachable!("the reduction step strictly shrinks a ladder each iteration");
@@ -259,7 +361,9 @@ fn repair_uplink(
             Some(c) => cands[*c + 1],
             None => cands[0],
         };
-        let p = &mut policies.get_mut(&src).unwrap()[i];
+        let p = &mut policies
+            .get_mut(&src)
+            .expect("invariant: repair handles were collected from this map")[i];
         p.bitrate = spec.bitrate;
     }
 }
@@ -275,18 +379,20 @@ fn assemble(
     let mut received: BTreeMap<ClientId, Vec<ReceivedStream>> = BTreeMap::new();
     let mut total_qoe = 0.0;
     for (source, ps) in &policies {
-        let ladder = &wp.source(*source).expect("source exists").ladder;
+        let ladder = &wp
+            .source(*source)
+            .expect("invariant: policies only name sources of the working problem")
+            .ladder;
         for p in ps {
-            let spec = ladder
-                .spec_for_bitrate(p.bitrate)
-                .expect("merged bitrate is a ladder entry");
+            let spec = ladder.spec_for_bitrate(p.bitrate).expect(
+                "invariant: merge picks the minimum of ladder entries, itself a ladder entry",
+            );
             for &(sub, tag) in &p.audience {
                 let (boost, presence) = original
                     .subscriptions_of(sub)
                     .into_iter()
                     .find(|s| s.source == *source && s.tag == tag)
-                    .map(|s| (s.qoe_boost, s.presence_bonus))
-                    .unwrap_or((1.0, 0.0));
+                    .map_or((1.0, 0.0), |s| (s.qoe_boost, s.presence_bonus));
                 let qoe = spec.qoe * boost + presence;
                 total_qoe += qoe;
                 received.entry(sub).or_default().push(ReceivedStream {
@@ -499,14 +605,11 @@ mod tests {
         // Heavily boosted: the speaker gets the dominant share.
         let boosted = solve(&build(10.0), &SolverConfig::default());
         boosted.validate(&build(10.0)).unwrap();
-        let spk_rate_base = base
-            .received_from(sub, SourceId::video(spk), 0)
-            .map(|r| r.bitrate)
-            .unwrap_or(Bitrate::ZERO);
+        let spk_rate_base =
+            base.received_from(sub, SourceId::video(spk), 0).map_or(Bitrate::ZERO, |r| r.bitrate);
         let spk_rate_boost = boosted
             .received_from(sub, SourceId::video(spk), 0)
-            .map(|r| r.bitrate)
-            .unwrap_or(Bitrate::ZERO);
+            .map_or(Bitrate::ZERO, |r| r.bitrate);
         assert!(
             spk_rate_boost >= spk_rate_base,
             "boost must not lower the speaker's stream ({spk_rate_base} -> {spk_rate_boost})"

@@ -29,7 +29,7 @@ impl Resolution {
 
     /// Approximate pixel count assuming 16:9 aspect.
     pub fn pixels(self) -> u64 {
-        let h = self.0 as u64;
+        let h = u64::from(self.0);
         let w = h * 16 / 9;
         w * h
     }
@@ -193,9 +193,7 @@ impl Ladder {
     /// A copy of this ladder with every spec at resolution `r` removed
     /// (`S_i^update = S_i \ S_i^R̃`, Eq. 19 — the Reduction step).
     pub fn without_resolution(&self, r: Resolution) -> Ladder {
-        Ladder {
-            specs: self.specs.iter().copied().filter(|s| s.resolution != r).collect(),
-        }
+        Ladder { specs: self.specs.iter().copied().filter(|s| s.resolution != r).collect() }
     }
 }
 
@@ -209,8 +207,12 @@ mod tests {
 
     #[test]
     fn ladder_sorts_and_queries() {
-        let l = Ladder::new(vec![spec(720, 1500, 1200.0), spec(180, 100, 100.0), spec(360, 600, 530.0)])
-            .unwrap();
+        let l = Ladder::new(vec![
+            spec(720, 1500, 1200.0),
+            spec(180, 100, 100.0),
+            spec(360, 600, 530.0),
+        ])
+        .unwrap();
         assert_eq!(l.len(), 3);
         assert_eq!(l.specs()[0].bitrate, Bitrate::from_kbps(100));
         assert_eq!(l.resolutions(), vec![Resolution::R180, Resolution::R360, Resolution::R720]);
@@ -245,8 +247,12 @@ mod tests {
 
     #[test]
     fn without_resolution_removes_all_entries() {
-        let l = Ladder::new(vec![spec(720, 1500, 1200.0), spec(720, 1000, 750.0), spec(180, 100, 100.0)])
-            .unwrap();
+        let l = Ladder::new(vec![
+            spec(720, 1500, 1200.0),
+            spec(720, 1000, 750.0),
+            spec(180, 100, 100.0),
+        ])
+        .unwrap();
         let r = l.without_resolution(Resolution::R720);
         assert_eq!(r.len(), 1);
         assert_eq!(r.resolutions(), vec![Resolution::R180]);

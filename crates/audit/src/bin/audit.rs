@@ -1,0 +1,41 @@
+//! CI gate: replay the shipped example configurations and the paper's
+//! Table 1 cases through the solver and the full traced audit.
+//!
+//! Run with `cargo run -p gso-audit --bin audit`. Exits nonzero if any
+//! scenario produces a violation, printing each finding with the paper
+//! equation it breaks.
+
+use gso_algo::solver::{self, SolverConfig};
+use gso_audit::{report, scenarios, SolutionAuditor};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let auditor = SolutionAuditor::new();
+    let cfg = SolverConfig::default();
+    let mut failed = 0usize;
+    let scenarios = scenarios::all();
+    let total = scenarios.len();
+
+    for scenario in scenarios {
+        let (solution, trace) = solver::solve_traced(&scenario.problem, &cfg);
+        let violations = auditor.audit_traced(&scenario.problem, &solution, &trace);
+        if violations.is_empty() {
+            println!(
+                "ok   {:<18} qoe {:>10.1}  iterations {}",
+                scenario.name, solution.total_qoe, solution.iterations
+            );
+        } else {
+            failed += 1;
+            println!("FAIL {:<18} {} violation(s):", scenario.name, violations.len());
+            print!("{}", report(&violations));
+        }
+    }
+
+    if failed == 0 {
+        println!("\naudit clean: {total} scenarios, 0 violations");
+        ExitCode::SUCCESS
+    } else {
+        println!("\naudit FAILED: {failed} of {total} scenarios violated constraints");
+        ExitCode::FAILURE
+    }
+}

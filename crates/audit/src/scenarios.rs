@@ -1,0 +1,211 @@
+//! Replayable audit scenarios.
+//!
+//! Each scenario reconstructs the `Problem` behind one of the shipped
+//! examples (or a Table 1 case of the paper) so the `audit` binary — and
+//! CI through it — can solve and audit the exact configurations users run.
+//! Kept self-contained on `gso-algo` so the auditor does not pull in the
+//! simulator stack.
+
+use gso_algo::qoe::{SCREEN_BOOST, SPEAKER_BOOST};
+use gso_algo::{ladders, ClientSpec, Problem, PublisherSource, Resolution, SourceId, Subscription};
+use gso_util::{Bitrate, ClientId};
+
+/// A named, replayable problem instance.
+pub struct Scenario {
+    /// Stable scenario name (shown in audit reports).
+    pub name: &'static str,
+    /// The conference configuration to solve and audit.
+    pub problem: Problem,
+}
+
+/// The bandwidths of the paper's Table 1 cases: (uplink, downlink) in Kbps
+/// for clients A, B, C.
+pub const TABLE1_CASES: [[(u64, u64); 3]; 3] = [
+    [(5_000, 1_400), (5_000, 3_000), (5_000, 500)],
+    [(5_000, 5_000), (600, 5_000), (5_000, 5_000)],
+    [(5_000, 5_000), (600, 700), (5_000, 5_000)],
+];
+
+/// One of the paper's Table 1 worked examples (`case` in `0..3`).
+pub fn table1_case(case: usize) -> Problem {
+    let bw = TABLE1_CASES[case];
+    let ladder = ladders::paper_table1();
+    let [a, b, c] = [ClientId(1), ClientId(2), ClientId(3)];
+    let clients = vec![
+        ClientSpec::new(
+            a,
+            Bitrate::from_kbps(bw[0].0),
+            Bitrate::from_kbps(bw[0].1),
+            ladder.clone(),
+        ),
+        ClientSpec::new(
+            b,
+            Bitrate::from_kbps(bw[1].0),
+            Bitrate::from_kbps(bw[1].1),
+            ladder.clone(),
+        ),
+        ClientSpec::new(c, Bitrate::from_kbps(bw[2].0), Bitrate::from_kbps(bw[2].1), ladder),
+    ];
+    let subs = vec![
+        Subscription::new(a, SourceId::video(b), Resolution::R360),
+        Subscription::new(a, SourceId::video(c), Resolution::R180),
+        Subscription::new(b, SourceId::video(a), Resolution::R720),
+        Subscription::new(b, SourceId::video(c), Resolution::R360),
+        Subscription::new(c, SourceId::video(b), Resolution::R360),
+        Subscription::new(c, SourceId::video(a), Resolution::R720),
+    ];
+    Problem::new(clients, subs).expect("invariant: Table 1 cases are valid conferences")
+}
+
+/// The `quickstart` example: three heterogeneous clients on the fine
+/// 15-level ladder, everyone watching everyone.
+pub fn quickstart() -> Problem {
+    let ladder = ladders::fine15();
+    let ids = [ClientId(1), ClientId(2), ClientId(3)];
+    let clients = vec![
+        ClientSpec::new(ids[0], Bitrate::from_mbps(5), Bitrate::from_mbps(5), ladder.clone()),
+        ClientSpec::new(ids[1], Bitrate::from_mbps(2), Bitrate::from_mbps(3), ladder.clone()),
+        ClientSpec::new(ids[2], Bitrate::from_kbps(800), Bitrate::from_kbps(900), ladder),
+    ];
+    let mut subs = Vec::new();
+    for &a in &ids {
+        for &b in &ids {
+            if a != b {
+                subs.push(Subscription::new(a, SourceId::video(b), Resolution::R720));
+            }
+        }
+    }
+    Problem::new(clients, subs).expect("invariant: quickstart is a valid conference")
+}
+
+/// The `screen_share` example: a presenter with camera + screen sources,
+/// speaker-first virtual publishers (§4.4), one bandwidth-poor viewer.
+pub fn screen_share() -> Problem {
+    let ladder = ladders::paper_table1();
+    let presenter = ClientId(1);
+    let viewer_a = ClientId(2);
+    let viewer_b = ClientId(3);
+
+    let mut presenter_spec =
+        ClientSpec::new(presenter, Bitrate::from_mbps(4), Bitrate::from_mbps(4), ladder.clone());
+    presenter_spec
+        .sources
+        .push(PublisherSource { id: SourceId::screen(presenter), ladder: ladders::coarse3() });
+
+    let clients = vec![
+        presenter_spec,
+        ClientSpec::new(viewer_a, Bitrate::from_mbps(2), Bitrate::from_mbps(3), ladder.clone()),
+        ClientSpec::new(viewer_b, Bitrate::from_mbps(2), Bitrate::from_kbps(1_200), ladder),
+    ];
+
+    let mut subs = Vec::new();
+    for &v in &[viewer_a, viewer_b] {
+        subs.push(
+            Subscription::new(v, SourceId::screen(presenter), Resolution::R720)
+                .with_boost(SCREEN_BOOST),
+        );
+        subs.push(Subscription::new(v, SourceId::video(presenter), Resolution::R180));
+        subs.push(
+            Subscription::new(v, SourceId::video(presenter), Resolution::R720)
+                .with_tag(1)
+                .with_boost(SPEAKER_BOOST),
+        );
+    }
+    subs.push(Subscription::new(viewer_a, SourceId::video(viewer_b), Resolution::R360));
+    subs.push(Subscription::new(viewer_b, SourceId::video(viewer_a), Resolution::R360));
+    Problem::new(clients, subs).expect("invariant: screen-share demo is a valid conference")
+}
+
+/// A scaled-down `large_conference`: `pubs` publishers on rich links plus
+/// `subs` view-only subscribers with deterministically varied downlinks,
+/// everyone watching every publisher up to 720P.
+pub fn large_conference(pubs: u32, subs: u32) -> Problem {
+    let ladder = ladders::fine(6);
+    let mut clients = Vec::new();
+    let mut subscriptions = Vec::new();
+    for p in 1..=pubs {
+        clients.push(ClientSpec::new(
+            ClientId(p),
+            Bitrate::from_mbps(4),
+            Bitrate::from_mbps(8),
+            ladder.clone(),
+        ));
+    }
+    for s in 0..subs {
+        let id = ClientId(pubs + 1 + s);
+        // Deterministic heterogeneity: downlinks cycle 600K..3.4M.
+        let down = Bitrate::from_kbps(600 + u64::from(s % 8) * 400);
+        let mut spec = ClientSpec::new(id, Bitrate::from_kbps(100), down, ladder.clone());
+        spec.sources.clear();
+        clients.push(spec);
+        for p in 1..=pubs {
+            subscriptions.push(Subscription::new(
+                id,
+                SourceId::video(ClientId(p)),
+                Resolution::R720,
+            ));
+        }
+    }
+    // Publishers watch each other too.
+    for a in 1..=pubs {
+        for b in 1..=pubs {
+            if a != b {
+                subscriptions.push(Subscription::new(
+                    ClientId(a),
+                    SourceId::video(ClientId(b)),
+                    Resolution::R720,
+                ));
+            }
+        }
+    }
+    Problem::new(clients, subscriptions).expect("invariant: generated conference is valid")
+}
+
+/// The `slow_link` workload's control-plane picture: a 3-party conference
+/// where one participant's downlink is impaired to 500 Kbps.
+pub fn slow_link() -> Problem {
+    let ladder = ladders::fine15();
+    let ids = [ClientId(1), ClientId(2), ClientId(3)];
+    let clients = vec![
+        ClientSpec::new(ids[0], Bitrate::from_mbps(3), Bitrate::from_mbps(5), ladder.clone()),
+        ClientSpec::new(ids[1], Bitrate::from_mbps(3), Bitrate::from_mbps(5), ladder.clone()),
+        ClientSpec::new(ids[2], Bitrate::from_mbps(3), Bitrate::from_kbps(500), ladder),
+    ];
+    let mut subs = Vec::new();
+    for &a in &ids {
+        for &b in &ids {
+            if a != b {
+                subs.push(Subscription::new(a, SourceId::video(b), Resolution::R720));
+            }
+        }
+    }
+    Problem::new(clients, subs).expect("invariant: slow-link demo is a valid conference")
+}
+
+/// The `transient_response` steady state while capped: one publisher, one
+/// subscriber whose downlink sits at the Fig. 7 cap of 625 Kbps.
+pub fn transient_capped() -> Problem {
+    let ladder = ladders::fine15();
+    let publisher = ClientId(1);
+    let watcher = ClientId(2);
+    let clients = vec![
+        ClientSpec::new(publisher, Bitrate::from_mbps(4), Bitrate::from_mbps(4), ladder.clone()),
+        ClientSpec::new(watcher, Bitrate::from_mbps(4), Bitrate::from_kbps(625), ladder),
+    ];
+    let subs = vec![Subscription::new(watcher, SourceId::video(publisher), Resolution::R720)];
+    Problem::new(clients, subs).expect("invariant: transient demo is a valid conference")
+}
+
+/// Every scenario the `audit` binary replays.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        Scenario { name: "table1-case1", problem: table1_case(0) },
+        Scenario { name: "table1-case2", problem: table1_case(1) },
+        Scenario { name: "table1-case3", problem: table1_case(2) },
+        Scenario { name: "quickstart", problem: quickstart() },
+        Scenario { name: "screen-share", problem: screen_share() },
+        Scenario { name: "large-conference", problem: large_conference(4, 16) },
+        Scenario { name: "slow-link", problem: slow_link() },
+        Scenario { name: "transient-capped", problem: transient_capped() },
+    ]
+}

@@ -26,7 +26,13 @@ fn ablation_quantization() {
         let secs = start.elapsed().as_secs_f64();
         let q = sol.total_qoe;
         let r = *reference.get_or_insert(q);
-        println!("{:>8}k {:>12.4} {:>12.0}  ({:+.2}% vs 1k unit)", unit_kbps, secs, q, (q - r) / r * 100.0);
+        println!(
+            "{:>8}k {:>12.4} {:>12.0}  ({:+.2}% vs 1k unit)",
+            unit_kbps,
+            secs,
+            q,
+            (q - r) / r * 100.0
+        );
     }
 }
 
@@ -44,7 +50,7 @@ fn ablation_ladder_granularity() {
             .map(|s| s.bitrate.as_kbps())
             .max()
             .unwrap_or(0);
-        println!("{:>8} {:>16}", levels, best);
+        println!("{levels:>8} {best:>16}");
     }
     println!("(finer ladders close the video/network mismatch of Fig. 3b)");
 }
@@ -67,7 +73,9 @@ fn ablation_merge() {
             .map(|r| {
                 problem
                     .source(r.source)
-                    .and_then(|s| s.ladder.at_resolution(r.resolution).last().map(|x| x.bitrate.as_bps()))
+                    .and_then(|s| {
+                        s.ladder.at_resolution(r.resolution).last().map(|x| x.bitrate.as_bps())
+                    })
                     .unwrap_or(r.bitrate.as_bps())
             })
             .sum();
@@ -89,7 +97,7 @@ fn bench(c: &mut Criterion) {
     for unit in [1u64, 10, 100] {
         group.bench_function(format!("solve_unit_{unit}k"), |b| {
             let cfg = SolverConfig { unit: Bitrate::from_kbps(unit) };
-            b.iter(|| solver::solve(&problem, &cfg))
+            b.iter(|| solver::solve(&problem, &cfg));
         });
     }
     group.finish();

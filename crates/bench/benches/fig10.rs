@@ -15,9 +15,7 @@ fn print_figure() {
         measured.voice_stall_reduction * 100.0,
         measured.framerate_gain * 100.0
     );
-    println!(
-        "paper: video stall -35%, voice stall -50%, framerate +6%  (production)"
-    );
+    println!("paper: video stall -35%, voice stall -50%, framerate +6%  (production)");
     let days = deployment::simulate_deployment(Rollout::paper(), measured, 29);
     let vs_max = days.iter().map(|d| d.video_stall).fold(0.0, f64::max);
     let as_max = days.iter().map(|d| d.voice_stall).fold(0.0, f64::max);
@@ -52,7 +50,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("simulate_106_days", |b| {
         b.iter(|| {
             deployment::simulate_deployment(Rollout::paper(), ImprovementFactors::paper(), 1)
-        })
+        });
     });
     group.finish();
 }

@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
                 ImprovementFactors::paper(),
                 2,
             )
-        })
+        });
     });
     group.finish();
 }

@@ -19,7 +19,7 @@ fn print_figure() {
     // Print ~20 evenly spaced CDF points.
     let step = (cdf.len() / 20).max(1);
     for (v, p) in cdf.iter().step_by(step) {
-        println!("{:>9.2}s {:>8.3}", v, p);
+        println!("{v:>9.2}s {p:>8.3}");
     }
 }
 
@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
                 }
             }
             fired
-        })
+        });
     });
     group.finish();
 }

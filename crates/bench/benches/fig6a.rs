@@ -29,7 +29,9 @@ fn print_figure() {
             if r.extrapolated { "proj" } else { "meas" },
         );
     }
-    println!("(brute time grows exponentially; GSO stays flat; optimality ≈ 1 — the Fig. 6a shape)");
+    println!(
+        "(brute time grows exponentially; GSO stays flat; optimality ≈ 1 — the Fig. 6a shape)"
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -37,17 +39,13 @@ fn bench(c: &mut Criterion) {
     group.sample_size(15);
     for n in [2usize, 4, 8] {
         let ladder = gso_algo::ladders::uniform(
-            &[
-                gso_algo::Resolution::R180,
-                gso_algo::Resolution::R360,
-                gso_algo::Resolution::R720,
-            ],
+            &[gso_algo::Resolution::R180, gso_algo::Resolution::R360, gso_algo::Resolution::R720],
             2,
         );
         let problem = fig6::asymmetric_meeting(n, n, 6);
         let _ = ladder;
         group.bench_function(format!("participants_{n}"), |b| {
-            b.iter(|| gso_algo::solver::solve(&problem, &Default::default()))
+            b.iter(|| gso_algo::solver::solve(&problem, &Default::default()));
         });
     }
     group.finish();

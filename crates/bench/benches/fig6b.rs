@@ -58,7 +58,7 @@ fn bench(c: &mut Criterion) {
         }
         let problem = gso_algo::Problem::new(clients, subs).unwrap();
         group.bench_function(format!("levels_{levels}"), |b| {
-            b.iter(|| gso_algo::solver::solve(&problem, &Default::default()))
+            b.iter(|| gso_algo::solver::solve(&problem, &Default::default()));
         });
     }
     group.finish();

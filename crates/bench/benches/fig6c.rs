@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
     for &(p, s, l) in &[(10usize, 50usize, 9usize), (10, 200, 18)] {
         let problem = fig6::asymmetric_meeting(p, s, l);
         group.bench_function(format!("{p}x{s}x{l}"), |b| {
-            b.iter(|| gso_algo::solver::solve(&problem, &Default::default()))
+            b.iter(|| gso_algo::solver::solve(&problem, &Default::default()));
         });
     }
     group.finish();

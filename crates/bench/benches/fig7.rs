@@ -16,7 +16,7 @@ fn print_mode(mode: PolicyMode, label: &str) {
     }
     println!();
     for sec in (2..=80).step_by(2) {
-        print!("{:>6}", sec);
+        print!("{sec:>6}");
         for t in &traces {
             let v = t
                 .series
@@ -50,7 +50,7 @@ fn bench(c: &mut Criterion) {
             );
             s.duration = gso_util::SimDuration::from_secs(5);
             s.run()
-        })
+        });
     });
     group.finish();
 }

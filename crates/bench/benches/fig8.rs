@@ -45,7 +45,7 @@ fn print_figure() {
         let g = of(PolicyMode::Gso).unwrap();
         if [PolicyMode::NonGso, PolicyMode::Competitor1, PolicyMode::Competitor2]
             .iter()
-            .all(|&m| of(m).map(|o| g.video_stall <= o.video_stall + 0.02).unwrap_or(true))
+            .all(|&m| of(m).is_none_or(|o| g.video_stall <= o.video_stall + 0.02))
         {
             wins += 1;
         }
@@ -65,7 +65,7 @@ fn bench(c: &mut Criterion) {
             );
             s.duration = gso_util::SimDuration::from_secs(10);
             s.run()
-        })
+        });
     });
     group.finish();
 }

@@ -9,10 +9,7 @@ use gso_sim::PolicyMode;
 fn print_figure() {
     banner("Fig. 9: client CPU utilization (video / audio / screen)");
     let results = fig9::fig9(13, false);
-    println!(
-        "{:<8} {:<8} {:>14} {:>16}",
-        "app", "system", "sender CPU", "receiver CPU"
-    );
+    println!("{:<8} {:<8} {:>14} {:>16}", "app", "system", "sender CPU", "receiver CPU");
     for r in &results {
         let app = match r.scenario {
             AppScenario::Video => "video",
@@ -36,7 +33,7 @@ fn bench(c: &mut Criterion) {
                 acc += gso_media::cost::decode_cost(lines);
             }
             gso_media::cost::utilization(acc, 1.0)
-        })
+        });
     });
     group.finish();
 }

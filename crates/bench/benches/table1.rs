@@ -14,9 +14,8 @@ fn print_table() {
         let rows = table1::solve_case(case);
         let paper = table1::paper_rows(case);
         for (row, expect) in rows.iter().zip(&paper) {
-            let fmt = |b: Option<gso_util::Bitrate>| {
-                b.map(|b| b.to_string()).unwrap_or_else(|| "-".into())
-            };
+            let fmt =
+                |b: Option<gso_util::Bitrate>| b.map_or_else(|| "-".into(), |b| b.to_string());
             println!(
                 "case{:<2} {:<8} {:>8} {:>8} {:>8}   {}",
                 case + 1,
@@ -36,7 +35,7 @@ fn bench(c: &mut Criterion) {
     for case in 0..3 {
         let problem = table1::case_problem(case);
         group.bench_function(format!("solve_case{}", case + 1), |b| {
-            b.iter(|| gso_algo::solver::solve(&problem, &Default::default()))
+            b.iter(|| gso_algo::solver::solve(&problem, &Default::default()));
         });
     }
     group.finish();

@@ -191,19 +191,24 @@ impl SenderBwe {
         // ---- Throughput over the feedback window --------------------------
         // Media only: probe padding is short-burst and would inflate the
         // apparent delivery rate (and with it the growth cap).
-        let delivered: usize = results
-            .iter()
-            .filter(|r| !r.probe && r.arrived_at.is_some())
-            .map(|r| r.size)
-            .sum();
+        let delivered: usize =
+            results.iter().filter(|r| !r.probe && r.arrived_at.is_some()).map(|r| r.size).sum();
         let arrivals: Vec<(SimTime, usize)> = results
             .iter()
             .filter(|r| !r.probe)
             .filter_map(|r| r.arrived_at.map(|a| (a, r.size)))
             .collect();
         if arrivals.len() >= 2 {
-            let first = arrivals.iter().min_by_key(|&&(a, _)| a).copied().unwrap();
-            let last = arrivals.iter().map(|&(a, _)| a).max().unwrap();
+            let first = arrivals
+                .iter()
+                .min_by_key(|&&(a, _)| a)
+                .copied()
+                .expect("invariant: len >= 2 was just checked");
+            let last = arrivals
+                .iter()
+                .map(|&(a, _)| a)
+                .max()
+                .expect("invariant: len >= 2 was just checked");
             let span = last.saturating_since(first.0).as_secs_f64();
             if span > 1e-3 {
                 // The earliest packet only opens the measurement window; its
@@ -228,8 +233,7 @@ impl SenderBwe {
             self.accumulated_delay_ms = 0.0;
             self.last_pair = None;
         }
-        let blacked_out =
-            self.trend_blackout_until.map(|t| now < t).unwrap_or(false);
+        let blacked_out = self.trend_blackout_until.is_some_and(|t| now < t);
         if !blacked_out {
             for r in results {
                 if r.probe {
@@ -255,20 +259,17 @@ impl SenderBwe {
         // never adapt to extreme outliers, which must stay detectable.
         let dt_thresh = self
             .last_threshold_update
-            .map(|t| now.saturating_since(t).as_secs_f64())
-            .unwrap_or(0.1)
+            .map_or(0.1, |t| now.saturating_since(t).as_secs_f64())
             .clamp(0.0, 1.0);
         self.last_threshold_update = Some(now);
         let abs_slope = slope.abs();
         if abs_slope < 4.0 * self.threshold {
             let k = if abs_slope > self.threshold { 1.2 } else { 0.06 };
-            let target = if abs_slope > self.threshold {
-                abs_slope
-            } else {
-                self.cfg.slope_threshold
-            };
+            let target =
+                if abs_slope > self.threshold { abs_slope } else { self.cfg.slope_threshold };
             self.threshold += k * (target - self.threshold) * dt_thresh;
-            self.threshold = self.threshold.clamp(self.cfg.slope_threshold, 8.0 * self.cfg.slope_threshold);
+            self.threshold =
+                self.threshold.clamp(self.cfg.slope_threshold, 8.0 * self.cfg.slope_threshold);
         }
         let new_usage = if slope > self.threshold {
             BandwidthUsage::Overuse
@@ -297,8 +298,16 @@ impl SenderBwe {
             .collect();
         let mut probe_rate = 0.0;
         if probe_arrivals.len() >= 3 {
-            let first = probe_arrivals.iter().min_by_key(|&&(a, _)| a).copied().unwrap();
-            let last = probe_arrivals.iter().map(|&(a, _)| a).max().unwrap();
+            let first = probe_arrivals
+                .iter()
+                .min_by_key(|&&(a, _)| a)
+                .copied()
+                .expect("invariant: len >= 3 was just checked");
+            let last = probe_arrivals
+                .iter()
+                .map(|&(a, _)| a)
+                .max()
+                .expect("invariant: len >= 3 was just checked");
             let span = last.saturating_since(first.0).as_secs_f64();
             let bytes: usize = probe_arrivals.iter().map(|&(_, s)| s).sum();
             if span > 1e-4 {
@@ -308,18 +317,14 @@ impl SenderBwe {
         let probed = probe_rate > 0.0 && window_loss < 0.05;
 
         // ---- Rate update ----------------------------------------------------
-        let dt = self
-            .last_update
-            .map(|t| now.saturating_since(t).as_secs_f64())
-            .unwrap_or(0.1)
-            .clamp(0.0, 1.0);
+        let dt =
+            self.last_update.map_or(0.1, |t| now.saturating_since(t).as_secs_f64()).clamp(0.0, 1.0);
         self.last_update = Some(now);
 
         let pre_rate = self.rate;
         let cooled_down = self
             .last_decrease
-            .map(|t| now.saturating_since(t) >= self.cfg.decrease_cooldown)
-            .unwrap_or(true);
+            .is_none_or(|t| now.saturating_since(t) >= self.cfg.decrease_cooldown);
         match self.usage {
             BandwidthUsage::Overuse if self.overuse_streak >= 2 && cooled_down => {
                 // β × measured throughput, but never a cliff: an app-limited
@@ -363,12 +368,9 @@ impl SenderBwe {
         // how production estimators survive lossy links.
         let loss_cooled = self
             .last_loss_decrease
-            .map(|t| now.saturating_since(t) >= self.cfg.loss_cooldown)
-            .unwrap_or(true);
-        let congestive = self
-            .last_overuse
-            .map(|t| now.saturating_since(t) <= SimDuration::from_secs(1))
-            .unwrap_or(false);
+            .is_none_or(|t| now.saturating_since(t) >= self.cfg.loss_cooldown);
+        let congestive =
+            self.last_overuse.is_some_and(|t| now.saturating_since(t) <= SimDuration::from_secs(1));
         if window_loss > 0.10 && loss_cooled && congestive {
             self.rate *= 1.0 - 0.5 * window_loss;
             self.last_decrease = Some(now);
@@ -384,9 +386,8 @@ impl SenderBwe {
         if let Some(c) = self.capacity {
             self.rate = self.rate.min(0.95 * c);
         }
-        self.rate = self
-            .rate
-            .clamp(self.cfg.min_rate.as_bps() as f64, self.cfg.max_rate.as_bps() as f64);
+        self.rate =
+            self.rate.clamp(self.cfg.min_rate.as_bps() as f64, self.cfg.max_rate.as_bps() as f64);
     }
 
     /// Least-squares slope of the accumulated-delay samples, in ms of delay
@@ -484,7 +485,7 @@ mod tests {
     fn converges_below_capacity() {
         let mut bwe = SenderBwe::new(BweConfig::default());
         let cap = Bitrate::from_mbps(1);
-        drive(&mut bwe, cap, |b| b.estimate(), 30.0, |_| false);
+        drive(&mut bwe, cap, super::SenderBwe::estimate, 30.0, |_| false);
         let est = bwe.estimate().as_bps() as f64;
         assert!(est > 0.5e6, "estimate too low: {est}");
         assert!(est < 1.3e6, "estimate exceeds capacity band: {est}");
@@ -511,9 +512,8 @@ mod tests {
             &mut bwe,
             cap,
             |b| {
-                Bitrate::from_kbps(200).max(Bitrate::from_bps(
-                    (b.estimate().as_bps() as f64 * 0.0) as u64,
-                ))
+                Bitrate::from_kbps(200)
+                    .max(Bitrate::from_bps((b.estimate().as_bps() as f64 * 0.0) as u64))
             },
             2.0,
             |_| false,

@@ -82,7 +82,7 @@ mod tests {
         let mut h = SendHistory::new();
         let ssrc = Ssrc(1);
         for i in 0..5u16 {
-            h.record(ssrc, 100 + i, SimTime::from_millis(i as u64 * 10), 1200, false);
+            h.record(ssrc, 100 + i, SimTime::from_millis(u64::from(i) * 10), 1200, false);
         }
         let fb = TransportFeedback {
             sender_ssrc: Ssrc(9),

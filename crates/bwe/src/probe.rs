@@ -68,7 +68,12 @@ impl ProbeController {
     /// `estimate` is the current bandwidth estimate; `app_limited` is true
     /// when the application's send rate is well below the estimate (the
     /// regime where the estimate is capped and must be refreshed by probing).
-    pub fn poll(&mut self, now: SimTime, estimate: Bitrate, app_limited: bool) -> Option<ProbeCluster> {
+    pub fn poll(
+        &mut self,
+        now: SimTime,
+        estimate: Bitrate,
+        app_limited: bool,
+    ) -> Option<ProbeCluster> {
         // Initial probes: run through the multiplier sequence back-to-back
         // (each waits for the previous burst to finish).
         if self.initial_sent < self.cfg.initial_multipliers.len() {

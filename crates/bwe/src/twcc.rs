@@ -96,10 +96,7 @@ mod tests {
         assert_eq!(fbs.len(), 1);
         let fb = &fbs[0].1;
         assert_eq!(fb.base_seq, 100);
-        assert_eq!(
-            fb.arrivals,
-            vec![Some(10_000), Some(20_000), None, Some(40_000)]
-        );
+        assert_eq!(fb.arrivals, vec![Some(10_000), Some(20_000), None, Some(40_000)]);
     }
 
     #[test]
@@ -143,8 +140,8 @@ mod tests {
         g.on_packet(SimTime::from_millis(1), Ssrc(1), 10);
         g.on_packet(SimTime::from_millis(2), Ssrc(1), 12);
         let _ = g.poll(); // reports 10..=12 with 11 missing
-        // 11 arrives late: it sits below next_base and is reported in the
-        // next span start (harmlessly re-covered) or dropped.
+                          // 11 arrives late: it sits below next_base and is reported in the
+                          // next span start (harmlessly re-covered) or dropped.
         g.on_packet(SimTime::from_millis(9), Ssrc(1), 11);
         g.on_packet(SimTime::from_millis(10), Ssrc(1), 13);
         let fbs = g.poll();

@@ -184,28 +184,35 @@ impl GsoController {
             return (None, retransmissions);
         }
 
-        let problem = match self.picture.to_problem() {
-            Ok(p) => p,
-            Err(_) => {
-                // An inconsistent picture is an exception: fall back rather
-                // than dropping control entirely.
-                self.fallback_mode = true;
-                return (None, retransmissions);
-            }
+        let Ok(problem) = self.picture.to_problem() else {
+            // An inconsistent picture is an exception: fall back rather
+            // than dropping control entirely.
+            self.fallback_mode = true;
+            return (None, retransmissions);
         };
         let (solution, fallback) = if self.fallback_mode {
             (fallback_solution(&problem), true)
         } else {
             let fresh = solver::solve(&problem, &self.cfg.solver);
+            // Trust boundary: in debug builds, every fresh solution crossing
+            // from the solver into the controller passes the full audit
+            // (constraint families + QoE accounting + convergence bound).
+            #[cfg(debug_assertions)]
+            {
+                let findings = gso_audit::SolutionAuditor::new().audit(&problem, &fresh);
+                debug_assert!(
+                    findings.is_empty(),
+                    "solver handed the controller an invalid solution:\n{}",
+                    gso_audit::report(&findings)
+                );
+            }
             // Solution stickiness: a still-valid previous configuration is
             // kept unless the fresh one is a clear improvement.
             let keep_previous = self
                 .last_solution
                 .as_ref()
                 .filter(|prev| prev.validate(&problem).is_ok())
-                .filter(|prev| {
-                    fresh.total_qoe < prev.total_qoe * (1.0 + self.cfg.stickiness)
-                })
+                .filter(|prev| fresh.total_qoe < prev.total_qoe * (1.0 + self.cfg.stickiness))
                 .cloned();
             (keep_previous.unwrap_or(fresh), false)
         };
@@ -213,11 +220,34 @@ impl GsoController {
         let ladder_layers: BTreeMap<SourceId, Vec<u16>> = problem
             .sources()
             .iter()
-            .map(|s| {
-                (s.id, s.ladder.resolutions().iter().map(|r| r.0).collect::<Vec<u16>>())
-            })
+            .map(|s| (s.id, s.ladder.resolutions().iter().map(|r| r.0).collect::<Vec<u16>>()))
             .collect();
         let (configs, rules) = self.executor.execute(now, &solution, &ladder_layers);
+        // Trust boundary: the tick's outward-bound decision. A sticky
+        // previous solution may carry QoE bookkeeping that is stale under
+        // the new problem, and the §7 fallback deliberately ignores uplink
+        // budgets, so the non-fallback path re-checks the constraint
+        // families and every path cross-checks rules against the solution.
+        #[cfg(debug_assertions)]
+        {
+            if !fallback {
+                let findings =
+                    gso_audit::SolutionAuditor::new().audit_constraints(&problem, &solution);
+                debug_assert!(
+                    findings.is_empty(),
+                    "controller tick emitted an infeasible configuration:\n{}",
+                    gso_audit::report(&findings)
+                );
+            }
+            let tuples: Vec<_> =
+                rules.iter().map(|r| (r.subscriber, r.source, r.tag, r.bitrate)).collect();
+            let findings = gso_audit::check_forwarding(&solution, &tuples);
+            debug_assert!(
+                findings.is_empty(),
+                "forwarding rules disagree with the solution that produced them:\n{}",
+                gso_audit::report(&findings)
+            );
+        }
         self.last_solution = Some(solution.clone());
         (Some(ControlOutput { configs, rules, solution, fallback }), retransmissions)
     }
@@ -351,7 +381,11 @@ mod tests {
             for (client, msg) in acked.drain(..) {
                 c.on_ack(
                     client,
-                    &GsoTmmbn { sender_ssrc: Ssrc(9), request_seq: msg.request_seq, entries: vec![] },
+                    &GsoTmmbn {
+                        sender_ssrc: Ssrc(9),
+                        request_seq: msg.request_seq,
+                        entries: vec![],
+                    },
                 );
             }
         }

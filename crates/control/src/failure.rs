@@ -34,12 +34,8 @@ pub fn fallback_solution(problem: &Problem) -> Solution {
             // minimal stream on top of what they already take.
             let used: u64 = received
                 .get(&sub.subscriber)
-                .map(|rs: &Vec<ReceivedStream>| rs.iter().map(|r| r.bitrate.as_bps()).sum())
-                .unwrap_or(0);
-            let budget = problem
-                .client(sub.subscriber)
-                .map(|c| c.downlink.as_bps())
-                .unwrap_or(0);
+                .map_or(0, |rs: &Vec<ReceivedStream>| rs.iter().map(|r| r.bitrate.as_bps()).sum());
+            let budget = problem.client(sub.subscriber).map_or(0, |c| c.downlink.as_bps());
             if used + spec.bitrate.as_bps() > budget {
                 continue;
             }
@@ -106,10 +102,7 @@ impl DowngradeMonitor {
 
     /// Is a specific layer alive?
     pub fn is_alive(&self, now: SimTime, ssrc: Ssrc) -> bool {
-        self.last_seen
-            .get(&ssrc)
-            .map(|&seen| now.saturating_since(seen) <= self.timeout)
-            .unwrap_or(false)
+        self.last_seen.get(&ssrc).is_some_and(|&seen| now.saturating_since(seen) <= self.timeout)
     }
 }
 
@@ -126,10 +119,8 @@ mod tests {
     fn meeting() -> Problem {
         let ladder = ladders::paper_table1();
         let ids = [ClientId(1), ClientId(2), ClientId(3)];
-        let clients = ids
-            .iter()
-            .map(|&id| ClientSpec::new(id, k(5_000), k(5_000), ladder.clone()))
-            .collect();
+        let clients =
+            ids.iter().map(|&id| ClientSpec::new(id, k(5_000), k(5_000), ladder.clone())).collect();
         let mut subs = Vec::new();
         for &i in &ids {
             for &j in &ids {
@@ -162,9 +153,7 @@ mod tests {
                 ClientSpec::new(ClientId(1), k(5_000), k(5_000), ladder.clone()),
                 ClientSpec::new(ClientId(2), k(5_000), k(150), ladder),
             ],
-            vec![
-                Subscription::new(ClientId(2), SourceId::video(ClientId(1)), Resolution::R720),
-            ],
+            vec![Subscription::new(ClientId(2), SourceId::video(ClientId(1)), Resolution::R720)],
         )
         .unwrap();
         let sol = fallback_solution(&p);

@@ -41,10 +41,7 @@ pub struct FeedbackConfig {
 
 impl Default for FeedbackConfig {
     fn default() -> Self {
-        FeedbackConfig {
-            retransmit_after: SimDuration::from_millis(200),
-            max_transmissions: 5,
-        }
+        FeedbackConfig { retransmit_after: SimDuration::from_millis(200), max_transmissions: 5 }
     }
 }
 
@@ -115,8 +112,7 @@ impl FeedbackExecutor {
                 let bitrate = policies
                     .iter()
                     .find(|p| p.resolution.0 == lines)
-                    .map(|p| p.bitrate)
-                    .unwrap_or(Bitrate::ZERO);
+                    .map_or(Bitrate::ZERO, |p| p.bitrate);
                 per_client.entry(source.client).or_default().push(TmmbrEntry {
                     ssrc: ssrc_for(source.client, source.kind, lines),
                     bitrate,
@@ -132,11 +128,8 @@ impl FeedbackExecutor {
             {
                 continue; // configuration unchanged and acknowledged
             }
-            let message = GsoTmmbr {
-                sender_ssrc: self.controller_ssrc,
-                request_seq: self.next_seq,
-                entries,
-            };
+            let message =
+                GsoTmmbr { sender_ssrc: self.controller_ssrc, request_seq: self.next_seq, entries };
             self.next_seq += 1;
             self.outstanding.insert(
                 client,
@@ -151,7 +144,10 @@ impl FeedbackExecutor {
     pub fn on_ack(&mut self, client: ClientId, ack: &GsoTmmbn) {
         if let Some(out) = self.outstanding.get(&client) {
             if out.message.request_seq == ack.request_seq {
-                let out = self.outstanding.remove(&client).expect("present");
+                let out = self
+                    .outstanding
+                    .remove(&client)
+                    .expect("invariant: the entry was just found by get");
                 self.applied.insert(client, out.message.entries);
             }
         }
@@ -244,7 +240,10 @@ mod tests {
         let (msgs, _) = ex.execute(SimTime::ZERO, &sol, &layers);
         let (client, msg) = &msgs[0];
         assert!(ex.pending(*client));
-        ex.on_ack(*client, &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: msg.request_seq, entries: vec![] });
+        ex.on_ack(
+            *client,
+            &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: msg.request_seq, entries: vec![] },
+        );
         assert!(!ex.pending(*client));
         // Nothing to resend for the acknowledged client.
         let resent = ex.poll(SimTime::from_secs(1));
@@ -254,7 +253,10 @@ mod tests {
     #[test]
     fn unacked_message_retransmits_then_fails() {
         let (sol, layers) = solved();
-        let cfg = FeedbackConfig { retransmit_after: SimDuration::from_millis(200), max_transmissions: 3 };
+        let cfg = FeedbackConfig {
+            retransmit_after: SimDuration::from_millis(200),
+            max_transmissions: 3,
+        };
         let mut ex = FeedbackExecutor::new(cfg, Ssrc(1));
         let (msgs, _) = ex.execute(SimTime::ZERO, &sol, &layers);
         assert_eq!(msgs.len(), 2);
@@ -273,7 +275,10 @@ mod tests {
         let mut ex = FeedbackExecutor::new(FeedbackConfig::default(), Ssrc(1));
         let (msgs, _) = ex.execute(SimTime::ZERO, &sol, &layers);
         let (client, msg) = &msgs[0];
-        ex.on_ack(*client, &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: msg.request_seq + 99, entries: vec![] });
+        ex.on_ack(
+            *client,
+            &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: msg.request_seq + 99, entries: vec![] },
+        );
         assert!(ex.pending(*client), "wrong seq must not ack");
     }
 
@@ -283,7 +288,10 @@ mod tests {
         let mut ex = FeedbackExecutor::new(FeedbackConfig::default(), Ssrc(1));
         let (msgs, _) = ex.execute(SimTime::ZERO, &sol, &layers);
         for (client, msg) in &msgs {
-            ex.on_ack(*client, &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: msg.request_seq, entries: vec![] });
+            ex.on_ack(
+                *client,
+                &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: msg.request_seq, entries: vec![] },
+            );
         }
         // Same solution again: no new messages.
         let (msgs2, rules2) = ex.execute(SimTime::from_secs(2), &sol, &layers);

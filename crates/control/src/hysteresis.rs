@@ -24,10 +24,7 @@ pub struct HysteresisConfig {
 
 impl Default for HysteresisConfig {
     fn default() -> Self {
-        HysteresisConfig {
-            upgrade_threshold: 0.15,
-            mark_timeout: SimDuration::from_secs(30),
-        }
+        HysteresisConfig { upgrade_threshold: 0.15, mark_timeout: SimDuration::from_secs(30) }
     }
 }
 
@@ -53,10 +50,8 @@ impl<K: Ord + Hash + Copy> BandwidthHysteresis<K> {
     /// Feed a raw measurement; returns the effective bandwidth to hand the
     /// controller.
     pub fn filter(&mut self, key: K, now: SimTime, measured: Bitrate) -> Bitrate {
-        let state = self.links.entry(key).or_insert(LinkState {
-            effective: measured,
-            marked_at: None,
-        });
+        let state =
+            self.links.entry(key).or_insert(LinkState { effective: measured, marked_at: None });
         if measured < state.effective {
             // Downgrade: apply immediately and mark the link.
             state.effective = measured;
@@ -117,7 +112,7 @@ mod tests {
         let mut h = BandwidthHysteresis::new(HysteresisConfig::default());
         h.filter(1u32, t(0), k(1_000));
         h.filter(1, t(1), k(400)); // downgrade marks the link
-        // +10% wiggle: suppressed (threshold is +15%).
+                                   // +10% wiggle: suppressed (threshold is +15%).
         assert_eq!(h.filter(1, t(2), k(440)), k(400));
         // +20%: accepted.
         assert_eq!(h.filter(1, t(3), k(480)), k(480));
@@ -144,10 +139,8 @@ mod tests {
 
     #[test]
     fn mark_expires_after_timeout() {
-        let cfg = HysteresisConfig {
-            upgrade_threshold: 0.15,
-            mark_timeout: SimDuration::from_secs(5),
-        };
+        let cfg =
+            HysteresisConfig { upgrade_threshold: 0.15, mark_timeout: SimDuration::from_secs(5) };
         let mut h = BandwidthHysteresis::new(cfg);
         h.filter(1u32, t(0), k(1_000));
         h.filter(1, t(1), k(400));

@@ -162,11 +162,7 @@ impl SdpOffer {
                         kbps.parse().map_err(|_| SdpError::Malformed(line.to_string()))?;
                     let qoe: f64 =
                         qoe.parse().map_err(|_| SdpError::Malformed(line.to_string()))?;
-                    specs.push(StreamSpec::new(
-                        Resolution(res),
-                        Bitrate::from_kbps(kbps),
-                        qoe,
-                    ));
+                    specs.push(StreamSpec::new(Resolution(res), Bitrate::from_kbps(kbps), qoe));
                 }
                 let ladder = Ladder::new(specs).map_err(SdpError::BadLadder)?;
                 ladders.push((kind, ladder));
@@ -179,11 +175,7 @@ impl SdpOffer {
             return Err(SdpError::MissingLine("m="));
         }
         let client = client.ok_or(SdpError::MissingLine("o="))?;
-        Ok(SdpOffer {
-            client,
-            codec: codec.unwrap_or_else(|| "H264".to_string()),
-            ladders,
-        })
+        Ok(SdpOffer { client, codec: codec.unwrap_or_else(|| "H264".to_string()), ladders })
     }
 
     /// The conference node's side of the negotiation: accept the offer,
@@ -202,9 +194,7 @@ impl SdpOffer {
                 (*kind, ladder.clone(), ssrcs)
             })
             .collect();
-        let caps = CodecCapability {
-            ladders: self.ladders.clone(),
-        };
+        let caps = CodecCapability { ladders: self.ladders.clone() };
         (SdpAnswer { client: self.client, accepted }, caps)
     }
 }
@@ -260,11 +250,7 @@ mod tests {
     fn negotiation_assigns_one_ssrc_per_layer() {
         let (answer, caps) = offer().negotiate();
         assert_eq!(caps.ladders.len(), 2);
-        let video = answer
-            .accepted
-            .iter()
-            .find(|(k, _, _)| *k == StreamKind::Video)
-            .unwrap();
+        let video = answer.accepted.iter().find(|(k, _, _)| *k == StreamKind::Video).unwrap();
         // paper ladder has 3 resolutions → 3 SSRCs, all distinct.
         assert_eq!(video.2.len(), 3);
         let mut ssrcs: Vec<u32> = video.2.iter().map(|(_, s)| s.0).collect();
@@ -273,10 +259,7 @@ mod tests {
         assert_eq!(ssrcs.len(), 3);
         // SSRCs decode back to the right layer.
         for (res, ssrc) in &video.2 {
-            assert_eq!(
-                gso_rtp::decode_ssrc(*ssrc),
-                Some((ClientId(7), StreamKind::Video, res.0))
-            );
+            assert_eq!(gso_rtp::decode_ssrc(*ssrc), Some((ClientId(7), StreamKind::Video, res.0)));
         }
     }
 
@@ -299,10 +282,7 @@ mod tests {
             SdpOffer::parse("v=0\r\no=client1 0 0 IN IP4 0.0.0.0\r\n"),
             Err(SdpError::MissingLine("m="))
         );
-        assert_eq!(
-            SdpOffer::parse("v=0\r\nm=video 9\r\n"),
-            Err(SdpError::MissingLine("o="))
-        );
+        assert_eq!(SdpOffer::parse("v=0\r\nm=video 9\r\n"), Err(SdpError::MissingLine("o=")));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! validated [`Problem`] for the solver, applying the audio-protection
 //! subtraction (§7) and speaker/screen priority boosts (§4.4).
 
-use gso_algo::{ClientSpec, Ladder, Problem, ProblemError, PublisherSource, Resolution, SourceId, Subscription};
+use gso_algo::{
+    ClientSpec, Ladder, Problem, ProblemError, PublisherSource, Resolution, SourceId, Subscription,
+};
 use gso_util::{Bitrate, ClientId, SimTime, StreamKind};
 use std::collections::BTreeMap;
 

@@ -16,13 +16,13 @@ pub const CAPTURE_COST_PER_FRAME: f64 = 900.0;
 
 /// Encode work per frame: `base + per_pixel × pixels` (hardware-ish encoder).
 pub fn encode_cost(resolution_lines: u16, _frame_bytes: usize) -> f64 {
-    let pixels = (resolution_lines as f64) * (resolution_lines as f64 * 16.0 / 9.0);
+    let pixels = f64::from(resolution_lines) * (f64::from(resolution_lines) * 16.0 / 9.0);
     120.0 + pixels * 6.0e-3
 }
 
 /// Decode work per frame at a given resolution.
 pub fn decode_cost(resolution_lines: u16) -> f64 {
-    let pixels = (resolution_lines as f64) * (resolution_lines as f64 * 16.0 / 9.0);
+    let pixels = f64::from(resolution_lines) * (f64::from(resolution_lines) * 16.0 / 9.0);
     60.0 + pixels * 2.5e-3
 }
 

@@ -177,10 +177,8 @@ impl SimulcastEncoder {
             // averages to target. With interval K frames and gain g, one key
             // + (K-1) deltas must sum to K·mean_raw.
             let mean_raw = layer.target.as_bps() as f64 / 8.0 / self.cfg.fps;
-            let frames_per_gop =
-                (self.cfg.keyframe_interval.as_secs_f64() * self.cfg.fps).max(1.0);
-            let delta_scale =
-                frames_per_gop / (frames_per_gop - 1.0 + self.cfg.keyframe_gain);
+            let frames_per_gop = (self.cfg.keyframe_interval.as_secs_f64() * self.cfg.fps).max(1.0);
+            let delta_scale = frames_per_gop / (frames_per_gop - 1.0 + self.cfg.keyframe_gain);
             let mean = if keyframe {
                 mean_raw * delta_scale * self.cfg.keyframe_gain
             } else {
@@ -260,8 +258,9 @@ mod tests {
         // 10 s at a 3 s keyframe interval = 4 keyframes (t=0, 3, 6, 9).
         assert_eq!(keys.len(), 4);
         // Keyframes are larger than the average delta frame.
-        let avg_delta: f64 = frames.iter().filter(|f| !f.keyframe).map(|f| f.size as f64).sum::<f64>()
-            / frames.iter().filter(|f| !f.keyframe).count() as f64;
+        let avg_delta: f64 =
+            frames.iter().filter(|f| !f.keyframe).map(|f| f.size as f64).sum::<f64>()
+                / frames.iter().filter(|f| !f.keyframe).count() as f64;
         for k in keys {
             assert!(k.size as f64 > 1.4 * avg_delta);
         }

@@ -85,8 +85,7 @@ impl FragmentHeader {
 pub fn packetize(frame: &EncodedFrame, next_seq: &mut u16, payload_type: u8) -> Vec<RtpPacket> {
     let data_per_packet = MTU_PAYLOAD - FRAG_HEADER_LEN;
     let frag_count = frame.size.div_ceil(data_per_packet).max(1) as u16;
-    let timestamp =
-        ((frame.captured_at.as_micros() * VIDEO_CLOCK_HZ) / 1_000_000) as u32;
+    let timestamp = ((frame.captured_at.as_micros() * VIDEO_CLOCK_HZ) / 1_000_000) as u32;
     let mut packets = Vec::with_capacity(frag_count as usize);
     let mut remaining = frame.size;
     for i in 0..frag_count {

@@ -146,7 +146,7 @@ impl VoicePlayback {
                 if d == 0 || d >= 0x8000 {
                     0 // duplicate or reordered; already counted
                 } else {
-                    d as u64
+                    u64::from(d)
                 }
             }
         };

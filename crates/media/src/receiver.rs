@@ -212,11 +212,7 @@ impl StreamReceiver {
             // When frozen (no decodable successor), resume at the earliest
             // complete keyframe, discarding anything older.
             if self.next_decodable.is_none() {
-                let Some(kid) = self
-                    .ready
-                    .iter()
-                    .find(|(_, f)| f.keyframe)
-                    .map(|(&id, _)| id)
+                let Some(kid) = self.ready.iter().find(|(_, f)| f.keyframe).map(|(&id, _)| id)
                 else {
                     break;
                 };

@@ -178,8 +178,7 @@ impl Link {
     /// Offer a packet at time `now`; returns the delivery decision.
     pub fn offer(&mut self, now: SimTime, packet: &Packet) -> Transmit {
         let size = packet.wire_size();
-        let delay_bound =
-            self.config.rate.at(now).bytes_in(self.config.max_queue_delay) as usize;
+        let delay_bound = self.config.rate.at(now).bytes_in(self.config.max_queue_delay) as usize;
         let limit = self.config.queue_bytes.min(delay_bound.max(2 * 1500));
         if self.queued_bytes(now) + size > limit {
             self.stats.dropped_queue += 1;
@@ -282,10 +281,7 @@ mod tests {
         // Queue full now.
         assert_eq!(l.offer(SimTime::ZERO, &packet(972)), Transmit::DropQueue);
         // After 8 ms the first packet finished; room again.
-        assert!(matches!(
-            l.offer(SimTime::from_millis(8), &packet(972)),
-            Transmit::Deliver(_)
-        ));
+        assert!(matches!(l.offer(SimTime::from_millis(8), &packet(972)), Transmit::Deliver(_)));
     }
 
     #[test]
@@ -307,7 +303,7 @@ mod tests {
                 lost += 1;
             }
         }
-        let rate = lost as f64 / n as f64;
+        let rate = f64::from(lost) / n as f64;
         assert!((rate - 0.3).abs() < 0.02, "observed loss {rate}");
     }
 
@@ -318,8 +314,8 @@ mod tests {
             (SimTime::ZERO, Bitrate::from_mbps(2)),
             (SimTime::from_secs(1), Bitrate::from_kbps(500)),
         ]);
-        let cfg = LinkConfig::clean(Bitrate::from_mbps(2), SimDuration::ZERO)
-            .with_rate_schedule(rate);
+        let cfg =
+            LinkConfig::clean(Bitrate::from_mbps(2), SimDuration::ZERO).with_rate_schedule(rate);
         let mut l = mk_link(cfg);
         // 1000 wire bytes at 2 Mbps = 4 ms.
         assert_eq!(

@@ -56,7 +56,7 @@ impl Pacer {
             last_refill: SimTime::ZERO,
             queue: VecDeque::new(),
             queued_bytes: 0,
-        dropped: 0,
+            dropped: 0,
         }
     }
 
@@ -203,7 +203,7 @@ mod tests {
         }
         let _ = p.poll(SimTime::ZERO);
         p.set_rate(Bitrate::from_kbps(8_000)); // 1 MB/s
-        // After 100 ms, 100 kB of tokens accrued (capped at burst 12 kB)…
+                                               // After 100 ms, 100 kB of tokens accrued (capped at burst 12 kB)…
         let released = p.poll(SimTime::from_millis(100));
         assert_eq!(released.len(), 12, "capped by bucket depth");
     }

@@ -76,7 +76,7 @@ impl Simulator {
 
     /// Mutate a link's configuration (e.g. push an impairment step).
     pub fn link_config_mut(&mut self, from: NodeId, to: NodeId) -> Option<&mut LinkConfig> {
-        self.links.get_mut(&(from, to)).map(|l| l.config_mut())
+        self.links.get_mut(&(from, to)).map(super::link::Link::config_mut)
     }
 
     /// A link's accumulated statistics.
@@ -118,9 +118,8 @@ impl Simulator {
     where
         F: FnOnce(&mut dyn Node, SimTime, &mut Actions),
     {
-        let mut node = match self.nodes.get_mut(id.0 as usize).and_then(Option::take) {
-            Some(n) => n,
-            None => return,
+        let Some(mut node) = self.nodes.get_mut(id.0 as usize).and_then(Option::take) else {
+            return;
         };
         let mut out = Actions::default();
         let now = self.now;

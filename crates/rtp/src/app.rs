@@ -39,7 +39,7 @@ impl Semb {
 
     pub(crate) fn write_body(&self, b: &mut BytesMut) {
         let (exp, m) = mantissa::encode(self.bitrate, mantissa::REMB_MANTISSA_BITS);
-        let word = ((self.ssrcs.len() as u32 & 0xff) << 24) | ((exp as u32) << 18) | m;
+        let word = ((self.ssrcs.len() as u32 & 0xff) << 24) | (u32::from(exp) << 18) | m;
         b.put_u32(word);
         for s in &self.ssrcs {
             b.put_u32(s.0);

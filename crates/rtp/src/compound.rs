@@ -181,9 +181,7 @@ impl RtcpPacket {
                 let mut name = [0u8; 4];
                 body.copy_to_slice(&mut name);
                 match &name {
-                    n if n == Semb::NAME => {
-                        RtcpPacket::Semb(Semb::read_body(sender, &mut body)?)
-                    }
+                    n if n == Semb::NAME => RtcpPacket::Semb(Semb::read_body(sender, &mut body)?),
                     n if n == GsoTmmbr::NAME => {
                         RtcpPacket::GsoTmmbr(GsoTmmbr::read_body(sender, &mut body)?)
                     }
@@ -281,20 +279,36 @@ mod tests {
             sample_rr(),
             RtcpPacket::Tmmbr(Tmmbr {
                 sender_ssrc: Ssrc(1),
-                entries: vec![TmmbrEntry { ssrc: Ssrc(5), bitrate: Bitrate::from_kbps(256), overhead: 0 }],
+                entries: vec![TmmbrEntry {
+                    ssrc: Ssrc(5),
+                    bitrate: Bitrate::from_kbps(256),
+                    overhead: 0,
+                }],
             }),
             RtcpPacket::Tmmbn(Tmmbn { sender_ssrc: Ssrc(1), entries: vec![] }),
             RtcpPacket::Nack(Nack { sender_ssrc: Ssrc(1), media_ssrc: Ssrc(2), lost: vec![5, 6] }),
-            RtcpPacket::Remb(Remb { sender_ssrc: Ssrc(1), bitrate: Bitrate::from_kbps(1024), ssrcs: vec![Ssrc(7)] }),
+            RtcpPacket::Remb(Remb {
+                sender_ssrc: Ssrc(1),
+                bitrate: Bitrate::from_kbps(1024),
+                ssrcs: vec![Ssrc(7)],
+            }),
             RtcpPacket::TransportFeedback(TransportFeedback {
                 sender_ssrc: Ssrc(1),
                 feedback_seq: 3,
                 base_seq: 100,
                 arrivals: vec![Some(10), None],
             }),
-            RtcpPacket::Semb(Semb { sender_ssrc: Ssrc(1), bitrate: Bitrate::from_kbps(2048), ssrcs: vec![] }),
+            RtcpPacket::Semb(Semb {
+                sender_ssrc: Ssrc(1),
+                bitrate: Bitrate::from_kbps(2048),
+                ssrcs: vec![],
+            }),
             sample_gtmb(),
-            RtcpPacket::GsoTmmbn(GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: 9, entries: vec![] }),
+            RtcpPacket::GsoTmmbn(GsoTmmbn {
+                sender_ssrc: Ssrc(2),
+                request_seq: 9,
+                entries: vec![],
+            }),
         ];
         let wire = RtcpPacket::serialize_compound(&packets);
         let back = RtcpPacket::parse_compound(wire).unwrap();

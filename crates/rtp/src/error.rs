@@ -6,13 +6,23 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
     /// Fewer bytes than the fixed header (or declared length) requires.
-    Truncated { needed: usize, got: usize },
+    Truncated {
+        /// Bytes the header or declared length requires.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
     /// The RTP/RTCP version field is not 2.
     BadVersion(u8),
     /// An RTCP packet type we do not understand.
     UnknownPacketType(u8),
     /// A feedback message (FMT) we do not understand for a known type.
-    UnknownFormat { packet_type: u8, fmt: u8 },
+    UnknownFormat {
+        /// The RTCP packet type.
+        packet_type: u8,
+        /// The unrecognized feedback message type.
+        fmt: u8,
+    },
     /// An APP packet whose 4-byte name is not one of ours.
     UnknownAppName([u8; 4]),
     /// A declared length field is inconsistent with the payload.

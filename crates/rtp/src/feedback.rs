@@ -41,7 +41,7 @@ impl TmmbrEntry {
         b.put_u32(self.ssrc.0);
         let (exp, mantissa) = mantissa::encode(self.bitrate, mantissa::TMMBR_MANTISSA_BITS);
         let word: u32 =
-            ((exp as u32) << 26) | (mantissa << 9) | (self.overhead as u32 & 0x1ff);
+            (u32::from(exp) << 26) | (mantissa << 9) | (u32::from(self.overhead) & 0x1ff);
         b.put_u32(word);
     }
 
@@ -96,7 +96,7 @@ fn tmmb_read_body(b: &mut impl Buf) -> Result<(Ssrc, Vec<TmmbrEntry>), ParseErro
 
 impl Tmmbr {
     pub(crate) fn write_body(&self, b: &mut BytesMut) {
-        tmmb_write_body(self.sender_ssrc, &self.entries, b)
+        tmmb_write_body(self.sender_ssrc, &self.entries, b);
     }
 
     pub(crate) fn read_body(b: &mut impl Buf) -> Result<Tmmbr, ParseError> {
@@ -107,7 +107,7 @@ impl Tmmbr {
 
 impl Tmmbn {
     pub(crate) fn write_body(&self, b: &mut BytesMut) {
-        tmmb_write_body(self.sender_ssrc, &self.entries, b)
+        tmmb_write_body(self.sender_ssrc, &self.entries, b);
     }
 
     pub(crate) fn read_body(b: &mut impl Buf) -> Result<Tmmbn, ParseError> {
@@ -197,7 +197,7 @@ impl Remb {
         b.put_u32(0);
         b.extend_from_slice(b"REMB");
         let (exp, m) = mantissa::encode(self.bitrate, mantissa::REMB_MANTISSA_BITS);
-        let word = ((self.ssrcs.len() as u32 & 0xff) << 24) | ((exp as u32) << 18) | m;
+        let word = ((self.ssrcs.len() as u32 & 0xff) << 24) | (u32::from(exp) << 18) | m;
         b.put_u32(word);
         for s in &self.ssrcs {
             b.put_u32(s.0);
@@ -305,7 +305,11 @@ mod tests {
 
     #[test]
     fn nack_blp_compression() {
-        let n = Nack { sender_ssrc: Ssrc(1), media_ssrc: Ssrc(2), lost: vec![100, 101, 105, 116, 117, 200] };
+        let n = Nack {
+            sender_ssrc: Ssrc(1),
+            media_ssrc: Ssrc(2),
+            lost: vec![100, 101, 105, 116, 117, 200],
+        };
         // 100 carries 101,105,116 in its BLP (offsets 1,5,16); 117 starts a
         // new item carrying nothing; 200 a third.
         let items = n.items();

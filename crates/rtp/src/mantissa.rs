@@ -32,7 +32,7 @@ pub fn encode(bitrate: Bitrate, mantissa_bits: u32) -> (u8, u32) {
 
 /// Decode `(exp, mantissa)` back to a bitrate.
 pub fn decode(exp: u8, mantissa: u32) -> Bitrate {
-    Bitrate::from_bps((mantissa as u64) << exp.min(63))
+    Bitrate::from_bps(u64::from(mantissa) << exp.min(63))
 }
 
 /// Mantissa width used by TMMBR/TMMBN (RFC 5104).

@@ -44,8 +44,8 @@ impl ReportBlock {
     pub(crate) fn read(b: &mut impl Buf) -> ReportBlock {
         let ssrc = Ssrc(b.get_u32());
         let fraction_lost = b.get_u8();
-        let hi = b.get_u8() as u32;
-        let lo = b.get_u16() as u32;
+        let hi = u32::from(b.get_u8());
+        let lo = u32::from(b.get_u16());
         ReportBlock {
             ssrc,
             fraction_lost,
@@ -62,7 +62,7 @@ impl ReportBlock {
 
     /// Fraction lost as a float in [0, 1].
     pub fn loss_fraction(&self) -> f64 {
-        self.fraction_lost as f64 / 256.0
+        f64::from(self.fraction_lost) / 256.0
     }
 }
 
@@ -115,7 +115,14 @@ impl SenderReport {
         let packet_count = b.get_u32();
         let octet_count = b.get_u32();
         let reports = (0..count).map(|_| ReportBlock::read(b)).collect();
-        Ok(SenderReport { sender_ssrc, ntp_micros, rtp_timestamp, packet_count, octet_count, reports })
+        Ok(SenderReport {
+            sender_ssrc,
+            ntp_micros,
+            rtp_timestamp,
+            packet_count,
+            octet_count,
+            reports,
+        })
     }
 }
 

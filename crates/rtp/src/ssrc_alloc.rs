@@ -31,7 +31,7 @@ fn kind_from_code(code: u32) -> Option<StreamKind> {
 /// SSRC for a client's layer at a given resolution (vertical lines; 0 for
 /// audio).
 pub fn ssrc_for(client: ClientId, kind: StreamKind, resolution_lines: u16) -> Ssrc {
-    let slot = (resolution_lines as u32 / 4) & 0xfff;
+    let slot = (u32::from(resolution_lines) / 4) & 0xfff;
     Ssrc(((client.0 & 0xffff) << 16) | (kind_code(kind) << 12) | slot)
 }
 

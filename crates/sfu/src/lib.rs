@@ -19,6 +19,8 @@ pub mod switcher;
 pub mod template;
 
 pub use relay::{RelayTable, RelayTarget};
-pub use selector::{LargestFitSelector, OfferedLayer, PassthroughSelector, StreamSelector, TwoLevelSelector};
+pub use selector::{
+    LargestFitSelector, OfferedLayer, PassthroughSelector, StreamSelector, TwoLevelSelector,
+};
 pub use switcher::LayerSwitcher;
 pub use template::{layers_for, TemplateKind, TemplateLayer, NON_GSO_LAYERS};

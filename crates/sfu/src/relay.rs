@@ -63,7 +63,7 @@ impl RelayTable {
     /// True if nobody needs this stream (the accessing node can tell the
     /// controller, which will stop the publisher — Fig. 3d).
     pub fn is_unwanted(&self, ssrc: Ssrc) -> bool {
-        self.routes.get(&ssrc).map(|s| s.is_empty()).unwrap_or(true)
+        self.routes.get(&ssrc).is_none_or(std::collections::BTreeSet::is_empty)
     }
 
     /// All SSRCs with at least one target.
@@ -82,10 +82,7 @@ mod tests {
         t.subscribe(Ssrc(1), RelayTarget::Local(10));
         t.subscribe(Ssrc(1), RelayTarget::Local(10)); // duplicate
         t.subscribe(Ssrc(1), RelayTarget::Peer(2));
-        assert_eq!(
-            t.targets(Ssrc(1)),
-            vec![RelayTarget::Local(10), RelayTarget::Peer(2)]
-        );
+        assert_eq!(t.targets(Ssrc(1)), vec![RelayTarget::Local(10), RelayTarget::Peer(2)]);
     }
 
     #[test]

@@ -27,6 +27,27 @@ pub trait StreamSelector: Send {
     fn select(&self, layers: &[OfferedLayer], budget: Bitrate) -> Option<Ssrc>;
 }
 
+/// Debug-build trust-boundary check for forwarding decisions: a selected
+/// SSRC must identify an offered, currently-active layer, and — when the
+/// policy promises one — sit within the margin-adjusted budget. Compiles to
+/// nothing in release builds.
+#[inline]
+fn debug_check_selection(layers: &[OfferedLayer], cap: Option<Bitrate>, pick: Option<Ssrc>) {
+    let Some(ssrc) = pick else { return };
+    let layer = layers.iter().find(|l| l.ssrc == ssrc);
+    debug_assert!(
+        layer.is_some_and(|l| !l.bitrate.is_zero()),
+        "selector picked {ssrc:?}, which is not an active offered layer"
+    );
+    if let (Some(layer), Some(cap)) = (layer, cap) {
+        debug_assert!(
+            layer.bitrate <= cap,
+            "selector picked {:?} over the budget cap {cap}",
+            layer.bitrate
+        );
+    }
+}
+
 /// The traditional local policy: forward the largest layer whose bitrate
 /// fits within `margin × budget`. The safety margin is what produces the
 /// video/network mismatch of Fig. 3b — a 1.45 Mbps downlink cannot take a
@@ -48,11 +69,13 @@ impl Default for LargestFitSelector {
 impl StreamSelector for LargestFitSelector {
     fn select(&self, layers: &[OfferedLayer], budget: Bitrate) -> Option<Ssrc> {
         let cap = budget.mul_f64(self.margin);
-        layers
+        let pick = layers
             .iter()
             .filter(|l| !l.bitrate.is_zero() && l.bitrate <= cap)
             .max_by_key(|l| l.bitrate)
-            .map(|l| l.ssrc)
+            .map(|l| l.ssrc);
+        debug_check_selection(layers, Some(cap), pick);
+        pick
     }
 }
 
@@ -64,16 +87,17 @@ pub struct TwoLevelSelector;
 
 impl StreamSelector for TwoLevelSelector {
     fn select(&self, layers: &[OfferedLayer], budget: Bitrate) -> Option<Ssrc> {
-        let active: Vec<&OfferedLayer> =
-            layers.iter().filter(|l| !l.bitrate.is_zero()).collect();
+        let active: Vec<&OfferedLayer> = layers.iter().filter(|l| !l.bitrate.is_zero()).collect();
         if active.is_empty() || budget < Bitrate::from_kbps(200) {
             return None;
         }
-        if budget > Bitrate::from_kbps(750) {
+        let pick = if budget > Bitrate::from_kbps(750) {
             active.iter().max_by_key(|l| l.bitrate).map(|l| l.ssrc)
         } else {
             active.iter().min_by_key(|l| l.bitrate).map(|l| l.ssrc)
-        }
+        };
+        debug_check_selection(layers, None, pick);
+        pick
     }
 }
 
@@ -85,11 +109,13 @@ pub struct PassthroughSelector;
 
 impl StreamSelector for PassthroughSelector {
     fn select(&self, layers: &[OfferedLayer], _budget: Bitrate) -> Option<Ssrc> {
-        layers
+        let pick = layers
             .iter()
             .filter(|l| !l.bitrate.is_zero())
             .max_by_key(|l| l.bitrate)
-            .map(|l| l.ssrc)
+            .map(|l| l.ssrc);
+        debug_check_selection(layers, None, pick);
+        pick
     }
 }
 
@@ -101,7 +127,11 @@ mod tests {
         vec![
             OfferedLayer { ssrc: Ssrc(1), resolution_lines: 180, bitrate: Bitrate::from_kbps(300) },
             OfferedLayer { ssrc: Ssrc(2), resolution_lines: 360, bitrate: Bitrate::from_kbps(600) },
-            OfferedLayer { ssrc: Ssrc(3), resolution_lines: 720, bitrate: Bitrate::from_kbps(1500) },
+            OfferedLayer {
+                ssrc: Ssrc(3),
+                resolution_lines: 720,
+                bitrate: Bitrate::from_kbps(1500),
+            },
         ]
     }
 

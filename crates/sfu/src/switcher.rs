@@ -52,10 +52,18 @@ impl LayerSwitcher {
     /// Should a packet from `ssrc` be forwarded? `keyframe_start` must be
     /// true for the first packet of a keyframe.
     pub fn should_forward(&mut self, ssrc: Ssrc, keyframe_start: bool) -> bool {
+        let previous = self.current;
         if self.pending == Some(ssrc) && keyframe_start {
             self.current = Some(ssrc);
             self.pending = None;
         }
+        // Trust boundary: a layer switch must land exactly on the first
+        // packet of a keyframe of the target layer — never mid-GoP.
+        debug_assert!(
+            self.current == previous || (keyframe_start && self.current == Some(ssrc)),
+            "layer switch landed mid-GoP: {previous:?} -> {:?}",
+            self.current
+        );
         self.current == Some(ssrc)
     }
 }

@@ -10,10 +10,10 @@
 use crate::client::PolicyMode;
 use crate::ctrl::CtrlMessage;
 use gso_algo::SourceId;
+use gso_bwe::TwccGenerator;
 use gso_bwe::{
     BweConfig, ProbeConfig, ProbeController, SembConfig, SembScheduler, SendHistory, SenderBwe,
 };
-use gso_bwe::TwccGenerator;
 use gso_control::SubscribeIntent;
 use gso_media::FragmentHeader;
 use gso_net::{Actions, Node, NodeId, Packet};
@@ -138,7 +138,13 @@ impl AccessNode {
         sim.schedule_timer(node, SimTime::ZERO, SLOW_TICK);
     }
 
-    fn forward_to(&mut self, now: SimTime, subscriber: ClientId, pkt: &RtpPacket, out: &mut Actions) {
+    fn forward_to(
+        &mut self,
+        now: SimTime,
+        subscriber: ClientId,
+        pkt: &RtpPacket,
+        out: &mut Actions,
+    ) {
         let Some(path) = self.down.get_mut(&subscriber) else { return };
         path.history.record(pkt.ssrc, pkt.sequence, now, pkt.wire_len() + 28, false);
         path.bytes_window += pkt.wire_len() as u64;
@@ -187,8 +193,7 @@ impl AccessNode {
                         .subs
                         .iter()
                         .filter(|(&sub, intents)| {
-                            sub != publisher
-                                && intents.iter().any(|i| i.source.client == publisher)
+                            sub != publisher && intents.iter().any(|i| i.source.client == publisher)
                         })
                         .filter_map(|(&sub, _)| self.remote_clients.get(&sub).copied())
                         .collect();
@@ -198,11 +203,9 @@ impl AccessNode {
                 }
             }
             StreamKind::Video | StreamKind::Screen => {
-                self.layer_rates.entry(pkt.ssrc).or_default().bytes_window +=
-                    pkt.wire_len() as u64;
+                self.layer_rates.entry(pkt.ssrc).or_default().bytes_window += pkt.wire_len() as u64;
                 let keyframe_start = FragmentHeader::parse(&pkt.payload)
-                    .map(|h| h.keyframe && h.frag_index == 0)
-                    .unwrap_or(false);
+                    .is_some_and(|h| h.keyframe && h.frag_index == 0);
                 let source = SourceId { client: publisher, kind };
                 let targets: Vec<ClientId> = self
                     .switchers
@@ -280,9 +283,9 @@ impl AccessNode {
                             Packet::new(
                                 CtrlMessage::AckRelay {
                                     client: from,
-                                    rtcp: RtcpPacket::serialize_compound(&[
-                                        RtcpPacket::GsoTmmbn(ack),
-                                    ]),
+                                    rtcp: RtcpPacket::serialize_compound(&[RtcpPacket::GsoTmmbn(
+                                        ack,
+                                    )]),
                                 }
                                 .serialize(),
                             ),
@@ -305,9 +308,7 @@ impl AccessNode {
         match msg {
             // Client → CN signaling, recorded locally for baseline policy
             // and audio fan-out, then relayed.
-            CtrlMessage::Join { .. }
-            | CtrlMessage::Leave { .. }
-            | CtrlMessage::SdpOffer { .. } => {
+            CtrlMessage::Join { .. } | CtrlMessage::Leave { .. } | CtrlMessage::SdpOffer { .. } => {
                 if let Some(cn) = self.conference {
                     out.send(cn, Packet::new(msg.serialize()));
                 }
@@ -358,10 +359,7 @@ impl AccessNode {
                     if self.clients.contains_key(&r.subscriber) {
                         let key = (r.subscriber, r.source, r.tag);
                         covered.push(key);
-                        let sw = self
-                            .switchers
-                            .entry(key)
-                            .or_default();
+                        let sw = self.switchers.entry(key).or_default();
                         sw.request(Some(r.ssrc));
                         // A pending switch would otherwise wait a whole GoP
                         // for the target layer's next keyframe; ask the
@@ -371,8 +369,7 @@ impl AccessNode {
                         }
                     } else if self.clients.contains_key(&r.source.client) {
                         if let Some(&peer) = self.remote_clients.get(&r.subscriber) {
-                            self.relay
-                                .subscribe(r.ssrc, gso_sfu::RelayTarget::Peer(peer.0));
+                            self.relay.subscribe(r.ssrc, gso_sfu::RelayTarget::Peer(peer.0));
                         }
                     }
                 }
@@ -431,8 +428,7 @@ impl AccessNode {
             let budget_total = self
                 .down
                 .get(&subscriber)
-                .map(|d| d.bwe.estimate())
-                .unwrap_or(Bitrate::ZERO)
+                .map_or(Bitrate::ZERO, |d| d.bwe.estimate())
                 .saturating_sub(gso_media::AUDIO_PROTECTION);
             // The local policy splits the budget evenly — it has no global
             // view to do better (stream competition, Fig. 3c).
@@ -448,30 +444,20 @@ impl AccessNode {
                             && kind == source.kind
                             && lines <= intent.max_resolution.0
                             && !lr.rate.is_zero())
-                        .then_some(OfferedLayer {
-                            ssrc,
-                            resolution_lines: lines,
-                            bitrate: lr.rate,
-                        })
+                        .then_some(OfferedLayer { ssrc, resolution_lines: lines, bitrate: lr.rate })
                     })
                     .collect();
                 let mut sorted = layers;
                 sorted.sort_by_key(|l| l.bitrate);
-                let sw = self
-                    .switchers
-                    .entry((subscriber, source, intent.tag))
-                    .or_default();
+                let sw = self.switchers.entry((subscriber, source, intent.tag)).or_default();
                 // Switching dead-band (every real SFU has one): keep the
                 // current layer while it still fits; upgrade only to a layer
                 // that fits *comfortably* (25 % slack). Without this, a
                 // budget sitting near a layer boundary flaps the selection
                 // every evaluation, and each flap costs a keyframe splice.
-                let current_layer = sw
-                    .current()
-                    .and_then(|cur| sorted.iter().find(|l| l.ssrc == cur).copied());
-                let current_fits = current_layer
-                    .map(|l| l.bitrate <= per_pub)
-                    .unwrap_or(false);
+                let current_layer =
+                    sw.current().and_then(|cur| sorted.iter().find(|l| l.ssrc == cur).copied());
+                let current_fits = current_layer.is_some_and(|l| l.bitrate <= per_pub);
                 let choice = if current_fits {
                     let comfortable = selector.select(&sorted, per_pub.mul_f64(0.75));
                     match (comfortable, current_layer) {
@@ -479,8 +465,7 @@ impl AccessNode {
                             let up_rate = sorted
                                 .iter()
                                 .find(|l| l.ssrc == up)
-                                .map(|l| l.bitrate)
-                                .unwrap_or(Bitrate::ZERO);
+                                .map_or(Bitrate::ZERO, |l| l.bitrate);
                             if up_rate > cur.bitrate {
                                 Some(up)
                             } else {
@@ -600,14 +585,16 @@ impl Node for AccessNode {
                 // Uplink transport feedback toward each client.
                 let clients: Vec<ClientId> = self.clients.keys().copied().collect();
                 for client in clients {
-                    let fbs = self.twcc_up.get_mut(&client).map(|g| g.poll()).unwrap_or_default();
+                    let fbs = self
+                        .twcc_up
+                        .get_mut(&client)
+                        .map(gso_bwe::TwccGenerator::poll)
+                        .unwrap_or_default();
                     if fbs.is_empty() {
                         continue;
                     }
-                    let rtcp: Vec<RtcpPacket> = fbs
-                        .into_iter()
-                        .map(|(_, fb)| RtcpPacket::TransportFeedback(fb))
-                        .collect();
+                    let rtcp: Vec<RtcpPacket> =
+                        fbs.into_iter().map(|(_, fb)| RtcpPacket::TransportFeedback(fb)).collect();
                     let endpoint = self.clients[&client];
                     out.send(endpoint, Packet::new(RtcpPacket::serialize_compound(&rtcp)));
                 }
@@ -717,11 +704,21 @@ mod tests {
         an.on_packet(SimTime::ZERO, cn, Packet::new(rules_for(2, 1).serialize()), &mut out);
         // Delta packet before a keyframe: not forwarded.
         let mut out = Actions::default();
-        an.on_packet(SimTime::from_millis(1), e1, Packet::new(video_packet(1, false).serialize()), &mut out);
+        an.on_packet(
+            SimTime::from_millis(1),
+            e1,
+            Packet::new(video_packet(1, false).serialize()),
+            &mut out,
+        );
         assert!(out.is_empty(), "no splice mid-GoP");
         // Keyframe: forwarded to client 2's endpoint.
         let mut out = Actions::default();
-        an.on_packet(SimTime::from_millis(2), e1, Packet::new(video_packet(1, true).serialize()), &mut out);
+        an.on_packet(
+            SimTime::from_millis(2),
+            e1,
+            Packet::new(video_packet(1, true).serialize()),
+            &mut out,
+        );
         let dests: Vec<NodeId> = out.sends().iter().map(|(d, _)| *d).collect();
         assert_eq!(dests, vec![e2]);
     }
@@ -762,7 +759,12 @@ mod tests {
             ssrcs: vec![],
         });
         let mut out = Actions::default();
-        an.on_packet(SimTime::ZERO, e1, Packet::new(RtcpPacket::serialize_compound(&[semb])), &mut out);
+        an.on_packet(
+            SimTime::ZERO,
+            e1,
+            Packet::new(RtcpPacket::serialize_compound(&[semb])),
+            &mut out,
+        );
         assert_eq!(out.sends().len(), 1);
         let (dest, pkt) = &out.sends()[0];
         assert_eq!(*dest, cn);
@@ -782,7 +784,12 @@ mod tests {
             entries: vec![],
         });
         let mut out = Actions::default();
-        an.on_packet(SimTime::ZERO, e1, Packet::new(RtcpPacket::serialize_compound(&[ack])), &mut out);
+        an.on_packet(
+            SimTime::ZERO,
+            e1,
+            Packet::new(RtcpPacket::serialize_compound(&[ack])),
+            &mut out,
+        );
         assert_eq!(out.sends().len(), 1);
         assert_eq!(out.sends()[0].0, cn);
         assert!(matches!(
@@ -810,11 +817,8 @@ mod tests {
         let mut out = Actions::default();
         an.on_packet(SimTime::ZERO, cn, Packet::new(rules_for(2, 1).serialize()), &mut out);
         // A fresh switch is pending: a keyframe request must go to client 1.
-        let kf: Vec<_> = out
-            .sends()
-            .iter()
-            .filter(|(d, p)| *d == e1 && CtrlMessage::is_ctrl(&p.data))
-            .collect();
+        let kf: Vec<_> =
+            out.sends().iter().filter(|(d, p)| *d == e1 && CtrlMessage::is_ctrl(&p.data)).collect();
         assert_eq!(kf.len(), 1);
         assert!(matches!(
             CtrlMessage::parse(kf[0].1.data.clone()),

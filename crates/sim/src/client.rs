@@ -20,9 +20,7 @@ use gso_media::{
     VideoPlayback, VoicePlayback,
 };
 use gso_net::{Actions, Node, NodeId, Packet};
-use gso_rtp::{
-    decode_ssrc, ssrc_for, GsoTmmbn, Nack, RtcpPacket, RtpPacket, Semb,
-};
+use gso_rtp::{decode_ssrc, ssrc_for, GsoTmmbn, Nack, RtcpPacket, RtpPacket, Semb};
 use gso_sfu::{layers_for, TemplateKind};
 use gso_util::stats::TimeSeries;
 use gso_util::{Bitrate, ClientId, SimDuration, SimTime, Ssrc, StreamKind};
@@ -85,7 +83,12 @@ pub struct ClientConfig {
 
 impl ClientConfig {
     /// A camera+audio client with the given ladder and subscriptions.
-    pub fn new(id: ClientId, mode: PolicyMode, ladder: Ladder, subscriptions: Vec<SubscribeIntent>) -> Self {
+    pub fn new(
+        id: ClientId,
+        mode: PolicyMode,
+        ladder: Ladder,
+        subscriptions: Vec<SubscribeIntent>,
+    ) -> Self {
         ClientConfig {
             id,
             mode,
@@ -192,7 +195,8 @@ impl ClientNode {
                 rng,
             )
         });
-        let audio_src = cfg.audio.then(|| AudioSource::new(ssrc_for(cfg.id, StreamKind::Audio, 0), 111));
+        let audio_src =
+            cfg.audio.then(|| AudioSource::new(ssrc_for(cfg.id, StreamKind::Audio, 0), 111));
         let bwe = SenderBwe::new(cfg.bwe.clone());
         ClientNode {
             an,
@@ -273,11 +277,8 @@ impl ClientNode {
         let desired = layers_for(kind, effective);
         for ssrc in self.video_enc.layer_ssrcs() {
             let (_, _, lines) = decode_ssrc(ssrc).expect("own ssrc");
-            let target = desired
-                .iter()
-                .find(|&&(l, _)| l == lines)
-                .map(|&(_, rate)| rate)
-                .unwrap_or(Bitrate::ZERO);
+            let target =
+                desired.iter().find(|&&(l, _)| l == lines).map_or(Bitrate::ZERO, |&(_, rate)| rate);
             self.video_enc.set_layer_rate(ssrc, target);
         }
     }
@@ -297,19 +298,14 @@ impl ClientNode {
             }
             StreamKind::Video | StreamKind::Screen => {
                 let _ = lines;
-                let receiver = self
-                    .receivers
-                    .entry(pkt.ssrc)
-                    .or_insert_with(|| StreamReceiver::new(pkt.ssrc));
+                let receiver =
+                    self.receivers.entry(pkt.ssrc).or_insert_with(|| StreamReceiver::new(pkt.ssrc));
                 let result = receiver.on_packet(now, &pkt);
                 let source = SourceId { client: publisher, kind };
                 // Stall/framerate are playback metrics: the clock starts at
                 // the first media packet, not at join (join latency is a
                 // separate concern).
-                let play = self
-                    .video_play
-                    .entry(source)
-                    .or_insert_with(|| VideoPlayback::new(now));
+                let play = self.video_play.entry(source).or_insert_with(|| VideoPlayback::new(now));
                 for f in &result.rendered {
                     play.on_frame(f.rendered_at);
                 }
@@ -332,14 +328,10 @@ impl ClientNode {
         let due = self
             .last_keyframe_req
             .get(&source)
-            .map(|&t| now.saturating_since(t) >= SimDuration::from_millis(500))
-            .unwrap_or(true);
+            .is_none_or(|&t| now.saturating_since(t) >= SimDuration::from_millis(500));
         if due {
             self.last_keyframe_req.insert(source, now);
-            out.send(
-                self.an,
-                Packet::new(CtrlMessage::KeyframeRequest { source }.serialize()),
-            );
+            out.send(self.an, Packet::new(CtrlMessage::KeyframeRequest { source }.serialize()));
         }
     }
 
@@ -376,11 +368,9 @@ impl ClientNode {
                     if let Some(buf) = self.rtx.get(&nack.media_ssrc) {
                         for seq in &nack.lost {
                             let key = (nack.media_ssrc, *seq);
-                            let recently = self
-                                .recent_rtx
-                                .get(&key)
-                                .map(|&t| now.saturating_since(t) < SimDuration::from_millis(150))
-                                .unwrap_or(false);
+                            let recently = self.recent_rtx.get(&key).is_some_and(|&t| {
+                                now.saturating_since(t) < SimDuration::from_millis(150)
+                            });
                             if recently {
                                 continue;
                             }
@@ -396,7 +386,13 @@ impl ClientNode {
                     }
                     for pkt in resend {
                         // Retransmissions are new transport events.
-                        self.history.record(pkt.ssrc, pkt.sequence, now, pkt.wire_len() + 28, false);
+                        self.history.record(
+                            pkt.ssrc,
+                            pkt.sequence,
+                            now,
+                            pkt.wire_len() + 28,
+                            false,
+                        );
                         self.metrics.sender_work += gso_media::cost::PACKET_COST;
                         out.send(self.an, Packet::new(pkt.serialize()));
                     }
@@ -484,11 +480,8 @@ impl Node for ClientNode {
                 if let Some(l) = &self.cfg.screen_ladder {
                     ladders.push((StreamKind::Screen, l.clone()));
                 }
-                let offer = gso_control::SdpOffer {
-                    client: self.cfg.id,
-                    codec: "H264".into(),
-                    ladders,
-                };
+                let offer =
+                    gso_control::SdpOffer { client: self.cfg.id, codec: "H264".into(), ladders };
                 out.send(
                     self.an,
                     Packet::new(
@@ -543,10 +536,8 @@ impl Node for ClientNode {
             FAST_TICK => {
                 // Downlink transport feedback toward the accessing node.
                 let fbs = self.twcc_rx.poll();
-                let rtcp: Vec<RtcpPacket> = fbs
-                    .into_iter()
-                    .map(|(_, fb)| RtcpPacket::TransportFeedback(fb))
-                    .collect();
+                let rtcp: Vec<RtcpPacket> =
+                    fbs.into_iter().map(|(_, fb)| RtcpPacket::TransportFeedback(fb)).collect();
                 self.send_rtcp(&rtcp, out);
 
                 // Receiver upkeep (NACK retries, keyframe requests).
@@ -586,9 +577,12 @@ impl Node for ClientNode {
 
                 // Probing when app-limited.
                 let total_target = self.video_enc.total_target()
-                    + self.screen_enc.as_ref().map(|e| e.total_target()).unwrap_or(Bitrate::ZERO);
-                let app_limited = (total_target.as_bps() as f64)
-                    < 0.7 * self.bwe.estimate().as_bps() as f64;
+                    + self
+                        .screen_enc
+                        .as_ref()
+                        .map_or(Bitrate::ZERO, gso_media::SimulcastEncoder::total_target);
+                let app_limited =
+                    (total_target.as_bps() as f64) < 0.7 * self.bwe.estimate().as_bps() as f64;
                 let want_probe = app_limited || self.bwe.needs_validation();
                 if let Some(cluster) = self.probes.poll(now, self.bwe.estimate(), want_probe) {
                     self.emit_probe(now, cluster, out);
@@ -598,7 +592,10 @@ impl Node for ClientNode {
                 // Replenish the retransmission budget: 25 % of the media
                 // target per second, capped at one second's worth.
                 let media_rate = (self.video_enc.total_target()
-                    + self.screen_enc.as_ref().map(|e| e.total_target()).unwrap_or(Bitrate::ZERO))
+                    + self
+                        .screen_enc
+                        .as_ref()
+                        .map_or(Bitrate::ZERO, gso_media::SimulcastEncoder::total_target))
                 .as_bps() as f64;
                 let per_sec = 0.25 * media_rate / 8.0;
                 self.rtx_budget = (self.rtx_budget + per_sec * FAST_INTERVAL.as_secs_f64())
@@ -648,16 +645,14 @@ impl ClientNode {
         for play in self.voice_play.values() {
             voice_stall += play.stall_rate(end);
         }
-        let session_secs = end
-            .saturating_since(self.started.unwrap_or(SimTime::ZERO))
-            .as_secs_f64()
-            .max(1e-9);
+        let session_secs =
+            end.saturating_since(self.started.unwrap_or(SimTime::ZERO)).as_secs_f64().max(1e-9);
         let sender_work = self.metrics.sender_work
             + self.video_enc.work_units()
-            + self.screen_enc.as_ref().map(|e| e.work_units()).unwrap_or(0.0)
-            + self.audio_src.as_ref().map(|a| a.work_units()).unwrap_or(0.0);
+            + self.screen_enc.as_ref().map_or(0.0, gso_media::SimulcastEncoder::work_units)
+            + self.audio_src.as_ref().map_or(0.0, gso_media::AudioSource::work_units);
         let receiver_work = self.metrics.receiver_work
-            + self.receivers.values().map(|r| r.work_units()).sum::<f64>();
+            + self.receivers.values().map(gso_media::StreamReceiver::work_units).sum::<f64>();
         SessionMetrics {
             video_stall: video_stall / nv as f64,
             voice_stall: voice_stall / na as f64,
@@ -665,7 +660,11 @@ impl ClientNode {
             quality: self.mean_quality(end),
             sender_cpu: gso_media::cost::utilization(sender_work, session_secs),
             receiver_cpu: gso_media::cost::utilization(receiver_work, session_secs),
-            avg_recv_rate: Bitrate::from_bps(self.metrics.recv_rate.points().iter().map(|&(_, v)| v).sum::<f64>().max(0.0) as u64 / self.metrics.recv_rate.len().max(1) as u64),
+            avg_recv_rate: Bitrate::from_bps(
+                self.metrics.recv_rate.points().iter().map(|&(_, v)| v).sum::<f64>().max(0.0)
+                    as u64
+                    / self.metrics.recv_rate.len().max(1) as u64,
+            ),
         }
     }
 
@@ -673,8 +672,10 @@ impl ClientNode {
     /// scored from the resolution/bitrate/framerate it actually delivered.
     fn mean_quality(&self, end: SimTime) -> f64 {
         // Aggregate rendered frames per source across its layer SSRCs.
-        let mut per_source: BTreeMap<SourceId, (u64 /*bytes*/, u64 /*frames*/, u64 /*res-weighted*/)> =
-            BTreeMap::new();
+        let mut per_source: BTreeMap<
+            SourceId,
+            (u64 /*bytes*/, u64 /*frames*/, u64 /*res-weighted*/),
+        > = BTreeMap::new();
         let mut first_render: BTreeMap<SourceId, SimTime> = BTreeMap::new();
         for (ssrc, receiver) in &self.receivers {
             let Some((publisher, kind, _)) = decode_ssrc(*ssrc) else { continue };
@@ -683,7 +684,7 @@ impl ClientNode {
             for f in receiver.rendered() {
                 entry.0 += f.size as u64;
                 entry.1 += 1;
-                entry.2 += f.resolution_lines as u64;
+                entry.2 += u64::from(f.resolution_lines);
                 let t = first_render.entry(source).or_insert(f.rendered_at);
                 if f.rendered_at < *t {
                     *t = f.rendered_at;
@@ -756,11 +757,8 @@ mod tests {
         let mut c = client(PolicyMode::Gso);
         let mut out = Actions::default();
         c.on_timer(SimTime::ZERO, 0, &mut out);
-        let msgs: Vec<CtrlMessage> = out
-            .sends()
-            .iter()
-            .filter_map(|(_, p)| CtrlMessage::parse(p.data.clone()))
-            .collect();
+        let msgs: Vec<CtrlMessage> =
+            out.sends().iter().filter_map(|(_, p)| CtrlMessage::parse(p.data.clone())).collect();
         // Join happens via an SDP offer whose simulcastInfo carries the
         // negotiated ladder (§4.2).
         let CtrlMessage::SdpOffer { client, sdp } = &msgs[0] else {
@@ -798,9 +796,9 @@ mod tests {
         assert_eq!(c.video_enc.layer_rate(ssrc), Some(Bitrate::from_kbps(512)));
         // A GTBN acknowledgement goes back out.
         let acked = out.sends().iter().any(|(_, p)| {
-            RtcpPacket::parse_compound(p.data.clone())
-                .map(|ps| ps.iter().any(|x| matches!(x, RtcpPacket::GsoTmmbn(n) if n.request_seq == 9)))
-                .unwrap_or(false)
+            RtcpPacket::parse_compound(p.data.clone()).is_ok_and(|ps| {
+                ps.iter().any(|x| matches!(x, RtcpPacket::GsoTmmbn(n) if n.request_seq == 9))
+            })
         });
         assert!(acked, "GTMB must be acknowledged with GTBN");
     }
@@ -844,8 +842,7 @@ mod tests {
             gso_rtp::RtpPacket::parse(p.data.clone())
                 .ok()
                 .and_then(|pkt| gso_media::FragmentHeader::parse(&pkt.payload))
-                .map(|h| h.keyframe)
-                .unwrap_or(false)
+                .is_some_and(|h| h.keyframe)
         });
         assert!(has_keyframe, "keyframe request must take effect");
     }
@@ -878,9 +875,9 @@ mod tests {
             &mut out,
         );
         let retransmitted = out.sends().iter().any(|(_, p)| {
-            gso_rtp::RtpPacket::parse(p.data.clone())
-                .map(|pkt| pkt.sequence == first_media.sequence && pkt.ssrc == first_media.ssrc)
-                .unwrap_or(false)
+            gso_rtp::RtpPacket::parse(p.data.clone()).is_ok_and(|pkt| {
+                pkt.sequence == first_media.sequence && pkt.ssrc == first_media.ssrc
+            })
         });
         assert!(retransmitted);
     }

@@ -22,29 +22,81 @@ pub const CTRL_MAGIC: u8 = 0xCC;
 #[derive(Debug, Clone, PartialEq)]
 pub enum CtrlMessage {
     /// Client joined, with its negotiated ladders (the simulcastInfo).
-    Join { client: ClientId, ladders: Vec<(StreamKind, Ladder)> },
+    Join {
+        /// The joining client.
+        client: ClientId,
+        /// Negotiated per-kind bitrate ladders.
+        ladders: Vec<(StreamKind, Ladder)>,
+    },
     /// Client left.
-    Leave { client: ClientId },
+    Leave {
+        /// The departing client.
+        client: ClientId,
+    },
     /// Client's subscription intents (full replacement).
-    Subscribe { client: ClientId, intents: Vec<SubscribeIntent> },
+    Subscribe {
+        /// The subscribing client.
+        client: ClientId,
+        /// The full new set of intents.
+        intents: Vec<SubscribeIntent>,
+    },
     /// Uplink bandwidth report relayed from a client's SEMB.
-    UplinkReport { client: ClientId, bitrate: Bitrate },
+    UplinkReport {
+        /// The reporting client.
+        client: ClientId,
+        /// Measured uplink bandwidth.
+        bitrate: Bitrate,
+    },
     /// Downlink bandwidth measured at the accessing node for a client.
-    DownlinkReport { client: ClientId, bitrate: Bitrate },
+    DownlinkReport {
+        /// The client whose downlink was measured.
+        client: ClientId,
+        /// Measured downlink bandwidth.
+        bitrate: Bitrate,
+    },
     /// Speaker change (None clears).
-    Speaker { client: Option<ClientId> },
+    Speaker {
+        /// The new active speaker.
+        client: Option<ClientId>,
+    },
     /// CN → AN: forward this serialized RTCP compound to a client in-band.
-    ConfigPush { client: ClientId, rtcp: Bytes },
+    ConfigPush {
+        /// The destination client.
+        client: ClientId,
+        /// The serialized RTCP compound.
+        rtcp: Bytes,
+    },
     /// AN → CN: a client's GTBN acknowledgement (serialized RTCP).
-    AckRelay { client: ClientId, rtcp: Bytes },
+    AckRelay {
+        /// The acknowledging client.
+        client: ClientId,
+        /// The serialized RTCP compound.
+        rtcp: Bytes,
+    },
     /// CN → AN: the current forwarding rules (full replacement).
-    Rules { rules: Vec<ForwardingRule> },
+    Rules {
+        /// The full new rule set.
+        rules: Vec<ForwardingRule>,
+    },
     /// Subscriber needs a keyframe from a publisher source.
-    KeyframeRequest { source: SourceId },
+    KeyframeRequest {
+        /// The source that must produce the keyframe.
+        source: SourceId,
+    },
     /// Client → CN: an SDP offer with simulcastInfo (§4.2), as text.
-    SdpOffer { client: ClientId, sdp: String },
+    SdpOffer {
+        /// The offering client.
+        client: ClientId,
+        /// The offer text.
+        sdp: String,
+    },
     /// CN → client: the SDP answer with per-layer SSRC assignments.
-    SdpAnswer { client: ClientId, sdp: String },
+    SdpAnswer {
+        /// The answered client.
+        client: ClientId,
+        /// The answer text.
+        sdp: String,
+    },
 }
 
 fn put_kind(b: &mut BytesMut, k: StreamKind) {
@@ -111,7 +163,7 @@ impl CtrlMessage {
             }
             CtrlMessage::Speaker { client } => {
                 b.put_u8(6);
-                b.put_u32(client.map(|c| c.0 + 1).unwrap_or(0));
+                b.put_u32(client.map_or(0, |c| c.0 + 1));
             }
             CtrlMessage::ConfigPush { client, rtcp } => {
                 b.put_u8(7);
@@ -228,9 +280,7 @@ impl CtrlMessage {
             6 => {
                 need(b, 4)?;
                 let raw = b.get_u32();
-                CtrlMessage::Speaker {
-                    client: (raw > 0).then(|| ClientId(raw - 1)),
-                }
+                CtrlMessage::Speaker { client: (raw > 0).then(|| ClientId(raw - 1)) }
             }
             7 | 8 => {
                 need(b, 8)?;

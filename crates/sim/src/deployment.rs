@@ -53,8 +53,7 @@ impl ImprovementFactors {
 /// `case_stride` subsamples the matrix (e.g. 3 → 5 cases) to bound cost.
 pub fn measure_improvements(seed: u64, case_stride: usize) -> ImprovementFactors {
     use crate::workloads::Impairment;
-    let cases: Vec<_> =
-        slow_link_cases().into_iter().step_by(case_stride.max(1)).collect();
+    let cases: Vec<_> = slow_link_cases().into_iter().step_by(case_stride.max(1)).collect();
     let mut gso = (0.0, 0.0, 0.0);
     let mut non = (0.0, 0.0, 0.0);
     for case in &cases {
@@ -111,13 +110,7 @@ impl Rollout {
     /// Calendar date string for a day index (day 0 = 2021-10-01).
     pub fn date(&self, day: usize) -> String {
         // Month lengths from Oct 2021 onward.
-        let months = [
-            (2021, 10, 31),
-            (2021, 11, 30),
-            (2021, 12, 31),
-            (2022, 1, 31),
-            (2022, 2, 28),
-        ];
+        let months = [(2021, 10, 31), (2021, 11, 30), (2021, 12, 31), (2022, 1, 31), (2022, 2, 28)];
         let mut remaining = day;
         for &(year, month, len) in &months {
             if remaining < len {
@@ -183,10 +176,8 @@ pub fn simulate_deployment(
             // Satisfaction: logistic in a QoE score built from the three
             // metrics; calibrated so baseline satisfaction sits around 0.80
             // and the paper's improvements lift it by ≈ +7.2 % (Fig. 11).
-            let qoe_score =
-                1.341 - 10.0 * video_stall - 10.0 * voice_stall + 0.07 * framerate;
-            let satisfaction =
-                (1.0 / (1.0 + (-qoe_score).exp())) * noise(&mut rng, 0.01);
+            let qoe_score = 1.341 - 10.0 * video_stall - 10.0 * voice_stall + 0.07 * framerate;
+            let satisfaction = (1.0 / (1.0 + (-qoe_score).exp())) * noise(&mut rng, 0.01);
 
             DayMetrics {
                 date: rollout.date(day),

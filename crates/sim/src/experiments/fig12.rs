@@ -22,16 +22,12 @@ pub fn fig12(seed: u64, duration_secs: u64) -> Samples {
             let mut c = ClientScenario::clean(ClientId(i), base, base, ladder.clone());
             // Each client's downlink steps between distinct rates on its own
             // cadence, driving bandwidth-change events at the controller.
-            let period = 6 + i as u64 * 3;
+            let period = 6 + u64::from(i) * 3;
             let mut steps = vec![(SimTime::ZERO, base)];
             let mut t = period;
             let mut low = true;
             while t < duration_secs {
-                let rate = if low {
-                    Bitrate::from_kbps(400 + 250 * i as u64)
-                } else {
-                    base
-                };
+                let rate = if low { Bitrate::from_kbps(400 + 250 * u64::from(i)) } else { base };
                 steps.push((SimTime::from_secs(t), rate));
                 low = !low;
                 t += period;

@@ -13,7 +13,9 @@
 //! node count still explodes combinatorially with size, while GSO's DP time
 //! stays flat.
 
-use gso_algo::{brute, ladders, solver, ClientSpec, Problem, Resolution, SolverConfig, SourceId, Subscription};
+use gso_algo::{
+    brute, ladders, solver, ClientSpec, Problem, Resolution, SolverConfig, SourceId, Subscription,
+};
 
 use gso_util::{Bitrate, ClientId};
 use std::time::Instant;
@@ -118,11 +120,8 @@ fn compare(x: usize, problem: &Problem, node_budget: Option<u64>) -> ComparisonR
     // optimality denominator.
     let (bb, _) = time_of(|| brute::solve_brute(problem, &cfg, node_budget));
     bb.solution.validate(problem).expect("exact solution valid");
-    let optimality = if bb.solution.total_qoe > 0.0 {
-        gso.total_qoe / bb.solution.total_qoe
-    } else {
-        1.0
-    };
+    let optimality =
+        if bb.solution.total_qoe > 0.0 { gso.total_qoe / bb.solution.total_qoe } else { 1.0 };
 
     // The naive exhaustive search's cost: measured where practical,
     // projected from its leaf count otherwise.
@@ -185,14 +184,19 @@ pub fn asymmetric_meeting(pubs: usize, subs: usize, levels: usize) -> Problem {
     };
     let mut clients: Vec<ClientSpec> = (1..=pubs as u32)
         .map(|i| {
-            ClientSpec::new(ClientId(i), Bitrate::from_kbps(2_500), Bitrate::from_mbps(10), ladder.clone())
+            ClientSpec::new(
+                ClientId(i),
+                Bitrate::from_kbps(2_500),
+                Bitrate::from_mbps(10),
+                ladder.clone(),
+            )
         })
         .collect();
     for j in 0..subs as u32 {
         clients.push(ClientSpec::subscriber_only(
             ClientId(1_000 + j),
             // Heterogeneous downlinks: 1–8 Mbps.
-            Bitrate::from_kbps(1_000 + (j as u64 * 739) % 7_000),
+            Bitrate::from_kbps(1_000 + (u64::from(j) * 739) % 7_000),
         ));
     }
     let mut subscriptions = Vec::new();
@@ -232,12 +236,7 @@ mod tests {
         let ladder = ladders::uniform(&[Resolution::R180, Resolution::R360, Resolution::R720], 2);
         let small = compare(2, &symmetric_meeting(2, ladder.clone()), None);
         let large = compare(4, &symmetric_meeting(4, ladder), None);
-        assert!(
-            large.leaves > small.leaves * 10.0,
-            "leaves {} -> {}",
-            small.leaves,
-            large.leaves
-        );
+        assert!(large.leaves > small.leaves * 10.0, "leaves {} -> {}", small.leaves, large.leaves);
         assert!(
             large.brute_secs > small.brute_secs,
             "naive time must grow: {} -> {}",

@@ -55,21 +55,14 @@ pub fn run_one(mode: PolicyMode, cap: Bitrate, seed: u64) -> TimeSeries {
 
     let mut sub = ClientScenario::clean(subscriber, base, base, ladder.clone());
     sub.downlink = LinkConfig::clean(base, SimDuration::from_millis(20)).with_rate_schedule(
-        Schedule::steps(vec![
-            (SimTime::ZERO, base),
-            (CAP_AT, cap),
-            (RECOVER_AT, base),
-        ]),
+        Schedule::steps(vec![(SimTime::ZERO, base), (CAP_AT, cap), (RECOVER_AT, base)]),
     );
 
     let mut s = Scenario {
         seed,
         mode,
         duration: RUN_FOR,
-        clients: vec![
-            ClientScenario::clean(publisher, base, base, ladder),
-            sub,
-        ],
+        clients: vec![ClientScenario::clean(publisher, base, base, ladder), sub],
         speaker_schedule: Vec::new(),
     };
     // Only the subscriber watches; the publisher receives nothing (the

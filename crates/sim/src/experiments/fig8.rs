@@ -10,12 +10,8 @@ use crate::client::PolicyMode;
 use crate::workloads::{slow_link_cases, slow_link_scenario, SlowLinkCase};
 
 /// The four systems of the figure, in its legend order.
-pub const SYSTEMS: [PolicyMode; 4] = [
-    PolicyMode::Gso,
-    PolicyMode::NonGso,
-    PolicyMode::Competitor1,
-    PolicyMode::Competitor2,
-];
+pub const SYSTEMS: [PolicyMode; 4] =
+    [PolicyMode::Gso, PolicyMode::NonGso, PolicyMode::Competitor1, PolicyMode::Competitor2];
 
 /// One (case, system) measurement.
 #[derive(Debug, Clone)]
@@ -103,7 +99,12 @@ mod tests {
             gso.video_stall,
             non.video_stall
         );
-        assert!(gso.quality >= non.quality * 0.95, "gso q {} vs non q {}", gso.quality, non.quality);
+        assert!(
+            gso.quality >= non.quality * 0.95,
+            "gso q {} vs non q {}",
+            gso.quality,
+            non.quality
+        );
     }
 
     #[test]

@@ -51,8 +51,7 @@ pub fn fig9(seed: u64, quick: bool) -> Vec<CpuResult> {
 /// Run one (scenario, mode) cell.
 pub fn run_cpu(app: AppScenario, mode: PolicyMode, seed: u64, quick: bool) -> CpuResult {
     let rate = Bitrate::from_mbps(4);
-    let duration =
-        if quick { SimDuration::from_secs(20) } else { SimDuration::from_secs(60) };
+    let duration = if quick { SimDuration::from_secs(20) } else { SimDuration::from_secs(60) };
     let ladder = ladder_for_mode(mode);
     let clients: Vec<ClientScenario> = (1..=3u32)
         .map(|i| {
@@ -110,12 +109,7 @@ mod tests {
         // illustrates); the paper itself credits GSO with "saving bandwidth
         // and CPU costs" (§1). Assert: no more than +1% sender / +2%
         // receiver overhead, savings allowed.
-        assert!(
-            gso.sender <= non.sender + 0.01,
-            "sender {} vs {}",
-            gso.sender,
-            non.sender
-        );
+        assert!(gso.sender <= non.sender + 0.01, "sender {} vs {}", gso.sender, non.sender);
         // Receiver-side, GSO may cost more in absolute terms because it
         // delivers *more video* (the baseline under-utilizes, Fig. 3b); the
         // claim that survives is that the overhead stays within a few

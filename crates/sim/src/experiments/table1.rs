@@ -5,7 +5,9 @@
 //! the table's layout, so the bench/example can print the table and tests
 //! can assert exact equality with the paper.
 
-use gso_algo::{ladders, solver, ClientSpec, Problem, Resolution, SolverConfig, SourceId, Subscription};
+use gso_algo::{
+    ladders, solver, ClientSpec, Problem, Resolution, SolverConfig, SourceId, Subscription,
+};
 use gso_util::{Bitrate, ClientId};
 
 /// One client's row: publish bitrate per resolution column (720P/360P/180P).
@@ -34,8 +36,18 @@ pub fn case_problem(case: usize) -> Problem {
     let ladder = ladders::paper_table1();
     let [a, b, c] = [ClientId(1), ClientId(2), ClientId(3)];
     let clients = vec![
-        ClientSpec::new(a, Bitrate::from_kbps(bw[0].0), Bitrate::from_kbps(bw[0].1), ladder.clone()),
-        ClientSpec::new(b, Bitrate::from_kbps(bw[1].0), Bitrate::from_kbps(bw[1].1), ladder.clone()),
+        ClientSpec::new(
+            a,
+            Bitrate::from_kbps(bw[0].0),
+            Bitrate::from_kbps(bw[0].1),
+            ladder.clone(),
+        ),
+        ClientSpec::new(
+            b,
+            Bitrate::from_kbps(bw[1].0),
+            Bitrate::from_kbps(bw[1].1),
+            ladder.clone(),
+        ),
         ClientSpec::new(c, Bitrate::from_kbps(bw[2].0), Bitrate::from_kbps(bw[2].1), ladder),
     ];
     let subs = vec![
@@ -59,9 +71,8 @@ pub fn solve_case(case: usize) -> Vec<Table1Row> {
         .enumerate()
         .map(|(i, &label)| {
             let policies = solution.policies(SourceId::video(ClientId(i as u32 + 1)));
-            let at = |res: Resolution| {
-                policies.iter().find(|p| p.resolution == res).map(|p| p.bitrate)
-            };
+            let at =
+                |res: Resolution| policies.iter().find(|p| p.resolution == res).map(|p| p.bitrate);
             Table1Row {
                 client: label,
                 r720: at(Resolution::R720),

@@ -160,8 +160,8 @@ impl Scenario {
             AccessNode::schedule_boot(an, &mut sim);
         }
         for &(at, speaker) in &self.speaker_schedule {
-            let token = crate::conference::SPEAKER_EVENT
-                | speaker.map(|c| c.0 as u64 + 1).unwrap_or(0);
+            let token =
+                crate::conference::SPEAKER_EVENT | speaker.map_or(0, |c| u64::from(c.0) + 1);
             sim.schedule_timer(cn, at, token);
         }
 
@@ -299,10 +299,7 @@ mod tests {
     fn deterministic_across_runs() {
         let a = two_party(PolicyMode::Gso, 7).run();
         let b = two_party(PolicyMode::Gso, 7).run();
-        assert_eq!(
-            a.recv_series[&ClientId(1)].points(),
-            b.recv_series[&ClientId(1)].points()
-        );
+        assert_eq!(a.recv_series[&ClientId(1)].points(), b.recv_series[&ClientId(1)].points());
     }
 }
 

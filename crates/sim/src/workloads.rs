@@ -48,18 +48,58 @@ pub fn slow_link_cases() -> Vec<SlowLinkCase> {
         SlowLinkCase { name: "normal", direction: Downlink, impairment: None },
         SlowLinkCase { name: "up-30%", direction: Uplink, impairment: Loss(0.30) },
         SlowLinkCase { name: "up-50%", direction: Uplink, impairment: Loss(0.50) },
-        SlowLinkCase { name: "up-50ms", direction: Uplink, impairment: Jitter(SimDuration::from_millis(50)) },
-        SlowLinkCase { name: "up-100ms", direction: Uplink, impairment: Jitter(SimDuration::from_millis(100)) },
-        SlowLinkCase { name: "up-0.5M", direction: Uplink, impairment: BandwidthLimit(Bitrate::from_kbps(500)) },
-        SlowLinkCase { name: "up-1M", direction: Uplink, impairment: BandwidthLimit(Bitrate::from_mbps(1)) },
-        SlowLinkCase { name: "up-1.5M", direction: Uplink, impairment: BandwidthLimit(Bitrate::from_kbps(1_500)) },
+        SlowLinkCase {
+            name: "up-50ms",
+            direction: Uplink,
+            impairment: Jitter(SimDuration::from_millis(50)),
+        },
+        SlowLinkCase {
+            name: "up-100ms",
+            direction: Uplink,
+            impairment: Jitter(SimDuration::from_millis(100)),
+        },
+        SlowLinkCase {
+            name: "up-0.5M",
+            direction: Uplink,
+            impairment: BandwidthLimit(Bitrate::from_kbps(500)),
+        },
+        SlowLinkCase {
+            name: "up-1M",
+            direction: Uplink,
+            impairment: BandwidthLimit(Bitrate::from_mbps(1)),
+        },
+        SlowLinkCase {
+            name: "up-1.5M",
+            direction: Uplink,
+            impairment: BandwidthLimit(Bitrate::from_kbps(1_500)),
+        },
         SlowLinkCase { name: "down-30%", direction: Downlink, impairment: Loss(0.30) },
         SlowLinkCase { name: "down-50%", direction: Downlink, impairment: Loss(0.50) },
-        SlowLinkCase { name: "down-50ms", direction: Downlink, impairment: Jitter(SimDuration::from_millis(50)) },
-        SlowLinkCase { name: "down-100ms", direction: Downlink, impairment: Jitter(SimDuration::from_millis(100)) },
-        SlowLinkCase { name: "down-0.5M", direction: Downlink, impairment: BandwidthLimit(Bitrate::from_kbps(500)) },
-        SlowLinkCase { name: "down-1M", direction: Downlink, impairment: BandwidthLimit(Bitrate::from_mbps(1)) },
-        SlowLinkCase { name: "down-1.5M", direction: Downlink, impairment: BandwidthLimit(Bitrate::from_kbps(1_500)) },
+        SlowLinkCase {
+            name: "down-50ms",
+            direction: Downlink,
+            impairment: Jitter(SimDuration::from_millis(50)),
+        },
+        SlowLinkCase {
+            name: "down-100ms",
+            direction: Downlink,
+            impairment: Jitter(SimDuration::from_millis(100)),
+        },
+        SlowLinkCase {
+            name: "down-0.5M",
+            direction: Downlink,
+            impairment: BandwidthLimit(Bitrate::from_kbps(500)),
+        },
+        SlowLinkCase {
+            name: "down-1M",
+            direction: Downlink,
+            impairment: BandwidthLimit(Bitrate::from_mbps(1)),
+        },
+        SlowLinkCase {
+            name: "down-1.5M",
+            direction: Downlink,
+            impairment: BandwidthLimit(Bitrate::from_kbps(1_500)),
+        },
     ]
 }
 
@@ -98,12 +138,7 @@ pub fn slow_link_scenario(mode: PolicyMode, case: SlowLinkCase, seed: u64) -> Sc
     let clean_rate = Bitrate::from_kbps(3_000);
     let mut clients = Vec::new();
     for i in 1..=3u32 {
-        let mut c = ClientScenario::clean(
-            ClientId(i),
-            clean_rate,
-            clean_rate,
-            ladder.clone(),
-        );
+        let mut c = ClientScenario::clean(ClientId(i), clean_rate, clean_rate, ladder.clone());
         if i == 1 {
             match case.direction {
                 Direction::Uplink => c.uplink = impaired_link(clean_rate, case.impairment),
@@ -132,15 +167,9 @@ mod tests {
         let cases = slow_link_cases();
         assert_eq!(cases.len(), 15);
         assert_eq!(cases.iter().filter(|c| c.direction == Direction::Uplink).count(), 7);
+        assert_eq!(cases.iter().filter(|c| matches!(c.impairment, Impairment::Loss(_))).count(), 4);
         assert_eq!(
-            cases.iter().filter(|c| matches!(c.impairment, Impairment::Loss(_))).count(),
-            4
-        );
-        assert_eq!(
-            cases
-                .iter()
-                .filter(|c| matches!(c.impairment, Impairment::BandwidthLimit(_)))
-                .count(),
+            cases.iter().filter(|c| matches!(c.impairment, Impairment::BandwidthLimit(_))).count(),
             6
         );
     }

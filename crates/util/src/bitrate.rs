@@ -11,7 +11,9 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// A bitrate in bits per second.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Bitrate(u64);
 
 impl Bitrate {
@@ -127,7 +129,7 @@ impl fmt::Display for Bitrate {
             if (mbps - mbps.round()).abs() < 1e-9 {
                 write!(f, "{}Mbps", mbps.round() as u64)
             } else {
-                write!(f, "{:.2}Mbps", mbps)
+                write!(f, "{mbps:.2}Mbps")
             }
         } else if self.0 >= 1_000 {
             write!(f, "{}Kbps", self.as_kbps())
@@ -176,13 +178,8 @@ mod tests {
 
     #[test]
     fn sum_and_saturating() {
-        let total: Bitrate = [Bitrate::from_kbps(100), Bitrate::from_kbps(200)]
-            .into_iter()
-            .sum();
+        let total: Bitrate = [Bitrate::from_kbps(100), Bitrate::from_kbps(200)].into_iter().sum();
         assert_eq!(total, Bitrate::from_kbps(300));
-        assert_eq!(
-            Bitrate::from_kbps(100).saturating_sub(Bitrate::from_kbps(200)),
-            Bitrate::ZERO
-        );
+        assert_eq!(Bitrate::from_kbps(100).saturating_sub(Bitrate::from_kbps(200)), Bitrate::ZERO);
     }
 }

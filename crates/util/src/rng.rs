@@ -18,9 +18,7 @@ pub struct DetRng {
 impl DetRng {
     /// Create the root RNG for a scenario seed.
     pub fn from_seed(seed: u64) -> Self {
-        DetRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        DetRng { inner: StdRng::seed_from_u64(seed) }
     }
 
     /// Derive an independent stream for a named component.
@@ -31,7 +29,7 @@ impl DetRng {
     pub fn derive(seed: u64, label: &str) -> Self {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in label.as_bytes() {
-            h ^= *b as u64;
+            h ^= u64::from(*b);
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
         DetRng::from_seed(seed ^ h)
@@ -126,8 +124,8 @@ mod tests {
         let mut r = DetRng::from_seed(7);
         let n = 20_000;
         let samples: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
-        let mean = samples.iter().sum::<f64>() / n as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let mean = samples.iter().sum::<f64>() / f64::from(n);
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / f64::from(n);
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }
@@ -136,7 +134,7 @@ mod tests {
     fn exponential_mean() {
         let mut r = DetRng::from_seed(9);
         let n = 20_000;
-        let mean = (0..n).map(|_| r.exponential(2.0)).sum::<f64>() / n as f64;
+        let mean = (0..n).map(|_| r.exponential(2.0)).sum::<f64>() / f64::from(n);
         assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
     }
 

@@ -116,7 +116,7 @@ impl Samples {
             return 0.0;
         }
         let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
+        sorted.sort_by(f64::total_cmp);
         let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
         sorted[rank.min(sorted.len() - 1)]
     }
@@ -124,13 +124,9 @@ impl Samples {
     /// Empirical CDF as `(value, cumulative_fraction)` points.
     pub fn cdf(&self) -> Vec<(f64, f64)> {
         let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len() as f64;
-        sorted
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, (i + 1) as f64 / n))
-            .collect()
+        sorted.iter().enumerate().map(|(i, &v)| (v, (i + 1) as f64 / n)).collect()
     }
 
     /// Borrow the raw samples.
@@ -188,11 +184,7 @@ impl TimeSeries {
 
     /// Last value at or before `t`, stepping (zero-order hold).
     pub fn value_at(&self, t: SimTime) -> Option<f64> {
-        self.points
-            .iter()
-            .take_while(|&&(pt, _)| pt <= t)
-            .last()
-            .map(|&(_, v)| v)
+        self.points.iter().take_while(|&&(pt, _)| pt <= t).last().map(|&(_, v)| v)
     }
 }
 
@@ -236,7 +228,7 @@ mod tests {
     fn percentiles() {
         let mut s = Samples::new();
         for i in 1..=100 {
-            s.push(i as f64);
+            s.push(f64::from(i));
         }
         assert_eq!(s.percentile(0.0), 1.0);
         assert_eq!(s.percentile(100.0), 100.0);
@@ -263,16 +255,10 @@ mod tests {
         ts.push(SimTime::from_secs(0), 1.0);
         ts.push(SimTime::from_secs(1), 2.0);
         ts.push(SimTime::from_secs(2), 4.0);
-        assert_eq!(
-            ts.window_mean(SimTime::from_secs(0), SimTime::from_secs(2)),
-            Some(1.5)
-        );
+        assert_eq!(ts.window_mean(SimTime::from_secs(0), SimTime::from_secs(2)), Some(1.5));
         assert_eq!(ts.value_at(SimTime::from_millis(1500)), Some(2.0));
         assert_eq!(ts.value_at(SimTime::from_secs(5)), Some(4.0));
-        assert_eq!(
-            ts.window_mean(SimTime::from_secs(10), SimTime::from_secs(11)),
-            None
-        );
+        assert_eq!(ts.window_mean(SimTime::from_secs(10), SimTime::from_secs(11)), None);
     }
 
     #[test]

@@ -11,11 +11,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// An instant on the simulated clock, in microseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -249,10 +253,7 @@ mod tests {
 
     #[test]
     fn mul_f64_rounds() {
-        assert_eq!(
-            SimDuration::from_millis(100).mul_f64(1.5),
-            SimDuration::from_millis(150)
-        );
+        assert_eq!(SimDuration::from_millis(100).mul_f64(1.5), SimDuration::from_millis(150));
         assert_eq!(SimDuration::from_millis(100).mul_f64(-1.0), SimDuration::ZERO);
     }
 }

@@ -11,7 +11,9 @@ use std::time::Instant;
 fn main() {
     let pubs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
     let subs: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(300);
-    println!("building a conference with {pubs} publishers and {subs} subscribers (18-level ladders)…");
+    println!(
+        "building a conference with {pubs} publishers and {subs} subscribers (18-level ladders)…"
+    );
     let problem = asymmetric_meeting(pubs, subs, 18);
 
     let start = Instant::now();
@@ -19,7 +21,10 @@ fn main() {
     let elapsed = start.elapsed();
     solution.validate(&problem).expect("all constraints satisfied");
 
-    println!("solved in {elapsed:?} ({} Knapsack-Merge-Reduction iterations)\n", solution.iterations);
+    println!(
+        "solved in {elapsed:?} ({} Knapsack-Merge-Reduction iterations)\n",
+        solution.iterations
+    );
 
     // Publisher-side summary.
     println!("publisher configurations:");
@@ -43,7 +48,7 @@ fn main() {
         if c.downlink.as_bps() > 0 {
             fill.push(used.as_bps() as f64 / c.downlink.as_bps() as f64);
         }
-        for r in solution.received.get(&c.id).map(Vec::as_slice).unwrap_or(&[]) {
+        for r in solution.received.get(&c.id).map_or(&[] as &[_], Vec::as_slice) {
             match r.resolution {
                 Resolution::R180 => res_hist[0] += 1,
                 Resolution::R360 => res_hist[1] += 1,
@@ -51,10 +56,14 @@ fn main() {
             }
         }
     }
-    fill.sort_by(|a, b| a.total_cmp(b));
+    fill.sort_by(f64::total_cmp);
     let pct = |p: f64| fill[((fill.len() - 1) as f64 * p) as usize];
-    println!("\nsubscriber downlink utilization: p10 {:.0}%  median {:.0}%  p90 {:.0}%",
-        pct(0.1) * 100.0, pct(0.5) * 100.0, pct(0.9) * 100.0);
+    println!(
+        "\nsubscriber downlink utilization: p10 {:.0}%  median {:.0}%  p90 {:.0}%",
+        pct(0.1) * 100.0,
+        pct(0.5) * 100.0,
+        pct(0.9) * 100.0
+    );
     println!(
         "delivered streams by resolution: 180P×{}  360P×{}  720P×{}",
         res_hist[0], res_hist[1], res_hist[2]

@@ -44,14 +44,9 @@ fn main() {
     for &c in &[host, peer, mobile] {
         println!("{c} publishes:");
         for p in solution.policies(SourceId::video(c)) {
-            println!(
-                "  {} @ {}  -> {} subscriber(s)",
-                p.resolution,
-                p.bitrate,
-                p.audience.len()
-            );
+            println!("  {} @ {}  -> {} subscriber(s)", p.resolution, p.bitrate, p.audience.len());
         }
-        let received = solution.received.get(&c).map(Vec::as_slice).unwrap_or(&[]);
+        let received = solution.received.get(&c).map_or(&[] as &[_], Vec::as_slice);
         println!("{c} receives:");
         for r in received {
             println!("  {} @ {} from {}", r.resolution, r.bitrate, r.source);

@@ -7,10 +7,10 @@
 //!
 //! Run with: `cargo run --example screen_share`
 
+use gso_simulcast::algo::qoe::{SCREEN_BOOST, SPEAKER_BOOST};
 use gso_simulcast::algo::{
     ladders, solver, ClientSpec, Problem, PublisherSource, Resolution, SourceId, Subscription,
 };
-use gso_simulcast::algo::qoe::{SCREEN_BOOST, SPEAKER_BOOST};
 use gso_simulcast::util::{Bitrate, ClientId, StreamKind};
 
 fn main() {
@@ -20,16 +20,11 @@ fn main() {
     let viewer_b = ClientId(3);
 
     // The presenter publishes both a camera and a screen source.
-    let mut presenter_spec = ClientSpec::new(
-        presenter,
-        Bitrate::from_mbps(4),
-        Bitrate::from_mbps(4),
-        ladder.clone(),
-    );
-    presenter_spec.sources.push(PublisherSource {
-        id: SourceId::screen(presenter),
-        ladder: ladders::coarse3(),
-    });
+    let mut presenter_spec =
+        ClientSpec::new(presenter, Bitrate::from_mbps(4), Bitrate::from_mbps(4), ladder.clone());
+    presenter_spec
+        .sources
+        .push(PublisherSource { id: SourceId::screen(presenter), ladder: ladders::coarse3() });
 
     let clients = vec![
         presenter_spec,
@@ -73,11 +68,8 @@ fn main() {
     }
     println!();
     for &v in &[viewer_a, viewer_b] {
-        println!(
-            "{v} (downlink {}):",
-            problem.client(v).unwrap().downlink
-        );
-        for r in solution.received.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
+        println!("{v} (downlink {}):", problem.client(v).unwrap().downlink);
+        for r in solution.received.get(&v).map_or(&[] as &[_], Vec::as_slice) {
             let what = match (r.source.kind, r.tag) {
                 (StreamKind::Screen, _) => "screen",
                 (_, 1) => "speaker view",

@@ -11,16 +11,13 @@ use gso_simulcast::sim::PolicyMode;
 
 fn main() {
     let wanted = std::env::args().nth(1).unwrap_or_else(|| "down-0.5M".to_string());
-    let case = slow_link_cases()
-        .into_iter()
-        .find(|c| c.name == wanted)
-        .unwrap_or_else(|| {
-            eprintln!(
-                "unknown case {wanted:?}; available: {:?}",
-                slow_link_cases().iter().map(|c| c.name).collect::<Vec<_>>()
-            );
-            std::process::exit(1);
-        });
+    let case = slow_link_cases().into_iter().find(|c| c.name == wanted).unwrap_or_else(|| {
+        eprintln!(
+            "unknown case {wanted:?}; available: {:?}",
+            slow_link_cases().iter().map(|c| c.name).collect::<Vec<_>>()
+        );
+        std::process::exit(1);
+    });
 
     println!("slow-link case {:?}: 3-party conference, 60 s simulated\n", case.name);
     for mode in [PolicyMode::Gso, PolicyMode::NonGso] {

@@ -19,7 +19,7 @@ fn main() {
         let paper = table1::paper_rows(case);
         for (row, expect) in rows.iter().zip(&paper) {
             let fmt = |b: Option<gso_simulcast::util::Bitrate>| {
-                b.map(|b| b.to_string()).unwrap_or_else(|| "-".into())
+                b.map_or_else(|| "-".into(), |b| b.to_string())
             };
             println!(
                 "  {:<8} {:>10} {:>10} {:>10}   {}",

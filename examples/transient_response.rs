@@ -10,7 +10,9 @@ use gso_simulcast::util::{Bitrate, SimTime};
 fn main() {
     let cap_kbps: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(625);
     let cap = Bitrate::from_kbps(cap_kbps);
-    println!("one publisher → one subscriber; downlink capped to {cap} at t=20s, restored at t=57s\n");
+    println!(
+        "one publisher → one subscriber; downlink capped to {cap} at t=20s, restored at t=57s\n"
+    );
 
     let gso = fig7::run_one(PolicyMode::Gso, cap, 11);
     let non = fig7::run_one(PolicyMode::NonGso, cap, 11);
@@ -18,8 +20,7 @@ fn main() {
     println!("{:>6} {:>12} {:>12}", "t(s)", "GSO (kbps)", "NonGSO (kbps)");
     for sec in (2..=80).step_by(2) {
         let w = |s: &gso_simulcast::util::stats::TimeSeries| {
-            s.window_mean(SimTime::from_secs(sec - 2), SimTime::from_secs(sec))
-                .unwrap_or(0.0)
+            s.window_mean(SimTime::from_secs(sec - 2), SimTime::from_secs(sec)).unwrap_or(0.0)
                 / 1000.0
         };
         let marker = if sec == 20 {

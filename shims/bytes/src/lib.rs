@@ -1,0 +1,518 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the subset it uses: [`Bytes`] (cheaply cloneable, sliceable, shared),
+//! [`BytesMut`] (growable builder), and the [`Buf`]/[`BufMut`] cursor traits
+//! with the big-endian accessors the RTP/RTCP codecs rely on. Semantics match
+//! the published crate for this subset: network byte order, panics on
+//! under-run, `freeze` moves a builder into shared storage without copying.
+
+#![forbid(unsafe_code)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// Shared debug formatting for both buffer types.
+macro_rules! fmt_bytes_debug {
+    () => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "b\"")?;
+            for &b in self.as_slice() {
+                if b.is_ascii_graphic() || b == b' ' {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "\\x{b:02x}")?;
+                }
+            }
+            write!(f, "\"")
+        }
+    };
+}
+
+/// A cheaply cloneable, contiguous, immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wrap a static byte slice.
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// A shared sub-range of this buffer (no copy).
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+    }
+
+    /// Split off the bytes from `at` onward; `self` keeps `[0, at)`.
+    ///
+    /// Panics if `at > len`.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_off out of bounds");
+        let tail = self.slice(at..);
+        self.end = self.start + at;
+        tail
+    }
+
+    /// Split off the first `at` bytes and return them; `self` keeps the rest.
+    ///
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.slice(..at);
+        self.start += at;
+        head
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes { data: v.into(), start: 0, end }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Bytes {
+    fn from(s: &'static [u8; N]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(m: BytesMut) -> Self {
+        m.freeze()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fmt_bytes_debug!();
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// A growable, uniquely owned byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Read cursor for the `Buf` impl.
+    read: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap), read: 0 }
+    }
+
+    /// Length of the unread contents.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.read
+    }
+
+    /// True if no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unread contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.read..]
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Reserve additional capacity.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Resize the unread contents, filling new space with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.data.resize(self.read + new_len, value);
+    }
+
+    /// Freeze into an immutable shared [`Bytes`] (no copy).
+    pub fn freeze(mut self) -> Bytes {
+        if self.read > 0 {
+            self.data.drain(..self.read);
+        }
+        Bytes::from(self.data)
+    }
+
+    /// Copy the unread contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        BytesMut { data: s.to_vec(), read: 0 }
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for BytesMut {
+    fn from(s: &[u8; N]) -> Self {
+        BytesMut { data: s.to_vec(), read: 0 }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let read = self.read;
+        &mut self.data[read..]
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fmt_bytes_debug!();
+}
+
+/// Read cursor over a byte buffer. Big-endian accessors, as on the wire.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Discard the next `cnt` bytes. Panics on under-run.
+    fn advance(&mut self, cnt: usize);
+
+    /// True while bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte. Panics on under-run.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Read a big-endian u16. Panics on under-run.
+    fn get_u16(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        self.copy_to_slice(&mut raw);
+        u16::from_be_bytes(raw)
+    }
+
+    /// Read a big-endian u32. Panics on under-run.
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_be_bytes(raw)
+    }
+
+    /// Read a big-endian u64. Panics on under-run.
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_be_bytes(raw)
+    }
+
+    /// Read a big-endian f64. Panics on under-run.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+
+    /// Fill `dst` from the buffer. Panics on under-run.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer under-run");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Take the next `len` bytes as an owned [`Bytes`]. Panics on under-run.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "buffer under-run");
+        let out = Bytes::from(self.chunk()[..len].to_vec());
+        self.advance(len);
+        out
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.len(), "buffer under-run");
+        let out = self.slice(..len);
+        self.start += len;
+        out
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.read += cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor over a growable byte buffer. Big-endian, as on the wire.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian f64.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_integers() {
+        let mut m = BytesMut::new();
+        m.put_u8(0xAB);
+        m.put_u16(0x1234);
+        m.put_u32(0xDEAD_BEEF);
+        m.put_u64(0x0102_0304_0506_0708);
+        m.put_f64(1.5);
+        let mut b = m.freeze();
+        assert_eq!(b.len(), 1 + 2 + 4 + 8 + 8);
+        assert_eq!(b.get_u8(), 0xAB);
+        assert_eq!(b.get_u16(), 0x1234);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), 0x0102_0304_0506_0708);
+        assert!((b.get_f64() - 1.5).abs() < f64::EPSILON);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn slice_and_split_share_storage() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let mut c = b.clone();
+        let tail = c.split_off(2);
+        assert_eq!(&c[..], &[1, 2]);
+        assert_eq!(&tail[..], &[3, 4, 5]);
+        let mut d = b.clone();
+        let head = d.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&d[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn copy_to_bytes_advances() {
+        let mut b = Bytes::from(vec![9, 8, 7, 6]);
+        let first = b.copy_to_bytes(2);
+        assert_eq!(&first[..], &[9, 8]);
+        assert_eq!(b.remaining(), 2);
+        assert_eq!(b.get_u8(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer under-run")]
+    fn under_run_panics() {
+        let mut b = Bytes::from(vec![1]);
+        let _ = b.get_u32();
+    }
+
+    #[test]
+    fn bytes_equality_and_debug() {
+        let b = Bytes::from_static(b"ok\x01");
+        assert_eq!(b, Bytes::from(vec![b'o', b'k', 1]));
+        assert_eq!(format!("{b:?}"), "b\"ok\\x01\"");
+    }
+}

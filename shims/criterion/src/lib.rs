@@ -1,0 +1,131 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate vendors the
+//! small API surface the `gso-bench` targets use: `Criterion::default()
+//! .configure_from_args()`, `benchmark_group`, `sample_size`,
+//! `bench_function` with `Bencher::iter`, `finish`, and `final_summary`.
+//!
+//! Measurement is deliberately simple — wall-clock medians over
+//! `sample_size` samples after a short warm-up — with none of criterion's
+//! statistical machinery. Numbers are indicative, not publication-grade;
+//! they exist so `cargo bench` keeps working offline.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup { _parent: self, sample_size: 10 }
+    }
+
+    /// Print the closing summary line.
+    pub fn final_summary(&self) {
+        println!("\nbench run complete (shim harness: wall-clock medians, no statistics)");
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut bencher = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+        // Calibration pass: size iteration batches to ~1 ms per sample.
+        f(&mut bencher);
+        if let Some(&first) = bencher.samples.first() {
+            let target = Duration::from_millis(1);
+            if first > Duration::ZERO && first < target {
+                let scale = target.as_nanos() / first.as_nanos().max(1);
+                bencher.iters_per_sample = (scale as u64).clamp(1, 1_000_000);
+            }
+        }
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        bencher.samples.sort();
+        let median =
+            bencher.samples.get(bencher.samples.len() / 2).copied().unwrap_or(Duration::ZERO);
+        let per_iter = median.as_nanos() / u128::from(bencher.iters_per_sample).max(1);
+        println!(
+            "  {name:<40} median {:>12} ns/iter ({} samples x {} iters)",
+            per_iter, self.sample_size, bencher.iters_per_sample
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, preventing the optimizer from discarding its result.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            hint::black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        c.final_summary();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate vendors the
+//! subset of proptest this workspace uses: the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies, `Just`,
+//! `prop::collection::vec`, `prop::bool::ANY`, `prop::num::*::ANY`, the
+//! [`proptest!`] macro, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from the real crate, deliberate for a test-only shim:
+//!
+//! * **No shrinking.** A failing case reports its case number and seed; the
+//!   whole run is deterministic (seed derived from the test name), so any
+//!   failure reproduces exactly on re-run.
+//! * **Discards count as passes.** `prop_assume!` skips the case without
+//!   retrying, so heavy use of assumptions reduces effective case counts.
+//! * `ProptestConfig` keeps only the `cases` knob; other fields are ignored
+//!   at construction.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Namespaced strategy constructors (`prop::collection::vec`, `prop::bool::ANY`, …).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        /// Uniform `bool`.
+        pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+    }
+
+    /// Full-domain numeric strategies.
+    pub mod num {
+        macro_rules! any_mod {
+            ($($m:ident : $t:ty),*) => {$(
+                pub mod $m {
+                    /// Uniform over the full domain.
+                    pub const ANY: crate::strategy::AnyNum<$t> =
+                        crate::strategy::AnyNum::new();
+                }
+            )*};
+        }
+        any_mod!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize);
+    }
+}
+
+/// The subset of `proptest::prelude` this workspace uses.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Run each `fn` as a `#[test]` over `cases` generated inputs.
+///
+/// Accepts the same shape as the real `proptest!` macro:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop_holds(x in 0u64..100, v in prop::collection::vec(0u8..255, 0..16)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg); $($rest)*);
+    };
+    (@funcs ($cfg:expr); $($(#[$meta:meta])* fn $name:ident(
+        $($arg:pat in $strat:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                let strat = ($($strat,)*);
+                for case in 0..config.cases {
+                    let ($($arg,)*) =
+                        $crate::strategy::Strategy::generate(&strat, &mut rng);
+                    let outcome: ::std::result::Result<
+                        (),
+                        ::std::string::String,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!(
+                            "proptest case {case} of {} failed: {message}",
+                            config.cases,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @funcs ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        );
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {l:?}\n right: {r:?}",
+            stringify!($left),
+            stringify!($right),
+        );
+    }};
+}
+
+/// Skip the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

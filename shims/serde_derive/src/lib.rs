@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, and nothing in this
+//! workspace serializes yet — the `#[derive(Serialize, Deserialize)]`
+//! attributes only mark types as wire-ready for future subsystems. These
+//! derives therefore expand to nothing, keeping the annotations compiling
+//! without pulling in syn/quote. When real serialization lands, replace the
+//! `shims/serde*` crates with the published ones.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -6,6 +6,8 @@
 //!
 //! * [`algo`] — the Knapsack–Merge–Reduction control algorithm (the paper's
 //!   core contribution), exact brute-force baseline, ladders and QoE model.
+//! * [`audit`] — static constraint-invariant auditor for solutions, wired
+//!   into debug builds at the solver, controller and SFU trust boundaries.
 //! * [`rtp`] — RTP/RTCP wire formats including the paper's SEMB and
 //!   orchestration TMMBR/TMMBN (GTMB/GTBN) messages.
 //! * [`net`] — deterministic discrete-event packet network simulator.
@@ -23,6 +25,7 @@
 //! the paper's evaluation.
 
 pub use gso_algo as algo;
+pub use gso_audit as audit;
 pub use gso_bwe as bwe;
 pub use gso_control as control;
 pub use gso_media as media;

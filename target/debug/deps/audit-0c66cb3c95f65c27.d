@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/audit-0c66cb3c95f65c27.d: crates/audit/src/bin/audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaudit-0c66cb3c95f65c27.rmeta: crates/audit/src/bin/audit.rs Cargo.toml
+
+crates/audit/src/bin/audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

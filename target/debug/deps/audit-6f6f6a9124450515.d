@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit-6f6f6a9124450515.d: crates/audit/src/bin/audit.rs
+
+/root/repo/target/debug/deps/audit-6f6f6a9124450515: crates/audit/src/bin/audit.rs
+
+crates/audit/src/bin/audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit-9d05fba111539c4c.d: crates/audit/src/bin/audit.rs
+
+/root/repo/target/debug/deps/audit-9d05fba111539c4c: crates/audit/src/bin/audit.rs
+
+crates/audit/src/bin/audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/audit-c5a857cf49b6d94a.d: crates/audit/src/bin/audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaudit-c5a857cf49b6d94a.rmeta: crates/audit/src/bin/audit.rs Cargo.toml
+
+crates/audit/src/bin/audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

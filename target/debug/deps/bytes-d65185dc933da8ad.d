@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-d65185dc933da8ad.d: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-d65185dc933da8ad.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

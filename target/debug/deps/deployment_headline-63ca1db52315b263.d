@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deployment_headline-63ca1db52315b263.d: tests/deployment_headline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeployment_headline-63ca1db52315b263.rmeta: tests/deployment_headline.rs Cargo.toml
+
+tests/deployment_headline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

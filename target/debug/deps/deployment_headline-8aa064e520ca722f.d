@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deployment_headline-8aa064e520ca722f.d: tests/deployment_headline.rs
+
+/root/repo/target/debug/deps/deployment_headline-8aa064e520ca722f: tests/deployment_headline.rs
+
+tests/deployment_headline.rs:

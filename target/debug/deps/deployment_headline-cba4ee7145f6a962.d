@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deployment_headline-cba4ee7145f6a962.d: tests/deployment_headline.rs
+
+/root/repo/target/debug/deps/deployment_headline-cba4ee7145f6a962: tests/deployment_headline.rs
+
+tests/deployment_headline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_conference-2943818851f25ffd.d: tests/end_to_end_conference.rs
+
+/root/repo/target/debug/deps/end_to_end_conference-2943818851f25ffd: tests/end_to_end_conference.rs
+
+tests/end_to_end_conference.rs:

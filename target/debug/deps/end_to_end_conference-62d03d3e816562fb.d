@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_conference-62d03d3e816562fb.d: tests/end_to_end_conference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_conference-62d03d3e816562fb.rmeta: tests/end_to_end_conference.rs Cargo.toml
+
+tests/end_to_end_conference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_conference-b7226f4661d8b4ce.d: tests/end_to_end_conference.rs
+
+/root/repo/target/debug/deps/end_to_end_conference-b7226f4661d8b4ce: tests/end_to_end_conference.rs
+
+tests/end_to_end_conference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_resilience-2dbc1d46baa926c3.d: tests/failure_resilience.rs
+
+/root/repo/target/debug/deps/failure_resilience-2dbc1d46baa926c3: tests/failure_resilience.rs
+
+tests/failure_resilience.rs:

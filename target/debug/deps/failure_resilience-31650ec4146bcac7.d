@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_resilience-31650ec4146bcac7.d: tests/failure_resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_resilience-31650ec4146bcac7.rmeta: tests/failure_resilience.rs Cargo.toml
+
+tests/failure_resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

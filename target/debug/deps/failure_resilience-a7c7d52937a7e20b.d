@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_resilience-a7c7d52937a7e20b.d: tests/failure_resilience.rs
+
+/root/repo/target/debug/deps/failure_resilience-a7c7d52937a7e20b: tests/failure_resilience.rs
+
+tests/failure_resilience.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6a-768ea7d0c2dfe814.d: crates/bench/benches/fig6a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6a-768ea7d0c2dfe814.rmeta: crates/bench/benches/fig6a.rs Cargo.toml
+
+crates/bench/benches/fig6a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6b-aa155d7cdf2cc4a9.d: crates/bench/benches/fig6b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6b-aa155d7cdf2cc4a9.rmeta: crates/bench/benches/fig6b.rs Cargo.toml
+
+crates/bench/benches/fig6b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

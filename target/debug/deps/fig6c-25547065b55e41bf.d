@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6c-25547065b55e41bf.d: crates/bench/benches/fig6c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6c-25547065b55e41bf.rmeta: crates/bench/benches/fig6c.rs Cargo.toml
+
+crates/bench/benches/fig6c.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-189c1bedeb8d3cb1.d: crates/bench/benches/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-189c1bedeb8d3cb1.rmeta: crates/bench/benches/fig7.rs Cargo.toml
+
+crates/bench/benches/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

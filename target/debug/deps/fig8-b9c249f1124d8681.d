@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8-b9c249f1124d8681.d: crates/bench/benches/fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-b9c249f1124d8681.rmeta: crates/bench/benches/fig8.rs Cargo.toml
+
+crates/bench/benches/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

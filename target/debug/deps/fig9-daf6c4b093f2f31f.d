@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9-daf6c4b093f2f31f.d: crates/bench/benches/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-daf6c4b093f2f31f.rmeta: crates/bench/benches/fig9.rs Cargo.toml
+
+crates/bench/benches/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

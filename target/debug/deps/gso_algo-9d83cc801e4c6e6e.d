@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gso_algo-9d83cc801e4c6e6e.d: crates/algo/src/lib.rs crates/algo/src/brute.rs crates/algo/src/diff.rs crates/algo/src/ladders.rs crates/algo/src/mckp.rs crates/algo/src/problem.rs crates/algo/src/qoe.rs crates/algo/src/solution.rs crates/algo/src/solver.rs crates/algo/src/types.rs
+
+/root/repo/target/debug/deps/libgso_algo-9d83cc801e4c6e6e.rlib: crates/algo/src/lib.rs crates/algo/src/brute.rs crates/algo/src/diff.rs crates/algo/src/ladders.rs crates/algo/src/mckp.rs crates/algo/src/problem.rs crates/algo/src/qoe.rs crates/algo/src/solution.rs crates/algo/src/solver.rs crates/algo/src/types.rs
+
+/root/repo/target/debug/deps/libgso_algo-9d83cc801e4c6e6e.rmeta: crates/algo/src/lib.rs crates/algo/src/brute.rs crates/algo/src/diff.rs crates/algo/src/ladders.rs crates/algo/src/mckp.rs crates/algo/src/problem.rs crates/algo/src/qoe.rs crates/algo/src/solution.rs crates/algo/src/solver.rs crates/algo/src/types.rs
+
+crates/algo/src/lib.rs:
+crates/algo/src/brute.rs:
+crates/algo/src/diff.rs:
+crates/algo/src/ladders.rs:
+crates/algo/src/mckp.rs:
+crates/algo/src/problem.rs:
+crates/algo/src/qoe.rs:
+crates/algo/src/solution.rs:
+crates/algo/src/solver.rs:
+crates/algo/src/types.rs:

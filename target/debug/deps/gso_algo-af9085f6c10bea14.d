@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gso_algo-af9085f6c10bea14.d: crates/algo/src/lib.rs crates/algo/src/brute.rs crates/algo/src/diff.rs crates/algo/src/ladders.rs crates/algo/src/mckp.rs crates/algo/src/problem.rs crates/algo/src/qoe.rs crates/algo/src/solution.rs crates/algo/src/solver.rs crates/algo/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgso_algo-af9085f6c10bea14.rmeta: crates/algo/src/lib.rs crates/algo/src/brute.rs crates/algo/src/diff.rs crates/algo/src/ladders.rs crates/algo/src/mckp.rs crates/algo/src/problem.rs crates/algo/src/qoe.rs crates/algo/src/solution.rs crates/algo/src/solver.rs crates/algo/src/types.rs Cargo.toml
+
+crates/algo/src/lib.rs:
+crates/algo/src/brute.rs:
+crates/algo/src/diff.rs:
+crates/algo/src/ladders.rs:
+crates/algo/src/mckp.rs:
+crates/algo/src/problem.rs:
+crates/algo/src/qoe.rs:
+crates/algo/src/solution.rs:
+crates/algo/src/solver.rs:
+crates/algo/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

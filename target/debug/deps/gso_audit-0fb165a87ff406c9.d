@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gso_audit-0fb165a87ff406c9.d: crates/audit/src/lib.rs crates/audit/src/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgso_audit-0fb165a87ff406c9.rmeta: crates/audit/src/lib.rs crates/audit/src/scenarios.rs Cargo.toml
+
+crates/audit/src/lib.rs:
+crates/audit/src/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gso_audit-2fe67bb3eebece00.d: crates/audit/src/lib.rs crates/audit/src/scenarios.rs crates/audit/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgso_audit-2fe67bb3eebece00.rmeta: crates/audit/src/lib.rs crates/audit/src/scenarios.rs crates/audit/src/tests.rs Cargo.toml
+
+crates/audit/src/lib.rs:
+crates/audit/src/scenarios.rs:
+crates/audit/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gso_audit-54f52798729c2cc3.d: crates/audit/src/lib.rs crates/audit/src/scenarios.rs
+
+/root/repo/target/debug/deps/libgso_audit-54f52798729c2cc3.rlib: crates/audit/src/lib.rs crates/audit/src/scenarios.rs
+
+/root/repo/target/debug/deps/libgso_audit-54f52798729c2cc3.rmeta: crates/audit/src/lib.rs crates/audit/src/scenarios.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/scenarios.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gso_audit-f0b45462ff58e13a.d: crates/audit/src/lib.rs crates/audit/src/scenarios.rs crates/audit/src/tests.rs
+
+/root/repo/target/debug/deps/gso_audit-f0b45462ff58e13a: crates/audit/src/lib.rs crates/audit/src/scenarios.rs crates/audit/src/tests.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/scenarios.rs:
+crates/audit/src/tests.rs:

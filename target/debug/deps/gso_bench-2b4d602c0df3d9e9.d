@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gso_bench-2b4d602c0df3d9e9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgso_bench-2b4d602c0df3d9e9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgso_bench-2b4d602c0df3d9e9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gso_bench-d795c80c27148a8a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgso_bench-d795c80c27148a8a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

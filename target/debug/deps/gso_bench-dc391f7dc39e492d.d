@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gso_bench-dc391f7dc39e492d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgso_bench-dc391f7dc39e492d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgso_bench-dc391f7dc39e492d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

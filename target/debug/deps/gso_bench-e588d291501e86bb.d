@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gso_bench-e588d291501e86bb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/gso_bench-e588d291501e86bb: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gso_bench-f3af03ccd1ec149a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/gso_bench-f3af03ccd1ec149a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gso_bwe-bbaec795fb7ffb06.d: crates/bwe/src/lib.rs crates/bwe/src/estimator.rs crates/bwe/src/history.rs crates/bwe/src/probe.rs crates/bwe/src/semb.rs crates/bwe/src/twcc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgso_bwe-bbaec795fb7ffb06.rmeta: crates/bwe/src/lib.rs crates/bwe/src/estimator.rs crates/bwe/src/history.rs crates/bwe/src/probe.rs crates/bwe/src/semb.rs crates/bwe/src/twcc.rs Cargo.toml
+
+crates/bwe/src/lib.rs:
+crates/bwe/src/estimator.rs:
+crates/bwe/src/history.rs:
+crates/bwe/src/probe.rs:
+crates/bwe/src/semb.rs:
+crates/bwe/src/twcc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gso_bwe-bdc2467966302e9a.d: crates/bwe/src/lib.rs crates/bwe/src/estimator.rs crates/bwe/src/history.rs crates/bwe/src/probe.rs crates/bwe/src/semb.rs crates/bwe/src/twcc.rs
+
+/root/repo/target/debug/deps/libgso_bwe-bdc2467966302e9a.rlib: crates/bwe/src/lib.rs crates/bwe/src/estimator.rs crates/bwe/src/history.rs crates/bwe/src/probe.rs crates/bwe/src/semb.rs crates/bwe/src/twcc.rs
+
+/root/repo/target/debug/deps/libgso_bwe-bdc2467966302e9a.rmeta: crates/bwe/src/lib.rs crates/bwe/src/estimator.rs crates/bwe/src/history.rs crates/bwe/src/probe.rs crates/bwe/src/semb.rs crates/bwe/src/twcc.rs
+
+crates/bwe/src/lib.rs:
+crates/bwe/src/estimator.rs:
+crates/bwe/src/history.rs:
+crates/bwe/src/probe.rs:
+crates/bwe/src/semb.rs:
+crates/bwe/src/twcc.rs:

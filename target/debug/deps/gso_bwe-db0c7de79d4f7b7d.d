@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gso_bwe-db0c7de79d4f7b7d.d: crates/bwe/src/lib.rs crates/bwe/src/estimator.rs crates/bwe/src/history.rs crates/bwe/src/probe.rs crates/bwe/src/semb.rs crates/bwe/src/twcc.rs
+
+/root/repo/target/debug/deps/gso_bwe-db0c7de79d4f7b7d: crates/bwe/src/lib.rs crates/bwe/src/estimator.rs crates/bwe/src/history.rs crates/bwe/src/probe.rs crates/bwe/src/semb.rs crates/bwe/src/twcc.rs
+
+crates/bwe/src/lib.rs:
+crates/bwe/src/estimator.rs:
+crates/bwe/src/history.rs:
+crates/bwe/src/probe.rs:
+crates/bwe/src/semb.rs:
+crates/bwe/src/twcc.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gso_control-32b7c0ed5a12236f.d: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/failure.rs crates/control/src/feedback.rs crates/control/src/hysteresis.rs crates/control/src/scheduler.rs crates/control/src/sdp.rs crates/control/src/state.rs
+
+/root/repo/target/debug/deps/libgso_control-32b7c0ed5a12236f.rlib: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/failure.rs crates/control/src/feedback.rs crates/control/src/hysteresis.rs crates/control/src/scheduler.rs crates/control/src/sdp.rs crates/control/src/state.rs
+
+/root/repo/target/debug/deps/libgso_control-32b7c0ed5a12236f.rmeta: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/failure.rs crates/control/src/feedback.rs crates/control/src/hysteresis.rs crates/control/src/scheduler.rs crates/control/src/sdp.rs crates/control/src/state.rs
+
+crates/control/src/lib.rs:
+crates/control/src/controller.rs:
+crates/control/src/failure.rs:
+crates/control/src/feedback.rs:
+crates/control/src/hysteresis.rs:
+crates/control/src/scheduler.rs:
+crates/control/src/sdp.rs:
+crates/control/src/state.rs:

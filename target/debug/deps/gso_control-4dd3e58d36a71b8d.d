@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gso_control-4dd3e58d36a71b8d.d: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/failure.rs crates/control/src/feedback.rs crates/control/src/hysteresis.rs crates/control/src/scheduler.rs crates/control/src/sdp.rs crates/control/src/state.rs
+
+/root/repo/target/debug/deps/libgso_control-4dd3e58d36a71b8d.rlib: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/failure.rs crates/control/src/feedback.rs crates/control/src/hysteresis.rs crates/control/src/scheduler.rs crates/control/src/sdp.rs crates/control/src/state.rs
+
+/root/repo/target/debug/deps/libgso_control-4dd3e58d36a71b8d.rmeta: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/failure.rs crates/control/src/feedback.rs crates/control/src/hysteresis.rs crates/control/src/scheduler.rs crates/control/src/sdp.rs crates/control/src/state.rs
+
+crates/control/src/lib.rs:
+crates/control/src/controller.rs:
+crates/control/src/failure.rs:
+crates/control/src/feedback.rs:
+crates/control/src/hysteresis.rs:
+crates/control/src/scheduler.rs:
+crates/control/src/sdp.rs:
+crates/control/src/state.rs:

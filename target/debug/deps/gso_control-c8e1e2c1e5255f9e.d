@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gso_control-c8e1e2c1e5255f9e.d: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/failure.rs crates/control/src/feedback.rs crates/control/src/hysteresis.rs crates/control/src/scheduler.rs crates/control/src/sdp.rs crates/control/src/state.rs
+
+/root/repo/target/debug/deps/gso_control-c8e1e2c1e5255f9e: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/failure.rs crates/control/src/feedback.rs crates/control/src/hysteresis.rs crates/control/src/scheduler.rs crates/control/src/sdp.rs crates/control/src/state.rs
+
+crates/control/src/lib.rs:
+crates/control/src/controller.rs:
+crates/control/src/failure.rs:
+crates/control/src/feedback.rs:
+crates/control/src/hysteresis.rs:
+crates/control/src/scheduler.rs:
+crates/control/src/sdp.rs:
+crates/control/src/state.rs:

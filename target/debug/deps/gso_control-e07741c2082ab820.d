@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gso_control-e07741c2082ab820.d: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/failure.rs crates/control/src/feedback.rs crates/control/src/hysteresis.rs crates/control/src/scheduler.rs crates/control/src/sdp.rs crates/control/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgso_control-e07741c2082ab820.rmeta: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/failure.rs crates/control/src/feedback.rs crates/control/src/hysteresis.rs crates/control/src/scheduler.rs crates/control/src/sdp.rs crates/control/src/state.rs Cargo.toml
+
+crates/control/src/lib.rs:
+crates/control/src/controller.rs:
+crates/control/src/failure.rs:
+crates/control/src/feedback.rs:
+crates/control/src/hysteresis.rs:
+crates/control/src/scheduler.rs:
+crates/control/src/sdp.rs:
+crates/control/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

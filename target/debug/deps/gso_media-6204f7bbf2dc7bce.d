@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gso_media-6204f7bbf2dc7bce.d: crates/media/src/lib.rs crates/media/src/audio.rs crates/media/src/cost.rs crates/media/src/encoder.rs crates/media/src/frame.rs crates/media/src/metrics.rs crates/media/src/quality.rs crates/media/src/receiver.rs
+
+/root/repo/target/debug/deps/gso_media-6204f7bbf2dc7bce: crates/media/src/lib.rs crates/media/src/audio.rs crates/media/src/cost.rs crates/media/src/encoder.rs crates/media/src/frame.rs crates/media/src/metrics.rs crates/media/src/quality.rs crates/media/src/receiver.rs
+
+crates/media/src/lib.rs:
+crates/media/src/audio.rs:
+crates/media/src/cost.rs:
+crates/media/src/encoder.rs:
+crates/media/src/frame.rs:
+crates/media/src/metrics.rs:
+crates/media/src/quality.rs:
+crates/media/src/receiver.rs:

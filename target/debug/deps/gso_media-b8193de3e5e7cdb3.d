@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gso_media-b8193de3e5e7cdb3.d: crates/media/src/lib.rs crates/media/src/audio.rs crates/media/src/cost.rs crates/media/src/encoder.rs crates/media/src/frame.rs crates/media/src/metrics.rs crates/media/src/quality.rs crates/media/src/receiver.rs
+
+/root/repo/target/debug/deps/libgso_media-b8193de3e5e7cdb3.rlib: crates/media/src/lib.rs crates/media/src/audio.rs crates/media/src/cost.rs crates/media/src/encoder.rs crates/media/src/frame.rs crates/media/src/metrics.rs crates/media/src/quality.rs crates/media/src/receiver.rs
+
+/root/repo/target/debug/deps/libgso_media-b8193de3e5e7cdb3.rmeta: crates/media/src/lib.rs crates/media/src/audio.rs crates/media/src/cost.rs crates/media/src/encoder.rs crates/media/src/frame.rs crates/media/src/metrics.rs crates/media/src/quality.rs crates/media/src/receiver.rs
+
+crates/media/src/lib.rs:
+crates/media/src/audio.rs:
+crates/media/src/cost.rs:
+crates/media/src/encoder.rs:
+crates/media/src/frame.rs:
+crates/media/src/metrics.rs:
+crates/media/src/quality.rs:
+crates/media/src/receiver.rs:

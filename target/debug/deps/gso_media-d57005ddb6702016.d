@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gso_media-d57005ddb6702016.d: crates/media/src/lib.rs crates/media/src/audio.rs crates/media/src/cost.rs crates/media/src/encoder.rs crates/media/src/frame.rs crates/media/src/metrics.rs crates/media/src/quality.rs crates/media/src/receiver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgso_media-d57005ddb6702016.rmeta: crates/media/src/lib.rs crates/media/src/audio.rs crates/media/src/cost.rs crates/media/src/encoder.rs crates/media/src/frame.rs crates/media/src/metrics.rs crates/media/src/quality.rs crates/media/src/receiver.rs Cargo.toml
+
+crates/media/src/lib.rs:
+crates/media/src/audio.rs:
+crates/media/src/cost.rs:
+crates/media/src/encoder.rs:
+crates/media/src/frame.rs:
+crates/media/src/metrics.rs:
+crates/media/src/quality.rs:
+crates/media/src/receiver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

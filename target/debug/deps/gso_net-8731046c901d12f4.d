@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gso_net-8731046c901d12f4.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/node.rs crates/net/src/pacer.rs crates/net/src/sim.rs
+
+/root/repo/target/debug/deps/gso_net-8731046c901d12f4: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/node.rs crates/net/src/pacer.rs crates/net/src/sim.rs
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/node.rs:
+crates/net/src/pacer.rs:
+crates/net/src/sim.rs:

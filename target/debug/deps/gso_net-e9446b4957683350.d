@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gso_net-e9446b4957683350.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/node.rs crates/net/src/pacer.rs crates/net/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgso_net-e9446b4957683350.rmeta: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/node.rs crates/net/src/pacer.rs crates/net/src/sim.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/node.rs:
+crates/net/src/pacer.rs:
+crates/net/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

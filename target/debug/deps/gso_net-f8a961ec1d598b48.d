@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gso_net-f8a961ec1d598b48.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/node.rs crates/net/src/pacer.rs crates/net/src/sim.rs
+
+/root/repo/target/debug/deps/libgso_net-f8a961ec1d598b48.rlib: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/node.rs crates/net/src/pacer.rs crates/net/src/sim.rs
+
+/root/repo/target/debug/deps/libgso_net-f8a961ec1d598b48.rmeta: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/node.rs crates/net/src/pacer.rs crates/net/src/sim.rs
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/node.rs:
+crates/net/src/pacer.rs:
+crates/net/src/sim.rs:

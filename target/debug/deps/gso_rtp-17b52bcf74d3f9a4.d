@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/gso_rtp-17b52bcf74d3f9a4.d: crates/rtp/src/lib.rs crates/rtp/src/app.rs crates/rtp/src/compound.rs crates/rtp/src/error.rs crates/rtp/src/feedback.rs crates/rtp/src/header.rs crates/rtp/src/mantissa.rs crates/rtp/src/report.rs crates/rtp/src/ssrc_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgso_rtp-17b52bcf74d3f9a4.rmeta: crates/rtp/src/lib.rs crates/rtp/src/app.rs crates/rtp/src/compound.rs crates/rtp/src/error.rs crates/rtp/src/feedback.rs crates/rtp/src/header.rs crates/rtp/src/mantissa.rs crates/rtp/src/report.rs crates/rtp/src/ssrc_alloc.rs Cargo.toml
+
+crates/rtp/src/lib.rs:
+crates/rtp/src/app.rs:
+crates/rtp/src/compound.rs:
+crates/rtp/src/error.rs:
+crates/rtp/src/feedback.rs:
+crates/rtp/src/header.rs:
+crates/rtp/src/mantissa.rs:
+crates/rtp/src/report.rs:
+crates/rtp/src/ssrc_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

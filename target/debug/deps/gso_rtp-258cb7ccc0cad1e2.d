@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gso_rtp-258cb7ccc0cad1e2.d: crates/rtp/src/lib.rs crates/rtp/src/app.rs crates/rtp/src/compound.rs crates/rtp/src/error.rs crates/rtp/src/feedback.rs crates/rtp/src/header.rs crates/rtp/src/mantissa.rs crates/rtp/src/report.rs crates/rtp/src/ssrc_alloc.rs
+
+/root/repo/target/debug/deps/gso_rtp-258cb7ccc0cad1e2: crates/rtp/src/lib.rs crates/rtp/src/app.rs crates/rtp/src/compound.rs crates/rtp/src/error.rs crates/rtp/src/feedback.rs crates/rtp/src/header.rs crates/rtp/src/mantissa.rs crates/rtp/src/report.rs crates/rtp/src/ssrc_alloc.rs
+
+crates/rtp/src/lib.rs:
+crates/rtp/src/app.rs:
+crates/rtp/src/compound.rs:
+crates/rtp/src/error.rs:
+crates/rtp/src/feedback.rs:
+crates/rtp/src/header.rs:
+crates/rtp/src/mantissa.rs:
+crates/rtp/src/report.rs:
+crates/rtp/src/ssrc_alloc.rs:

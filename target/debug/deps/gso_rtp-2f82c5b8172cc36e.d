@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gso_rtp-2f82c5b8172cc36e.d: crates/rtp/src/lib.rs crates/rtp/src/app.rs crates/rtp/src/compound.rs crates/rtp/src/error.rs crates/rtp/src/feedback.rs crates/rtp/src/header.rs crates/rtp/src/mantissa.rs crates/rtp/src/report.rs crates/rtp/src/ssrc_alloc.rs
+
+/root/repo/target/debug/deps/libgso_rtp-2f82c5b8172cc36e.rlib: crates/rtp/src/lib.rs crates/rtp/src/app.rs crates/rtp/src/compound.rs crates/rtp/src/error.rs crates/rtp/src/feedback.rs crates/rtp/src/header.rs crates/rtp/src/mantissa.rs crates/rtp/src/report.rs crates/rtp/src/ssrc_alloc.rs
+
+/root/repo/target/debug/deps/libgso_rtp-2f82c5b8172cc36e.rmeta: crates/rtp/src/lib.rs crates/rtp/src/app.rs crates/rtp/src/compound.rs crates/rtp/src/error.rs crates/rtp/src/feedback.rs crates/rtp/src/header.rs crates/rtp/src/mantissa.rs crates/rtp/src/report.rs crates/rtp/src/ssrc_alloc.rs
+
+crates/rtp/src/lib.rs:
+crates/rtp/src/app.rs:
+crates/rtp/src/compound.rs:
+crates/rtp/src/error.rs:
+crates/rtp/src/feedback.rs:
+crates/rtp/src/header.rs:
+crates/rtp/src/mantissa.rs:
+crates/rtp/src/report.rs:
+crates/rtp/src/ssrc_alloc.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gso_sfu-0ad28c1e54a40c72.d: crates/sfu/src/lib.rs crates/sfu/src/relay.rs crates/sfu/src/selector.rs crates/sfu/src/switcher.rs crates/sfu/src/template.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgso_sfu-0ad28c1e54a40c72.rmeta: crates/sfu/src/lib.rs crates/sfu/src/relay.rs crates/sfu/src/selector.rs crates/sfu/src/switcher.rs crates/sfu/src/template.rs Cargo.toml
+
+crates/sfu/src/lib.rs:
+crates/sfu/src/relay.rs:
+crates/sfu/src/selector.rs:
+crates/sfu/src/switcher.rs:
+crates/sfu/src/template.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gso_sfu-b12a53c4ce03a0c6.d: crates/sfu/src/lib.rs crates/sfu/src/relay.rs crates/sfu/src/selector.rs crates/sfu/src/switcher.rs crates/sfu/src/template.rs
+
+/root/repo/target/debug/deps/gso_sfu-b12a53c4ce03a0c6: crates/sfu/src/lib.rs crates/sfu/src/relay.rs crates/sfu/src/selector.rs crates/sfu/src/switcher.rs crates/sfu/src/template.rs
+
+crates/sfu/src/lib.rs:
+crates/sfu/src/relay.rs:
+crates/sfu/src/selector.rs:
+crates/sfu/src/switcher.rs:
+crates/sfu/src/template.rs:

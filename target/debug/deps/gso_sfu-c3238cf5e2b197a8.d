@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gso_sfu-c3238cf5e2b197a8.d: crates/sfu/src/lib.rs crates/sfu/src/relay.rs crates/sfu/src/selector.rs crates/sfu/src/switcher.rs crates/sfu/src/template.rs
+
+/root/repo/target/debug/deps/libgso_sfu-c3238cf5e2b197a8.rlib: crates/sfu/src/lib.rs crates/sfu/src/relay.rs crates/sfu/src/selector.rs crates/sfu/src/switcher.rs crates/sfu/src/template.rs
+
+/root/repo/target/debug/deps/libgso_sfu-c3238cf5e2b197a8.rmeta: crates/sfu/src/lib.rs crates/sfu/src/relay.rs crates/sfu/src/selector.rs crates/sfu/src/switcher.rs crates/sfu/src/template.rs
+
+crates/sfu/src/lib.rs:
+crates/sfu/src/relay.rs:
+crates/sfu/src/selector.rs:
+crates/sfu/src/switcher.rs:
+crates/sfu/src/template.rs:

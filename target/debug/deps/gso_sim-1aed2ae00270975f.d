@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/gso_sim-1aed2ae00270975f.d: crates/sim/src/lib.rs crates/sim/src/access.rs crates/sim/src/client.rs crates/sim/src/conference.rs crates/sim/src/ctrl.rs crates/sim/src/deployment.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/fig12.rs crates/sim/src/experiments/fig6.rs crates/sim/src/experiments/fig7.rs crates/sim/src/experiments/fig8.rs crates/sim/src/experiments/fig9.rs crates/sim/src/experiments/table1.rs crates/sim/src/scenario.rs crates/sim/src/workloads.rs
+
+/root/repo/target/debug/deps/libgso_sim-1aed2ae00270975f.rlib: crates/sim/src/lib.rs crates/sim/src/access.rs crates/sim/src/client.rs crates/sim/src/conference.rs crates/sim/src/ctrl.rs crates/sim/src/deployment.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/fig12.rs crates/sim/src/experiments/fig6.rs crates/sim/src/experiments/fig7.rs crates/sim/src/experiments/fig8.rs crates/sim/src/experiments/fig9.rs crates/sim/src/experiments/table1.rs crates/sim/src/scenario.rs crates/sim/src/workloads.rs
+
+/root/repo/target/debug/deps/libgso_sim-1aed2ae00270975f.rmeta: crates/sim/src/lib.rs crates/sim/src/access.rs crates/sim/src/client.rs crates/sim/src/conference.rs crates/sim/src/ctrl.rs crates/sim/src/deployment.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/fig12.rs crates/sim/src/experiments/fig6.rs crates/sim/src/experiments/fig7.rs crates/sim/src/experiments/fig8.rs crates/sim/src/experiments/fig9.rs crates/sim/src/experiments/table1.rs crates/sim/src/scenario.rs crates/sim/src/workloads.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/access.rs:
+crates/sim/src/client.rs:
+crates/sim/src/conference.rs:
+crates/sim/src/ctrl.rs:
+crates/sim/src/deployment.rs:
+crates/sim/src/experiments/mod.rs:
+crates/sim/src/experiments/fig12.rs:
+crates/sim/src/experiments/fig6.rs:
+crates/sim/src/experiments/fig7.rs:
+crates/sim/src/experiments/fig8.rs:
+crates/sim/src/experiments/fig9.rs:
+crates/sim/src/experiments/table1.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/workloads.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/gso_sim-a1c140183701c215.d: crates/sim/src/lib.rs crates/sim/src/access.rs crates/sim/src/client.rs crates/sim/src/conference.rs crates/sim/src/ctrl.rs crates/sim/src/deployment.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/fig12.rs crates/sim/src/experiments/fig6.rs crates/sim/src/experiments/fig7.rs crates/sim/src/experiments/fig8.rs crates/sim/src/experiments/fig9.rs crates/sim/src/experiments/table1.rs crates/sim/src/scenario.rs crates/sim/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgso_sim-a1c140183701c215.rmeta: crates/sim/src/lib.rs crates/sim/src/access.rs crates/sim/src/client.rs crates/sim/src/conference.rs crates/sim/src/ctrl.rs crates/sim/src/deployment.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/fig12.rs crates/sim/src/experiments/fig6.rs crates/sim/src/experiments/fig7.rs crates/sim/src/experiments/fig8.rs crates/sim/src/experiments/fig9.rs crates/sim/src/experiments/table1.rs crates/sim/src/scenario.rs crates/sim/src/workloads.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/access.rs:
+crates/sim/src/client.rs:
+crates/sim/src/conference.rs:
+crates/sim/src/ctrl.rs:
+crates/sim/src/deployment.rs:
+crates/sim/src/experiments/mod.rs:
+crates/sim/src/experiments/fig12.rs:
+crates/sim/src/experiments/fig6.rs:
+crates/sim/src/experiments/fig7.rs:
+crates/sim/src/experiments/fig8.rs:
+crates/sim/src/experiments/fig9.rs:
+crates/sim/src/experiments/table1.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

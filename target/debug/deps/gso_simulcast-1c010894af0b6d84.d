@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gso_simulcast-1c010894af0b6d84.d: src/lib.rs
+
+/root/repo/target/debug/deps/gso_simulcast-1c010894af0b6d84: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gso_simulcast-2daf9f3a2f3e08bb.d: src/lib.rs
+
+/root/repo/target/debug/deps/gso_simulcast-2daf9f3a2f3e08bb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gso_simulcast-2f90493a8e6f9092.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgso_simulcast-2f90493a8e6f9092.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgso_simulcast-2f90493a8e6f9092.rmeta: src/lib.rs
+
+src/lib.rs:

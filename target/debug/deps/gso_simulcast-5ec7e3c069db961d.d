@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gso_simulcast-5ec7e3c069db961d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgso_simulcast-5ec7e3c069db961d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgso_simulcast-5ec7e3c069db961d.rmeta: src/lib.rs
+
+src/lib.rs:

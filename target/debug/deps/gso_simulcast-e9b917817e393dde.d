@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gso_simulcast-e9b917817e393dde.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgso_simulcast-e9b917817e393dde.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gso_util-e00b8962ad358b77.d: crates/util/src/lib.rs crates/util/src/bitrate.rs crates/util/src/ewma.rs crates/util/src/ids.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+/root/repo/target/debug/deps/gso_util-e00b8962ad358b77: crates/util/src/lib.rs crates/util/src/bitrate.rs crates/util/src/ewma.rs crates/util/src/ids.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+crates/util/src/lib.rs:
+crates/util/src/bitrate.rs:
+crates/util/src/ewma.rs:
+crates/util/src/ids.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:
+crates/util/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gso_util-e92b13f081a638ae.d: crates/util/src/lib.rs crates/util/src/bitrate.rs crates/util/src/ewma.rs crates/util/src/ids.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+/root/repo/target/debug/deps/libgso_util-e92b13f081a638ae.rlib: crates/util/src/lib.rs crates/util/src/bitrate.rs crates/util/src/ewma.rs crates/util/src/ids.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+/root/repo/target/debug/deps/libgso_util-e92b13f081a638ae.rmeta: crates/util/src/lib.rs crates/util/src/bitrate.rs crates/util/src/ewma.rs crates/util/src/ids.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+crates/util/src/lib.rs:
+crates/util/src/bitrate.rs:
+crates/util/src/ewma.rs:
+crates/util/src/ids.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:
+crates/util/src/time.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gso_util-f1f1b72fa6a3022c.d: crates/util/src/lib.rs crates/util/src/bitrate.rs crates/util/src/ewma.rs crates/util/src/ids.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgso_util-f1f1b72fa6a3022c.rmeta: crates/util/src/lib.rs crates/util/src/bitrate.rs crates/util/src/ewma.rs crates/util/src/ids.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/time.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/bitrate.rs:
+crates/util/src/ewma.rs:
+crates/util/src/ids.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:
+crates/util/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

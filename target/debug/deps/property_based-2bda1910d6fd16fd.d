@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-2bda1910d6fd16fd.d: tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-2bda1910d6fd16fd: tests/property_based.rs
+
+tests/property_based.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_based-3309f700ed230667.d: tests/property_based.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_based-3309f700ed230667.rmeta: tests/property_based.rs Cargo.toml
+
+tests/property_based.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

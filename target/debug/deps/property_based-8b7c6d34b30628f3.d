@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-8b7c6d34b30628f3.d: tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-8b7c6d34b30628f3: tests/property_based.rs
+
+tests/property_based.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_pipeline-0e785b6461d7bbc5.d: tests/protocol_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_pipeline-0e785b6461d7bbc5.rmeta: tests/protocol_pipeline.rs Cargo.toml
+
+tests/protocol_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_pipeline-47d0a1519dfee05f.d: tests/protocol_pipeline.rs
+
+/root/repo/target/debug/deps/protocol_pipeline-47d0a1519dfee05f: tests/protocol_pipeline.rs
+
+tests/protocol_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_pipeline-ee4747d5c8918af1.d: tests/protocol_pipeline.rs
+
+/root/repo/target/debug/deps/protocol_pipeline-ee4747d5c8918af1: tests/protocol_pipeline.rs
+
+tests/protocol_pipeline.rs:

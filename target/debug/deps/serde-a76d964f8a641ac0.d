@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-a76d964f8a641ac0.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a76d964f8a641ac0.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a76d964f8a641ac0.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-ffc5273dbef83a90.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ffc5273dbef83a90.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

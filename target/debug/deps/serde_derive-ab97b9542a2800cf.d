@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-ab97b9542a2800cf.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-ab97b9542a2800cf.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_vs_brute-2a2c3351aa1611a1.d: crates/audit/tests/solver_vs_brute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_vs_brute-2a2c3351aa1611a1.rmeta: crates/audit/tests/solver_vs_brute.rs Cargo.toml
+
+crates/audit/tests/solver_vs_brute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

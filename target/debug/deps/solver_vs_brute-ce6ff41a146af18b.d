@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_vs_brute-ce6ff41a146af18b.d: crates/audit/tests/solver_vs_brute.rs
+
+/root/repo/target/debug/deps/solver_vs_brute-ce6ff41a146af18b: crates/audit/tests/solver_vs_brute.rs
+
+crates/audit/tests/solver_vs_brute.rs:

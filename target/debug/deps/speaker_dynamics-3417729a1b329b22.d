@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speaker_dynamics-3417729a1b329b22.d: tests/speaker_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeaker_dynamics-3417729a1b329b22.rmeta: tests/speaker_dynamics.rs Cargo.toml
+
+tests/speaker_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speaker_dynamics-515b800146eea61f.d: tests/speaker_dynamics.rs
+
+/root/repo/target/debug/deps/speaker_dynamics-515b800146eea61f: tests/speaker_dynamics.rs
+
+tests/speaker_dynamics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speaker_dynamics-61ade4a42f153aae.d: tests/speaker_dynamics.rs
+
+/root/repo/target/debug/deps/speaker_dynamics-61ade4a42f153aae: tests/speaker_dynamics.rs
+
+tests/speaker_dynamics.rs:

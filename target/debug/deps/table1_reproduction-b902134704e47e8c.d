@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_reproduction-b902134704e47e8c.d: tests/table1_reproduction.rs
+
+/root/repo/target/debug/deps/table1_reproduction-b902134704e47e8c: tests/table1_reproduction.rs
+
+tests/table1_reproduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_reproduction-de3529cb6524b44e.d: tests/table1_reproduction.rs
+
+/root/repo/target/debug/deps/table1_reproduction-de3529cb6524b44e: tests/table1_reproduction.rs
+
+tests/table1_reproduction.rs:

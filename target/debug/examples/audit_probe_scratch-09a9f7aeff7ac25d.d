@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/audit_probe_scratch-09a9f7aeff7ac25d.d: examples/audit_probe_scratch.rs
+
+/root/repo/target/debug/examples/audit_probe_scratch-09a9f7aeff7ac25d: examples/audit_probe_scratch.rs
+
+examples/audit_probe_scratch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/large_conference-5af7f63adda4a7ac.d: examples/large_conference.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblarge_conference-5af7f63adda4a7ac.rmeta: examples/large_conference.rs Cargo.toml
+
+examples/large_conference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/large_conference-7d5e9ef2a2afbd09.d: examples/large_conference.rs
+
+/root/repo/target/debug/examples/large_conference-7d5e9ef2a2afbd09: examples/large_conference.rs
+
+examples/large_conference.rs:

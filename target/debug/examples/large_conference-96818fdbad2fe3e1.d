@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/large_conference-96818fdbad2fe3e1.d: examples/large_conference.rs
+
+/root/repo/target/debug/examples/large_conference-96818fdbad2fe3e1: examples/large_conference.rs
+
+examples/large_conference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7bc93ad9f333078a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7bc93ad9f333078a: examples/quickstart.rs
+
+examples/quickstart.rs:

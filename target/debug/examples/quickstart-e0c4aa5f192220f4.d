@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e0c4aa5f192220f4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e0c4aa5f192220f4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/screen_share-cbe6157a4561ea46.d: examples/screen_share.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscreen_share-cbe6157a4561ea46.rmeta: examples/screen_share.rs Cargo.toml
+
+examples/screen_share.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/screen_share-edf2cf560533e53d.d: examples/screen_share.rs
+
+/root/repo/target/debug/examples/screen_share-edf2cf560533e53d: examples/screen_share.rs
+
+examples/screen_share.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/screen_share-ff2150d8a5693cd2.d: examples/screen_share.rs
+
+/root/repo/target/debug/examples/screen_share-ff2150d8a5693cd2: examples/screen_share.rs
+
+examples/screen_share.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/slow_link-30c2eb6a37bd47fc.d: examples/slow_link.rs
+
+/root/repo/target/debug/examples/slow_link-30c2eb6a37bd47fc: examples/slow_link.rs
+
+examples/slow_link.rs:

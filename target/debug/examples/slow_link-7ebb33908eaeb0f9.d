@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/slow_link-7ebb33908eaeb0f9.d: examples/slow_link.rs Cargo.toml
+
+/root/repo/target/debug/examples/libslow_link-7ebb33908eaeb0f9.rmeta: examples/slow_link.rs Cargo.toml
+
+examples/slow_link.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/slow_link-feecb0107f263551.d: examples/slow_link.rs
+
+/root/repo/target/debug/examples/slow_link-feecb0107f263551: examples/slow_link.rs
+
+examples/slow_link.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/table1_cases-2d94e0707a5c6036.d: examples/table1_cases.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtable1_cases-2d94e0707a5c6036.rmeta: examples/table1_cases.rs Cargo.toml
+
+examples/table1_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/table1_cases-354d1b767d6ad660.d: examples/table1_cases.rs
+
+/root/repo/target/debug/examples/table1_cases-354d1b767d6ad660: examples/table1_cases.rs
+
+examples/table1_cases.rs:

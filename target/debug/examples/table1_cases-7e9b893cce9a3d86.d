@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/table1_cases-7e9b893cce9a3d86.d: examples/table1_cases.rs
+
+/root/repo/target/debug/examples/table1_cases-7e9b893cce9a3d86: examples/table1_cases.rs
+
+examples/table1_cases.rs:

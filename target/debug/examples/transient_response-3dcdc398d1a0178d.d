@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transient_response-3dcdc398d1a0178d.d: examples/transient_response.rs
+
+/root/repo/target/debug/examples/transient_response-3dcdc398d1a0178d: examples/transient_response.rs
+
+examples/transient_response.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transient_response-515b5a0763c63897.d: examples/transient_response.rs
+
+/root/repo/target/debug/examples/transient_response-515b5a0763c63897: examples/transient_response.rs
+
+examples/transient_response.rs:

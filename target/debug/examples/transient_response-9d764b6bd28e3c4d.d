@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/transient_response-9d764b6bd28e3c4d.d: examples/transient_response.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtransient_response-9d764b6bd28e3c4d.rmeta: examples/transient_response.rs Cargo.toml
+
+examples/transient_response.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

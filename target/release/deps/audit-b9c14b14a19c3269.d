@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/audit-b9c14b14a19c3269.d: crates/audit/src/bin/audit.rs
+
+/root/repo/target/release/deps/audit-b9c14b14a19c3269: crates/audit/src/bin/audit.rs
+
+crates/audit/src/bin/audit.rs:

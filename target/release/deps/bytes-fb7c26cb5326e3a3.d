@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-fb7c26cb5326e3a3.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-fb7c26cb5326e3a3.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-fb7c26cb5326e3a3.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/gso_algo-a84b3b78b9997e98.d: crates/algo/src/lib.rs crates/algo/src/brute.rs crates/algo/src/diff.rs crates/algo/src/ladders.rs crates/algo/src/mckp.rs crates/algo/src/problem.rs crates/algo/src/qoe.rs crates/algo/src/solution.rs crates/algo/src/solver.rs crates/algo/src/types.rs
+
+/root/repo/target/release/deps/libgso_algo-a84b3b78b9997e98.rlib: crates/algo/src/lib.rs crates/algo/src/brute.rs crates/algo/src/diff.rs crates/algo/src/ladders.rs crates/algo/src/mckp.rs crates/algo/src/problem.rs crates/algo/src/qoe.rs crates/algo/src/solution.rs crates/algo/src/solver.rs crates/algo/src/types.rs
+
+/root/repo/target/release/deps/libgso_algo-a84b3b78b9997e98.rmeta: crates/algo/src/lib.rs crates/algo/src/brute.rs crates/algo/src/diff.rs crates/algo/src/ladders.rs crates/algo/src/mckp.rs crates/algo/src/problem.rs crates/algo/src/qoe.rs crates/algo/src/solution.rs crates/algo/src/solver.rs crates/algo/src/types.rs
+
+crates/algo/src/lib.rs:
+crates/algo/src/brute.rs:
+crates/algo/src/diff.rs:
+crates/algo/src/ladders.rs:
+crates/algo/src/mckp.rs:
+crates/algo/src/problem.rs:
+crates/algo/src/qoe.rs:
+crates/algo/src/solution.rs:
+crates/algo/src/solver.rs:
+crates/algo/src/types.rs:

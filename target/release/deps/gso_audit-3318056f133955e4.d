@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/gso_audit-3318056f133955e4.d: crates/audit/src/lib.rs crates/audit/src/scenarios.rs
+
+/root/repo/target/release/deps/libgso_audit-3318056f133955e4.rlib: crates/audit/src/lib.rs crates/audit/src/scenarios.rs
+
+/root/repo/target/release/deps/libgso_audit-3318056f133955e4.rmeta: crates/audit/src/lib.rs crates/audit/src/scenarios.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/scenarios.rs:

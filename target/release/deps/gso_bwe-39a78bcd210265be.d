@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gso_bwe-39a78bcd210265be.d: crates/bwe/src/lib.rs crates/bwe/src/estimator.rs crates/bwe/src/history.rs crates/bwe/src/probe.rs crates/bwe/src/semb.rs crates/bwe/src/twcc.rs
+
+/root/repo/target/release/deps/libgso_bwe-39a78bcd210265be.rlib: crates/bwe/src/lib.rs crates/bwe/src/estimator.rs crates/bwe/src/history.rs crates/bwe/src/probe.rs crates/bwe/src/semb.rs crates/bwe/src/twcc.rs
+
+/root/repo/target/release/deps/libgso_bwe-39a78bcd210265be.rmeta: crates/bwe/src/lib.rs crates/bwe/src/estimator.rs crates/bwe/src/history.rs crates/bwe/src/probe.rs crates/bwe/src/semb.rs crates/bwe/src/twcc.rs
+
+crates/bwe/src/lib.rs:
+crates/bwe/src/estimator.rs:
+crates/bwe/src/history.rs:
+crates/bwe/src/probe.rs:
+crates/bwe/src/semb.rs:
+crates/bwe/src/twcc.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gso_control-c451951284a39403.d: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/failure.rs crates/control/src/feedback.rs crates/control/src/hysteresis.rs crates/control/src/scheduler.rs crates/control/src/sdp.rs crates/control/src/state.rs
+
+/root/repo/target/release/deps/libgso_control-c451951284a39403.rlib: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/failure.rs crates/control/src/feedback.rs crates/control/src/hysteresis.rs crates/control/src/scheduler.rs crates/control/src/sdp.rs crates/control/src/state.rs
+
+/root/repo/target/release/deps/libgso_control-c451951284a39403.rmeta: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/failure.rs crates/control/src/feedback.rs crates/control/src/hysteresis.rs crates/control/src/scheduler.rs crates/control/src/sdp.rs crates/control/src/state.rs
+
+crates/control/src/lib.rs:
+crates/control/src/controller.rs:
+crates/control/src/failure.rs:
+crates/control/src/feedback.rs:
+crates/control/src/hysteresis.rs:
+crates/control/src/scheduler.rs:
+crates/control/src/sdp.rs:
+crates/control/src/state.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gso_media-92915db3227dc08e.d: crates/media/src/lib.rs crates/media/src/audio.rs crates/media/src/cost.rs crates/media/src/encoder.rs crates/media/src/frame.rs crates/media/src/metrics.rs crates/media/src/quality.rs crates/media/src/receiver.rs
+
+/root/repo/target/release/deps/libgso_media-92915db3227dc08e.rlib: crates/media/src/lib.rs crates/media/src/audio.rs crates/media/src/cost.rs crates/media/src/encoder.rs crates/media/src/frame.rs crates/media/src/metrics.rs crates/media/src/quality.rs crates/media/src/receiver.rs
+
+/root/repo/target/release/deps/libgso_media-92915db3227dc08e.rmeta: crates/media/src/lib.rs crates/media/src/audio.rs crates/media/src/cost.rs crates/media/src/encoder.rs crates/media/src/frame.rs crates/media/src/metrics.rs crates/media/src/quality.rs crates/media/src/receiver.rs
+
+crates/media/src/lib.rs:
+crates/media/src/audio.rs:
+crates/media/src/cost.rs:
+crates/media/src/encoder.rs:
+crates/media/src/frame.rs:
+crates/media/src/metrics.rs:
+crates/media/src/quality.rs:
+crates/media/src/receiver.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gso_net-b482e605f2fdb0ae.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/node.rs crates/net/src/pacer.rs crates/net/src/sim.rs
+
+/root/repo/target/release/deps/libgso_net-b482e605f2fdb0ae.rlib: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/node.rs crates/net/src/pacer.rs crates/net/src/sim.rs
+
+/root/repo/target/release/deps/libgso_net-b482e605f2fdb0ae.rmeta: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/node.rs crates/net/src/pacer.rs crates/net/src/sim.rs
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/node.rs:
+crates/net/src/pacer.rs:
+crates/net/src/sim.rs:

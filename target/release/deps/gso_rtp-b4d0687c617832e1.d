@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/gso_rtp-b4d0687c617832e1.d: crates/rtp/src/lib.rs crates/rtp/src/app.rs crates/rtp/src/compound.rs crates/rtp/src/error.rs crates/rtp/src/feedback.rs crates/rtp/src/header.rs crates/rtp/src/mantissa.rs crates/rtp/src/report.rs crates/rtp/src/ssrc_alloc.rs
+
+/root/repo/target/release/deps/libgso_rtp-b4d0687c617832e1.rlib: crates/rtp/src/lib.rs crates/rtp/src/app.rs crates/rtp/src/compound.rs crates/rtp/src/error.rs crates/rtp/src/feedback.rs crates/rtp/src/header.rs crates/rtp/src/mantissa.rs crates/rtp/src/report.rs crates/rtp/src/ssrc_alloc.rs
+
+/root/repo/target/release/deps/libgso_rtp-b4d0687c617832e1.rmeta: crates/rtp/src/lib.rs crates/rtp/src/app.rs crates/rtp/src/compound.rs crates/rtp/src/error.rs crates/rtp/src/feedback.rs crates/rtp/src/header.rs crates/rtp/src/mantissa.rs crates/rtp/src/report.rs crates/rtp/src/ssrc_alloc.rs
+
+crates/rtp/src/lib.rs:
+crates/rtp/src/app.rs:
+crates/rtp/src/compound.rs:
+crates/rtp/src/error.rs:
+crates/rtp/src/feedback.rs:
+crates/rtp/src/header.rs:
+crates/rtp/src/mantissa.rs:
+crates/rtp/src/report.rs:
+crates/rtp/src/ssrc_alloc.rs:

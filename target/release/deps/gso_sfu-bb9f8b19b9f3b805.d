@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gso_sfu-bb9f8b19b9f3b805.d: crates/sfu/src/lib.rs crates/sfu/src/relay.rs crates/sfu/src/selector.rs crates/sfu/src/switcher.rs crates/sfu/src/template.rs
+
+/root/repo/target/release/deps/libgso_sfu-bb9f8b19b9f3b805.rlib: crates/sfu/src/lib.rs crates/sfu/src/relay.rs crates/sfu/src/selector.rs crates/sfu/src/switcher.rs crates/sfu/src/template.rs
+
+/root/repo/target/release/deps/libgso_sfu-bb9f8b19b9f3b805.rmeta: crates/sfu/src/lib.rs crates/sfu/src/relay.rs crates/sfu/src/selector.rs crates/sfu/src/switcher.rs crates/sfu/src/template.rs
+
+crates/sfu/src/lib.rs:
+crates/sfu/src/relay.rs:
+crates/sfu/src/selector.rs:
+crates/sfu/src/switcher.rs:
+crates/sfu/src/template.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gso_simulcast-59f0ad510b3e8518.d: src/lib.rs
+
+/root/repo/target/release/deps/libgso_simulcast-59f0ad510b3e8518.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgso_simulcast-59f0ad510b3e8518.rmeta: src/lib.rs
+
+src/lib.rs:

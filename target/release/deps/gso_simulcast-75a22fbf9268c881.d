@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gso_simulcast-75a22fbf9268c881.d: src/lib.rs
+
+/root/repo/target/release/deps/libgso_simulcast-75a22fbf9268c881.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgso_simulcast-75a22fbf9268c881.rmeta: src/lib.rs
+
+src/lib.rs:

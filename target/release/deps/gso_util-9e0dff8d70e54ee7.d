@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gso_util-9e0dff8d70e54ee7.d: crates/util/src/lib.rs crates/util/src/bitrate.rs crates/util/src/ewma.rs crates/util/src/ids.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+/root/repo/target/release/deps/libgso_util-9e0dff8d70e54ee7.rlib: crates/util/src/lib.rs crates/util/src/bitrate.rs crates/util/src/ewma.rs crates/util/src/ids.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+/root/repo/target/release/deps/libgso_util-9e0dff8d70e54ee7.rmeta: crates/util/src/lib.rs crates/util/src/bitrate.rs crates/util/src/ewma.rs crates/util/src/ids.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+crates/util/src/lib.rs:
+crates/util/src/bitrate.rs:
+crates/util/src/ewma.rs:
+crates/util/src/ids.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:
+crates/util/src/time.rs:

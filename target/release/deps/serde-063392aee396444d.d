@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-063392aee396444d.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-063392aee396444d.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-063392aee396444d.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

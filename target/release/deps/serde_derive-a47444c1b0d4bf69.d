@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-a47444c1b0d4bf69.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-a47444c1b0d4bf69.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -5,7 +5,9 @@
 //! cannot be reproduced without Dingtalk's traffic; the *sign and rough
 //! size* of each delta is the reproducible claim.
 
-use gso_simulcast::sim::deployment::{measure_improvements, simulate_deployment, window_mean, Rollout};
+use gso_simulcast::sim::deployment::{
+    measure_improvements, simulate_deployment, window_mean, Rollout,
+};
 
 #[test]
 fn gso_improves_the_population_metrics() {
@@ -21,11 +23,7 @@ fn gso_improves_the_population_metrics() {
         "voice stall must not regress, got {:.3}",
         f.voice_stall_reduction
     );
-    assert!(
-        f.framerate_gain > -0.02,
-        "framerate must not regress, got {:.3}",
-        f.framerate_gain
-    );
+    assert!(f.framerate_gain > -0.02, "framerate must not regress, got {:.3}", f.framerate_gain);
 }
 
 #[test]
@@ -34,10 +32,7 @@ fn rollout_series_reflects_measured_improvements() {
     let days = simulate_deployment(Rollout::paper(), f, 78);
     let before = window_mean(&days, 0..50, |d| d.video_stall);
     let after = window_mean(&days, 80..106, |d| d.video_stall);
-    assert!(
-        after < before,
-        "video stall must fall across the rollout: {before:.4} -> {after:.4}"
-    );
+    assert!(after < before, "video stall must fall across the rollout: {before:.4} -> {after:.4}");
     let sat_before = window_mean(&days, 0..50, |d| d.satisfaction);
     let sat_after = window_mean(&days, 80..106, |d| d.satisfaction);
     assert!(

@@ -20,7 +20,13 @@ fn meeting(mode: PolicyMode, n: u32, seed: u64, secs: u64) -> Scenario {
             )
         })
         .collect();
-    let mut s = Scenario { seed, mode, duration: SimDuration::from_secs(secs), clients, speaker_schedule: Vec::new() };
+    let mut s = Scenario {
+        seed,
+        mode,
+        duration: SimDuration::from_secs(secs),
+        clients,
+        speaker_schedule: Vec::new(),
+    };
     s.subscribe_all_to_all(Resolution::R720);
     s
 }
@@ -47,8 +53,10 @@ fn gso_never_overruns_subscriber_downlinks() {
     // A meeting with one very slow subscriber: the controller must keep the
     // aggregate delivered rate under that client's downlink.
     let mut s = meeting(PolicyMode::Gso, 3, 7, 30);
-    s.clients[2].downlink =
-        gso_simulcast::net::LinkConfig::clean(Bitrate::from_kbps(700), SimDuration::from_millis(20));
+    s.clients[2].downlink = gso_simulcast::net::LinkConfig::clean(
+        Bitrate::from_kbps(700),
+        SimDuration::from_millis(20),
+    );
     let r = s.run();
     let slow = ClientId(3);
     // Steady-state receive rate stays within the physical link.

@@ -5,8 +5,8 @@
 //! continues to flow (the paper: "the service could continue, however, at
 //! the cost of reduced QoE").
 
-use gso_simulcast::control::{ControllerConfig, SubscribeIntent};
 use gso_simulcast::algo::{Resolution, SourceId};
+use gso_simulcast::control::{ControllerConfig, SubscribeIntent};
 use gso_simulcast::net::{LinkConfig, Schedule, Simulator};
 use gso_simulcast::sim::access::AccessNode;
 use gso_simulcast::sim::client::{ClientConfig, ClientNode, PolicyMode};
@@ -19,10 +19,8 @@ fn media_survives_control_plane_partition() {
     let base = Bitrate::from_mbps(4);
     let mut sim = Simulator::new(777);
 
-    let cn = sim.add_node(Box::new(ConferenceNode::new(
-        ControllerConfig::paper_defaults(),
-        vec![],
-    )));
+    let cn =
+        sim.add_node(Box::new(ConferenceNode::new(ControllerConfig::paper_defaults(), vec![])));
     let an = sim.add_node(Box::new(AccessNode::new(PolicyMode::Gso, Some(cn))));
     // The AN↔CN control links die completely at t = 12 s (zero rate drops
     // everything).
@@ -73,10 +71,8 @@ fn media_survives_control_plane_partition() {
     sim.run_until(SimTime::from_secs(40));
 
     // The controller stopped hearing from the world at t=12 s…
-    let intervals = sim
-        .node::<ConferenceNode>(cn)
-        .map(|c| c.controller.call_intervals().len())
-        .unwrap_or(0);
+    let intervals =
+        sim.node::<ConferenceNode>(cn).map_or(0, |c| c.controller.call_intervals().len());
     assert!(intervals > 0, "the controller ran before the partition");
 
     // …but media kept flowing long after: both clients still render video

@@ -154,7 +154,7 @@ proptest! {
         // With a 17-bit mantissa the post-shift mantissa is ≥ 2^16, so the
         // truncation error is below bitrate / 2^16.
         let err = (entry.bitrate.as_bps() - back.entries[0].bitrate.as_bps()) as f64;
-        prop_assert!(err <= entry.bitrate.as_bps() as f64 / (1 << 16) as f64 + 1.0);
+        prop_assert!(err <= entry.bitrate.as_bps() as f64 / f64::from(1 << 16) + 1.0);
         prop_assert_eq!(back.entries[0].overhead, overhead & 0x1ff);
     }
 

@@ -3,7 +3,9 @@
 //! executor bookkeeping — the full §4.3 feedback loop, without the network
 //! simulator in between.
 
-use gso_simulcast::algo::{ladders, solver, ClientSpec, Problem, Resolution, SourceId, Subscription};
+use gso_simulcast::algo::{
+    ladders, solver, ClientSpec, Problem, Resolution, SourceId, Subscription,
+};
 use gso_simulcast::control::{FeedbackConfig, FeedbackExecutor};
 use gso_simulcast::media::{EncoderConfig, LayerConfig, SimulcastEncoder};
 use gso_simulcast::rtp::{ssrc_for, GsoTmmbn, RtcpPacket};
@@ -27,7 +29,8 @@ fn solution_to_wire_to_encoder_roundtrip() {
     let solution = solver::solve(&problem, &Default::default());
 
     // 2. The executor turns it into per-client GTMB messages.
-    let mut executor = FeedbackExecutor::new(FeedbackConfig::default(), gso_simulcast::util::Ssrc(7));
+    let mut executor =
+        FeedbackExecutor::new(FeedbackConfig::default(), gso_simulcast::util::Ssrc(7));
     let mut layers = BTreeMap::new();
     layers.insert(SourceId::video(a), vec![180u16, 360, 720]);
     layers.insert(SourceId::video(b), vec![180u16, 360, 720]);
@@ -99,5 +102,5 @@ fn semb_report_survives_the_wire_with_encoding_tolerance() {
     let RtcpPacket::Semb(back) = &parsed[0] else { panic!("expected SEMB") };
     assert!(back.bitrate <= original);
     let rel = (original.as_bps() - back.bitrate.as_bps()) as f64 / original.as_bps() as f64;
-    assert!(rel < 1.0 / (1 << 18) as f64 + 1e-9, "relative error {rel}");
+    assert!(rel < 1.0 / f64::from(1 << 18) + 1e-9, "relative error {rel}");
 }

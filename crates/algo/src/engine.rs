@@ -1,0 +1,592 @@
+//! Incremental, optionally parallel driver for the GSO control algorithm.
+//!
+//! [`SolveEngine`] produces exactly the same solutions and [`SolveTrace`]s as
+//! [`solver::solve`] / [`solver::solve_traced`] — bit-identical, enforced by
+//! sharing the Merge/Reduction/assembly code through the solver's internal
+//! ladder-view trait — but amortizes work across calls:
+//!
+//! * **MCKP memoization** — each subscriber keeps a [`McState`] holding the
+//!   per-class DP checkpoint rows of its last knapsack. A Reduction only
+//!   changes the classes of that source's subscribers, so everyone else's
+//!   Step 1 is a pure cache hit, and even affected subscribers recompute only
+//!   the DP suffix from the changed class. Across controller ticks the same
+//!   memo absorbs the common case where only one client's bandwidth estimate
+//!   moved (the ≥15 % event trigger keeps most clients unchanged).
+//! * **Allocation hygiene** — no `problem.clone()` per solve: Reduction
+//!   results go into a small ladder *overlay* on the borrowed base problem.
+//!   Per-client class lists are built into flat reusable scratch buffers
+//!   instead of fresh `Vec<Vec<…>>`s every iteration.
+//! * **Sharded Step 1** — per-subscriber knapsacks are independent, so cold
+//!   solves fan the cache entries across `std::thread::scope` workers in
+//!   contiguous chunks; the requests are then merged on the calling thread in
+//!   ascending client order, which keeps output byte-for-byte deterministic
+//!   and identical to the sequential path. On single-core hosts (or below
+//!   [`EngineConfig::parallel_threshold`]) the engine stays sequential.
+//!
+//! Dirty detection needs no external versioning protocol: a subscriber's
+//! class items (quantized weight + boosted value per candidate stream) *are*
+//! the cache key. Rebuilding them is `O(Σ ladder len)` per client — orders of
+//! magnitude cheaper than the `O(items × W)` DP they guard — and comparing
+//! them against the memo inside [`McState::solve_flat`] finds the first
+//! changed class exactly.
+
+use crate::mckp::{self, McItem, McOutcome, McReuse, McState};
+use crate::problem::{ClientSpec, Problem, SourceId, Subscription};
+use crate::solution::Solution;
+use crate::solver::{
+    assemble, merge_step, reduced_ladder, uplink_step, IterationTrace, LadderView, ReductionTrace,
+    Request, SolveTrace, SolverConfig,
+};
+use crate::types::{Ladder, StreamSpec};
+use gso_util::{Bitrate, ClientId};
+use std::collections::BTreeMap;
+
+/// Tuning knobs for the engine's execution strategy (not the algorithm —
+/// results are identical for every setting).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for the sharded Step 1. `0` (the default) uses
+    /// [`std::thread::available_parallelism`]; `1` forces sequential.
+    pub threads: usize,
+    /// Minimum number of knapsack-carrying clients before threads are
+    /// spawned; below this the spawn overhead dominates.
+    pub parallel_threshold: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { threads: 0, parallel_threshold: 32 }
+    }
+}
+
+/// Cumulative work counters, for benchmarks and regression tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Completed [`SolveEngine::solve`] calls.
+    pub solves: u64,
+    /// Knapsack–Merge–Reduction iterations across all solves.
+    pub iterations: u64,
+    /// Per-subscriber knapsack invocations (clients with subscriptions only).
+    pub knapsacks: u64,
+    /// Knapsacks answered entirely from cache (identical classes+capacity).
+    pub full_hits: u64,
+    /// Knapsacks that re-ran only the backtrack (capacity moved within the
+    /// stored table).
+    pub backtracks: u64,
+    /// Knapsacks that recomputed only a suffix of their DP rows.
+    pub suffix_recomputes: u64,
+    /// Knapsacks computed from scratch.
+    pub fresh_recomputes: u64,
+    /// DP class-rows recomputed (the dominant cost unit of Step 1).
+    pub rows_recomputed: u64,
+    /// DP class-rows reused from the memo.
+    pub rows_reused: u64,
+}
+
+/// Per-subscriber cache entry: the memoized DP plus flat scratch buffers.
+#[derive(Debug, Default)]
+struct ClientEntry {
+    /// Incremental MCKP state (checkpoint rows + choice table + memo keys).
+    mc: McState,
+    /// Flat quantized items of the current class list, rebuilt each call.
+    items: Vec<McItem>,
+    /// `ranges[c]` delimits class `c` inside `items`.
+    ranges: Vec<(usize, usize)>,
+    /// Candidate spec behind each flat item (for request materialization).
+    specs: Vec<StreamSpec>,
+    /// Outcome of the last knapsack, consumed by the stats merge.
+    last: Option<McOutcome>,
+}
+
+/// Reduction overlay: the base problem's ladders with this solve's shrunken
+/// ones on top. Replaces the one-shot solver's `problem.clone()`.
+struct Overlay<'a> {
+    base: &'a Problem,
+    reduced: BTreeMap<SourceId, Ladder>,
+}
+
+impl LadderView for Overlay<'_> {
+    fn ladder_of(&self, source: SourceId) -> Option<&Ladder> {
+        if let Some(l) = self.reduced.get(&source) {
+            return Some(l);
+        }
+        self.base.source(source).map(|s| &s.ladder)
+    }
+}
+
+/// A reusable solver instance that carries MCKP memos, scratch buffers and
+/// work statistics across [`solve`](Self::solve) calls.
+#[derive(Debug)]
+pub struct SolveEngine {
+    cfg: SolverConfig,
+    engine_cfg: EngineConfig,
+    /// Per-client caches, ascending by id (mirrors `Problem::clients()`).
+    caches: Vec<(ClientId, ClientEntry)>,
+    stats: EngineStats,
+}
+
+impl SolveEngine {
+    /// Engine with default execution settings.
+    #[must_use]
+    pub fn new(cfg: SolverConfig) -> Self {
+        Self::with_engine_config(cfg, EngineConfig::default())
+    }
+
+    /// Engine with explicit execution settings.
+    #[must_use]
+    pub fn with_engine_config(cfg: SolverConfig, engine_cfg: EngineConfig) -> Self {
+        SolveEngine { cfg, engine_cfg, caches: Vec::new(), stats: EngineStats::default() }
+    }
+
+    /// The solver configuration this engine applies.
+    #[must_use]
+    pub fn config(&self) -> &SolverConfig {
+        &self.cfg
+    }
+
+    /// Cumulative work counters since construction (or the last
+    /// [`reset_stats`](Self::reset_stats)).
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Zero the work counters (cache contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Drop every memoized DP table, forcing the next solve cold.
+    pub fn clear_cache(&mut self) {
+        self.caches.clear();
+    }
+
+    /// Solve the orchestration problem. Output is bit-identical to
+    /// [`solver::solve`] on the same problem and configuration.
+    pub fn solve(&mut self, problem: &Problem) -> Solution {
+        self.solve_impl(problem, None)
+    }
+
+    /// Like [`solve`](Self::solve), additionally returning the
+    /// [`SolveTrace`]; both are bit-identical to [`solver::solve_traced`].
+    pub fn solve_traced(&mut self, problem: &Problem) -> (Solution, SolveTrace) {
+        let mut trace = SolveTrace::default();
+        let solution = self.solve_impl(problem, Some(&mut trace));
+        (solution, trace)
+    }
+
+    fn solve_impl(&mut self, problem: &Problem, mut trace: Option<&mut SolveTrace>) -> Solution {
+        self.reconcile(problem);
+        self.stats.solves += 1;
+        let mut overlay = Overlay { base: problem, reduced: BTreeMap::new() };
+        let max_iters: usize =
+            1 + problem.sources().iter().map(|s| s.ladder.resolutions().len()).sum::<usize>();
+
+        for iteration in 1..=max_iters {
+            self.stats.iterations += 1;
+            let requests_by_source = self.knapsack_step(problem, &overlay);
+            let mut policies = merge_step(&requests_by_source);
+
+            let mut iter_trace = trace.as_ref().map(|_| IterationTrace {
+                requests: requests_by_source.clone(),
+                merged: policies
+                    .iter()
+                    .map(|(src, ps)| (*src, ps.iter().map(|p| (p.resolution, p.bitrate)).collect()))
+                    .collect(),
+                repaired: Vec::new(),
+                reduction: None,
+            });
+
+            let mut repaired = Vec::new();
+            let reduction = uplink_step(
+                problem.clients(),
+                &overlay,
+                &mut policies,
+                self.cfg.unit,
+                &mut repaired,
+            );
+            if let Some(t) = iter_trace.as_mut() {
+                t.repaired = repaired;
+            }
+
+            if let Some((source, res)) = reduction {
+                let shrunk = reduced_ladder(&overlay, source, res);
+                if let Some(t) = iter_trace.take() {
+                    if let Some(trace) = trace.as_mut() {
+                        trace.iterations.push(IterationTrace {
+                            reduction: Some(ReductionTrace {
+                                source,
+                                resolution: res,
+                                remaining_at_resolution: shrunk.at_resolution(res).len(),
+                            }),
+                            ..t
+                        });
+                    }
+                }
+                overlay.reduced.insert(source, shrunk);
+                continue;
+            }
+
+            if let Some(t) = iter_trace.take() {
+                if let Some(trace) = trace.as_mut() {
+                    trace.iterations.push(t);
+                }
+            }
+
+            let solution = assemble(problem, &overlay, policies, iteration);
+            debug_assert!(
+                solution.validate(problem).is_ok(),
+                "engine emitted an invalid solution: {:?}",
+                solution.validate(problem)
+            );
+            debug_assert!(
+                solution.iterations <= max_iters,
+                "engine exceeded the convergence bound: {} > {max_iters}",
+                solution.iterations
+            );
+            return solution;
+        }
+
+        unreachable!("the reduction step strictly shrinks a ladder each iteration");
+    }
+
+    /// Align the cache vector with the problem's client list: entries for
+    /// departed clients are dropped, new clients get empty entries, everyone
+    /// else keeps their memo. Linear merge-join over two sorted sequences.
+    fn reconcile(&mut self, problem: &Problem) {
+        let old = std::mem::take(&mut self.caches);
+        self.caches.reserve(problem.clients().len());
+        let mut old_iter = old.into_iter().peekable();
+        for client in problem.clients() {
+            while old_iter.peek().is_some_and(|(id, _)| *id < client.id) {
+                old_iter.next();
+            }
+            if old_iter.peek().is_some_and(|(id, _)| *id == client.id) {
+                let entry = old_iter.next().expect("invariant: just peeked");
+                self.caches.push(entry);
+            } else {
+                self.caches.push((client.id, ClientEntry::default()));
+            }
+        }
+    }
+
+    /// Worker count for this host and configuration.
+    fn effective_threads(&self) -> usize {
+        if self.engine_cfg.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.engine_cfg.threads
+        }
+    }
+
+    /// Step 1 over all subscribers, sharded when worthwhile, then merged in
+    /// ascending client order (identical to the sequential solver's order).
+    fn knapsack_step(
+        &mut self,
+        problem: &Problem,
+        overlay: &Overlay<'_>,
+    ) -> BTreeMap<SourceId, Vec<Request>> {
+        let unit = self.cfg.unit;
+        let threads = self.effective_threads();
+        let n = self.caches.len();
+
+        if threads > 1 && n >= self.engine_cfg.parallel_threshold {
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|s| {
+                for shard in self.caches.chunks_mut(chunk) {
+                    s.spawn(move || {
+                        for (id, entry) in shard {
+                            let subs = problem.subscriptions_of_slice(*id);
+                            if subs.is_empty() {
+                                continue;
+                            }
+                            let client =
+                                problem.client(*id).expect("invariant: caches were reconciled");
+                            entry.last = Some(client_knapsack(entry, client, subs, overlay, unit));
+                        }
+                    });
+                }
+            });
+        } else {
+            for (id, entry) in &mut self.caches {
+                let subs = problem.subscriptions_of_slice(*id);
+                if subs.is_empty() {
+                    continue;
+                }
+                let client = problem.client(*id).expect("invariant: caches were reconciled");
+                entry.last = Some(client_knapsack(entry, client, subs, overlay, unit));
+            }
+        }
+
+        // Deterministic merge: caches are in ascending client order, requests
+        // within a client in subscription order — exactly the sequential
+        // solver's insertion order.
+        let mut requests_by_source: BTreeMap<SourceId, Vec<Request>> = BTreeMap::new();
+        for (id, entry) in &mut self.caches {
+            let subs = problem.subscriptions_of_slice(*id);
+            if subs.is_empty() {
+                continue;
+            }
+            for (c, sub) in subs.iter().enumerate() {
+                if let Some(i) = entry.mc.choices()[c] {
+                    let (lo, _) = entry.ranges[c];
+                    requests_by_source.entry(sub.source).or_default().push(Request {
+                        subscriber: *id,
+                        tag: sub.tag,
+                        spec: entry.specs[lo + i],
+                    });
+                }
+            }
+            if let Some(out) = entry.last.take() {
+                self.stats.knapsacks += 1;
+                let k = out.classes as u64;
+                match out.reuse {
+                    McReuse::Full => {
+                        self.stats.full_hits += 1;
+                        self.stats.rows_reused += k;
+                    }
+                    McReuse::Backtrack => {
+                        self.stats.backtracks += 1;
+                        self.stats.rows_reused += k;
+                    }
+                    McReuse::Suffix { first_recomputed } => {
+                        self.stats.suffix_recomputes += 1;
+                        self.stats.rows_reused += first_recomputed as u64;
+                        self.stats.rows_recomputed += k - first_recomputed as u64;
+                    }
+                    McReuse::Fresh => {
+                        self.stats.fresh_recomputes += 1;
+                        self.stats.rows_recomputed += k;
+                    }
+                }
+            }
+        }
+        requests_by_source
+    }
+}
+
+/// One subscriber's Step 1: rebuild the flat class items against the current
+/// ladder overlay and run the incremental DP.
+///
+/// Class construction mirrors the one-shot solver exactly: classes in
+/// subscription (source, tag) order, items the ladder specs at resolution
+/// `≤ max_resolution` ascending by bitrate, weight = `⌈bitrate/unit⌉`,
+/// value = `qoe × boost + presence`, capacity = `⌊downlink/unit⌋`.
+fn client_knapsack(
+    entry: &mut ClientEntry,
+    client: &ClientSpec,
+    subs: &[Subscription],
+    ladders: &Overlay<'_>,
+    unit: Bitrate,
+) -> McOutcome {
+    entry.items.clear();
+    entry.ranges.clear();
+    entry.specs.clear();
+    for sub in subs {
+        let lo = entry.items.len();
+        if let Some(ladder) = ladders.ladder_of(sub.source) {
+            for spec in ladder.specs() {
+                if spec.resolution <= sub.max_resolution {
+                    entry.specs.push(*spec);
+                    entry.items.push(McItem {
+                        weight: mckp::quantize_weight(spec.bitrate, unit),
+                        value: spec.qoe * sub.qoe_boost + sub.presence_bonus,
+                    });
+                }
+            }
+        }
+        entry.ranges.push((lo, entry.items.len()));
+    }
+    entry.mc.solve_flat(&entry.items, &entry.ranges, mckp::quantize_capacity(client.downlink, unit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ladders;
+    use crate::problem::ClientSpec;
+    use crate::solver;
+    use crate::types::Resolution;
+
+    fn kbps(k: u64) -> Bitrate {
+        Bitrate::from_kbps(k)
+    }
+
+    /// Full-mesh meeting: `n` clients, everyone subscribes to everyone.
+    fn mesh(n: u32, downlinks: &dyn Fn(u32) -> u64) -> Problem {
+        let ladder = ladders::paper_table1();
+        let clients: Vec<ClientSpec> = (1..=n)
+            .map(|i| ClientSpec::new(ClientId(i), kbps(2_000), kbps(downlinks(i)), ladder.clone()))
+            .collect();
+        let mut subs = Vec::new();
+        for i in 1..=n {
+            for j in 1..=n {
+                if i != j {
+                    subs.push(Subscription::new(
+                        ClientId(i),
+                        SourceId::video(ClientId(j)),
+                        Resolution::R720,
+                    ));
+                }
+            }
+        }
+        Problem::new(clients, subs).expect("valid mesh problem")
+    }
+
+    fn assert_identical(engine: &mut SolveEngine, problem: &Problem) {
+        let (sol_e, trace_e) = engine.solve_traced(problem);
+        let (sol_s, trace_s) = solver::solve_traced(problem, engine.config());
+        assert_eq!(sol_e, sol_s);
+        assert_eq!(trace_e, trace_s);
+    }
+
+    #[test]
+    fn cold_solve_matches_solver() {
+        let p = mesh(6, &|i| 400 + 300 * u64::from(i));
+        let mut engine = SolveEngine::new(SolverConfig::default());
+        assert_identical(&mut engine, &p);
+        assert!(engine.stats().fresh_recomputes > 0);
+    }
+
+    #[test]
+    fn warm_resolve_is_all_cache_hits() {
+        let p = mesh(6, &|i| 400 + 300 * u64::from(i));
+        let mut engine = SolveEngine::new(SolverConfig::default());
+        engine.solve(&p);
+        let sol1 = engine.solve(&p);
+        let before = engine.stats();
+        // Second warm solve with a converged (single-iteration) problem:
+        // every knapsack must be a full hit.
+        let sol2 = engine.solve(&p);
+        let after = engine.stats();
+        assert_eq!(sol1, sol2);
+        if after.iterations - before.iterations == 1 {
+            assert_eq!(after.full_hits - before.full_hits, after.knapsacks - before.knapsacks);
+            assert_eq!(after.rows_recomputed, before.rows_recomputed);
+        }
+    }
+
+    #[test]
+    fn bandwidth_delta_only_recomputes_that_client() {
+        let p = mesh(8, &|_| 1_500);
+        let mut engine = SolveEngine::new(SolverConfig::default());
+        engine.solve(&p);
+        assert_eq!(engine.solve(&p).iterations, 1, "mesh must converge in one iteration");
+
+        // Shrink client 3's downlink: its DP backtracks, everyone else hits.
+        let mut clients: Vec<ClientSpec> = p.clients().to_vec();
+        clients[2].downlink = kbps(1_200);
+        let p2 = Problem::new(clients, p.subscriptions().to_vec()).expect("valid problem");
+        let before = engine.stats();
+        assert_identical(&mut engine, &p2);
+        let after = engine.stats();
+        assert_eq!(after.fresh_recomputes, before.fresh_recomputes);
+        assert_eq!(after.suffix_recomputes, before.suffix_recomputes);
+        assert_eq!(after.backtracks - before.backtracks, 1);
+    }
+
+    #[test]
+    fn reduction_invalidates_only_subscribers_of_that_source() {
+        // Client 1's uplink is too small for what subscribers want, forcing
+        // Reductions on source 1; other sources' subscribers stay cached
+        // after the first iteration.
+        let ladder = ladders::paper_table1();
+        let mut clients: Vec<ClientSpec> = (1..=6)
+            .map(|i| ClientSpec::new(ClientId(i), kbps(2_000), kbps(2_500), ladder.clone()))
+            .collect();
+        clients[0].uplink = kbps(150);
+        let mut subs = Vec::new();
+        for i in 1..=6u32 {
+            for j in 1..=6u32 {
+                if i != j {
+                    subs.push(Subscription::new(
+                        ClientId(i),
+                        SourceId::video(ClientId(j)),
+                        Resolution::R720,
+                    ));
+                }
+            }
+        }
+        let p = Problem::new(clients, subs).expect("valid problem");
+        let mut engine = SolveEngine::new(SolverConfig::default());
+        assert_identical(&mut engine, &p);
+        let s = engine.stats();
+        assert!(s.iterations > 1, "the tight uplink must force reductions");
+        // Later iterations reuse rows: strictly fewer rows recomputed than
+        // a from-scratch engine would need (iterations × knapsacks × rows).
+        assert!(s.full_hits > 0, "non-subscribers must hit the cache across iterations");
+        assert!(s.rows_reused > 0);
+    }
+
+    #[test]
+    fn parallel_output_identical_to_sequential() {
+        let p = mesh(9, &|i| 500 + 251 * u64::from(i));
+        let mut seq = SolveEngine::with_engine_config(
+            SolverConfig::default(),
+            EngineConfig { threads: 1, parallel_threshold: 0 },
+        );
+        let mut par = SolveEngine::with_engine_config(
+            SolverConfig::default(),
+            EngineConfig { threads: 3, parallel_threshold: 0 },
+        );
+        let (sol_seq, trace_seq) = seq.solve_traced(&p);
+        let (sol_par, trace_par) = par.solve_traced(&p);
+        assert_eq!(sol_seq, sol_par);
+        assert_eq!(trace_seq, trace_par);
+        // And both match the reference solver.
+        let (sol_ref, trace_ref) = solver::solve_traced(&p, &SolverConfig::default());
+        assert_eq!(sol_par, sol_ref);
+        assert_eq!(trace_par, trace_ref);
+    }
+
+    #[test]
+    fn reconcile_handles_joins_and_leaves() {
+        let p6 = mesh(6, &|_| 2_000);
+        let mut engine = SolveEngine::new(SolverConfig::default());
+        assert_identical(&mut engine, &p6);
+        // A client leaves…
+        let p5 = Problem::new(
+            p6.clients()[..5].to_vec(),
+            p6.subscriptions()
+                .iter()
+                .copied()
+                .filter(|s| s.subscriber != ClientId(6) && s.source.client != ClientId(6))
+                .collect(),
+        )
+        .expect("valid problem");
+        assert_identical(&mut engine, &p5);
+        // …and two new ones join.
+        let p8 = mesh(8, &|_| 2_000);
+        assert_identical(&mut engine, &p8);
+    }
+
+    #[test]
+    fn table1_cases_identical_via_engine() {
+        let ladder = ladders::paper_table1();
+        for bw in [
+            [(5_000u64, 1_400u64), (5_000, 3_000), (5_000, 500)],
+            [(5_000, 5_000), (600, 5_000), (5_000, 5_000)],
+            [(5_000, 5_000), (600, 700), (5_000, 5_000)],
+        ] {
+            let [a, b, c] = [ClientId(1), ClientId(2), ClientId(3)];
+            let clients = vec![
+                ClientSpec::new(a, kbps(bw[0].0), kbps(bw[0].1), ladder.clone()),
+                ClientSpec::new(b, kbps(bw[1].0), kbps(bw[1].1), ladder.clone()),
+                ClientSpec::new(c, kbps(bw[2].0), kbps(bw[2].1), ladder.clone()),
+            ];
+            let subs = vec![
+                Subscription::new(a, SourceId::video(b), Resolution::R360),
+                Subscription::new(a, SourceId::video(c), Resolution::R180),
+                Subscription::new(b, SourceId::video(a), Resolution::R720),
+                Subscription::new(b, SourceId::video(c), Resolution::R360),
+                Subscription::new(c, SourceId::video(b), Resolution::R360),
+                Subscription::new(c, SourceId::video(a), Resolution::R720),
+            ];
+            let p = Problem::new(clients, subs).expect("valid problem");
+            let mut engine = SolveEngine::new(SolverConfig::default());
+            // Cold and warm both match.
+            assert_identical(&mut engine, &p);
+            assert_identical(&mut engine, &p);
+        }
+    }
+}

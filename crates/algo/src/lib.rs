@@ -51,6 +51,7 @@
 
 pub mod brute;
 pub mod diff;
+pub mod engine;
 pub mod ladders;
 pub mod mckp;
 pub mod problem;
@@ -60,6 +61,7 @@ pub mod solver;
 pub mod types;
 
 pub use diff::{diff, LayerChange, SolutionDiff, SwitchChange};
+pub use engine::{EngineConfig, EngineStats, SolveEngine};
 pub use problem::{ClientSpec, Problem, ProblemError, PublisherSource, SourceId, Subscription};
 pub use solution::{ConstraintViolation, PublishPolicy, ReceivedStream, Solution};
 pub use solver::{IterationTrace, ReductionTrace, Request, SolveTrace, SolverConfig};

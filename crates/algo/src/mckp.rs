@@ -19,6 +19,28 @@
 //! candidate replaces the incumbent only when *strictly* better. The
 //! consequence is that among equal-value solutions, earlier-ordered
 //! publishers receive the higher-bitrate allocations.
+//!
+//! ## Incrementality
+//!
+//! [`McState`] keeps the DP checkpoint row *after every class* (a flat
+//! `(K+1) × stride` table) plus the flat row-major choice table. Because row
+//! `r` depends only on the first `r` classes — never on the capacity, which
+//! merely selects the backtrack start column — three cheap re-solve paths
+//! fall out:
+//!
+//! * identical classes and capacity → return the cached selection;
+//! * identical classes, different capacity within the stored width → re-run
+//!   only the `O(K)` backtrack;
+//! * classes changed from index `m` on (e.g. one source's ladder was
+//!   Reduced) → recompute only rows `m..K`.
+//!
+//! Rows are computed at the stored width (`stride`), which may exceed the
+//! current capacity column; columns `≤ w` of every row are bit-identical to
+//! a table built at exactly width `w`, because an item only ever writes
+//! columns `≥ weight` and cell updates scan items in the same order
+//! regardless of width. The free functions [`solve_units`] /
+//! [`solve_bitrates`] remain the one-shot entry points and are wrappers over
+//! a fresh [`McState`].
 
 use gso_util::Bitrate;
 
@@ -40,6 +62,222 @@ pub struct McSolution {
     pub value: f64,
 }
 
+/// How much of the memoized DP state a [`McState::solve_flat`] call reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McReuse {
+    /// Classes and capacity identical to the previous solve: the cached
+    /// selection was returned without touching the table.
+    Full,
+    /// Classes identical, capacity changed within the stored table width:
+    /// only the `O(K)` backtrack re-ran.
+    Backtrack,
+    /// Classes `first_recomputed..` differ from the memo: their DP rows were
+    /// recomputed, earlier rows were reused.
+    Suffix {
+        /// Index of the first class whose DP row had to be rebuilt.
+        first_recomputed: usize,
+    },
+    /// Nothing reusable: first solve, the capacity outgrew the stored table,
+    /// or the very first class changed.
+    Fresh,
+}
+
+/// Per-call statistics returned by [`McState::solve_flat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McOutcome {
+    /// Which reuse path the call took.
+    pub reuse: McReuse,
+    /// Number of classes in this call.
+    pub classes: usize,
+}
+
+/// Reusable, incremental MCKP solver state for one knapsack (one subscriber).
+///
+/// Owns the flat DP checkpoint rows, the flat row-major choice table and the
+/// per-class item memo used to detect which suffix of the class list changed
+/// between calls. All buffers are reused across calls; a fresh
+/// `McState::default()` behaves exactly like [`solve_units`].
+#[derive(Debug, Clone, Default)]
+pub struct McState {
+    /// Item memo per class; `keys[c]` is the class-`c` item list of the last
+    /// solve whose DP row `c+1` is still stored.
+    keys: Vec<Vec<McItem>>,
+    /// Row length of `rows` / `choice` (stored capacity + 1; 0 = no table).
+    stride: usize,
+    /// `(keys.len() + 1) × stride` DP checkpoints; row `r` is the best-value
+    /// profile after the first `r` classes (row 0 is all zeros).
+    rows: Vec<f64>,
+    /// `keys.len() × stride` row-major choice table; `choice[c·stride + w]`
+    /// is the item picked for class `c` at column `w`, or `-1` for skip.
+    choice: Vec<i32>,
+    /// Backtrack start column of the cached selection.
+    w_used: usize,
+    /// Cached selection of the last solve.
+    choices: Vec<Option<usize>>,
+    /// Cached total value of the last solve.
+    value: f64,
+}
+
+impl McState {
+    /// Create an empty state (no memo, no allocation).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selection of the most recent [`Self::solve_flat`] call.
+    #[must_use]
+    pub fn choices(&self) -> &[Option<usize>] {
+        &self.choices
+    }
+
+    /// Total value of the most recent [`Self::solve_flat`] call.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Drop all memoized state but keep the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.stride = 0;
+        self.rows.clear();
+        self.choice.clear();
+        self.w_used = 0;
+        self.choices.clear();
+        self.value = 0.0;
+    }
+
+    /// Solve the MCKP over quantized units, reusing whatever part of the
+    /// previous call's DP table is still valid.
+    ///
+    /// `ranges[c] = (lo, hi)` delimits class `c`'s items inside the flat
+    /// `items` slice — callers keep one growable scratch buffer instead of a
+    /// `Vec<Vec<_>>` per solve. Ordering rules match [`solve_units`]. The
+    /// selection is read back via [`Self::choices`] / [`Self::value`]; the
+    /// result is bit-identical to a fresh [`solve_units`] call on the same
+    /// input, whatever state the memo was in.
+    pub fn solve_flat(
+        &mut self,
+        items: &[McItem],
+        ranges: &[(usize, usize)],
+        capacity: u64,
+    ) -> McOutcome {
+        let k = ranges.len();
+        if k == 0 {
+            self.keys.clear();
+            self.choices.clear();
+            self.value = 0.0;
+            self.w_used = 0;
+            return McOutcome { reuse: McReuse::Fresh, classes: 0 };
+        }
+        // The DP never needs more capacity than what all classes could
+        // jointly use; trimming keeps the table small for huge downlinks.
+        let max_useful: u64 = ranges
+            .iter()
+            .map(|&(lo, hi)| items[lo..hi].iter().map(|i| i.weight).max().unwrap_or(0))
+            .sum();
+        let w_max = capacity.min(max_useful) as usize;
+
+        // Longest memoized class prefix matching this call's classes.
+        let mut first_dirty = 0;
+        while first_dirty < k.min(self.keys.len()) {
+            let (lo, hi) = ranges[first_dirty];
+            if self.keys[first_dirty].as_slice() != &items[lo..hi] {
+                break;
+            }
+            first_dirty += 1;
+        }
+
+        // A stored table is only usable when at least as wide as the new
+        // backtrack column; otherwise rebuild at the wider stride.
+        if w_max + 1 > self.stride {
+            self.stride = w_max + 1;
+            self.rows.clear();
+            self.rows.resize((k + 1) * self.stride, 0.0);
+            self.choice.clear();
+            self.choice.resize(k * self.stride, 0);
+            self.keys.clear();
+            first_dirty = 0;
+        }
+        let stride = self.stride;
+
+        if first_dirty == k {
+            // Every row the backtrack reads is already valid; rows past `k`
+            // (from a previously longer class list) are simply abandoned.
+            if self.keys.len() == k && w_max == self.w_used {
+                return McOutcome { reuse: McReuse::Full, classes: k };
+            }
+            self.keys.truncate(k);
+            self.backtrack(items, ranges, w_max);
+            return McOutcome { reuse: McReuse::Backtrack, classes: k };
+        }
+
+        // Recompute rows `first_dirty..k` in place; earlier rows are reused.
+        self.rows.resize((k + 1) * stride, 0.0);
+        self.choice.resize(k * stride, 0);
+        self.keys.truncate(k);
+        for c in first_dirty..k {
+            let (lo, hi) = ranges[c];
+            let class = &items[lo..hi];
+            let (prev_rows, next_rows) = self.rows.split_at_mut((c + 1) * stride);
+            let prev = &prev_rows[c * stride..];
+            let next = &mut next_rows[..stride];
+            // Skipping the class is always allowed.
+            next.copy_from_slice(prev);
+            let ch = &mut self.choice[c * stride..(c + 1) * stride];
+            ch.fill(-1);
+            for (i, item) in class.iter().enumerate() {
+                let wi = item.weight as usize;
+                if wi >= stride {
+                    continue;
+                }
+                for w in wi..stride {
+                    let cand = prev[w - wi] + item.value;
+                    if cand > next[w] {
+                        next[w] = cand;
+                        ch[w] = i as i32;
+                    }
+                }
+            }
+            if c < self.keys.len() {
+                self.keys[c].clear();
+                self.keys[c].extend_from_slice(class);
+            } else {
+                self.keys.push(class.to_vec());
+            }
+        }
+        self.backtrack(items, ranges, w_max);
+        let reuse = if first_dirty == 0 {
+            McReuse::Fresh
+        } else {
+            McReuse::Suffix { first_recomputed: first_dirty }
+        };
+        McOutcome { reuse, classes: k }
+    }
+
+    /// Walk the choice table from `w_max` down, refreshing the cached
+    /// selection. Rows/choices for all `ranges.len()` classes must be valid.
+    fn backtrack(&mut self, items: &[McItem], ranges: &[(usize, usize)], w_max: usize) {
+        let k = ranges.len();
+        let stride = self.stride;
+        // dp is monotone in w, so the optimum sits at the capacity column.
+        self.value = self.rows[k * stride + w_max];
+        self.choices.clear();
+        self.choices.resize(k, None);
+        let mut w = w_max;
+        for c in (0..k).rev() {
+            let picked = self.choice[c * stride + w];
+            if picked >= 0 {
+                let i = picked as usize;
+                self.choices[c] = Some(i);
+                w -= items[ranges[c].0 + i].weight as usize;
+            }
+        }
+        self.w_used = w_max;
+    }
+}
+
 /// Solve the MCKP over quantized units.
 ///
 /// `classes[c]` lists the candidate items of class `c`; callers must order
@@ -47,54 +285,16 @@ pub struct McSolution {
 /// itself is correct for any order). `capacity` is in the same units as the
 /// item weights.
 pub fn solve_units(classes: &[Vec<McItem>], capacity: u64) -> McSolution {
-    if classes.is_empty() {
-        return McSolution { choices: Vec::new(), value: 0.0 };
-    }
-    // The DP never needs more capacity than what all classes could jointly
-    // use; trimming keeps the table small when the downlink is huge.
-    let max_useful: u64 =
-        classes.iter().map(|c| c.iter().map(|i| i.weight).max().unwrap_or(0)).sum();
-    let w_max = capacity.min(max_useful) as usize;
-
-    // dp[w] = best value using the classes processed so far with weight ≤ w.
-    let mut dp = vec![0.0f64; w_max + 1];
-    // choice[c][w] = item picked for class c when the DP passes through
-    // weight w, or -1 when the class is skipped on that path.
-    let mut choice: Vec<Vec<i32>> = Vec::with_capacity(classes.len());
-
+    let mut items = Vec::new();
+    let mut ranges = Vec::with_capacity(classes.len());
     for class in classes {
-        let mut next = dp.clone(); // skipping the class is always allowed
-        let mut ch = vec![-1i32; w_max + 1];
-        for (i, item) in class.iter().enumerate() {
-            if item.weight as usize > w_max {
-                continue;
-            }
-            let wi = item.weight as usize;
-            for w in wi..=w_max {
-                let cand = dp[w - wi] + item.value;
-                if cand > next[w] {
-                    next[w] = cand;
-                    ch[w] = i as i32;
-                }
-            }
-        }
-        choice.push(ch);
-        dp = next;
+        let lo = items.len();
+        items.extend_from_slice(class);
+        ranges.push((lo, items.len()));
     }
-
-    // dp is monotone in w, so the optimum sits at w_max. Backtrack.
-    let value = dp[w_max];
-    let mut choices = vec![None; classes.len()];
-    let mut w = w_max;
-    for c in (0..classes.len()).rev() {
-        let picked = choice[c][w];
-        if picked >= 0 {
-            let i = picked as usize;
-            choices[c] = Some(i);
-            w -= classes[c][i].weight as usize;
-        }
-    }
-    McSolution { choices, value }
+    let mut state = McState::default();
+    state.solve_flat(&items, &ranges, capacity);
+    McSolution { choices: state.choices().to_vec(), value: state.value() }
 }
 
 /// Quantize a bitrate-weighted class list and solve.
@@ -116,6 +316,23 @@ pub fn solve_bitrates(
         })
         .collect();
     solve_units(&quantized, capacity.as_bps() / u)
+}
+
+/// Quantize one bitrate to capacity units (round **up**), exactly as
+/// [`solve_bitrates`] does. Exposed so incremental callers building flat
+/// [`McItem`] buffers themselves stay bit-identical to the one-shot path.
+#[must_use]
+pub fn quantize_weight(bitrate: Bitrate, unit: Bitrate) -> u64 {
+    debug_assert!(!unit.is_zero(), "quantization unit must be non-zero");
+    bitrate.as_bps().div_ceil(unit.as_bps())
+}
+
+/// Quantize a capacity to units (round **down**), exactly as
+/// [`solve_bitrates`] does.
+#[must_use]
+pub fn quantize_capacity(capacity: Bitrate, unit: Bitrate) -> u64 {
+    debug_assert!(!unit.is_zero(), "quantization unit must be non-zero");
+    capacity.as_bps() / unit.as_bps()
 }
 
 #[cfg(test)]
@@ -256,5 +473,156 @@ mod tests {
         let s = solve_bitrates(&classes, Bitrate::ZERO, UNIT);
         assert_eq!(s.choices, vec![None]);
         assert_eq!(s.value, 0.0);
+    }
+
+    // ---- incremental McState paths -------------------------------------
+
+    fn flatten(classes: &[Vec<McItem>]) -> (Vec<McItem>, Vec<(usize, usize)>) {
+        let mut items = Vec::new();
+        let mut ranges = Vec::new();
+        for class in classes {
+            let lo = items.len();
+            items.extend_from_slice(class);
+            ranges.push((lo, items.len()));
+        }
+        (items, ranges)
+    }
+
+    fn assert_matches_fresh(state: &McState, classes: &[Vec<McItem>], capacity: u64) {
+        let fresh = solve_units(classes, capacity);
+        assert_eq!(state.choices(), fresh.choices.as_slice());
+        assert_eq!(state.value().to_bits(), fresh.value.to_bits());
+    }
+
+    fn item(weight: u64, value: f64) -> McItem {
+        McItem { weight, value }
+    }
+
+    fn sample_classes() -> Vec<Vec<McItem>> {
+        vec![
+            vec![item(10, 90.0), item(25, 200.0), item(70, 520.0)],
+            vec![item(15, 140.0), item(30, 260.0)],
+            vec![item(5, 60.0), item(45, 400.0), item(90, 640.0)],
+        ]
+    }
+
+    #[test]
+    fn state_full_hit_on_identical_call() {
+        let classes = sample_classes();
+        let (items, ranges) = flatten(&classes);
+        let mut st = McState::new();
+        let first = st.solve_flat(&items, &ranges, 100);
+        assert_eq!(first.reuse, McReuse::Fresh);
+        let second = st.solve_flat(&items, &ranges, 100);
+        assert_eq!(second.reuse, McReuse::Full);
+        assert_matches_fresh(&st, &classes, 100);
+    }
+
+    #[test]
+    fn state_backtracks_on_capacity_decrease() {
+        let classes = sample_classes();
+        let (items, ranges) = flatten(&classes);
+        let mut st = McState::new();
+        st.solve_flat(&items, &ranges, 100);
+        let out = st.solve_flat(&items, &ranges, 60);
+        assert_eq!(out.reuse, McReuse::Backtrack);
+        assert_matches_fresh(&st, &classes, 60);
+        // Growing back within the stored width is also backtrack-only.
+        let out = st.solve_flat(&items, &ranges, 95);
+        assert_eq!(out.reuse, McReuse::Backtrack);
+        assert_matches_fresh(&st, &classes, 95);
+    }
+
+    #[test]
+    fn state_recomputes_suffix_on_class_change() {
+        let mut classes = sample_classes();
+        let (items, ranges) = flatten(&classes);
+        let mut st = McState::new();
+        st.solve_flat(&items, &ranges, 100);
+        // Shrink the middle class (a Reduction on that source's ladder).
+        classes[1].pop();
+        let (items, ranges) = flatten(&classes);
+        let out = st.solve_flat(&items, &ranges, 100);
+        assert_eq!(out.reuse, McReuse::Suffix { first_recomputed: 1 });
+        assert_matches_fresh(&st, &classes, 100);
+    }
+
+    #[test]
+    fn state_resets_when_capacity_outgrows_table() {
+        let classes = sample_classes();
+        let (items, ranges) = flatten(&classes);
+        let mut st = McState::new();
+        st.solve_flat(&items, &ranges, 40);
+        // max_useful is 70+30+90 = 190, so capacity 150 widens the table.
+        let out = st.solve_flat(&items, &ranges, 150);
+        assert_eq!(out.reuse, McReuse::Fresh);
+        assert_matches_fresh(&st, &classes, 150);
+    }
+
+    #[test]
+    fn state_reuses_prefix_when_class_list_shrinks_and_grows() {
+        let classes = sample_classes();
+        let (items, ranges) = flatten(&classes);
+        let mut st = McState::new();
+        st.solve_flat(&items, &ranges, 100);
+        // Drop the last class entirely: prefix rows stay valid.
+        let short: Vec<Vec<McItem>> = classes[..2].to_vec();
+        let (items2, ranges2) = flatten(&short);
+        let out = st.solve_flat(&items2, &ranges2, 100);
+        assert_eq!(out.reuse, McReuse::Backtrack);
+        assert_matches_fresh(&st, &short, 100);
+        // Grow back to three classes: only the last row recomputes.
+        let out = st.solve_flat(&items, &ranges, 100);
+        assert_eq!(out.reuse, McReuse::Suffix { first_recomputed: 2 });
+        assert_matches_fresh(&st, &classes, 100);
+    }
+
+    #[test]
+    fn state_matches_fresh_across_random_mutation_sequence() {
+        // Deterministic LCG so the test is reproducible without a rand dep.
+        let mut seed = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            seed >> 33
+        };
+        let mut classes = sample_classes();
+        let mut capacity = 80u64;
+        let mut st = McState::new();
+        for _ in 0..200 {
+            match next() % 4 {
+                0 => capacity = 20 + next() % 160,
+                1 => {
+                    // Mutate one item's weight.
+                    let c = (next() as usize) % classes.len();
+                    let i = (next() as usize) % classes[c].len();
+                    classes[c][i].weight = 1 + next() % 95;
+                }
+                2 => {
+                    // Shrink a class (keep at least one item).
+                    let c = (next() as usize) % classes.len();
+                    if classes[c].len() > 1 {
+                        classes[c].pop();
+                    }
+                }
+                _ => {
+                    // Grow a class.
+                    let c = (next() as usize) % classes.len();
+                    classes[c].push(item(1 + next() % 95, (next() % 700) as f64));
+                }
+            }
+            let (items, ranges) = flatten(&classes);
+            st.solve_flat(&items, &ranges, capacity);
+            assert_matches_fresh(&st, &classes, capacity);
+        }
+    }
+
+    #[test]
+    fn quantize_helpers_match_solve_bitrates() {
+        assert_eq!(quantize_weight(kbps(105), UNIT), 11);
+        assert_eq!(quantize_weight(kbps(100), UNIT), 10);
+        assert_eq!(quantize_capacity(kbps(109), UNIT), 10);
+        assert_eq!(quantize_capacity(kbps(110), UNIT), 11);
     }
 }

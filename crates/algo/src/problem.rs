@@ -249,9 +249,9 @@ impl Problem {
         &self.subscriptions
     }
 
-    /// Look up a client by id.
+    /// Look up a client by id (binary search; clients are sorted and unique).
     pub fn client(&self, id: ClientId) -> Option<&ClientSpec> {
-        self.clients.iter().find(|c| c.id == id)
+        self.clients.binary_search_by_key(&id, |c| c.id).ok().map(|i| &self.clients[i])
     }
 
     /// Look up a source across all clients.
@@ -262,7 +262,31 @@ impl Problem {
     /// Subscriptions held by a given subscriber (the classes of its Step-1
     /// knapsack), in deterministic order.
     pub fn subscriptions_of(&self, subscriber: ClientId) -> Vec<&Subscription> {
-        self.subscriptions.iter().filter(|s| s.subscriber == subscriber).collect()
+        self.subscriptions_of_slice(subscriber).iter().collect()
+    }
+
+    /// Like [`Self::subscriptions_of`], but as the underlying contiguous
+    /// slice: subscriptions are sorted by (subscriber, source, tag), so one
+    /// subscriber's subscriptions form a run locatable by binary search —
+    /// no per-call allocation.
+    pub fn subscriptions_of_slice(&self, subscriber: ClientId) -> &[Subscription] {
+        let lo = self.subscriptions.partition_point(|s| s.subscriber < subscriber);
+        let hi = self.subscriptions.partition_point(|s| s.subscriber <= subscriber);
+        &self.subscriptions[lo..hi]
+    }
+
+    /// Look up one subscription by its unique (subscriber, source, tag) key
+    /// (binary search over the sorted, duplicate-free subscription list).
+    pub fn subscription(
+        &self,
+        subscriber: ClientId,
+        source: SourceId,
+        tag: u8,
+    ) -> Option<&Subscription> {
+        self.subscriptions
+            .binary_search_by_key(&(subscriber, source, tag), |s| (s.subscriber, s.source, s.tag))
+            .ok()
+            .map(|i| &self.subscriptions[i])
     }
 
     /// Subscriptions targeting a given source (`M_i` plus requested caps).

@@ -40,7 +40,7 @@ pub struct ReceivedStream {
 }
 
 /// The controller's decision for a whole conference.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Solution {
     /// Streams each source publishes; at most one per resolution.
     pub publish: BTreeMap<SourceId, Vec<PublishPolicy>>,

@@ -21,9 +21,9 @@
 //! bounded by Σ_sources |resolutions| (the paper's convergence argument).
 
 use crate::mckp;
-use crate::problem::{Problem, SourceId, Subscription};
+use crate::problem::{ClientSpec, Problem, SourceId, Subscription};
 use crate::solution::{PublishPolicy, ReceivedStream, Solution};
-use crate::types::{Resolution, StreamSpec};
+use crate::types::{Ladder, Resolution, StreamSpec};
 use gso_util::{Bitrate, ClientId};
 use std::collections::BTreeMap;
 
@@ -44,7 +44,7 @@ impl Default for SolverConfig {
 
 /// What one subscriber requested from one subscription after Step 1:
 /// the `(i, s_ii')` pairs of the candidate set `D_i'` (Eq. 6).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Request {
     /// The requesting subscriber.
     pub subscriber: ClientId,
@@ -56,7 +56,7 @@ pub struct Request {
 
 /// One Reduction event (Eq. 18–20): a whole resolution removed from one
 /// source's feasible set.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReductionTrace {
     /// The source whose ladder shrank.
     pub source: SourceId,
@@ -69,7 +69,7 @@ pub struct ReductionTrace {
 }
 
 /// Record of one Knapsack–Merge–Reduction iteration, kept for auditing.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IterationTrace {
     /// Step-1 output: per source, what every subscriber requested.
     pub requests: BTreeMap<SourceId, Vec<Request>>,
@@ -88,7 +88,7 @@ pub struct IterationTrace {
 /// Full solver execution trace: evidence for the invariants that cannot be
 /// established from a `(Problem, Solution)` pair alone (the merge-minimum
 /// rule needs the Step-1 requests; the reduction rule needs ladder diffs).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SolveTrace {
     /// One entry per iteration, in execution order; the last entry is the
     /// terminal iteration that produced the solution.
@@ -108,6 +108,22 @@ pub fn solve_traced(problem: &Problem, cfg: &SolverConfig) -> (Solution, SolveTr
     (solution, trace)
 }
 
+/// Ladder lookup shared by the one-shot solver (a cloned working problem
+/// whose ladders Reduction shrinks in place) and the incremental
+/// [`crate::engine::SolveEngine`] (an overlay of reduced ladders on the base
+/// problem). Merge, uplink repair, Reduction and assembly are generic over
+/// this trait, so the two paths share one implementation and cannot diverge.
+pub(crate) trait LadderView {
+    /// The current (possibly Reduction-shrunk) ladder of `source`.
+    fn ladder_of(&self, source: SourceId) -> Option<&Ladder>;
+}
+
+impl LadderView for Problem {
+    fn ladder_of(&self, source: SourceId) -> Option<&Ladder> {
+        self.source(source).map(|s| &s.ladder)
+    }
+}
+
 fn solve_impl(
     problem: &Problem,
     cfg: &SolverConfig,
@@ -122,66 +138,10 @@ fn solve_impl(
 
     for iteration in 1..=max_iters {
         // ---- Step 1: per-subscriber multiple-choice knapsack -------------
-        let mut requests_by_source: BTreeMap<SourceId, Vec<Request>> = BTreeMap::new();
-        for client in wp.clients() {
-            let subs: Vec<&Subscription> = wp.subscriptions_of(client.id);
-            if subs.is_empty() {
-                continue;
-            }
-            // Classes in deterministic (source, tag) order; items ascending
-            // by bitrate — both required for reproducible tie-breaking.
-            let class_items: Vec<Vec<StreamSpec>> = subs
-                .iter()
-                .map(|s| {
-                    wp.source(s.source)
-                        .map(|src| src.ladder.capped(s.max_resolution))
-                        .unwrap_or_default()
-                })
-                .collect();
-            let classes: Vec<Vec<(Bitrate, f64)>> = class_items
-                .iter()
-                .zip(&subs)
-                .map(|(items, sub)| {
-                    items
-                        .iter()
-                        .map(|i| (i.bitrate, i.qoe * sub.qoe_boost + sub.presence_bonus))
-                        .collect()
-                })
-                .collect();
-            let picked = mckp::solve_bitrates(&classes, client.downlink, cfg.unit);
-            for ((sub, items), choice) in subs.iter().zip(&class_items).zip(&picked.choices) {
-                if let Some(i) = choice {
-                    requests_by_source.entry(sub.source).or_default().push(Request {
-                        subscriber: client.id,
-                        tag: sub.tag,
-                        spec: items[*i],
-                    });
-                }
-            }
-        }
+        let requests_by_source = knapsack_step(&wp, cfg);
 
         // ---- Step 2: merge per resolution ---------------------------------
-        // policies[source] = per-resolution (merged bitrate, audience).
-        let mut policies: BTreeMap<SourceId, Vec<PublishPolicy>> = BTreeMap::new();
-        for (source, reqs) in &requests_by_source {
-            let mut by_res: BTreeMap<Resolution, (Bitrate, Vec<(ClientId, u8)>)> = BTreeMap::new();
-            for r in reqs {
-                let entry = by_res.entry(r.spec.resolution).or_insert((r.spec.bitrate, Vec::new()));
-                entry.0 = entry.0.min(r.spec.bitrate); // Meg(): s_i^R = min (Eq. 12)
-                entry.1.push((r.subscriber, r.tag));
-            }
-            policies.insert(
-                *source,
-                by_res
-                    .into_iter()
-                    .map(|(resolution, (bitrate, audience))| PublishPolicy {
-                        resolution,
-                        bitrate,
-                        audience,
-                    })
-                    .collect(),
-            );
-        }
+        let mut policies = merge_step(&requests_by_source);
 
         let mut iter_trace = trace.as_ref().map(|_| IterationTrace {
             requests: requests_by_source.clone(),
@@ -194,53 +154,14 @@ fn solve_impl(
         });
 
         // ---- Step 3: uplink check / repair / reduction --------------------
-        let mut reduction: Option<(SourceId, Resolution)> = None;
-        for client in wp.clients() {
-            let client_sources: Vec<SourceId> = client.sources.iter().map(|s| s.id).collect();
-            let total: Bitrate = client_sources
-                .iter()
-                .flat_map(|src| policies.get(src).into_iter().flatten())
-                .map(|p| p.bitrate)
-                .sum();
-            if total <= client.uplink {
-                continue;
-            }
-            // Fixability (Eq. 17): can we fit by taking the smallest bitrate
-            // at each already-selected resolution?
-            let min_total: Bitrate = client_sources
-                .iter()
-                .flat_map(|src| policies.get(src).into_iter().flatten().map(move |p| (src, p)))
-                .map(|(src, p)| {
-                    wp.source(*src)
-                        .and_then(|s| s.ladder.min_bitrate_at(p.resolution))
-                        .unwrap_or(p.bitrate)
-                })
-                .sum();
-            if min_total <= client.uplink {
-                repair_uplink(&wp, &mut policies, client.id, client.uplink, cfg.unit);
-                if let Some(t) = iter_trace.as_mut() {
-                    t.repaired.push(client.id);
-                }
-            } else {
-                // Not fixable: drop the highest resolution this client
-                // currently publishes (Eq. 18) and restart — one publisher
-                // at a time, per the paper.
-                let worst = client_sources
-                    .iter()
-                    .flat_map(|src| policies.get(src).into_iter().flatten().map(move |p| (*src, p)))
-                    .max_by_key(|(_, p)| (p.resolution, p.bitrate))
-                    .map(|(src, p)| (src, p.resolution));
-                reduction = worst;
-                break;
-            }
+        let mut repaired = Vec::new();
+        let reduction = uplink_step(wp.clients(), &wp, &mut policies, cfg.unit, &mut repaired);
+        if let Some(t) = iter_trace.as_mut() {
+            t.repaired = repaired;
         }
 
         if let Some((source, res)) = reduction {
-            let shrunk = wp
-                .source(source)
-                .expect("invariant: reduction targets a source present in the problem")
-                .ladder
-                .without_resolution(res);
+            let shrunk = reduced_ladder(&wp, source, res);
             if let Some(t) = iter_trace.take() {
                 if let Some(trace) = trace.as_mut() {
                     trace.iterations.push(IterationTrace {
@@ -264,7 +185,7 @@ fn solve_impl(
         }
 
         // Terminal iteration: assemble the solution.
-        let solution = assemble(problem, &wp, policies, &requests_by_source, iteration);
+        let solution = assemble(problem, &wp, policies, iteration);
         // Solver-exit audit hook (debug builds only): the solution must
         // satisfy every §4.1 constraint family and the convergence bound.
         debug_assert!(
@@ -283,6 +204,139 @@ fn solve_impl(
     unreachable!("the reduction step strictly shrinks a ladder each iteration");
 }
 
+/// Step 1 for the one-shot path: every subscriber's MCKP, solved fresh.
+/// (The incremental engine has its own Step 1 with memoized DP state; both
+/// produce requests in identical client-then-subscription order.)
+fn knapsack_step(wp: &Problem, cfg: &SolverConfig) -> BTreeMap<SourceId, Vec<Request>> {
+    let mut requests_by_source: BTreeMap<SourceId, Vec<Request>> = BTreeMap::new();
+    for client in wp.clients() {
+        let subs: &[Subscription] = wp.subscriptions_of_slice(client.id);
+        if subs.is_empty() {
+            continue;
+        }
+        // Classes in deterministic (source, tag) order; items ascending
+        // by bitrate — both required for reproducible tie-breaking.
+        let class_items: Vec<Vec<StreamSpec>> = subs
+            .iter()
+            .map(|s| {
+                wp.source(s.source)
+                    .map(|src| src.ladder.capped(s.max_resolution))
+                    .unwrap_or_default()
+            })
+            .collect();
+        let classes: Vec<Vec<(Bitrate, f64)>> = class_items
+            .iter()
+            .zip(subs)
+            .map(|(items, sub)| {
+                items
+                    .iter()
+                    .map(|i| (i.bitrate, i.qoe * sub.qoe_boost + sub.presence_bonus))
+                    .collect()
+            })
+            .collect();
+        let picked = mckp::solve_bitrates(&classes, client.downlink, cfg.unit);
+        for ((sub, items), choice) in subs.iter().zip(&class_items).zip(&picked.choices) {
+            if let Some(i) = choice {
+                requests_by_source.entry(sub.source).or_default().push(Request {
+                    subscriber: client.id,
+                    tag: sub.tag,
+                    spec: items[*i],
+                });
+            }
+        }
+    }
+    requests_by_source
+}
+
+/// Step 2: per source, group the requested streams by resolution and merge
+/// each group to its *minimum* requested bitrate (Meg(), Eq. 12).
+pub(crate) fn merge_step(
+    requests_by_source: &BTreeMap<SourceId, Vec<Request>>,
+) -> BTreeMap<SourceId, Vec<PublishPolicy>> {
+    let mut policies: BTreeMap<SourceId, Vec<PublishPolicy>> = BTreeMap::new();
+    for (source, reqs) in requests_by_source {
+        let mut by_res: BTreeMap<Resolution, (Bitrate, Vec<(ClientId, u8)>)> = BTreeMap::new();
+        for r in reqs {
+            let entry = by_res.entry(r.spec.resolution).or_insert((r.spec.bitrate, Vec::new()));
+            entry.0 = entry.0.min(r.spec.bitrate); // Meg(): s_i^R = min (Eq. 12)
+            entry.1.push((r.subscriber, r.tag));
+        }
+        policies.insert(
+            *source,
+            by_res
+                .into_iter()
+                .map(|(resolution, (bitrate, audience))| PublishPolicy {
+                    resolution,
+                    bitrate,
+                    audience,
+                })
+                .collect(),
+        );
+    }
+    policies
+}
+
+/// Step 3: check every publisher's uplink (Eq. 14), repairing fixable
+/// overflows in place (Eq. 16–17, recorded in `repaired`) and returning the
+/// first non-fixable one as a Reduction target (Eq. 18) — one publisher at a
+/// time, per the paper.
+pub(crate) fn uplink_step<L: LadderView>(
+    clients: &[ClientSpec],
+    ladders: &L,
+    policies: &mut BTreeMap<SourceId, Vec<PublishPolicy>>,
+    unit: Bitrate,
+    repaired: &mut Vec<ClientId>,
+) -> Option<(SourceId, Resolution)> {
+    for client in clients {
+        let client_sources: Vec<SourceId> = client.sources.iter().map(|s| s.id).collect();
+        let total: Bitrate = client_sources
+            .iter()
+            .flat_map(|src| policies.get(src).into_iter().flatten())
+            .map(|p| p.bitrate)
+            .sum();
+        if total <= client.uplink {
+            continue;
+        }
+        // Fixability (Eq. 17): can we fit by taking the smallest bitrate
+        // at each already-selected resolution?
+        let min_total: Bitrate = client_sources
+            .iter()
+            .flat_map(|src| policies.get(src).into_iter().flatten().map(move |p| (src, p)))
+            .map(|(src, p)| {
+                ladders
+                    .ladder_of(*src)
+                    .and_then(|l| l.min_bitrate_at(p.resolution))
+                    .unwrap_or(p.bitrate)
+            })
+            .sum();
+        if min_total <= client.uplink {
+            repair_uplink(ladders, policies, client.id, client.uplink, unit);
+            repaired.push(client.id);
+        } else {
+            // Not fixable: drop the highest resolution this client
+            // currently publishes (Eq. 18) and restart.
+            return client_sources
+                .iter()
+                .flat_map(|src| policies.get(src).into_iter().flatten().map(move |p| (*src, p)))
+                .max_by_key(|(_, p)| (p.resolution, p.bitrate))
+                .map(|(src, p)| (src, p.resolution));
+        }
+    }
+    None
+}
+
+/// The ladder of `source` with `res` removed (Eq. 18–20).
+pub(crate) fn reduced_ladder<L: LadderView>(
+    ladders: &L,
+    source: SourceId,
+    res: Resolution,
+) -> Ladder {
+    ladders
+        .ladder_of(source)
+        .expect("invariant: reduction targets a source present in the problem")
+        .without_resolution(res)
+}
+
 /// Lower bitrates within their resolutions so one client's uplink fits
 /// (the "fixable" branch of Step 3).
 ///
@@ -292,8 +346,8 @@ fn solve_impl(
 /// receiving, at the lower bitrate). The combination count is small —
 /// `Π |S_i^R ∩ (0, s_i^R]]` over at most a handful of policies — which is why
 /// the paper brute-forces it; the DP here is equivalent and deterministic.
-fn repair_uplink(
-    wp: &Problem,
+fn repair_uplink<L: LadderView>(
+    ladders: &L,
     policies: &mut BTreeMap<SourceId, Vec<PublishPolicy>>,
     client: ClientId,
     uplink: Bitrate,
@@ -310,11 +364,10 @@ fn repair_uplink(
     let mut candidates: Vec<Vec<StreamSpec>> = Vec::with_capacity(handles.len());
     for &(src, i) in &handles {
         let p = &policies[&src][i];
-        let specs: Vec<StreamSpec> = wp
-            .source(src)
-            .map(|s| {
-                s.ladder
-                    .at_resolution(p.resolution)
+        let specs: Vec<StreamSpec> = ladders
+            .ladder_of(src)
+            .map(|l| {
+                l.at_resolution(p.resolution)
                     .into_iter()
                     .filter(|spec| spec.bitrate <= p.bitrate)
                     .collect()
@@ -369,29 +422,25 @@ fn repair_uplink(
 }
 
 /// Build the final [`Solution`] from the merged policies.
-fn assemble(
+pub(crate) fn assemble<L: LadderView>(
     original: &Problem,
-    wp: &Problem,
+    working: &L,
     policies: BTreeMap<SourceId, Vec<PublishPolicy>>,
-    _requests: &BTreeMap<SourceId, Vec<Request>>,
     iterations: usize,
 ) -> Solution {
     let mut received: BTreeMap<ClientId, Vec<ReceivedStream>> = BTreeMap::new();
     let mut total_qoe = 0.0;
     for (source, ps) in &policies {
-        let ladder = &wp
-            .source(*source)
-            .expect("invariant: policies only name sources of the working problem")
-            .ladder;
+        let ladder = working
+            .ladder_of(*source)
+            .expect("invariant: policies only name sources of the working problem");
         for p in ps {
             let spec = ladder.spec_for_bitrate(p.bitrate).expect(
                 "invariant: merge picks the minimum of ladder entries, itself a ladder entry",
             );
             for &(sub, tag) in &p.audience {
                 let (boost, presence) = original
-                    .subscriptions_of(sub)
-                    .into_iter()
-                    .find(|s| s.source == *source && s.tag == tag)
+                    .subscription(sub, *source, tag)
                     .map_or((1.0, 0.0), |s| (s.qoe_boost, s.presence_bonus));
                 let qoe = spec.qoe * boost + presence;
                 total_qoe += qoe;

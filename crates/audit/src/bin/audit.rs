@@ -1,11 +1,17 @@
 //! CI gate: replay the shipped example configurations and the paper's
 //! Table 1 cases through the solver and the full traced audit.
 //!
+//! Each scenario is also replayed through one shared [`SolveEngine`]
+//! (cold, then warm) and must reproduce the solver's solution and trace
+//! bit-for-bit — the reuse-path equivalence guarantee, checked on real
+//! configurations rather than random instances.
+//!
 //! Run with `cargo run -p gso-audit --bin audit`. Exits nonzero if any
 //! scenario produces a violation, printing each finding with the paper
 //! equation it breaks.
 
 use gso_algo::solver::{self, SolverConfig};
+use gso_algo::SolveEngine;
 use gso_audit::{report, scenarios, SolutionAuditor};
 use std::process::ExitCode;
 
@@ -15,11 +21,18 @@ fn main() -> ExitCode {
     let mut failed = 0usize;
     let scenarios = scenarios::all();
     let total = scenarios.len();
+    // One engine across every scenario: each replay exercises cache
+    // reconciliation against the previous scenario's client set.
+    let mut engine = SolveEngine::new(cfg.clone());
 
     for scenario in scenarios {
         let (solution, trace) = solver::solve_traced(&scenario.problem, &cfg);
         let violations = auditor.audit_traced(&scenario.problem, &solution, &trace);
-        if violations.is_empty() {
+        let cold = engine.solve_traced(&scenario.problem);
+        let warm = engine.solve_traced(&scenario.problem);
+        let engine_ok =
+            cold.0 == solution && cold.1 == trace && warm.0 == solution && warm.1 == trace;
+        if violations.is_empty() && engine_ok {
             println!(
                 "ok   {:<18} qoe {:>10.1}  iterations {}",
                 scenario.name, solution.total_qoe, solution.iterations
@@ -28,6 +41,9 @@ fn main() -> ExitCode {
             failed += 1;
             println!("FAIL {:<18} {} violation(s):", scenario.name, violations.len());
             print!("{}", report(&violations));
+            if !engine_ok {
+                println!("     engine replay diverged from the sequential solver");
+            }
         }
     }
 

@@ -1,0 +1,170 @@
+//! Property test: the incremental [`SolveEngine`] is bit-identical to the
+//! one-shot solver on every reuse path.
+//!
+//! For each random instance the engine is driven through the controller's
+//! real access patterns — cold solve, warm re-solve after a single-source
+//! ladder reduction, warm re-solve after a single-client bandwidth delta,
+//! and a parallel cold solve — and each resulting `(Solution, SolveTrace)`
+//! pair must equal a fresh `solver::solve_traced` on the same problem
+//! exactly (f64 equality, not tolerance), with zero auditor findings.
+//!
+//! Instances here are larger than `solver_vs_brute`'s (no exhaustive
+//! baseline to keep tractable): up to 6 clients, 4 publishers, 9-rung
+//! ladders, and virtual-publisher tags.
+
+use gso_algo::{
+    ladders, solver, ClientSpec, EngineConfig, Ladder, Problem, Resolution, SolveEngine,
+    SolverConfig, SourceId, Subscription,
+};
+use gso_audit::{report, SolutionAuditor};
+use gso_util::{Bitrate, ClientId};
+use proptest::prelude::*;
+
+fn arb_ladder() -> impl Strategy<Value = Ladder> {
+    (0usize..4).prop_map(|pick| match pick {
+        0 => ladders::paper_table1(),
+        1 => ladders::coarse3(),
+        2 => ladders::uniform(&[Resolution::R180, Resolution::R360, Resolution::R720], 2),
+        _ => ladders::uniform(&[Resolution::R180, Resolution::R360], 3),
+    })
+}
+
+fn arb_problem() -> impl Strategy<Value = Problem> {
+    (3usize..=6).prop_flat_map(|n| {
+        let pubs = 2usize..=n.min(4);
+        let bw = prop::collection::vec((200u64..6_000, 300u64..8_000), n);
+        let subs = prop::collection::vec(prop::bool::ANY, n * n);
+        let caps = prop::collection::vec(0usize..3, n * n);
+        let tags = prop::collection::vec(prop::bool::ANY, n);
+        let ladder = arb_ladder();
+        (Just(n), pubs, bw, subs, caps, tags, ladder).prop_map(
+            |(n, pubs, bw, subs, caps, tags, ladder)| {
+                let resolutions = [Resolution::R180, Resolution::R360, Resolution::R720];
+                let clients: Vec<ClientSpec> = bw
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(up, down))| {
+                        let mut c = ClientSpec::new(
+                            ClientId(i as u32 + 1),
+                            Bitrate::from_kbps(up),
+                            Bitrate::from_kbps(down),
+                            ladder.clone(),
+                        );
+                        if i >= pubs {
+                            c.sources.clear();
+                        }
+                        c
+                    })
+                    .collect();
+                let mut subscriptions = Vec::new();
+                for i in 0..n {
+                    for j in 0..pubs {
+                        if i != j && subs[i * n + j] {
+                            let source = SourceId::video(ClientId(j as u32 + 1));
+                            let sub = Subscription::new(
+                                ClientId(i as u32 + 1),
+                                source,
+                                resolutions[caps[i * n + j]],
+                            );
+                            subscriptions.push(sub);
+                            // Occasionally a second, tagged subscription to
+                            // the same source (speaker-first thumbnails).
+                            if tags[i] && j == 0 {
+                                subscriptions.push(
+                                    Subscription::new(
+                                        ClientId(i as u32 + 1),
+                                        source,
+                                        Resolution::R180,
+                                    )
+                                    .with_tag(1),
+                                );
+                            }
+                        }
+                    }
+                }
+                Problem::new(clients, subscriptions).expect("generated problem is valid")
+            },
+        )
+    })
+}
+
+/// Remove the top resolution from the first publisher ladder that has more
+/// than one resolution; `None` if no ladder can shrink.
+fn reduced_variant(base: &Problem) -> Option<Problem> {
+    let mut clients = base.clients().to_vec();
+    let idx = clients
+        .iter()
+        .position(|c| c.sources.first().is_some_and(|s| s.ladder.resolutions().len() > 1))?;
+    let ladder = &mut clients[idx].sources[0].ladder;
+    let top = *ladder.resolutions().last().expect("non-empty ladder");
+    *ladder = ladder.without_resolution(top);
+    Some(Problem::new(clients, base.subscriptions().to_vec()).expect("reduced variant valid"))
+}
+
+/// Scale the last client's downlink to 60 %.
+fn bandwidth_variant(base: &Problem) -> Problem {
+    let mut clients = base.clients().to_vec();
+    let c = clients.last_mut().expect("non-empty problem");
+    c.downlink = Bitrate::from_bps(c.downlink.as_bps() * 6 / 10);
+    Problem::new(clients, base.subscriptions().to_vec()).expect("bandwidth variant valid")
+}
+
+/// Engine output on `problem` must match a fresh traced solve exactly and
+/// audit clean.
+fn check(
+    engine: &mut SolveEngine,
+    problem: &Problem,
+    cfg: &SolverConfig,
+    label: &str,
+) -> Result<(), String> {
+    let (got_sol, got_trace) = engine.solve_traced(problem);
+    let (want_sol, want_trace) = solver::solve_traced(problem, cfg);
+    prop_assert!(
+        got_sol == want_sol,
+        "{label}: solution diverged\n engine: {got_sol:?}\n solver: {want_sol:?}"
+    );
+    prop_assert!(
+        got_trace == want_trace,
+        "{label}: trace diverged\n engine: {got_trace:?}\n solver: {want_trace:?}"
+    );
+    let findings = SolutionAuditor::new().audit_traced(problem, &got_sol, &got_trace);
+    prop_assert!(findings.is_empty(), "{}: auditor findings:\n{}", label, report(&findings));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_reuse_paths_match_sequential_solver(problem in arb_problem()) {
+        let cfg = SolverConfig::default();
+        let mut engine = SolveEngine::new(cfg.clone());
+
+        // Cold, then warm full-hit on the identical problem.
+        check(&mut engine, &problem, &cfg, "cold")?;
+        check(&mut engine, &problem, &cfg, "warm full-hit")?;
+
+        // Warm after a single-source ladder reduction, and back.
+        if let Some(reduced) = reduced_variant(&problem) {
+            check(&mut engine, &reduced, &cfg, "warm after reduction")?;
+            check(&mut engine, &problem, &cfg, "warm after un-reduction")?;
+        }
+
+        // Warm after a single-client bandwidth delta, and back.
+        let shrunk = bandwidth_variant(&problem);
+        check(&mut engine, &shrunk, &cfg, "warm after bandwidth delta")?;
+        check(&mut engine, &problem, &cfg, "warm after bandwidth restore")?;
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_solver(problem in arb_problem()) {
+        let cfg = SolverConfig::default();
+        let mut engine = SolveEngine::with_engine_config(
+            cfg.clone(),
+            EngineConfig { threads: 3, parallel_threshold: 0 },
+        );
+        check(&mut engine, &problem, &cfg, "parallel cold")?;
+        let shrunk = bandwidth_variant(&problem);
+        check(&mut engine, &shrunk, &cfg, "parallel warm")?;
+    }
+}

@@ -10,7 +10,7 @@ use crate::feedback::{FeedbackConfig, FeedbackExecutor, ForwardingRule};
 use crate::hysteresis::{BandwidthHysteresis, HysteresisConfig};
 use crate::scheduler::{ControlScheduler, SchedulerConfig};
 use crate::state::{CodecCapability, GlobalPicture, SubscribeIntent};
-use gso_algo::{solver, Solution, SolverConfig, SourceId};
+use gso_algo::{diff, EngineConfig, Solution, SolutionDiff, SolveEngine, SolverConfig, SourceId};
 use gso_rtp::{GsoTmmbn, GsoTmmbr};
 use gso_util::{Bitrate, ClientId, SimTime, Ssrc};
 use std::collections::BTreeMap;
@@ -29,6 +29,9 @@ pub enum Direction {
 pub struct ControllerConfig {
     /// Solver knobs.
     pub solver: SolverConfig,
+    /// Execution strategy of the reusable solve engine (threading; results
+    /// are identical for every setting).
+    pub engine: EngineConfig,
     /// Scheduling cadence (1–3 s in production).
     pub scheduler: SchedulerConfig,
     /// Oscillation-avoidance gate.
@@ -49,6 +52,7 @@ impl ControllerConfig {
     pub fn paper_defaults() -> Self {
         ControllerConfig {
             solver: SolverConfig::default(),
+            engine: EngineConfig::default(),
             scheduler: SchedulerConfig::default(),
             hysteresis: HysteresisConfig::default(),
             feedback: FeedbackConfig::default(),
@@ -67,6 +71,9 @@ pub struct ControlOutput {
     pub rules: Vec<ForwardingRule>,
     /// The full solution (for metrics/inspection).
     pub solution: Solution,
+    /// Minimal reconfiguration relative to the previous round's solution
+    /// (empty on the first round): what actually changes on the wire.
+    pub churn: SolutionDiff,
     /// True when this round used the single-stream fallback (§7).
     pub fallback: bool,
 }
@@ -79,6 +86,9 @@ pub struct GsoController {
     scheduler: ControlScheduler,
     hysteresis: BandwidthHysteresis<(ClientId, Direction)>,
     executor: FeedbackExecutor,
+    /// Reusable solve engine: carries MCKP memos across ticks, so a tick
+    /// where few clients changed re-solves only those clients' knapsacks.
+    engine: SolveEngine,
     fallback_mode: bool,
     last_solution: Option<Solution>,
 }
@@ -91,6 +101,7 @@ impl GsoController {
             scheduler: ControlScheduler::new(cfg.scheduler.clone()),
             hysteresis: BandwidthHysteresis::new(cfg.hysteresis.clone()),
             executor: FeedbackExecutor::new(cfg.feedback.clone(), controller_ssrc),
+            engine: SolveEngine::with_engine_config(cfg.solver.clone(), cfg.engine.clone()),
             cfg,
             fallback_mode: false,
             last_solution: None,
@@ -193,19 +204,24 @@ impl GsoController {
         let (solution, fallback) = if self.fallback_mode {
             (fallback_solution(&problem), true)
         } else {
-            let fresh = solver::solve(&problem, &self.cfg.solver);
-            // Trust boundary: in debug builds, every fresh solution crossing
-            // from the solver into the controller passes the full audit
-            // (constraint families + QoE accounting + convergence bound).
+            // Trust boundary: in debug builds the engine's solve is traced
+            // and every fresh solution crossing into the controller passes
+            // the full trace-backed audit (constraint families + QoE
+            // accounting + convergence bound + merge/reduction invariants).
             #[cfg(debug_assertions)]
-            {
-                let findings = gso_audit::SolutionAuditor::new().audit(&problem, &fresh);
+            let fresh = {
+                let (fresh, trace) = self.engine.solve_traced(&problem);
+                let findings =
+                    gso_audit::SolutionAuditor::new().audit_traced(&problem, &fresh, &trace);
                 debug_assert!(
                     findings.is_empty(),
                     "solver handed the controller an invalid solution:\n{}",
                     gso_audit::report(&findings)
                 );
-            }
+                fresh
+            };
+            #[cfg(not(debug_assertions))]
+            let fresh = self.engine.solve(&problem);
             // Solution stickiness: a still-valid previous configuration is
             // kept unless the fresh one is a clear improvement.
             let keep_previous = self
@@ -248,8 +264,17 @@ impl GsoController {
                 gso_audit::report(&findings)
             );
         }
+        let churn = match self.last_solution.as_ref() {
+            Some(prev) => diff(prev, &solution),
+            None => diff(&Solution::default(), &solution),
+        };
         self.last_solution = Some(solution.clone());
-        (Some(ControlOutput { configs, rules, solution, fallback }), retransmissions)
+        (Some(ControlOutput { configs, rules, solution, churn, fallback }), retransmissions)
+    }
+
+    /// Cumulative solve-engine work counters (cache hits, rows recomputed…).
+    pub fn engine_stats(&self) -> gso_algo::EngineStats {
+        self.engine.stats()
     }
 
     /// The most recent solution, if any.
@@ -365,6 +390,28 @@ mod tests {
         let (out, retx) = c.tick(SimTime::from_secs(1));
         assert!(out.is_none());
         assert!(retx.is_empty());
+    }
+
+    #[test]
+    fn engine_reused_across_ticks_and_churn_reported() {
+        let mut c = two_party();
+        let (out, _) = c.tick(SimTime::from_millis(10));
+        let out = out.expect("first tick runs");
+        // First round: everything is new relative to the empty solution.
+        assert!(!out.churn.is_empty());
+        assert!(out.churn.switch_changes.iter().all(|s| s.from.is_none()));
+        assert_eq!(c.engine_stats().solves, 1);
+
+        // Downlink drop re-solves on the same engine and shows up as churn.
+        c.on_downlink_report(SimTime::from_millis(1_500), ClientId(2), k(700));
+        let (out, _) = c.tick(SimTime::from_millis(1_600));
+        let out = out.expect("event trigger fires");
+        assert_eq!(c.engine_stats().solves, 2);
+        assert_eq!(out.churn.switched_subscribers(), 1);
+        assert!(
+            c.engine_stats().backtracks >= 1,
+            "a pure capacity change must hit the incremental backtrack path"
+        );
     }
 
     #[test]

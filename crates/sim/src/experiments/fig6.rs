@@ -54,8 +54,9 @@ pub struct ScaleRow {
 }
 
 /// A symmetric meeting with constrained links: every client publishes and
-/// subscribes to everyone else.
-fn symmetric_meeting(n: usize, ladder: gso_algo::Ladder) -> Problem {
+/// subscribes to everyone else. Also the building block of the bench
+/// harness's multi-conference throughput scenario.
+pub fn symmetric_meeting(n: usize, ladder: gso_algo::Ladder) -> Problem {
     // Constrained budgets: the downlink cannot hold everyone at max, and
     // serving every resolution at once presses the uplink — enough to make
     // the exact search do real work without making the decomposition lossy.

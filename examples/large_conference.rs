@@ -1,11 +1,12 @@
 //! Large-conference orchestration: hundreds of participants, solved in
-//! real time — the scaling capability Fig. 6c demonstrates.
+//! real time — the scaling capability Fig. 6c demonstrates — then re-solved
+//! incrementally after a bandwidth report, the controller's steady state.
 //!
 //! Run with: `cargo run --release --example large_conference [publishers] [subscribers]`
 
-use gso_simulcast::algo::{solver, Resolution, SolverConfig, SourceId};
+use gso_simulcast::algo::{Problem, Resolution, SolveEngine, SolverConfig, SourceId};
 use gso_simulcast::sim::experiments::fig6::asymmetric_meeting;
-use gso_simulcast::util::ClientId;
+use gso_simulcast::util::{Bitrate, ClientId};
 use std::time::Instant;
 
 fn main() {
@@ -16,8 +17,9 @@ fn main() {
     );
     let problem = asymmetric_meeting(pubs, subs, 18);
 
+    let mut engine = SolveEngine::new(SolverConfig::default());
     let start = Instant::now();
-    let solution = solver::solve(&problem, &SolverConfig::default());
+    let solution = engine.solve(&problem);
     let elapsed = start.elapsed();
     solution.validate(&problem).expect("all constraints satisfied");
 
@@ -25,6 +27,28 @@ fn main() {
         "solved in {elapsed:?} ({} Knapsack-Merge-Reduction iterations)\n",
         solution.iterations
     );
+
+    // A single subscriber reports a smaller downlink: the warm re-solve
+    // touches only that client's knapsack.
+    let mut clients = problem.clients().to_vec();
+    if let Some(victim) = clients.iter_mut().rfind(|c| c.sources.is_empty()) {
+        victim.downlink = Bitrate::from_bps(victim.downlink.as_bps() * 7 / 10);
+        let jittered = Problem::new(clients, problem.subscriptions().to_vec())
+            .expect("perturbed problem valid");
+        engine.reset_stats();
+        let start = Instant::now();
+        let resolved = engine.solve(&jittered);
+        let warm = start.elapsed();
+        resolved.validate(&jittered).expect("warm re-solve valid");
+        let stats = engine.stats();
+        println!(
+            "warm re-solve after one bandwidth report: {warm:?} \
+             ({} knapsack cache hits, {} capacity backtracks, {} recomputes)\n",
+            stats.full_hits,
+            stats.backtracks,
+            stats.suffix_recomputes + stats.fresh_recomputes
+        );
+    }
 
     // Publisher-side summary.
     println!("publisher configurations:");

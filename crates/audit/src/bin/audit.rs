@@ -9,13 +9,22 @@
 //! Run with `cargo run -p gso-audit --bin audit`. Exits nonzero if any
 //! scenario produces a violation, printing each finding with the paper
 //! equation it breaks.
+//!
+//! `--metrics` switches to replay-observability mode: the same replay runs,
+//! but the only stdout is the `gso-telemetry` JSON export of per-scenario
+//! solver work. CI runs this twice and diffs the outputs to enforce the
+//! determinism guarantee.
 
 use gso_algo::solver::{self, SolverConfig};
 use gso_algo::SolveEngine;
 use gso_audit::{report, scenarios, SolutionAuditor};
+use gso_telemetry::{keys, Telemetry};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let metrics_mode = std::env::args().any(|a| a == "--metrics");
+    let telemetry =
+        if metrics_mode { Telemetry::new("audit-replay") } else { Telemetry::disabled() };
     let auditor = SolutionAuditor::new();
     let cfg = SolverConfig::default();
     let mut failed = 0usize;
@@ -26,32 +35,48 @@ fn main() -> ExitCode {
     let mut engine = SolveEngine::new(cfg.clone());
 
     for scenario in scenarios {
+        let rows_before = engine.stats().rows_recomputed;
         let (solution, trace) = solver::solve_traced(&scenario.problem, &cfg);
         let violations = auditor.audit_traced(&scenario.problem, &solution, &trace);
         let cold = engine.solve_traced(&scenario.problem);
         let warm = engine.solve_traced(&scenario.problem);
         let engine_ok =
             cold.0 == solution && cold.1 == trace && warm.0 == solution && warm.1 == trace;
+        telemetry.incr(keys::AUDIT_SCENARIOS, "");
+        telemetry.add(keys::AUDIT_SOLVE_ITERATIONS, scenario.name, solution.iterations as u64);
+        telemetry.add(
+            keys::AUDIT_SOLVE_ROWS,
+            scenario.name,
+            engine.stats().rows_recomputed - rows_before,
+        );
+        telemetry.gauge(keys::AUDIT_QOE, scenario.name, solution.total_qoe);
         if violations.is_empty() && engine_ok {
-            println!(
-                "ok   {:<18} qoe {:>10.1}  iterations {}",
-                scenario.name, solution.total_qoe, solution.iterations
-            );
+            if !metrics_mode {
+                println!(
+                    "ok   {:<18} qoe {:>10.1}  iterations {}",
+                    scenario.name, solution.total_qoe, solution.iterations
+                );
+            }
         } else {
             failed += 1;
-            println!("FAIL {:<18} {} violation(s):", scenario.name, violations.len());
-            print!("{}", report(&violations));
+            eprintln!("FAIL {:<18} {} violation(s):", scenario.name, violations.len());
+            eprint!("{}", report(&violations));
             if !engine_ok {
-                println!("     engine replay diverged from the sequential solver");
+                eprintln!("     engine replay diverged from the sequential solver");
             }
         }
     }
 
+    if metrics_mode {
+        println!("{}", telemetry.export_json());
+    }
     if failed == 0 {
-        println!("\naudit clean: {total} scenarios, 0 violations");
+        if !metrics_mode {
+            println!("\naudit clean: {total} scenarios, 0 violations");
+        }
         ExitCode::SUCCESS
     } else {
-        println!("\naudit FAILED: {failed} of {total} scenarios violated constraints");
+        eprintln!("\naudit FAILED: {failed} of {total} scenarios violated constraints");
         ExitCode::FAILURE
     }
 }

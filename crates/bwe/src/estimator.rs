@@ -19,6 +19,7 @@
 //!   carry `is_probe` packets; a feedback window dominated by probe traffic
 //!   is allowed to raise the estimate directly to the probed goodput.
 
+use gso_telemetry::{keys, Telemetry};
 use gso_util::{Bitrate, SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -129,6 +130,11 @@ pub struct SenderBwe {
     /// true capacity later *drops*, the clamp simply goes inactive and the
     /// over-use/loss controllers take over.
     capacity: Option<f64>,
+    /// Metrics sink (disabled by default; see `gso-telemetry`).
+    telemetry: Telemetry,
+    /// Metric label identifying this estimator's path ("up:<client>" /
+    /// "down:<client>").
+    label: String,
 }
 
 impl SenderBwe {
@@ -154,7 +160,16 @@ impl SenderBwe {
             threshold,
             last_threshold_update: None,
             capacity: None,
+            telemetry: Telemetry::disabled(),
+            label: String::new(),
         }
+    }
+
+    /// Attach a metrics registry; `label` names the path this estimator
+    /// watches (e.g. `"up:client3"`).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, label: impl Into<String>) {
+        self.telemetry = telemetry;
+        self.label = label.into();
     }
 
     /// Current estimate.
@@ -282,6 +297,10 @@ impl SenderBwe {
             if new_usage == BandwidthUsage::Overuse { self.overuse_streak + 1 } else { 0 };
         if new_usage == BandwidthUsage::Overuse {
             self.last_overuse = Some(now);
+            if self.usage != BandwidthUsage::Overuse {
+                self.telemetry.incr(keys::BWE_OVERUSE, &self.label);
+                self.telemetry.event(now, keys::EV_BWE_OVERUSE, &self.label);
+            }
         }
         self.usage = new_usage;
 
@@ -333,6 +352,7 @@ impl SenderBwe {
                 let target = self.cfg.beta * self.throughput.max(self.cfg.min_rate.as_bps() as f64);
                 self.rate = target.max(0.5 * self.rate);
                 self.last_decrease = Some(now);
+                self.telemetry.incr(keys::BWE_DECREASES, &self.label);
                 // Reset the trend after acting on it.
                 self.trend_samples.clear();
                 self.accumulated_delay_ms = 0.0;
@@ -352,6 +372,12 @@ impl SenderBwe {
         if probed {
             self.rate = self.rate.max(0.9 * probe_rate);
             self.capacity = Some(self.capacity.map_or(probe_rate, |c| c.max(probe_rate)));
+            self.telemetry.incr(keys::BWE_PROBE_LIFTS, &self.label);
+            self.telemetry.event(
+                now,
+                keys::EV_BWE_PROBE,
+                format!("{} validated {} bps", self.label, probe_rate as u64),
+            );
         } else if self.throughput > 0.0 {
             let cap = self.cfg.throughput_cap * self.throughput + 20_000.0;
             self.rate = self.rate.min(cap.max(pre_rate));
@@ -375,6 +401,7 @@ impl SenderBwe {
             self.rate *= 1.0 - 0.5 * window_loss;
             self.last_decrease = Some(now);
             self.last_loss_decrease = Some(now);
+            self.telemetry.incr(keys::BWE_DECREASES, &self.label);
         }
 
         // Delivering more than the believed capacity disproves the belief.
@@ -388,6 +415,8 @@ impl SenderBwe {
         }
         self.rate =
             self.rate.clamp(self.cfg.min_rate.as_bps() as f64, self.cfg.max_rate.as_bps() as f64);
+        // The estimate trajectory, sampled once per feedback window.
+        self.telemetry.gauge(keys::BWE_ESTIMATE_BPS, &self.label, self.rate.floor());
     }
 
     /// Least-squares slope of the accumulated-delay samples, in ms of delay

@@ -12,6 +12,7 @@ use crate::scheduler::{ControlScheduler, SchedulerConfig};
 use crate::state::{CodecCapability, GlobalPicture, SubscribeIntent};
 use gso_algo::{diff, EngineConfig, Solution, SolutionDiff, SolveEngine, SolverConfig, SourceId};
 use gso_rtp::{GsoTmmbn, GsoTmmbr};
+use gso_telemetry::{keys, Telemetry};
 use gso_util::{Bitrate, ClientId, SimTime, Ssrc};
 use std::collections::BTreeMap;
 
@@ -91,6 +92,8 @@ pub struct GsoController {
     engine: SolveEngine,
     fallback_mode: bool,
     last_solution: Option<Solution>,
+    /// Metrics sink (disabled by default; see `gso-telemetry`).
+    telemetry: Telemetry,
 }
 
 impl GsoController {
@@ -105,7 +108,15 @@ impl GsoController {
             cfg,
             fallback_mode: false,
             last_solution: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a metrics registry; shared with the feedback executor so
+    /// solve work, churn and GTMB delivery all land in one export.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.executor.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// A client joined (signaling + SDP/simulcastInfo negotiation done).
@@ -117,6 +128,10 @@ impl GsoController {
     /// A client left.
     pub fn on_leave(&mut self, id: ClientId) {
         self.picture.leave(id);
+        // Drop delivery state: without this the executor leaks per-client
+        // entries forever and a reused ClientId would inherit a stale
+        // `applied` configuration.
+        self.executor.on_client_leave(id);
         self.scheduler.trigger_event();
     }
 
@@ -185,7 +200,13 @@ impl GsoController {
     pub fn tick(&mut self, now: SimTime) -> (Option<ControlOutput>, Vec<(ClientId, GsoTmmbr)>) {
         let retransmissions = self.executor.poll(now);
         // Undeliverable configuration is the trigger for fallback (§7).
-        if !self.executor.take_failed().is_empty() {
+        let failed = self.executor.take_failed();
+        if !failed.is_empty() {
+            self.telemetry.event(
+                now,
+                keys::EV_FALLBACK,
+                format!("{} undeliverable client(s)", failed.len()),
+            );
             self.set_fallback(true);
         }
 
@@ -201,6 +222,7 @@ impl GsoController {
             self.fallback_mode = true;
             return (None, retransmissions);
         };
+        let rows_before = self.engine.stats().rows_recomputed;
         let (solution, fallback) = if self.fallback_mode {
             (fallback_solution(&problem), true)
         } else {
@@ -269,6 +291,30 @@ impl GsoController {
             None => diff(&Solution::default(), &solution),
         };
         self.last_solution = Some(solution.clone());
+        // Round metrics. "Solve latency" is deterministic by design: the
+        // sim has no wall clock, so it is measured in the solver's
+        // dominant work unit (DP class-rows recomputed this round) plus
+        // the iteration count of the returned solution.
+        self.telemetry.incr(keys::CTRL_SOLVES, "");
+        if fallback {
+            self.telemetry.incr(keys::CTRL_FALLBACK_ROUNDS, "");
+        } else {
+            self.telemetry.observe(
+                keys::CTRL_SOLVE_ITERATIONS,
+                "",
+                solution.iterations as u64,
+                keys::ITERATION_BOUNDS,
+            );
+            self.telemetry.observe(
+                keys::CTRL_SOLVE_ROWS,
+                "",
+                self.engine.stats().rows_recomputed - rows_before,
+                keys::WORK_BOUNDS,
+            );
+        }
+        self.telemetry.add(keys::CTRL_CHURN_LAYERS, "", churn.layer_changes.len() as u64);
+        self.telemetry.add(keys::CTRL_CHURN_SWITCHES, "", churn.switch_changes.len() as u64);
+        self.telemetry.gauge(keys::CTRL_QOE, "", solution.total_qoe);
         (Some(ControlOutput { configs, rules, solution, churn, fallback }), retransmissions)
     }
 
@@ -412,6 +458,45 @@ mod tests {
             c.engine_stats().backtracks >= 1,
             "a pure capacity change must hit the incremental backtrack path"
         );
+    }
+
+    #[test]
+    fn tick_records_round_metrics() {
+        let telemetry = Telemetry::new("test");
+        let mut c = two_party();
+        c.set_telemetry(telemetry.clone());
+        let (out, _) = c.tick(SimTime::from_millis(10));
+        assert!(out.is_some());
+        assert_eq!(telemetry.counter(keys::CTRL_SOLVES, ""), 1);
+        assert_eq!(telemetry.counter_total(keys::GTMB_SENT), 2);
+        let (count, _) = telemetry.histogram_total(keys::CTRL_SOLVE_ITERATIONS);
+        assert_eq!(count, 1);
+        assert!(telemetry.counter(keys::CTRL_CHURN_SWITCHES, "") >= 1);
+        assert!(telemetry.gauge_value(keys::CTRL_QOE, "").unwrap() > 0.0);
+
+        // Never ack: the §7 failure path shows up in the same registry.
+        for ms in (200..2_500).step_by(200) {
+            let _ = c.tick(SimTime::from_millis(ms));
+        }
+        let (out, _) = c.tick(SimTime::from_secs(6));
+        assert!(out.expect("scheduled run").fallback);
+        assert!(telemetry.counter(keys::CTRL_FALLBACK_ROUNDS, "") >= 1);
+        // Both clients fail delivery (possibly again for the fallback
+        // config, which is also never acked here).
+        assert!(telemetry.counter_total(keys::GTMB_FAILED) >= 2);
+        assert!(telemetry.events().iter().any(|e| e.kind == keys::EV_FALLBACK));
+    }
+
+    #[test]
+    fn leave_clears_executor_state() {
+        let mut c = two_party();
+        let (out, _) = c.tick(SimTime::from_millis(10));
+        assert!(out.is_some());
+        c.on_leave(ClientId(2));
+        // The departed client's pending config is gone: polling past the
+        // retransmission budget must not trip fallback for it.
+        // Client 1 acks first so only client 2's state could fail.
+        assert!(!c.executor.pending(ClientId(2)));
     }
 
     #[test]

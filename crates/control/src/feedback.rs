@@ -10,6 +10,7 @@
 
 use gso_algo::{Solution, SourceId};
 use gso_rtp::{ssrc_for, GsoTmmbn, GsoTmmbr, TmmbrEntry};
+use gso_telemetry::{keys, Telemetry};
 use gso_util::{Bitrate, ClientId, SimDuration, SimTime, Ssrc};
 use std::collections::BTreeMap;
 
@@ -63,6 +64,8 @@ pub struct FeedbackExecutor {
     applied: BTreeMap<ClientId, Vec<TmmbrEntry>>,
     /// Clients that exhausted retransmissions since the last drain.
     failed: Vec<ClientId>,
+    /// Metrics sink (disabled by default; see `gso-telemetry`).
+    telemetry: Telemetry,
 }
 
 impl FeedbackExecutor {
@@ -76,7 +79,13 @@ impl FeedbackExecutor {
             outstanding: BTreeMap::new(),
             applied: BTreeMap::new(),
             failed: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a metrics registry (GTMB send/retransmit/ack/fail counters).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Translate a solution into per-client GTMB messages (returned for
@@ -128,6 +137,19 @@ impl FeedbackExecutor {
             {
                 continue; // configuration unchanged and acknowledged
             }
+            if let Some(out) = self.outstanding.get(&client) {
+                if out.message.entries == entries {
+                    // The identical configuration is already in flight:
+                    // keep the outstanding message and its retransmission
+                    // budget. Re-issuing with a fresh sequence number would
+                    // reset `transmissions` on every controller tick, so a
+                    // persistently unreachable client could never exhaust
+                    // the budget and reach the §7 failure path whenever the
+                    // tick cadence is shorter than
+                    // `retransmit_after × max_transmissions`.
+                    continue;
+                }
+            }
             let message =
                 GsoTmmbr { sender_ssrc: self.controller_ssrc, request_seq: self.next_seq, entries };
             self.next_seq += 1;
@@ -135,6 +157,7 @@ impl FeedbackExecutor {
                 client,
                 Outstanding { message: message.clone(), sent_at: now, transmissions: 1 },
             );
+            self.telemetry.incr(keys::GTMB_SENT, client);
             messages.push((client, message));
         }
         (messages, rules)
@@ -149,8 +172,21 @@ impl FeedbackExecutor {
                     .remove(&client)
                     .expect("invariant: the entry was just found by get");
                 self.applied.insert(client, out.message.entries);
+                self.telemetry.incr(keys::GTMB_ACKED, client);
             }
         }
+    }
+
+    /// Forget all delivery state for a departed client.
+    ///
+    /// Without this, `outstanding`, `applied`, and `failed` entries leak
+    /// for the conference lifetime — and a stale `applied` entry would
+    /// suppress the initial configuration if the `ClientId` is ever
+    /// reused.
+    pub fn on_client_leave(&mut self, client: ClientId) {
+        self.outstanding.remove(&client);
+        self.applied.remove(&client);
+        self.failed.retain(|&c| c != client);
     }
 
     /// Retransmission poll; returns messages to resend now.
@@ -168,9 +204,14 @@ impl FeedbackExecutor {
                 }
             }
         }
+        for (client, _) in &resend {
+            self.telemetry.incr(keys::GTMB_RETRANSMITS, client);
+        }
         for client in exhausted {
             self.outstanding.remove(&client);
             self.failed.push(client);
+            self.telemetry.incr(keys::GTMB_FAILED, client);
+            self.telemetry.event(now, keys::EV_GTMB_FAILED, client);
         }
         resend
     }
@@ -280,6 +321,111 @@ mod tests {
             &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: msg.request_seq + 99, entries: vec![] },
         );
         assert!(ex.pending(*client), "wrong seq must not ack");
+    }
+
+    /// Regression (§7 failure path): an unreachable client must fail over
+    /// even when the controller re-executes the same solution every tick.
+    /// Before the fix, each `execute` replaced the outstanding message with
+    /// a fresh sequence number and `transmissions: 1`, so a 1 s tick
+    /// cadence (longer than `retransmit_after`, shorter than
+    /// `retransmit_after × max_transmissions`) reset the budget forever.
+    #[test]
+    fn unreachable_client_fails_over_at_one_second_tick_cadence() {
+        let (sol, layers) = solved();
+        let mut ex = FeedbackExecutor::new(FeedbackConfig::default(), Ssrc(1));
+        let mut failed = Vec::new();
+        let mut first_seq: Option<u32> = None;
+        for tick in 0..10u64 {
+            let now = SimTime::from_secs(tick);
+            // Controller tick: poll retransmissions, then re-execute the
+            // (unchanged) solution — exactly the order GsoController uses.
+            ex.poll(now);
+            failed.extend(ex.take_failed());
+            if failed.is_empty() {
+                let (msgs, _) = ex.execute(now, &sol, &layers);
+                match (tick, first_seq) {
+                    (0, _) => first_seq = Some(msgs[0].1.request_seq),
+                    (_, Some(_)) => {
+                        assert!(
+                            msgs.is_empty(),
+                            "identical in-flight config must not be re-issued (tick {tick})"
+                        );
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+        // Budget: 5 transmissions at >= 200 ms spacing -> exhausted well
+        // within 10 s. Both clients never acked, so both must fail.
+        assert_eq!(failed.len(), 2, "unreachable clients must reach take_failed()");
+        assert!(!ex.pending(ClientId(1)) && !ex.pending(ClientId(2)));
+    }
+
+    /// A changed configuration still replaces the in-flight message (with a
+    /// fresh budget) — only *identical* entries keep the old one.
+    #[test]
+    fn changed_configuration_replaces_inflight_message() {
+        let (sol, layers) = solved();
+        let mut ex = FeedbackExecutor::new(FeedbackConfig::default(), Ssrc(1));
+        let (msgs, _) = ex.execute(SimTime::ZERO, &sol, &layers);
+        let seq0 = msgs[0].1.request_seq;
+        // Drop source B's ladder: client B's config vector changes.
+        let mut layers2 = layers.clone();
+        layers2.insert(SourceId::video(ClientId(2)), vec![180u16]);
+        let (msgs2, _) = ex.execute(SimTime::from_millis(100), &sol, &layers2);
+        assert_eq!(msgs2.len(), 1, "only the changed client is re-issued");
+        assert_eq!(msgs2[0].0, ClientId(2));
+        assert!(msgs2[0].1.request_seq > seq0);
+    }
+
+    #[test]
+    fn leave_clears_delivery_state_and_allows_id_reuse() {
+        let (sol, layers) = solved();
+        let mut ex = FeedbackExecutor::new(FeedbackConfig::default(), Ssrc(1));
+        let (msgs, _) = ex.execute(SimTime::ZERO, &sol, &layers);
+        // Client 1 acks, client 2 stays pending.
+        let (c1, m1) = msgs.iter().find(|(c, _)| *c == ClientId(1)).unwrap();
+        ex.on_ack(
+            *c1,
+            &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: m1.request_seq, entries: vec![] },
+        );
+        // Client 2 exhausts its budget and lands in `failed`.
+        for tick in 1..=6u64 {
+            ex.poll(SimTime::from_secs(tick));
+        }
+        assert!(!ex.pending(ClientId(2)));
+
+        ex.on_client_leave(ClientId(1));
+        ex.on_client_leave(ClientId(2));
+        assert!(ex.take_failed().is_empty(), "departed clients are not reported as failed");
+
+        // The ClientId is reused by a new participant: the stale `applied`
+        // entry must not suppress its initial configuration.
+        let (msgs2, _) = ex.execute(SimTime::from_secs(10), &sol, &layers);
+        assert_eq!(msgs2.len(), 2, "rejoining clients get a fresh config");
+    }
+
+    #[test]
+    fn delivery_counters_are_recorded() {
+        use gso_telemetry::keys;
+        let (sol, layers) = solved();
+        let telemetry = Telemetry::new("test");
+        let mut ex = FeedbackExecutor::new(FeedbackConfig::default(), Ssrc(1));
+        ex.set_telemetry(telemetry.clone());
+        let (msgs, _) = ex.execute(SimTime::ZERO, &sol, &layers);
+        let (c1, m1) = msgs.iter().find(|(c, _)| *c == ClientId(1)).unwrap();
+        ex.on_ack(
+            *c1,
+            &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: m1.request_seq, entries: vec![] },
+        );
+        for tick in 1..=6u64 {
+            ex.poll(SimTime::from_secs(tick));
+        }
+        assert_eq!(telemetry.counter_total(keys::GTMB_SENT), 2);
+        assert_eq!(telemetry.counter_total(keys::GTMB_ACKED), 1);
+        assert_eq!(telemetry.counter(keys::GTMB_RETRANSMITS, ClientId(2)), 4);
+        assert_eq!(telemetry.counter(keys::GTMB_FAILED, ClientId(2)), 1);
+        assert_eq!(telemetry.events().len(), 1, "failure emits one event");
     }
 
     #[test]

@@ -30,4 +30,4 @@ pub use encoder::{EncoderConfig, LayerConfig, SimulcastEncoder};
 pub use frame::{packetize, EncodedFrame, FragmentHeader, MTU_PAYLOAD};
 pub use metrics::{VideoPlayback, VoicePlayback};
 pub use quality::vmaf_proxy;
-pub use receiver::{ReceiverOutput, RenderedFrame, StreamReceiver};
+pub use receiver::{ReceiverOutput, RenderStats, RenderedFrame, StreamReceiver};

@@ -27,6 +27,61 @@ pub struct RenderedFrame {
     pub keyframe: bool,
 }
 
+/// Running aggregates over the frames a receiver has rendered.
+///
+/// This replaces the old unbounded `rendered_log`: an hours-long
+/// deployment-sim run used to hold every [`RenderedFrame`] ever rendered.
+/// Individual frames are delivered exactly once through
+/// [`ReceiverOutput::rendered`]; the receiver itself only keeps these
+/// constant-size aggregates, which feed the `gso-telemetry` metrics layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RenderStats {
+    /// Frames rendered.
+    pub frames: u64,
+    /// Encoded bytes across rendered frames.
+    pub bytes: u64,
+    /// Keyframes among them.
+    pub keyframes: u64,
+    /// Sum of `resolution_lines` over rendered frames (mean resolution =
+    /// `resolution_line_sum / frames`).
+    pub resolution_line_sum: u64,
+    /// Time of the first rendered frame.
+    pub first_render: Option<SimTime>,
+    /// Time of the most recent rendered frame.
+    pub last_render: Option<SimTime>,
+}
+
+impl RenderStats {
+    fn record(&mut self, frame: &RenderedFrame) {
+        self.frames += 1;
+        self.bytes += frame.size as u64;
+        if frame.keyframe {
+            self.keyframes += 1;
+        }
+        self.resolution_line_sum += u64::from(frame.resolution_lines);
+        if self.first_render.is_none() {
+            self.first_render = Some(frame.rendered_at);
+        }
+        self.last_render = Some(frame.rendered_at);
+    }
+
+    /// Merge another aggregate into this one (for per-source rollups).
+    pub fn merge(&mut self, other: &RenderStats) {
+        self.frames += other.frames;
+        self.bytes += other.bytes;
+        self.keyframes += other.keyframes;
+        self.resolution_line_sum += other.resolution_line_sum;
+        self.first_render = match (self.first_render, other.first_render) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_render = match (self.last_render, other.last_render) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
 /// Output of feeding a packet into the receiver.
 #[derive(Debug, Default)]
 pub struct ReceiverOutput {
@@ -62,8 +117,8 @@ pub struct StreamReceiver {
     next_decodable: Option<u64>,
     /// Completed frames waiting on decode order.
     ready: BTreeMap<u64, RenderedFrame>,
-    /// All rendered frames (for metrics).
-    rendered_log: Vec<RenderedFrame>,
+    /// Constant-size render aggregates (for metrics).
+    stats: RenderStats,
     /// Retransmit a NACK if the packet is still missing after this long.
     nack_retry: SimDuration,
     /// Give up on a packet after this many NACKs and wait for a keyframe.
@@ -84,7 +139,7 @@ impl StreamReceiver {
             partial: BTreeMap::new(),
             next_decodable: None,
             ready: BTreeMap::new(),
-            rendered_log: Vec::new(),
+            stats: RenderStats::default(),
             nack_retry: SimDuration::from_millis(100),
             max_nacks: 3,
             work_units: 0.0,
@@ -234,14 +289,23 @@ impl StreamReceiver {
             self.next_decodable = Some(next + 1);
             self.work_units += crate::cost::decode_cost(frame.resolution_lines)
                 + crate::cost::RENDER_COST_PER_FRAME;
-            self.rendered_log.push(frame);
+            self.stats.record(&frame);
             out.rendered.push(frame);
         }
     }
 
-    /// All frames rendered so far.
-    pub fn rendered(&self) -> &[RenderedFrame] {
-        &self.rendered_log
+    /// Running aggregates over everything rendered so far. The frames
+    /// themselves are handed out exactly once via
+    /// [`ReceiverOutput::rendered`]; only these aggregates persist.
+    pub fn render_stats(&self) -> RenderStats {
+        self.stats
+    }
+
+    /// Drain the aggregates: returns the counts accumulated since the last
+    /// drain and resets them, so a periodic metrics snapshot can feed
+    /// counters without double-counting.
+    pub fn take_render_stats(&mut self) -> RenderStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// Accumulated decode/render work units.
@@ -284,18 +348,25 @@ mod tests {
     fn clean_stream_renders_every_frame() {
         let packets = make_stream(2, 600);
         let mut rx = StreamReceiver::new(Ssrc(1));
-        let mut rendered = 0;
+        let mut rendered = Vec::new();
         for (i, p) in packets.iter().enumerate() {
             let out = rx.on_packet(SimTime::from_millis(i as u64 * 5), p);
-            rendered += out.rendered.len();
+            rendered.extend(out.rendered);
             assert!(out.nacks.is_empty());
         }
-        assert_eq!(rendered, 30, "2 s at 15 fps");
+        assert_eq!(rendered.len(), 30, "2 s at 15 fps");
         // Frames render in order.
-        let ids: Vec<u64> = rx.rendered().iter().map(|f| f.frame_id).collect();
+        let ids: Vec<u64> = rendered.iter().map(|f| f.frame_id).collect();
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         assert_eq!(ids, sorted);
+        // The aggregates agree with the drained frames.
+        let stats = rx.render_stats();
+        assert_eq!(stats.frames, 30);
+        assert_eq!(stats.bytes, rendered.iter().map(|f| f.size as u64).sum::<u64>());
+        assert_eq!(stats.keyframes, rendered.iter().filter(|f| f.keyframe).count() as u64);
+        assert_eq!(stats.first_render, Some(rendered[0].rendered_at));
+        assert_eq!(stats.last_render, Some(rendered[29].rendered_at));
     }
 
     #[test]
@@ -311,17 +382,19 @@ mod tests {
             .expect("stream has multi-fragment frames");
         let mut rx = StreamReceiver::new(Ssrc(1));
         let mut nacked = Vec::new();
+        let mut rendered = Vec::new();
         for (i, p) in packets.iter().enumerate() {
             if i == victim {
                 continue;
             }
             let out = rx.on_packet(SimTime::from_millis(i as u64), p);
             nacked.extend(out.nacks);
+            rendered.extend(out.rendered);
         }
         assert!(nacked.contains(&packets[victim].sequence));
         // The victim frame and everything after it is stuck.
         let victim_frame = FragmentHeader::parse(&packets[victim].payload).unwrap().frame_id;
-        assert!(rx.rendered().iter().all(|f| f.frame_id < victim_frame));
+        assert!(rendered.iter().all(|f| f.frame_id < victim_frame));
         // Retransmission unblocks the pipeline.
         let out = rx.on_packet(SimTime::from_secs(2), &packets[victim]);
         assert!(out.rendered.iter().any(|f| f.frame_id == victim_frame));
@@ -332,7 +405,7 @@ mod tests {
     fn keyframe_recovers_from_unrepaired_loss() {
         let packets = make_stream(5, 400); // single-fragment frames mostly
         let mut rx = StreamReceiver::new(Ssrc(1));
-        let mut rendered_after_gap = false;
+        let mut rendered = Vec::new();
         for (i, p) in packets.iter().enumerate() {
             // Drop everything in "frame 10..15" region once.
             let h = FragmentHeader::parse(&p.payload).unwrap();
@@ -340,16 +413,13 @@ mod tests {
                 continue;
             }
             let t = SimTime::from_millis(66 * i as u64);
-            let out = rx.on_packet(t, p);
-            if out.rendered.iter().any(|f| f.frame_id >= 15) {
-                rendered_after_gap = true;
-            }
+            rendered.extend(rx.on_packet(t, p).rendered);
             // Poll occasionally to expire NACKs.
-            let _ = rx.poll(t);
+            rendered.extend(rx.poll(t).rendered);
         }
-        assert!(rendered_after_gap, "a later keyframe must resume playback");
+        assert!(rendered.iter().any(|f| f.frame_id >= 15), "a later keyframe must resume playback");
         // Frames 10..15 never rendered.
-        assert!(rx.rendered().iter().all(|f| !(10..15).contains(&f.frame_id)));
+        assert!(rendered.iter().all(|f| !(10..15).contains(&f.frame_id)));
     }
 
     #[test]
@@ -386,8 +456,31 @@ mod tests {
         let packets = make_stream(1, 300);
         let mut rx = StreamReceiver::new(Ssrc(1));
         rx.on_packet(SimTime::ZERO, &packets[0]);
-        let n = rx.rendered().len();
+        let n = rx.render_stats().frames;
         rx.on_packet(SimTime::from_millis(1), &packets[0]);
-        assert_eq!(rx.rendered().len(), n, "duplicate must not double-render");
+        assert_eq!(rx.render_stats().frames, n, "duplicate must not double-render");
+    }
+
+    #[test]
+    fn take_render_stats_drains_without_double_counting() {
+        let packets = make_stream(2, 600);
+        let mut rx = StreamReceiver::new(Ssrc(1));
+        let mid = packets.len() / 2;
+        for (i, p) in packets[..mid].iter().enumerate() {
+            rx.on_packet(SimTime::from_millis(i as u64 * 5), p);
+        }
+        let first = rx.take_render_stats();
+        assert!(first.frames > 0);
+        assert_eq!(rx.render_stats(), RenderStats::default(), "drained");
+        for (i, p) in packets[mid..].iter().enumerate() {
+            rx.on_packet(SimTime::from_millis((mid + i) as u64 * 5), p);
+        }
+        let second = rx.take_render_stats();
+        assert_eq!(first.frames + second.frames, 30, "no loss, no double count");
+        let mut merged = first;
+        merged.merge(&second);
+        assert_eq!(merged.frames, 30);
+        assert_eq!(merged.first_render, first.first_render);
+        assert_eq!(merged.last_render, second.last_render);
     }
 }

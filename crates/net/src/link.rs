@@ -120,6 +120,8 @@ pub struct LinkStats {
     pub delivered_bytes: u64,
     /// Packets delivered.
     pub delivered: u64,
+    /// High-watermark of queued bytes (queue depth) over the run.
+    pub peak_queued_bytes: u64,
 }
 
 /// Runtime state of one directed link.
@@ -180,10 +182,12 @@ impl Link {
         let size = packet.wire_size();
         let delay_bound = self.config.rate.at(now).bytes_in(self.config.max_queue_delay) as usize;
         let limit = self.config.queue_bytes.min(delay_bound.max(2 * 1500));
-        if self.queued_bytes(now) + size > limit {
+        let queued = self.queued_bytes(now);
+        if queued + size > limit {
             self.stats.dropped_queue += 1;
             return Transmit::DropQueue;
         }
+        self.stats.peak_queued_bytes = self.stats.peak_queued_bytes.max((queued + size) as u64);
 
         let start = self.busy_until.max(now);
         let rate = self.config.rate.at(start);

@@ -84,6 +84,16 @@ impl Simulator {
         self.links.get(&(from, to)).map(|l| l.stats)
     }
 
+    /// Statistics of every link, sorted by `(from, to)` so iteration order
+    /// is deterministic (the backing map is a `HashMap`; its order must
+    /// never leak into metric exports).
+    pub fn all_link_stats(&self) -> Vec<((NodeId, NodeId), LinkStats)> {
+        let mut all: Vec<((NodeId, NodeId), LinkStats)> =
+            self.links.iter().map(|(&k, l)| (k, l.stats)).collect();
+        all.sort_unstable_by_key(|&((from, to), _)| (from, to));
+        all
+    }
+
     /// Schedule a timer for a node from outside (e.g. to bootstrap it).
     pub fn schedule_timer(&mut self, node: NodeId, at: SimTime, token: u64) {
         self.push_event(at, EventKind::Timer { node, token });

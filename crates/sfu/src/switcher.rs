@@ -5,13 +5,18 @@
 //! layer. The [`LayerSwitcher`] forwards the current layer until the target
 //! layer produces a frame-starting keyframe packet, then switches atomically.
 
-use gso_util::Ssrc;
+use gso_util::{SimDuration, SimTime, Ssrc};
 
 /// Per-(subscriber, publisher-source) switching state.
 #[derive(Debug, Clone, Default)]
 pub struct LayerSwitcher {
     current: Option<Ssrc>,
     pending: Option<Ssrc>,
+    /// When the pending switch was requested (for latency metrics).
+    pending_since: Option<SimTime>,
+    /// Request→keyframe-landing latency of the most recent completed
+    /// switch, until drained by [`LayerSwitcher::take_switch_latency`].
+    completed_latency: Option<SimDuration>,
 }
 
 impl LayerSwitcher {
@@ -35,15 +40,28 @@ impl LayerSwitcher {
     /// Switching down to `None` (unsubscribe) is immediate. A first-ever
     /// selection waits for a keyframe like any other switch.
     pub fn request(&mut self, target: Option<Ssrc>) {
+        self.request_at(target, SimTime::ZERO);
+    }
+
+    /// [`LayerSwitcher::request`] with the request time recorded, so the
+    /// eventual keyframe landing can report its latency.
+    pub fn request_at(&mut self, target: Option<Ssrc>, now: SimTime) {
         match target {
             None => {
                 self.current = None;
                 self.pending = None;
+                self.pending_since = None;
             }
             Some(t) if Some(t) == self.current => {
                 self.pending = None;
+                self.pending_since = None;
             }
             Some(t) => {
+                // A re-request of the same pending target keeps the original
+                // request time: the subscriber has been waiting since then.
+                if self.pending != Some(t) {
+                    self.pending_since = Some(now);
+                }
                 self.pending = Some(t);
             }
         }
@@ -52,10 +70,19 @@ impl LayerSwitcher {
     /// Should a packet from `ssrc` be forwarded? `keyframe_start` must be
     /// true for the first packet of a keyframe.
     pub fn should_forward(&mut self, ssrc: Ssrc, keyframe_start: bool) -> bool {
+        self.should_forward_at(ssrc, keyframe_start, SimTime::ZERO)
+    }
+
+    /// [`LayerSwitcher::should_forward`] with the current time, so a switch
+    /// landing on this packet records its request→landing latency.
+    pub fn should_forward_at(&mut self, ssrc: Ssrc, keyframe_start: bool, now: SimTime) -> bool {
         let previous = self.current;
         if self.pending == Some(ssrc) && keyframe_start {
             self.current = Some(ssrc);
             self.pending = None;
+            if let Some(since) = self.pending_since.take() {
+                self.completed_latency = Some(now.saturating_since(since));
+            }
         }
         // Trust boundary: a layer switch must land exactly on the first
         // packet of a keyframe of the target layer — never mid-GoP.
@@ -65,6 +92,12 @@ impl LayerSwitcher {
             self.current
         );
         self.current == Some(ssrc)
+    }
+
+    /// Drain the latency of the most recently completed switch, if one
+    /// landed since the last drain.
+    pub fn take_switch_latency(&mut self) -> Option<SimDuration> {
+        self.completed_latency.take()
     }
 }
 
@@ -124,5 +157,34 @@ mod tests {
         let mut sw = LayerSwitcher::new();
         sw.request(Some(Ssrc(1)));
         assert!(!sw.should_forward(Ssrc(9), true));
+    }
+
+    #[test]
+    fn switch_latency_measured_from_request_to_keyframe_landing() {
+        let mut sw = LayerSwitcher::new();
+        sw.request_at(Some(Ssrc(1)), SimTime::from_millis(100));
+        assert_eq!(sw.take_switch_latency(), None, "nothing landed yet");
+        assert!(!sw.should_forward_at(Ssrc(1), false, SimTime::from_millis(150)));
+        assert!(sw.should_forward_at(Ssrc(1), true, SimTime::from_millis(400)));
+        assert_eq!(sw.take_switch_latency(), Some(SimDuration::from_millis(300)));
+        assert_eq!(sw.take_switch_latency(), None, "latency drains once");
+
+        // A re-request of the same pending target keeps the original clock.
+        sw.request_at(Some(Ssrc(2)), SimTime::from_secs(1));
+        sw.request_at(Some(Ssrc(2)), SimTime::from_secs(2));
+        assert!(sw.should_forward_at(Ssrc(2), true, SimTime::from_secs(3)));
+        assert_eq!(sw.take_switch_latency(), Some(SimDuration::from_secs(2)));
+    }
+
+    #[test]
+    fn cancelled_switch_reports_no_latency() {
+        let mut sw = LayerSwitcher::new();
+        sw.request_at(Some(Ssrc(1)), SimTime::from_millis(10));
+        assert!(sw.should_forward_at(Ssrc(1), true, SimTime::from_millis(20)));
+        let _ = sw.take_switch_latency();
+        sw.request_at(Some(Ssrc(2)), SimTime::from_millis(30));
+        sw.request_at(Some(Ssrc(1)), SimTime::from_millis(40)); // cancelled
+        assert!(!sw.should_forward_at(Ssrc(2), true, SimTime::from_millis(50)));
+        assert_eq!(sw.take_switch_latency(), None);
     }
 }

@@ -22,6 +22,7 @@ use gso_sfu::{
     LargestFitSelector, LayerSwitcher, OfferedLayer, PassthroughSelector, StreamSelector,
     TwoLevelSelector,
 };
+use gso_telemetry::{keys, Telemetry};
 use gso_util::{Bitrate, ClientId, SimDuration, SimTime, Ssrc, StreamKind};
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -87,6 +88,8 @@ pub struct AccessNode {
     layer_rates: BTreeMap<Ssrc, LayerRate>,
     last_slow: SimTime,
     started: bool,
+    /// Metrics sink (disabled by default; see `gso-telemetry`).
+    telemetry: Telemetry,
 }
 
 impl AccessNode {
@@ -106,6 +109,16 @@ impl AccessNode {
             layer_rates: BTreeMap::new(),
             last_slow: SimTime::ZERO,
             started: false,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a metrics registry; also wires the per-subscriber downlink
+    /// estimators (existing and future) with `down:<client>` labels.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+        for (client, path) in &mut self.down {
+            path.bwe.set_telemetry(self.telemetry.clone(), format!("down:{client}"));
         }
     }
 
@@ -114,7 +127,9 @@ impl AccessNode {
         self.clients.insert(client, endpoint);
         self.endpoint_to_client.insert(endpoint, client);
         self.twcc_up.insert(client, TwccGenerator::new());
-        self.down.insert(client, DownPath::new(endpoint));
+        let mut path = DownPath::new(endpoint);
+        path.bwe.set_telemetry(self.telemetry.clone(), format!("down:{client}"));
+        self.down.insert(client, path);
     }
 
     /// Register a client served by a peer accessing node; media for it is
@@ -148,6 +163,7 @@ impl AccessNode {
         let Some(path) = self.down.get_mut(&subscriber) else { return };
         path.history.record(pkt.ssrc, pkt.sequence, now, pkt.wire_len() + 28, false);
         path.bytes_window += pkt.wire_len() as u64;
+        self.telemetry.add(keys::SFU_FORWARDED_BYTES, subscriber, pkt.wire_len() as u64);
         out.send(path.endpoint, Packet::new(pkt.serialize()));
     }
 
@@ -207,14 +223,34 @@ impl AccessNode {
                 let keyframe_start = FragmentHeader::parse(&pkt.payload)
                     .is_some_and(|h| h.keyframe && h.frag_index == 0);
                 let source = SourceId { client: publisher, kind };
-                let targets: Vec<ClientId> = self
-                    .switchers
-                    .iter_mut()
-                    .filter(|((_, src, _), _)| *src == source)
-                    .filter_map(|((sub, _, _), sw)| {
-                        sw.should_forward(pkt.ssrc, keyframe_start).then_some(*sub)
-                    })
-                    .collect();
+                let mut targets: Vec<ClientId> = Vec::new();
+                for ((sub, _, _), sw) in
+                    self.switchers.iter_mut().filter(|((_, src, _), _)| *src == source)
+                {
+                    let forward = sw.should_forward_at(pkt.ssrc, keyframe_start, now);
+                    // A pending switch that just landed on this keyframe
+                    // reports its request->landing latency.
+                    if let Some(latency) = sw.take_switch_latency() {
+                        self.telemetry.observe(
+                            keys::SFU_SWITCH_LATENCY_US,
+                            sub,
+                            latency.as_micros(),
+                            keys::LATENCY_US_BOUNDS,
+                        );
+                        self.telemetry.event(
+                            now,
+                            keys::EV_SWITCH_LANDED,
+                            format!("{sub} -> {} after {latency}", pkt.ssrc),
+                        );
+                    }
+                    if forward {
+                        targets.push(*sub);
+                    } else {
+                        // Bytes of this source withheld from the subscriber
+                        // (other layers, or a switch waiting for a keyframe).
+                        self.telemetry.add(keys::SFU_DROPPED_BYTES, sub, pkt.wire_len() as u64);
+                    }
+                }
                 for sub in targets {
                     self.forward_to(now, sub, &pkt, out);
                 }
@@ -303,7 +339,7 @@ impl AccessNode {
         }
     }
 
-    fn handle_ctrl(&mut self, _now: SimTime, from: NodeId, msg: CtrlMessage, out: &mut Actions) {
+    fn handle_ctrl(&mut self, now: SimTime, from: NodeId, msg: CtrlMessage, out: &mut Actions) {
         let from_client = self.endpoint_to_client.get(&from).copied();
         match msg {
             // Client → CN signaling, recorded locally for baseline policy
@@ -360,7 +396,7 @@ impl AccessNode {
                         let key = (r.subscriber, r.source, r.tag);
                         covered.push(key);
                         let sw = self.switchers.entry(key).or_default();
-                        sw.request(Some(r.ssrc));
+                        sw.request_at(Some(r.ssrc), now);
                         // A pending switch would otherwise wait a whole GoP
                         // for the target layer's next keyframe; ask the
                         // publisher to produce one now.
@@ -375,7 +411,7 @@ impl AccessNode {
                 }
                 for (key, sw) in self.switchers.iter_mut() {
                     if !covered.contains(key) {
-                        sw.request(None);
+                        sw.request_at(None, now);
                     }
                 }
                 for source in keyframe_needed {
@@ -403,7 +439,7 @@ impl AccessNode {
     /// Like any competent SFU, a pending layer switch asks the publisher for
     /// a keyframe so the splice completes quickly — the baseline's handicap
     /// is its fragmented view and coarse ladder, not broken switching.
-    fn apply_local_policy(&mut self, out: &mut Actions) {
+    fn apply_local_policy(&mut self, now: SimTime, out: &mut Actions) {
         if self.mode == PolicyMode::Gso {
             return;
         }
@@ -477,7 +513,7 @@ impl AccessNode {
                 } else {
                     selector.select(&sorted, per_pub)
                 };
-                sw.request(choice);
+                sw.request_at(choice, now);
                 if sw.pending().is_some() {
                     keyframe_needed.insert(source);
                 }
@@ -637,7 +673,7 @@ impl Node for AccessNode {
                     }
                 }
 
-                self.apply_local_policy(out);
+                self.apply_local_policy(now, out);
                 out.timer_in(now, SLOW_INTERVAL, SLOW_TICK);
             }
             _ => {}

@@ -41,6 +41,16 @@ pub enum PolicyMode {
 }
 
 impl PolicyMode {
+    /// Short stable identifier (used in telemetry conference names).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            PolicyMode::Gso => "gso",
+            PolicyMode::NonGso => "nongso",
+            PolicyMode::Competitor1 => "comp1",
+            PolicyMode::Competitor2 => "comp2",
+        }
+    }
+
     /// The publisher-side template for baseline modes.
     pub fn template(self) -> Option<TemplateKind> {
         match self {
@@ -231,6 +241,12 @@ impl ClientNode {
     /// Client id.
     pub fn id(&self) -> ClientId {
         self.cfg.id
+    }
+
+    /// Attach a metrics registry; the uplink estimator reports with an
+    /// `up:<client>` label.
+    pub fn set_telemetry(&mut self, telemetry: gso_telemetry::Telemetry) {
+        self.bwe.set_telemetry(telemetry, format!("up:{}", self.cfg.id));
     }
 
     /// Current uplink estimate.
@@ -671,42 +687,36 @@ impl ClientNode {
     /// VMAF-proxy quality averaged over subscribed sources: each source is
     /// scored from the resolution/bitrate/framerate it actually delivered.
     fn mean_quality(&self, end: SimTime) -> f64 {
-        // Aggregate rendered frames per source across its layer SSRCs.
-        let mut per_source: BTreeMap<
-            SourceId,
-            (u64 /*bytes*/, u64 /*frames*/, u64 /*res-weighted*/),
-        > = BTreeMap::new();
-        let mut first_render: BTreeMap<SourceId, SimTime> = BTreeMap::new();
-        for (ssrc, receiver) in &self.receivers {
-            let Some((publisher, kind, _)) = decode_ssrc(*ssrc) else { continue };
-            let source = SourceId { client: publisher, kind };
-            let entry = per_source.entry(source).or_default();
-            for f in receiver.rendered() {
-                entry.0 += f.size as u64;
-                entry.1 += 1;
-                entry.2 += u64::from(f.resolution_lines);
-                let t = first_render.entry(source).or_insert(f.rendered_at);
-                if f.rendered_at < *t {
-                    *t = f.rendered_at;
-                }
-            }
-        }
+        let per_source = self.render_stats_per_source();
         if per_source.is_empty() {
             return 0.0;
         }
         let mut total = 0.0;
-        for (source, (bytes, frames, res_sum)) in &per_source {
-            if *frames == 0 {
+        for stats in per_source.values() {
+            if stats.frames == 0 {
                 continue;
             }
-            let start = first_render.get(source).copied().unwrap_or(SimTime::ZERO);
+            let start = stats.first_render.unwrap_or(SimTime::ZERO);
             let secs = end.saturating_since(start).as_secs_f64().max(1e-3);
-            let rate = Bitrate::from_bps((*bytes as f64 * 8.0 / secs) as u64);
-            let fps = *frames as f64 / secs;
-            let lines = (*res_sum / *frames) as u16;
+            let rate = Bitrate::from_bps((stats.bytes as f64 * 8.0 / secs) as u64);
+            let fps = stats.frames as f64 / secs;
+            let lines = (stats.resolution_line_sum / stats.frames) as u16;
             total += gso_media::vmaf_proxy(lines, rate, fps);
         }
         total / per_source.len() as f64
+    }
+
+    /// Render aggregates per subscribed source, merged across the source's
+    /// layer SSRCs (the receiver keeps constant-size aggregates rather than
+    /// an unbounded frame log).
+    pub fn render_stats_per_source(&self) -> BTreeMap<SourceId, gso_media::RenderStats> {
+        let mut per_source: BTreeMap<SourceId, gso_media::RenderStats> = BTreeMap::new();
+        for (ssrc, receiver) in &self.receivers {
+            let Some((publisher, kind, _)) = decode_ssrc(*ssrc) else { continue };
+            let source = SourceId { client: publisher, kind };
+            per_source.entry(source).or_default().merge(&receiver.render_stats());
+        }
+        per_source
     }
 }
 

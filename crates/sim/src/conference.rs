@@ -46,6 +46,12 @@ impl ConferenceNode {
         }
     }
 
+    /// Attach a metrics registry to the embedded controller (and its
+    /// feedback executor).
+    pub fn set_telemetry(&mut self, telemetry: gso_telemetry::Telemetry) {
+        self.controller.set_telemetry(telemetry);
+    }
+
     /// Kick off the controller tick.
     pub fn schedule_boot(node: NodeId, sim: &mut gso_net::Simulator) {
         sim.schedule_timer(node, SimTime::ZERO, TICK);

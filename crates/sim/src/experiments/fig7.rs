@@ -11,6 +11,7 @@ use crate::scenario::{ClientScenario, Scenario};
 use crate::workloads::ladder_for_mode;
 use gso_algo::Resolution;
 use gso_net::{LinkConfig, Schedule};
+use gso_telemetry::keys;
 use gso_util::stats::TimeSeries;
 use gso_util::{Bitrate, ClientId, SimDuration, SimTime};
 
@@ -31,6 +32,51 @@ pub struct TransientTrace {
     pub cap: Bitrate,
     /// Receive rate at the subscriber over time.
     pub series: TimeSeries,
+    /// Controller-side observability for the run (zeroed in baseline modes,
+    /// which run no controller).
+    pub controller: ControllerMetrics,
+}
+
+/// Controller metrics harvested from the telemetry registry after a run.
+///
+/// "Solve latency" is deterministic work, not wall-clock: iterations of the
+/// layer-selection search and incremental-engine rows recomputed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerMetrics {
+    /// Controller rounds executed.
+    pub solves: u64,
+    /// Rounds forced into the §7 fallback template.
+    pub fallback_rounds: u64,
+    /// Total solver iterations across rounds.
+    pub solve_iterations: u64,
+    /// Total incremental-engine rows recomputed across rounds.
+    pub solve_rows: u64,
+    /// Per-subscription layer changes pushed (churn).
+    pub churn_layers: u64,
+    /// GTMB configuration messages first-sent.
+    pub gtmb_sent: u64,
+    /// GTMB retransmissions.
+    pub gtmb_retransmits: u64,
+    /// GTMB deliveries that exhausted their budget.
+    pub gtmb_failed: u64,
+}
+
+impl ControllerMetrics {
+    /// Harvest from a finished scenario's registry.
+    pub fn from_telemetry(t: &gso_telemetry::Telemetry) -> Self {
+        let (_, solve_iterations) = t.histogram_total(keys::CTRL_SOLVE_ITERATIONS);
+        let (_, solve_rows) = t.histogram_total(keys::CTRL_SOLVE_ROWS);
+        ControllerMetrics {
+            solves: t.counter_total(keys::CTRL_SOLVES),
+            fallback_rounds: t.counter_total(keys::CTRL_FALLBACK_ROUNDS),
+            solve_iterations,
+            solve_rows,
+            churn_layers: t.counter_total(keys::CTRL_CHURN_LAYERS),
+            gtmb_sent: t.counter_total(keys::GTMB_SENT),
+            gtmb_retransmits: t.counter_total(keys::GTMB_RETRANSMITS),
+            gtmb_failed: t.counter_total(keys::GTMB_FAILED),
+        }
+    }
 }
 
 /// Run the transient experiment for one mode across all four caps.
@@ -39,8 +85,7 @@ pub fn fig7(mode: PolicyMode, seed: u64) -> Vec<TransientTrace> {
         .iter()
         .map(|&kbps| {
             let cap = Bitrate::from_kbps(kbps);
-            let series = run_one(mode, cap, seed);
-            TransientTrace { cap, series }
+            run_one_traced(mode, cap, seed)
         })
         .collect()
 }
@@ -48,6 +93,11 @@ pub fn fig7(mode: PolicyMode, seed: u64) -> Vec<TransientTrace> {
 /// Run a single (mode, cap) scenario and return the subscriber's receive
 /// rate series.
 pub fn run_one(mode: PolicyMode, cap: Bitrate, seed: u64) -> TimeSeries {
+    run_one_traced(mode, cap, seed).series
+}
+
+/// [`run_one`] plus the controller metrics harvested from telemetry.
+pub fn run_one_traced(mode: PolicyMode, cap: Bitrate, seed: u64) -> TransientTrace {
     let ladder = ladder_for_mode(mode);
     let base = Bitrate::from_mbps(4);
     let publisher = ClientId(1);
@@ -73,7 +123,11 @@ pub fn run_one(mode: PolicyMode, cap: Bitrate, seed: u64) -> TimeSeries {
         tag: 0,
     }];
     let result = s.run();
-    result.recv_series[&subscriber].clone()
+    TransientTrace {
+        cap,
+        series: result.recv_series[&subscriber].clone(),
+        controller: ControllerMetrics::from_telemetry(&result.telemetry),
+    }
 }
 
 /// Mean received rate inside the capped window (for shape checks).
@@ -108,6 +162,20 @@ mod tests {
         assert!(g < 640_000.0, "GSO must stay under the cap, got {g}");
         assert!(n < 420_000.0, "Non-GSO coarse ladder should drop low, got {n}");
         assert!(g > n * 1.25, "GSO {g} vs non-GSO {n}: utilization gap expected");
+    }
+
+    #[test]
+    fn gso_run_reports_controller_metrics() {
+        let t = run_one_traced(PolicyMode::Gso, Bitrate::from_kbps(625), 11);
+        let m = t.controller;
+        assert!(m.solves > 0, "controller ran: {m:?}");
+        assert!(m.solve_iterations > 0, "solver iterated: {m:?}");
+        assert!(m.gtmb_sent > 0, "configs delivered: {m:?}");
+        assert_eq!(m.gtmb_failed, 0, "clean links deliver everything: {m:?}");
+        assert!(m.churn_layers > 0, "cap change forces layer churn: {m:?}");
+        // Baselines run no controller at all.
+        let base = run_one_traced(PolicyMode::NonGso, Bitrate::from_kbps(625), 11);
+        assert_eq!(base.controller, ControllerMetrics::default());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::conference::ConferenceNode;
 use gso_algo::{Ladder, Resolution, SourceId};
 use gso_control::{ControllerConfig, SubscribeIntent};
 use gso_net::{LinkConfig, NodeId, Simulator};
+use gso_telemetry::{keys, Telemetry};
 use gso_util::stats::TimeSeries;
 use gso_util::{Bitrate, ClientId, SimDuration, SimTime};
 use std::collections::BTreeMap;
@@ -86,6 +87,7 @@ impl Scenario {
     /// Wire and run the scenario; returns collected metrics.
     pub fn run(&self) -> ScenarioResult {
         let mut sim = Simulator::new(self.seed);
+        let telemetry = Telemetry::new(format!("{}-seed{}", self.mode.short_name(), self.seed));
 
         // Control plane (always built; inert for baseline modes).
         let cn = sim.add_node(Box::new(ConferenceNode::new(
@@ -113,6 +115,14 @@ impl Scenario {
                 conference.register_access_node(an);
             }
         }
+        if let Some(conference) = sim.node_mut::<ConferenceNode>(cn) {
+            conference.set_telemetry(telemetry.clone());
+        }
+        for &an in &ans {
+            if let Some(access) = sim.node_mut::<AccessNode>(an) {
+                access.set_telemetry(telemetry.clone());
+            }
+        }
         for i in 0..ans.len() {
             for j in (i + 1)..ans.len() {
                 // Inter-region backbone: fat but not instantaneous.
@@ -138,6 +148,9 @@ impl Scenario {
             };
             let node = sim.add_node(Box::new(ClientNode::new(cfg, an, self.seed)));
             endpoints.insert(c.id, node);
+            if let Some(client) = sim.node_mut::<ClientNode>(node) {
+                client.set_telemetry(telemetry.clone());
+            }
             sim.add_link(node, an, c.uplink.clone());
             sim.add_link(an, node, c.downlink.clone());
             if let Some(access) = sim.node_mut::<AccessNode>(an) {
@@ -178,12 +191,29 @@ impl Scenario {
             recv_series.insert(id, client.metrics.recv_rate.clone());
             send_series.insert(id, client.metrics.send_rate.clone());
             uplink_estimates.insert(id, client.uplink_estimate());
+            for (source, stats) in client.render_stats_per_source() {
+                let label = format!("{id}<-{source}");
+                telemetry.add(keys::MEDIA_FRAMES_RENDERED, &label, stats.frames);
+                telemetry.add(keys::MEDIA_BYTES_RENDERED, &label, stats.bytes);
+                telemetry.add(keys::MEDIA_KEYFRAMES_RENDERED, &label, stats.keyframes);
+            }
+        }
+        // Snapshot network-layer link statistics into the registry so the
+        // export captures queue pressure alongside application metrics.
+        for ((from, to), stats) in sim.all_link_stats() {
+            let label = format!("n{}->n{}", from.0, to.0);
+            telemetry.add(keys::NET_ENQUEUED, &label, stats.enqueued);
+            telemetry.add(keys::NET_DROPPED_QUEUE, &label, stats.dropped_queue);
+            telemetry.add(keys::NET_DROPPED_LOSS, &label, stats.dropped_loss);
+            telemetry.add(keys::NET_DELIVERED_BYTES, &label, stats.delivered_bytes);
+            telemetry.gauge(keys::NET_PEAK_QUEUE_BYTES, &label, stats.peak_queued_bytes as f64);
         }
         let controller_intervals = sim
             .node::<ConferenceNode>(cn)
             .map(|c| c.controller.call_intervals().to_vec())
             .unwrap_or_default();
 
+        let metrics_json = telemetry.export_json();
         ScenarioResult {
             per_client,
             recv_series,
@@ -191,6 +221,8 @@ impl Scenario {
             uplink_estimates,
             controller_intervals,
             end,
+            telemetry,
+            metrics_json,
         }
     }
 }
@@ -210,6 +242,11 @@ pub struct ScenarioResult {
     pub controller_intervals: Vec<SimDuration>,
     /// Session end time.
     pub end: SimTime,
+    /// Live registry handle (for targeted queries after the run).
+    pub telemetry: Telemetry,
+    /// Deterministic JSON export of every metric and event recorded during
+    /// the run. Byte-identical across repeated runs of the same scenario.
+    pub metrics_json: String,
 }
 
 impl ScenarioResult {
@@ -300,6 +337,27 @@ mod tests {
         let a = two_party(PolicyMode::Gso, 7).run();
         let b = two_party(PolicyMode::Gso, 7).run();
         assert_eq!(a.recv_series[&ClientId(1)].points(), b.recv_series[&ClientId(1)].points());
+        // Tentpole guarantee: the full metric export is byte-identical.
+        assert_eq!(a.metrics_json, b.metrics_json);
+        assert_ne!(a.metrics_json, "{}", "telemetry must actually record");
+    }
+
+    #[test]
+    fn scenario_export_covers_every_subsystem() {
+        use gso_telemetry::keys;
+        let r = two_party(PolicyMode::Gso, 9).run();
+        let t = &r.telemetry;
+        assert!(t.counter_total(keys::CTRL_SOLVES) > 0, "controller solves");
+        assert!(t.counter_total(keys::GTMB_SENT) > 0, "GTMB deliveries");
+        assert!(t.counter_total(keys::SFU_FORWARDED_BYTES) > 0, "SFU forwarding");
+        assert!(t.counter_total(keys::MEDIA_FRAMES_RENDERED) > 0, "rendered frames");
+        assert!(t.counter_total(keys::NET_DELIVERED_BYTES) > 0, "link delivery");
+        assert!(
+            t.gauge_value(keys::BWE_ESTIMATE_BPS, "up:client1").is_some(),
+            "uplink estimate gauge"
+        );
+        let (switches, _) = t.histogram_total(keys::SFU_SWITCH_LATENCY_US);
+        assert!(switches > 0, "layer switches landed");
     }
 }
 

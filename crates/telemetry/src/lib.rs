@@ -1,0 +1,507 @@
+//! Deterministic, sim-time-stamped observability for a GSO conference.
+//!
+//! The paper's evaluation (Figs. 7–12) is built from *measurements* of a
+//! running conference: bitrate traces, controller reaction times, stall
+//! counts. This crate gives every layer of the reproduction one uniform way
+//! to record those measurements:
+//!
+//! * **Counters** — monotone event tallies (GTMB sends, link drops).
+//! * **Gauges** — last-value samples (current bandwidth estimate, QoE).
+//! * **Histograms** — fixed-bucket distributions with static bounds
+//!   (solve work per orchestration round, layer-switch latency).
+//! * **Events** — a bounded ring of sim-time-stamped structured events
+//!   (fallback entries, overuse transitions, GTMB delivery failures).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Two runs of the same scenario must serialize
+//!    byte-identical exports. All state lives in [`BTreeMap`]s keyed by
+//!    `(static name, label)`, timestamps are [`SimTime`] (never wall
+//!    clock), and the JSON writer emits keys in sorted order. There is no
+//!    floating-point accumulation anywhere on the counter/histogram path.
+//! 2. **Near-zero cost when disabled.** Every recording site holds a
+//!    [`Telemetry`] handle; the disabled handle is a `None` and each
+//!    operation is a single branch — labels are not even formatted.
+//! 3. **Static metric keys.** Metric names are `&'static str` constants in
+//!    [`keys`]; dynamic cardinality goes in the label dimension only.
+//!
+//! The export format is hand-rolled JSON in the same spirit as
+//! `BENCH_solver.json` (the serde shim is a marker, not a serializer):
+//! one object with a sorted `metrics` array and a bounded `events` ring.
+
+pub mod keys;
+
+use gso_util::SimTime;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::{self, Display, Write as _};
+use std::rc::Rc;
+
+/// Default capacity of the bounded event ring.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// One recorded metric value.
+#[derive(Debug, Clone, PartialEq)]
+enum MetricValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Last-value gauge (finite values only; non-finite samples are dropped).
+    Gauge(f64),
+    /// Fixed-bucket histogram. `counts[i]` tallies samples `<= bounds[i]`;
+    /// the final slot (`counts[bounds.len()]`) is the overflow (+inf) bucket.
+    Histogram { bounds: &'static [u64], counts: Vec<u64>, total: u64, sum: u64 },
+}
+
+/// A sim-time-stamped structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Simulation time of the event.
+    pub at: SimTime,
+    /// Static event kind (e.g. `"gtmb_failed"`).
+    pub kind: &'static str,
+    /// Free-form detail string (client id, value, …).
+    pub detail: String,
+}
+
+/// Snapshot of one histogram, as returned by [`Telemetry::histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Static upper bounds of the finite buckets.
+    pub bounds: &'static [u64],
+    /// Bucket tallies; one longer than `bounds` (last slot = overflow).
+    pub counts: Vec<u64>,
+    /// Number of recorded samples.
+    pub total: u64,
+    /// Sum of recorded samples.
+    pub sum: u64,
+}
+
+/// The per-conference metric registry behind an enabled [`Telemetry`]
+/// handle. Not used directly — all access goes through the handle.
+#[derive(Debug)]
+struct Registry {
+    conference: String,
+    metrics: BTreeMap<(&'static str, String), MetricValue>,
+    events: VecDeque<Event>,
+    events_dropped: u64,
+    event_capacity: usize,
+}
+
+impl Registry {
+    fn new(conference: String, event_capacity: usize) -> Self {
+        Registry {
+            conference,
+            metrics: BTreeMap::new(),
+            events: VecDeque::new(),
+            events_dropped: 0,
+            event_capacity,
+        }
+    }
+
+    fn push_event(&mut self, event: Event) {
+        if self.events.len() == self.event_capacity {
+            self.events.pop_front();
+            self.events_dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// Cloneable handle to a conference metric registry.
+///
+/// The simulation is single-threaded by design (see DESIGN.md), so the
+/// handle is an `Rc<RefCell<_>>`; cloning is cheap and every clone records
+/// into the same registry. [`Telemetry::disabled`] (also the [`Default`])
+/// carries no registry: every operation is one branch and no label is
+/// formatted, which keeps instrumented hot paths free for unit tests and
+/// library consumers that do not observe.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<RefCell<Registry>>>,
+}
+
+impl Telemetry {
+    /// An enabled registry for the named conference.
+    #[must_use]
+    pub fn new(conference: impl Into<String>) -> Self {
+        Telemetry {
+            inner: Some(Rc::new(RefCell::new(Registry::new(
+                conference.into(),
+                DEFAULT_EVENT_CAPACITY,
+            )))),
+        }
+    }
+
+    /// An enabled registry with a custom event-ring capacity.
+    #[must_use]
+    pub fn with_event_capacity(conference: impl Into<String>, capacity: usize) -> Self {
+        Telemetry {
+            inner: Some(Rc::new(RefCell::new(Registry::new(conference.into(), capacity.max(1))))),
+        }
+    }
+
+    /// A handle that records nothing (the default at every call site).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Does this handle record into a registry?
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `delta` to the counter `(name, label)`.
+    pub fn add(&self, name: &'static str, label: impl Display, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut reg = inner.borrow_mut();
+        let slot = reg.metrics.entry((name, label.to_string())).or_insert(MetricValue::Counter(0));
+        if let MetricValue::Counter(v) = slot {
+            *v += delta;
+        } else {
+            debug_assert!(false, "metric {name} recorded with mixed kinds");
+        }
+    }
+
+    /// Increment the counter `(name, label)` by one.
+    pub fn incr(&self, name: &'static str, label: impl Display) {
+        self.add(name, label, 1);
+    }
+
+    /// Set the gauge `(name, label)` to `value`. Non-finite samples are
+    /// dropped (they would poison the deterministic export).
+    pub fn gauge(&self, name: &'static str, label: impl Display, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        if !value.is_finite() {
+            debug_assert!(false, "gauge {name} sampled with a non-finite value");
+            return;
+        }
+        let mut reg = inner.borrow_mut();
+        reg.metrics.insert((name, label.to_string()), MetricValue::Gauge(value));
+    }
+
+    /// Record `value` into the fixed-bucket histogram `(name, label)`.
+    ///
+    /// `bounds` must be a static, strictly increasing slice of inclusive
+    /// upper bounds; the same metric name must always be recorded with the
+    /// same bounds (see [`keys`] for the shipped bound sets).
+    pub fn observe(
+        &self,
+        name: &'static str,
+        label: impl Display,
+        value: u64,
+        bounds: &'static [u64],
+    ) {
+        let Some(inner) = &self.inner else { return };
+        let mut reg = inner.borrow_mut();
+        let slot = reg.metrics.entry((name, label.to_string())).or_insert_with(|| {
+            MetricValue::Histogram { bounds, counts: vec![0; bounds.len() + 1], total: 0, sum: 0 }
+        });
+        if let MetricValue::Histogram { bounds, counts, total, sum } = slot {
+            let idx = bounds.partition_point(|&b| b < value);
+            counts[idx] += 1;
+            *total += 1;
+            *sum += value;
+        } else {
+            debug_assert!(false, "metric {name} recorded with mixed kinds");
+        }
+    }
+
+    /// Append a structured event to the bounded ring (drop-oldest).
+    pub fn event(&self, at: SimTime, kind: &'static str, detail: impl Display) {
+        let Some(inner) = &self.inner else { return };
+        inner.borrow_mut().push_event(Event { at, kind, detail: detail.to_string() });
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (used by experiment drivers to summarize a run).
+    // ------------------------------------------------------------------
+
+    /// Value of the counter `(name, label)`; 0 when absent or disabled.
+    #[must_use]
+    pub fn counter(&self, name: &'static str, label: impl Display) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let reg = inner.borrow();
+        match reg.metrics.get(&(name, label.to_string())) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Sum of the counter `name` across all labels.
+    #[must_use]
+    pub fn counter_total(&self, name: &'static str) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let reg = inner.borrow();
+        reg.metrics
+            .iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|(_, m)| match m {
+                MetricValue::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Last value of the gauge `(name, label)`.
+    #[must_use]
+    pub fn gauge_value(&self, name: &'static str, label: impl Display) -> Option<f64> {
+        let inner = self.inner.as_ref()?;
+        let reg = inner.borrow();
+        match reg.metrics.get(&(name, label.to_string())) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of the histogram `(name, label)`.
+    #[must_use]
+    pub fn histogram(&self, name: &'static str, label: impl Display) -> Option<HistogramSnapshot> {
+        let inner = self.inner.as_ref()?;
+        let reg = inner.borrow();
+        match reg.metrics.get(&(name, label.to_string())) {
+            Some(MetricValue::Histogram { bounds, counts, total, sum }) => {
+                Some(HistogramSnapshot { bounds, counts: counts.clone(), total: *total, sum: *sum })
+            }
+            _ => None,
+        }
+    }
+
+    /// `(sample count, sample sum)` of the histogram `name` across all
+    /// labels.
+    #[must_use]
+    pub fn histogram_total(&self, name: &'static str) -> (u64, u64) {
+        let Some(inner) = &self.inner else { return (0, 0) };
+        let reg = inner.borrow();
+        reg.metrics.iter().filter(|((n, _), _)| *n == name).fold((0, 0), |(c, s), (_, m)| match m {
+            MetricValue::Histogram { total, sum, .. } => (c + total, s + sum),
+            _ => (c, s),
+        })
+    }
+
+    /// All recorded events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => inner.borrow().events.iter().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Serialize the registry as stable machine-readable JSON.
+    ///
+    /// The writer is deterministic by construction: metrics are emitted in
+    /// `BTreeMap` order of `(name, label)`, events in ring (arrival) order,
+    /// all integers in decimal and gauges through Rust's shortest-roundtrip
+    /// `f64` formatter. Two runs that record the same sequence produce
+    /// byte-identical strings. A disabled handle exports `"{}"`.
+    #[must_use]
+    pub fn export_json(&self) -> String {
+        let Some(inner) = &self.inner else { return "{}".to_string() };
+        let reg = inner.borrow();
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = write!(out, "  \"conference\": {},\n  \"metrics\": [", json_str(&reg.conference));
+        let mut first = true;
+        for ((name, label), metric) in &reg.metrics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    {{\"name\": {}, \"label\": {}, ",
+                json_str(name),
+                json_str(label)
+            );
+            match metric {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "\"type\": \"counter\", \"value\": {v}}}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "\"type\": \"gauge\", \"value\": {v}}}");
+                }
+                MetricValue::Histogram { bounds, counts, total, sum } => {
+                    let _ = write!(
+                        out,
+                        "\"type\": \"histogram\", \"count\": {total}, \"sum\": {sum}, \"buckets\": ["
+                    );
+                    for (i, n) in counts.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        match bounds.get(i) {
+                            Some(le) => {
+                                let _ = write!(out, "{{\"le\": {le}, \"n\": {n}}}");
+                            }
+                            None => {
+                                let _ = write!(out, "{{\"le\": \"inf\", \"n\": {n}}}");
+                            }
+                        }
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"events\": {{\"capacity\": {}, \"dropped\": {}, \"entries\": [",
+            reg.event_capacity, reg.events_dropped
+        );
+        let mut first = true;
+        for ev in &reg.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    {{\"t_us\": {}, \"kind\": {}, \"detail\": {}}}",
+                ev.at.as_micros(),
+                json_str(ev.kind),
+                json_str(&ev.detail)
+            );
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("]}\n}\n");
+        out
+    }
+}
+
+/// Quote and escape a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.kind, self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        t.incr("x", 1);
+        t.gauge("g", "", 3.5);
+        t.observe("h", "", 10, &[1, 100]);
+        t.event(SimTime::ZERO, "e", "detail");
+        assert!(!t.enabled());
+        assert_eq!(t.counter("x", 1), 0);
+        assert_eq!(t.export_json(), "{}");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let t = Telemetry::new("conf");
+        t.incr("c", "a");
+        t.add("c", "a", 4);
+        t.incr("c", "b");
+        assert_eq!(t.counter("c", "a"), 5);
+        assert_eq!(t.counter("c", "b"), 1);
+        assert_eq!(t.counter_total("c"), 6);
+
+        t.gauge("g", "", 1.0);
+        t.gauge("g", "", 2.5);
+        assert_eq!(t.gauge_value("g", ""), Some(2.5));
+
+        const BOUNDS: &[u64] = &[10, 100];
+        t.observe("h", "", 5, BOUNDS);
+        t.observe("h", "", 10, BOUNDS); // inclusive upper bound
+        t.observe("h", "", 50, BOUNDS);
+        t.observe("h", "", 1000, BOUNDS); // overflow bucket
+        let snap = t.histogram("h", "").unwrap();
+        assert_eq!(snap.counts, vec![2, 1, 1]);
+        assert_eq!(snap.total, 4);
+        assert_eq!(snap.sum, 1065);
+        assert_eq!(t.histogram_total("h"), (4, 1065));
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let t = Telemetry::new("conf");
+        let u = t.clone();
+        t.incr("c", "");
+        u.incr("c", "");
+        assert_eq!(t.counter("c", ""), 2);
+    }
+
+    #[test]
+    fn event_ring_drops_oldest() {
+        let t = Telemetry::with_event_capacity("conf", 2);
+        t.event(SimTime::from_millis(1), "a", "");
+        t.event(SimTime::from_millis(2), "b", "");
+        t.event(SimTime::from_millis(3), "c", "");
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, "b");
+        assert_eq!(evs[1].kind, "c");
+        assert!(t.export_json().contains("\"dropped\": 1"));
+    }
+
+    #[test]
+    fn identical_recordings_export_byte_identical_json() {
+        let record = || {
+            let t = Telemetry::new("conf-0");
+            t.incr("gtmb.sent", 7);
+            t.add("net.link.delivered_bytes", "n1->n2", 1500);
+            t.gauge("bwe.estimate_bps", "up:3", 2_500_000.0);
+            t.observe("ctrl.solve.iterations", "", 3, &[1, 2, 4, 8]);
+            t.event(SimTime::from_millis(200), "fallback", "client 7");
+            t.export_json()
+        };
+        let a = record();
+        let b = record();
+        assert_eq!(a, b, "same recording sequence must serialize identically");
+        assert!(a.contains("\"conference\": \"conf-0\""));
+    }
+
+    #[test]
+    fn export_is_sorted_by_name_then_label() {
+        let t = Telemetry::new("conf");
+        t.incr("z.metric", "b");
+        t.incr("a.metric", "z");
+        t.incr("z.metric", "a");
+        let json = t.export_json();
+        let a = json.find("a.metric").unwrap();
+        let za = json.find("\"name\": \"z.metric\", \"label\": \"a\"").unwrap();
+        let zb = json.find("\"name\": \"z.metric\", \"label\": \"b\"").unwrap();
+        assert!(a < za && za < zb);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let t = Telemetry::new("c\"onf\\");
+        t.event(SimTime::ZERO, "kind", "line\nbreak\ttab");
+        let json = t.export_json();
+        assert!(json.contains("\"c\\\"onf\\\\\""));
+        assert!(json.contains("line\\nbreak\\ttab"));
+    }
+}

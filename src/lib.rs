@@ -18,6 +18,8 @@
 //! * [`control`] — conference node, GSO controller, feedback execution.
 //! * [`sim`] — the full-system harness and the per-figure experiment
 //!   drivers.
+//! * [`telemetry`] — deterministic per-conference metrics/event registry
+//!   with stable JSON export.
 //! * [`util`] — simulated time, bitrates, deterministic RNG, statistics.
 //!
 //! See `examples/quickstart.rs` for a three-line tour, and the
@@ -33,4 +35,5 @@ pub use gso_net as net;
 pub use gso_rtp as rtp;
 pub use gso_sfu as sfu;
 pub use gso_sim as sim;
+pub use gso_telemetry as telemetry;
 pub use gso_util as util;

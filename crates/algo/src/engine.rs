@@ -292,6 +292,7 @@ impl SolveEngine {
 
         if threads > 1 && n >= self.engine_cfg.parallel_threshold {
             let chunk = n.div_ceil(threads);
+            // detguard: allow(unordered-merge, reason = "workers write disjoint cache shards; results are merged below on the calling thread in ascending client order, bit-identical to the sequential path (verified by engine_equivalence and merge_model tests)")
             std::thread::scope(|s| {
                 for shard in self.caches.chunks_mut(chunk) {
                     s.spawn(move || {

@@ -44,6 +44,8 @@
 //! * [`solver`] — the iterative Knapsack–Merge–Reduction algorithm.
 //! * [`brute`] — exact exponential-time baseline (Fig. 6a/6b comparison).
 //! * [`solution`] — solution representation and full constraint validation.
+//! * [`digest`] — stable [`gso_detguard::StateDigest`] fingerprints for
+//!   solutions, traces, and engine statistics.
 //! * [`diff`] — minimal reconfiguration between consecutive solutions.
 //! * [`qoe`] — QoE utility curves with small-stream protection (§4.4).
 //! * [`ladders`] — the paper's Table-1 ladder, fine 15-level and coarse
@@ -51,6 +53,7 @@
 
 pub mod brute;
 pub mod diff;
+pub mod digest;
 pub mod engine;
 pub mod ladders;
 pub mod mckp;

@@ -1,0 +1,152 @@
+//! Unit model of the sharded Step-1 in-order merge, plus digest-equivalence
+//! checks for the sharded engine at 1/2/8 threads.
+//!
+//! The `model_*` tests replicate the exact concurrency shape of
+//! `SolveEngine::knapsack_step` — `std::thread::scope` workers writing
+//! disjoint `chunks_mut` shards, the calling thread merging afterwards in
+//! ascending index order — on a small, pure computation. They run in
+//! seconds under Miri (`cargo miri test -p gso-algo --test merge_model
+//! model_`), which checks the pattern for undefined behaviour and data
+//! races; the `engine_*` tests then tie the model back to the real engine by
+//! asserting digest-identical solutions and traces across thread counts.
+
+use gso_algo::{
+    ladders, solver, ClientSpec, EngineConfig, Problem, Resolution, SolveEngine, SolverConfig,
+    SourceId, Subscription,
+};
+use gso_detguard::StateDigest;
+use gso_util::{Bitrate, ClientId};
+
+/// The computation each "subscriber" shard performs in the model: something
+/// order-sensitive enough that a wrong merge order or a torn write would
+/// change the result.
+fn work(id: u64) -> u64 {
+    let mut acc = id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for i in 0..32 {
+        acc = acc.rotate_left(7) ^ (id.wrapping_add(i));
+    }
+    acc
+}
+
+/// Sequential reference: process every entry in index order.
+fn sequential(ids: &[u64]) -> Vec<u64> {
+    ids.iter().map(|&id| work(id)).collect()
+}
+
+/// The engine's pattern: shard `entries` across scoped threads with
+/// `chunks_mut`, each worker filling only its shard, then merge on the
+/// calling thread in index order.
+fn sharded(ids: &[u64], threads: usize) -> Vec<u64> {
+    let mut out: Vec<Option<u64>> = vec![None; ids.len()];
+    let chunk = ids.len().div_ceil(threads.max(1)).max(1);
+    std::thread::scope(|s| {
+        for (in_shard, out_shard) in ids.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (id, slot) in in_shard.iter().zip(out_shard.iter_mut()) {
+                    *slot = Some(work(*id));
+                }
+            });
+        }
+    });
+    // In-order merge on the calling thread: identical to the sequential
+    // iteration order regardless of worker completion order.
+    out.into_iter().map(|v| v.expect("every slot filled exactly once")).collect()
+}
+
+#[test]
+fn model_sharded_merge_matches_sequential() {
+    let ids: Vec<u64> = (0..37).map(|i| i * 3 + 1).collect();
+    let expect = sequential(&ids);
+    for threads in [1, 2, 3, 8] {
+        assert_eq!(sharded(&ids, threads), expect, "threads = {threads}");
+    }
+}
+
+#[test]
+fn model_uneven_shards_cover_all_entries() {
+    // 10 entries across 8 threads: chunks of 2, last shards short/empty.
+    let ids: Vec<u64> = (100..110).collect();
+    assert_eq!(sharded(&ids, 8), sequential(&ids));
+}
+
+#[test]
+fn model_single_entry_and_empty() {
+    assert_eq!(sharded(&[42], 8), sequential(&[42]));
+    assert_eq!(sharded(&[], 4), Vec::<u64>::new());
+}
+
+// ---------------------------------------------------------------------------
+// Engine digest equivalence across thread counts (not run under Miri; the
+// CI Miri job filters to `model_`).
+// ---------------------------------------------------------------------------
+
+fn mesh_problem(n: u32) -> Problem {
+    let ladder = ladders::paper_table1();
+    let clients: Vec<ClientSpec> = (1..=n)
+        .map(|i| {
+            ClientSpec::new(
+                ClientId(i),
+                Bitrate::from_kbps(2_000 + u64::from(i) * 97),
+                Bitrate::from_kbps(1_200 + u64::from(i) * 131),
+                ladder.clone(),
+            )
+        })
+        .collect();
+    let mut subs = Vec::new();
+    for a in 1..=n {
+        for b in 1..=n {
+            if a != b {
+                let cap = if (a + b) % 3 == 0 { Resolution::R360 } else { Resolution::R720 };
+                subs.push(Subscription::new(ClientId(a), SourceId::video(ClientId(b)), cap));
+            }
+        }
+    }
+    Problem::new(clients, subs).unwrap()
+}
+
+#[test]
+fn engine_digest_identical_across_1_2_8_threads() {
+    let problem = mesh_problem(9);
+    let cfg = SolverConfig::default();
+    let (ref_solution, ref_trace) = solver::solve_traced(&problem, &cfg);
+    let (ref_sol_digest, ref_trace_digest) =
+        (ref_solution.state_digest(), ref_trace.state_digest());
+
+    for threads in [1usize, 2, 8] {
+        // parallel_threshold 1 forces the sharded path even on 9 clients.
+        let mut engine = SolveEngine::with_engine_config(
+            cfg.clone(),
+            EngineConfig { threads, parallel_threshold: 1 },
+        );
+        // Cold solve, then warm re-solve: both must match the sequential
+        // solver bit-for-bit.
+        for pass in 0..2 {
+            let (sol, trace) = engine.solve_traced(&problem);
+            assert_eq!(
+                sol.state_digest(),
+                ref_sol_digest,
+                "solution digest, threads={threads} pass={pass}"
+            );
+            assert_eq!(
+                trace.state_digest(),
+                ref_trace_digest,
+                "trace digest, threads={threads} pass={pass}"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_digest_stable_across_repeated_construction() {
+    let problem = mesh_problem(6);
+    let cfg = SolverConfig::default();
+    let digest = |threads: usize| {
+        let mut engine = SolveEngine::with_engine_config(
+            cfg.clone(),
+            EngineConfig { threads, parallel_threshold: 1 },
+        );
+        engine.solve(&problem).state_digest()
+    };
+    assert_eq!(digest(2), digest(2));
+    assert_eq!(digest(2), digest(8));
+}

@@ -14,15 +14,93 @@
 //! but the only stdout is the `gso-telemetry` JSON export of per-scenario
 //! solver work. CI runs this twice and diffs the outputs to enforce the
 //! determinism guarantee.
+//!
+//! `--digest` switches to divergence-detection mode: every scenario is
+//! solved twice — sequential solver plus sharded engines at 1, 2, and
+//! 8 threads — and the per-scenario `StateDigest` traces of both passes are
+//! compared with `first_divergence`. Any nondeterminism (across runs, or
+//! between the sequential solver and any sharded engine) bisects to the
+//! first divergent scenario and fails the gate.
 
 use gso_algo::solver::{self, SolverConfig};
-use gso_algo::SolveEngine;
+use gso_algo::{EngineConfig, SolveEngine};
 use gso_audit::{report, scenarios, SolutionAuditor};
+use gso_detguard::{first_divergence, DigestEntry, DigestTrace, StateDigest};
 use gso_telemetry::{keys, Telemetry};
 use std::process::ExitCode;
 
+const DIGEST_THREADS: [usize; 3] = [1, 2, 8];
+
+/// One full pass over every scenario: for each, digest the sequential
+/// solver's solution+trace and each sharded engine's solution+trace.
+/// Engines force `parallel_threshold: 1` so even two-client scenarios
+/// exercise the sharded Step-1 merge.
+fn digest_pass(cfg: &SolverConfig) -> (DigestTrace, bool) {
+    let mut engines: Vec<SolveEngine> = DIGEST_THREADS
+        .iter()
+        .map(|&threads| {
+            SolveEngine::with_engine_config(
+                cfg.clone(),
+                EngineConfig { threads, parallel_threshold: 1 },
+            )
+        })
+        .collect();
+    let mut trace = DigestTrace::new();
+    let mut engines_match = true;
+    for (i, scenario) in scenarios::all().into_iter().enumerate() {
+        let (solution, solve_trace) = solver::solve_traced(&scenario.problem, cfg);
+        let solution_digest = solution.state_digest();
+        let trace_digest = solve_trace.state_digest();
+        let mut components = vec![
+            ("solver.solution".to_string(), solution_digest),
+            ("solver.trace".to_string(), trace_digest),
+        ];
+        for (engine, &threads) in engines.iter_mut().zip(&DIGEST_THREADS) {
+            let (es, et) = engine.solve_traced(&scenario.problem);
+            let es_digest = es.state_digest();
+            let et_digest = et.state_digest();
+            if es_digest != solution_digest || et_digest != trace_digest {
+                engines_match = false;
+                eprintln!(
+                    "FAIL {:<18} engine({threads} threads) digest diverges from sequential solver",
+                    scenario.name
+                );
+            }
+            components.push((format!("engine{threads}.solution"), es_digest));
+            components.push((format!("engine{threads}.trace"), et_digest));
+        }
+        trace.record(DigestEntry::new(
+            i as u64,
+            components,
+            format!("scenario {} qoe {:.3}", scenario.name, solution.total_qoe),
+        ));
+    }
+    (trace, engines_match)
+}
+
+fn digest_mode(cfg: &SolverConfig) -> ExitCode {
+    let (a, ok_a) = digest_pass(cfg);
+    let (b, ok_b) = digest_pass(cfg);
+    if let Some(d) = first_divergence(&a, &b) {
+        eprintln!("digest FAILED: double-run divergence\n{}", d.report());
+        return ExitCode::FAILURE;
+    }
+    if !(ok_a && ok_b) {
+        eprintln!("digest FAILED: sharded engine diverged from the sequential solver");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "digest clean: {} scenarios x2 runs, solver + engines at {DIGEST_THREADS:?} threads all identical",
+        a.entries.len()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let metrics_mode = std::env::args().any(|a| a == "--metrics");
+    if std::env::args().any(|a| a == "--digest") {
+        return digest_mode(&SolverConfig::default());
+    }
     let telemetry =
         if metrics_mode { Telemetry::new("audit-replay") } else { Telemetry::disabled() };
     let auditor = SolutionAuditor::new();

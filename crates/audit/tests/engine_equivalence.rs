@@ -17,6 +17,7 @@ use gso_algo::{
     SolverConfig, SourceId, Subscription,
 };
 use gso_audit::{report, SolutionAuditor};
+use gso_detguard::StateDigest;
 use gso_util::{Bitrate, ClientId};
 use proptest::prelude::*;
 
@@ -127,6 +128,17 @@ fn check(
         got_trace == want_trace,
         "{label}: trace diverged\n engine: {got_trace:?}\n solver: {want_trace:?}"
     );
+    // Structural equality must also survive the digest projection: the
+    // stable hash is what the audit binary and the double-run comparator
+    // compare, so it must agree wherever `==` does.
+    prop_assert!(
+        got_sol.state_digest() == want_sol.state_digest(),
+        "{label}: solution digest diverged despite structural equality"
+    );
+    prop_assert!(
+        got_trace.state_digest() == want_trace.state_digest(),
+        "{label}: trace digest diverged despite structural equality"
+    );
     let findings = SolutionAuditor::new().audit_traced(problem, &got_sol, &got_trace);
     prop_assert!(findings.is_empty(), "{}: auditor findings:\n{}", label, report(&findings));
     Ok(())
@@ -166,5 +178,31 @@ proptest! {
         check(&mut engine, &problem, &cfg, "parallel cold")?;
         let shrunk = bandwidth_variant(&problem);
         check(&mut engine, &shrunk, &cfg, "parallel warm")?;
+    }
+
+    /// The sharded cold path is digest-identical at every thread count: the
+    /// shard partition must be invisible in the output bits.
+    #[test]
+    fn sharded_cold_path_digest_identical_across_thread_counts(problem in arb_problem()) {
+        let cfg = SolverConfig::default();
+        let (ref_sol, ref_trace) = solver::solve_traced(&problem, &cfg);
+        let (ref_sol_digest, ref_trace_digest) =
+            (ref_sol.state_digest(), ref_trace.state_digest());
+        for threads in [1usize, 2, 8] {
+            let mut engine = SolveEngine::with_engine_config(
+                cfg.clone(),
+                // threshold 0 so even the smallest instance shards.
+                EngineConfig { threads, parallel_threshold: 0 },
+            );
+            let (sol, trace) = engine.solve_traced(&problem);
+            prop_assert!(
+                sol.state_digest() == ref_sol_digest,
+                "{threads} threads: solution digest diverged from sequential solver"
+            );
+            prop_assert!(
+                trace.state_digest() == ref_trace_digest,
+                "{threads} threads: trace digest diverged from sequential solver"
+            );
+        }
     }
 }

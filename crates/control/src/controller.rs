@@ -323,6 +323,21 @@ impl GsoController {
         self.engine.stats()
     }
 
+    /// Stable digest of the controller's decision-relevant state: the
+    /// global picture, fallback mode, the last committed solution, and the
+    /// engine's cumulative work counters. Two controller replicas fed the
+    /// same event sequence must digest identically at every tick; the
+    /// divergence recorder in `gso-sim` samples this per orchestration tick.
+    pub fn state_digest(&self) -> u64 {
+        use gso_detguard::{StableHasher, StateDigest};
+        let mut h = StableHasher::new();
+        self.picture.digest(&mut h);
+        self.fallback_mode.digest(&mut h);
+        self.last_solution.digest(&mut h);
+        self.engine.stats().digest(&mut h);
+        h.finish()
+    }
+
     /// The most recent solution, if any.
     pub fn last_solution(&self) -> Option<&Solution> {
         self.last_solution.as_ref()

@@ -11,6 +11,7 @@
 use gso_algo::{
     ClientSpec, Ladder, Problem, ProblemError, PublisherSource, Resolution, SourceId, Subscription,
 };
+use gso_detguard::{StableHasher, StateDigest};
 use gso_util::{Bitrate, ClientId, SimTime, StreamKind};
 use std::collections::BTreeMap;
 
@@ -60,6 +61,43 @@ pub struct GlobalPicture {
     /// keeps the link saturated and the estimator oscillating, while a
     /// modest margin yields a stable fit just under the limit.
     pub allocation_headroom: f64,
+}
+
+impl StateDigest for SubscribeIntent {
+    fn digest(&self, h: &mut StableHasher) {
+        self.source.digest(h);
+        self.max_resolution.digest(h);
+        h.write_u8(self.tag);
+    }
+}
+
+impl StateDigest for CodecCapability {
+    fn digest(&self, h: &mut StableHasher) {
+        self.ladders.digest(h);
+    }
+}
+
+impl StateDigest for ClientState {
+    fn digest(&self, h: &mut StableHasher) {
+        self.caps.digest(h);
+        self.uplink.digest(h);
+        self.downlink.digest(h);
+        self.last_uplink_report.digest(h);
+        self.last_downlink_report.digest(h);
+        self.intents.digest(h);
+    }
+}
+
+impl StateDigest for GlobalPicture {
+    fn digest(&self, h: &mut StableHasher) {
+        self.clients.digest(h);
+        self.speaker.digest(h);
+        self.default_bandwidth.digest(h);
+        h.write_f64(self.speaker_boost);
+        h.write_f64(self.screen_boost);
+        self.audio_protection.digest(h);
+        h.write_f64(self.allocation_headroom);
+    }
 }
 
 impl GlobalPicture {

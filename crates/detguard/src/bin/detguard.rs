@@ -1,0 +1,93 @@
+//! `detguard` — nondeterminism lint CLI.
+//!
+//! Scans the hot-path crates' sources for nondeterminism hazards and exits
+//! nonzero on any unallowlisted finding or malformed/unused pragma, so CI
+//! can gate on it directly.
+//!
+//! ```text
+//! detguard [--root <workspace-root>] [--json]
+//! ```
+//!
+//! `--root` defaults to the current directory; `--json` prints the
+//! machine-readable report instead of the human summary.
+
+use gso_detguard::lint;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(v) = args.next() else {
+                    eprintln!("detguard: --root requires a path");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(v);
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: detguard [--root <workspace-root>] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("detguard: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detguard: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        println!(
+            "detguard: scanned {} files across hot-path crates {:?}",
+            report.files_scanned,
+            lint::HOT_PATH_CRATES
+        );
+        for f in &report.findings {
+            if f.allowed {
+                println!(
+                    "  allowed  {}:{} [{}] {} — reason: {}",
+                    f.file,
+                    f.line,
+                    f.rule,
+                    f.trigger,
+                    f.reason.as_deref().unwrap_or("<none>")
+                );
+            }
+        }
+        for f in report.unallowed() {
+            println!(
+                "  VIOLATION {}:{} [{}] {}\n    {}",
+                f.file, f.line, f.rule, f.trigger, f.snippet
+            );
+        }
+        for e in &report.pragma_errors {
+            println!("  VIOLATION {}:{} [pragma] {}", e.file, e.line, e.message);
+        }
+        println!(
+            "detguard: {} finding(s), {} allowed, {} violation(s)",
+            report.findings.len(),
+            report.findings.iter().filter(|f| f.allowed).count(),
+            report.violation_count()
+        );
+    }
+
+    if report.violation_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -124,6 +124,17 @@ pub struct LinkStats {
     pub peak_queued_bytes: u64,
 }
 
+impl gso_detguard::StateDigest for LinkStats {
+    fn digest(&self, h: &mut gso_detguard::StableHasher) {
+        h.write_u64(self.enqueued);
+        h.write_u64(self.dropped_queue);
+        h.write_u64(self.dropped_loss);
+        h.write_u64(self.delivered_bytes);
+        h.write_u64(self.delivered);
+        h.write_u64(self.peak_queued_bytes);
+    }
+}
+
 /// Runtime state of one directed link.
 #[derive(Debug)]
 pub struct Link {

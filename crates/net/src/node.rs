@@ -21,6 +21,12 @@ impl fmt::Display for NodeId {
     }
 }
 
+impl gso_detguard::StateDigest for NodeId {
+    fn digest(&self, h: &mut gso_detguard::StableHasher) {
+        h.write_u64(u64::from(self.0));
+    }
+}
+
 /// Per-packet UDP/IPv4 overhead in bytes, added to every payload when
 /// computing link occupancy.
 pub const UDP_IP_OVERHEAD: usize = 28;

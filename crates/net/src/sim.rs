@@ -8,9 +8,10 @@
 
 use crate::link::{Link, LinkConfig, LinkStats, Transmit};
 use crate::node::{Actions, Node, NodeId, Packet};
+use gso_detguard::{StableHasher, StateDigest};
 use gso_util::{DetRng, SimTime};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 enum EventKind {
     Deliver { from: NodeId, to: NodeId, packet: Packet },
@@ -27,9 +28,12 @@ pub struct Simulator {
     seed: u64,
     next_seq: u64,
     queue: BinaryHeap<Reverse<(SimTime, u64)>>,
-    events: HashMap<u64, Event>,
+    // Both maps are BTreeMaps on principle (detguard rule `hash-collection`):
+    // `events` is only ever keyed-removed, but a hash map here would invite
+    // order-sensitive iteration later; `links` *is* iterated for exports.
+    events: BTreeMap<u64, Event>,
     nodes: Vec<Option<Box<dyn Node>>>,
-    links: HashMap<(NodeId, NodeId), Link>,
+    links: BTreeMap<(NodeId, NodeId), Link>,
     /// Packets whose destination had no link/node; counted, not fatal.
     pub undeliverable: u64,
 }
@@ -43,9 +47,9 @@ impl Simulator {
             seed,
             next_seq: 0,
             queue: BinaryHeap::new(),
-            events: HashMap::new(),
+            events: BTreeMap::new(),
             nodes: Vec::new(),
-            links: HashMap::new(),
+            links: BTreeMap::new(),
             undeliverable: 0,
         }
     }
@@ -84,14 +88,10 @@ impl Simulator {
         self.links.get(&(from, to)).map(|l| l.stats)
     }
 
-    /// Statistics of every link, sorted by `(from, to)` so iteration order
-    /// is deterministic (the backing map is a `HashMap`; its order must
-    /// never leak into metric exports).
+    /// Statistics of every link, in `(from, to)` order. The backing map is a
+    /// `BTreeMap`, so iteration order is deterministic by construction.
     pub fn all_link_stats(&self) -> Vec<((NodeId, NodeId), LinkStats)> {
-        let mut all: Vec<((NodeId, NodeId), LinkStats)> =
-            self.links.iter().map(|(&k, l)| (k, l.stats)).collect();
-        all.sort_unstable_by_key(|&((from, to), _)| (from, to));
-        all
+        self.links.iter().map(|(&k, l)| (k, l.stats)).collect()
     }
 
     /// Schedule a timer for a node from outside (e.g. to bootstrap it).
@@ -201,6 +201,29 @@ impl Simulator {
         for (at, token) in out.timers {
             self.push_event(at.max(now), EventKind::Timer { node: source, token });
         }
+    }
+
+    /// Stable digest of the simulator's observable state: the clock, the
+    /// event-sequence counter, the undeliverable count, the pending event
+    /// queue (as `(time, seq)` pairs in queue order), and every link's
+    /// accumulated statistics. Two runs whose digests match at every tick
+    /// processed the same events in the same order with the same outcomes.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = StableHasher::new();
+        self.now.digest(&mut h);
+        h.write_u64(self.next_seq);
+        h.write_u64(self.undeliverable);
+        // BinaryHeap iteration order is unspecified; sort the snapshot.
+        let mut pending: Vec<(SimTime, u64)> = self.queue.iter().map(|&Reverse(p)| p).collect();
+        pending.sort_unstable();
+        pending.digest(&mut h);
+        h.write_len(self.links.len());
+        for (&(from, to), link) in &self.links {
+            from.digest(&mut h);
+            to.digest(&mut h);
+            link.stats.digest(&mut h);
+        }
+        h.finish()
     }
 
     fn route(&mut self, now: SimTime, from: NodeId, to: NodeId, packet: Packet) {
@@ -335,6 +358,27 @@ mod tests {
         let b = sim.add_node(Box::new(Echo::new()));
         sim.inject(a, b, Packet::new(Bytes::new()));
         assert_eq!(sim.undeliverable, 1);
+    }
+
+    #[test]
+    fn state_digest_replays_and_detects_divergence() {
+        let run = |extra_inject: bool| {
+            let mut sim = Simulator::new(7);
+            let echo = sim.add_node(Box::new(Echo::new()));
+            let pinger =
+                sim.add_node(Box::new(Pinger { peer: echo, remaining: 10, echoes: vec![] }));
+            duplex(&mut sim, pinger, echo);
+            sim.schedule_timer(pinger, SimTime::ZERO, 0);
+            sim.run_until(SimTime::from_millis(500));
+            if extra_inject {
+                // Packet to an unlinked destination bumps `undeliverable`.
+                sim.inject(echo, NodeId(99), Packet::new(Bytes::new()));
+            }
+            sim.run_until(SimTime::from_secs(1));
+            sim.state_digest()
+        };
+        assert_eq!(run(false), run(false), "same run must digest identically");
+        assert_ne!(run(false), run(true), "a diverging run must digest differently");
     }
 
     #[test]

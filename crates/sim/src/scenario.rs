@@ -86,6 +86,79 @@ impl Scenario {
 
     /// Wire and run the scenario; returns collected metrics.
     pub fn run(&self) -> ScenarioResult {
+        let mut wired = self.build();
+        let end = SimTime::ZERO + self.duration;
+        wired.sim.run_until(end);
+        self.harvest(wired, end)
+    }
+
+    /// Wire and run the scenario while recording a per-tick
+    /// [`gso_detguard::DigestTrace`] over the network simulator, the GSO
+    /// controller, and the telemetry registry.
+    ///
+    /// The simulator is stepped in controller-tick-sized intervals; this
+    /// processes the exact same event sequence as one [`Scenario::run`] call
+    /// (events at a deadline boundary are handled identically), so the
+    /// harvested [`ScenarioResult`] is bit-identical to a plain run.
+    ///
+    /// `fault_at`: when set, a junk packet is injected toward an unlinked
+    /// node at the first tick boundary at or after the given time. The
+    /// packet is unroutable, so it perturbs nothing the media plane sees —
+    /// only the simulator's `undeliverable` counter — which makes it a
+    /// minimal seeded divergence for exercising the double-run comparator.
+    #[cfg(feature = "digest")]
+    pub fn run_digest(
+        &self,
+        fault_at: Option<SimTime>,
+    ) -> (ScenarioResult, gso_detguard::DigestTrace) {
+        use gso_detguard::{DigestEntry, DigestTrace};
+
+        let mut wired = self.build();
+        let end = SimTime::ZERO + self.duration;
+        let tick_interval = SimDuration::from_millis(100);
+        let mut trace = DigestTrace::new();
+        let mut fault_pending = fault_at;
+        let mut t = SimTime::ZERO;
+        while t < end {
+            let next = (t + tick_interval).min(end);
+            if let Some(at) = fault_pending {
+                if t >= at {
+                    // No link exists toward this node id, so the injection
+                    // bumps `undeliverable` and nothing else.
+                    wired.sim.inject(
+                        wired.cn,
+                        NodeId(u32::MAX),
+                        gso_net::Packet::new(bytes::Bytes::from_static(b"detguard-fault")),
+                    );
+                    fault_pending = None;
+                }
+            }
+            wired.sim.run_until(next);
+            t = next;
+            let net = wired.sim.state_digest();
+            let ctrl = wired
+                .sim
+                .node::<ConferenceNode>(wired.cn)
+                .map_or(0, |c| c.controller.state_digest());
+            let telemetry = wired.telemetry.export_digest();
+            trace.record(DigestEntry::new(
+                t.as_micros(),
+                vec![
+                    ("net.sim".to_string(), net),
+                    ("ctrl".to_string(), ctrl),
+                    ("telemetry".to_string(), telemetry),
+                ],
+                format!(
+                    "t={}us net={net:#018x} ctrl={ctrl:#018x} telemetry={telemetry:#018x}",
+                    t.as_micros()
+                ),
+            ));
+        }
+        (self.harvest(wired, end), trace)
+    }
+
+    /// Build the full system onto a fresh simulator without running it.
+    fn build(&self) -> WiredConference {
         let mut sim = Simulator::new(self.seed);
         let telemetry = Telemetry::new(format!("{}-seed{}", self.mode.short_name(), self.seed));
 
@@ -178,9 +251,12 @@ impl Scenario {
             sim.schedule_timer(cn, at, token);
         }
 
-        let end = SimTime::ZERO + self.duration;
-        sim.run_until(end);
+        WiredConference { sim, telemetry, cn, endpoints }
+    }
 
+    /// Harvest metrics from a wired conference that has been run to `end`.
+    fn harvest(&self, wired: WiredConference, end: SimTime) -> ScenarioResult {
+        let WiredConference { sim, telemetry, cn, endpoints } = wired;
         let mut per_client = BTreeMap::new();
         let mut recv_series = BTreeMap::new();
         let mut send_series = BTreeMap::new();
@@ -225,6 +301,15 @@ impl Scenario {
             metrics_json,
         }
     }
+}
+
+/// A fully wired but not-yet-run conference: the simulator with every node
+/// and link attached, plus the handles harvesting needs afterwards.
+struct WiredConference {
+    sim: Simulator,
+    telemetry: Telemetry,
+    cn: NodeId,
+    endpoints: BTreeMap<ClientId, NodeId>,
 }
 
 /// Everything harvested from one scenario run.

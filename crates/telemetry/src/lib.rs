@@ -57,6 +57,12 @@ enum MetricValue {
 pub struct Event {
     /// Simulation time of the event.
     pub at: SimTime,
+    /// Registry-assigned arrival sequence number. Multiple sources (the
+    /// controller, per-client SFU handles, BWE estimators) can record at the
+    /// same sim-time; `seq` is the deterministic tie-breaker that makes the
+    /// export order `(at, seq)` a total order independent of which source's
+    /// recording call happened to land in the ring first.
+    pub seq: u64,
     /// Static event kind (e.g. `"gtmb_failed"`).
     pub kind: &'static str,
     /// Free-form detail string (client id, value, …).
@@ -85,6 +91,9 @@ struct Registry {
     events: VecDeque<Event>,
     events_dropped: u64,
     event_capacity: usize,
+    /// Next event sequence id; monotone over the registry's lifetime (keeps
+    /// counting across ring evictions).
+    next_event_seq: u64,
 }
 
 impl Registry {
@@ -95,15 +104,29 @@ impl Registry {
             events: VecDeque::new(),
             events_dropped: 0,
             event_capacity,
+            next_event_seq: 0,
         }
     }
 
-    fn push_event(&mut self, event: Event) {
+    fn push_event(&mut self, at: SimTime, kind: &'static str, detail: String) {
+        let seq = self.next_event_seq;
+        self.next_event_seq += 1;
         if self.events.len() == self.event_capacity {
             self.events.pop_front();
             self.events_dropped += 1;
         }
-        self.events.push_back(event);
+        self.events.push_back(Event { at, seq, kind, detail });
+    }
+
+    /// Events in export order: ascending `(at, seq)`. The ring holds arrival
+    /// order, which equals seq order; sorting by time with the seq
+    /// tie-break makes the export order provably stable even when a source
+    /// records an event carrying an earlier timestamp after a later one was
+    /// already ringed.
+    fn ordered_events(&self) -> Vec<Event> {
+        let mut evs: Vec<Event> = self.events.iter().cloned().collect();
+        evs.sort_by_key(|e| (e.at, e.seq));
+        evs
     }
 }
 
@@ -208,10 +231,12 @@ impl Telemetry {
         }
     }
 
-    /// Append a structured event to the bounded ring (drop-oldest).
+    /// Append a structured event to the bounded ring (drop-oldest). The
+    /// registry stamps each event with a monotone sequence id, so events
+    /// recorded at the same sim-time keep a deterministic total order.
     pub fn event(&self, at: SimTime, kind: &'static str, detail: impl Display) {
         let Some(inner) = &self.inner else { return };
-        inner.borrow_mut().push_event(Event { at, kind, detail: detail.to_string() });
+        inner.borrow_mut().push_event(at, kind, detail.to_string());
     }
 
     // ------------------------------------------------------------------
@@ -280,11 +305,12 @@ impl Telemetry {
         })
     }
 
-    /// All recorded events, oldest first.
+    /// All recorded events in export order: ascending sim-time, ties broken
+    /// by the deterministic per-registry sequence id.
     #[must_use]
     pub fn events(&self) -> Vec<Event> {
         match &self.inner {
-            Some(inner) => inner.borrow().events.iter().cloned().collect(),
+            Some(inner) => inner.borrow().ordered_events(),
             None => Vec::new(),
         }
     }
@@ -353,15 +379,16 @@ impl Telemetry {
             reg.event_capacity, reg.events_dropped
         );
         let mut first = true;
-        for ev in &reg.events {
+        for ev in reg.ordered_events() {
             if !first {
                 out.push(',');
             }
             first = false;
             let _ = write!(
                 out,
-                "\n    {{\"t_us\": {}, \"kind\": {}, \"detail\": {}}}",
+                "\n    {{\"t_us\": {}, \"seq\": {}, \"kind\": {}, \"detail\": {}}}",
                 ev.at.as_micros(),
+                ev.seq,
                 json_str(ev.kind),
                 json_str(&ev.detail)
             );
@@ -371,6 +398,52 @@ impl Telemetry {
         }
         out.push_str("]}\n}\n");
         out
+    }
+
+    /// Stable 64-bit digest of the registry's exportable state: the
+    /// conference name, every metric in `(name, label)` order, and the event
+    /// ring in `(at, seq)` export order. Two registries export byte-identical
+    /// JSON iff their digests match, at a fraction of the serialization cost
+    /// — this is what the per-tick divergence recorder hashes.
+    #[must_use]
+    pub fn export_digest(&self) -> u64 {
+        use gso_detguard::{StableHasher, StateDigest};
+        let mut h = StableHasher::new();
+        let Some(inner) = &self.inner else { return h.finish() };
+        let reg = inner.borrow();
+        h.write_str(&reg.conference);
+        h.write_len(reg.metrics.len());
+        for ((name, label), metric) in &reg.metrics {
+            h.write_str(name);
+            h.write_str(label);
+            match metric {
+                MetricValue::Counter(v) => {
+                    h.write_u8(0);
+                    h.write_u64(*v);
+                }
+                MetricValue::Gauge(v) => {
+                    h.write_u8(1);
+                    h.write_f64(*v);
+                }
+                MetricValue::Histogram { bounds, counts, total, sum } => {
+                    h.write_u8(2);
+                    bounds.digest(&mut h);
+                    counts.digest(&mut h);
+                    h.write_u64(*total);
+                    h.write_u64(*sum);
+                }
+            }
+        }
+        h.write_u64(reg.events_dropped);
+        let evs = reg.ordered_events();
+        h.write_len(evs.len());
+        for ev in evs {
+            ev.at.digest(&mut h);
+            h.write_u64(ev.seq);
+            h.write_str(ev.kind);
+            h.write_str(&ev.detail);
+        }
+        h.finish()
     }
 }
 
@@ -494,6 +567,75 @@ mod tests {
         let za = json.find("\"name\": \"z.metric\", \"label\": \"a\"").unwrap();
         let zb = json.find("\"name\": \"z.metric\", \"label\": \"b\"").unwrap();
         assert!(a < za && za < zb);
+    }
+
+    #[test]
+    fn equal_time_events_keep_deterministic_seq_order() {
+        // Simulate two concurrent sources recording at the same sim-time
+        // through separate handle clones: the (at, seq) order must reflect
+        // arrival order, and the export must carry the tie-breaking seq.
+        let t = Telemetry::new("conf");
+        let source_a = t.clone();
+        let source_b = t.clone();
+        let now = SimTime::from_millis(100);
+        source_a.event(now, "bwe_overuse", "client 1");
+        source_b.event(now, "fallback", "client 2");
+        source_a.event(now, "bwe_overuse", "client 3");
+        let evs = t.events();
+        assert_eq!(
+            evs.iter().map(|e| (e.seq, e.kind)).collect::<Vec<_>>(),
+            vec![(0, "bwe_overuse"), (1, "fallback"), (2, "bwe_overuse")]
+        );
+        let json = t.export_json();
+        let a = json.find("\"seq\": 0").unwrap();
+        let b = json.find("\"seq\": 1").unwrap();
+        let c = json.find("\"seq\": 2").unwrap();
+        assert!(a < b && b < c, "export must emit equal-time events in seq order");
+    }
+
+    #[test]
+    fn out_of_order_timestamps_export_in_time_order() {
+        // A source may record an event carrying an earlier sim-time after a
+        // later one is already in the ring (e.g. a summary flushed at tick
+        // end). Export order is (at, seq), not arrival order.
+        let t = Telemetry::new("conf");
+        t.event(SimTime::from_millis(200), "late", "");
+        t.event(SimTime::from_millis(100), "early", "");
+        let evs = t.events();
+        assert_eq!(evs[0].kind, "early");
+        assert_eq!(evs[1].kind, "late");
+        // Digest must agree with the export ordering (replayable).
+        assert_eq!(t.export_digest(), t.export_digest());
+    }
+
+    #[test]
+    fn export_digest_tracks_export_json() {
+        let record = |flip: bool| {
+            let t = Telemetry::new("conf");
+            t.incr("c", "x");
+            t.observe("h", "", 5, &[10, 100]);
+            let (k1, k2) = if flip { ("b", "a") } else { ("a", "b") };
+            t.event(SimTime::from_millis(5), k1, "1");
+            t.event(SimTime::from_millis(5), k2, "2");
+            (t.export_json(), t.export_digest())
+        };
+        let (json1, d1) = record(false);
+        let (json2, d2) = record(false);
+        assert_eq!(json1, json2);
+        assert_eq!(d1, d2);
+        let (json3, d3) = record(true);
+        assert_ne!(json1, json3, "different equal-time event order must change the export");
+        assert_ne!(d1, d3, "…and the digest must see it too");
+    }
+
+    #[test]
+    fn seq_keeps_counting_across_ring_eviction() {
+        let t = Telemetry::with_event_capacity("conf", 2);
+        for i in 0..5 {
+            t.event(SimTime::from_millis(i), "e", i);
+        }
+        let evs = t.events();
+        assert_eq!(evs.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![3, 4]);
     }
 
     #[test]

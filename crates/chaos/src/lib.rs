@@ -1,0 +1,66 @@
+//! Deterministic chaos harness for the GSO-Simulcast stack.
+//!
+//! Reproduces the paper's §7 "design for failure" claims as executable
+//! checks. A seed-driven [`FaultPlan`] — controller outages and restarts,
+//! GTMB/SEMB drop·dup·reorder·delay windows, client crash/rejoin storms,
+//! BWE feedback blackouts, solver-deadline overruns — is executed
+//! tick-by-tick against a [`gso_sim::Scenario`] by [`run_plan`], and
+//! [`check_plan`] renders the acceptance verdict per plan:
+//!
+//! * post-fault steady-state QoE within tolerance of the no-fault
+//!   baseline (recovery without lasting degradation),
+//! * bounded recovery time for every controller restart
+//!   (`recovery.time_ms`),
+//! * an auditor-clean final configuration (constraint families of
+//!   Eq. 1–13; uplink budgets excluded for the §7 fallback), and
+//! * digest-identical double runs ([`gso_detguard::first_divergence`]).
+//!
+//! The `chaos` binary replays the full matrix (`--smoke` for the CI
+//! subset) and exits non-zero on any failed verdict.
+
+pub mod plan;
+pub mod runner;
+
+pub use plan::{FaultEvent, FaultKind, FaultPlan, LinkFault, LinkSide};
+pub use runner::{
+    check_plan, run_plan, steady_state_qoe, Baseline, ChaosBounds, ChaosOutcome, PlanVerdict,
+};
+
+use gso_algo::Resolution;
+use gso_sim::workloads::ladder_for_mode;
+use gso_sim::{ClientScenario, PolicyMode, Scenario};
+use gso_util::{Bitrate, ClientId, SimDuration};
+
+/// The reference conference every chaos plan runs against: three clients
+/// on clean 6/10 Mbps links, everyone subscribed to everyone at 720p, GSO
+/// orchestration, 30 s. Links have headroom over the full ladders so the
+/// no-fault objective is stable at its maximum — any post-fault deficit is
+/// then attributable to the fault, not to BWE breathing across a rung
+/// boundary. Faults land in the 8–16 s window (see [`plan`]), leaving the
+/// final [`ChaosBounds::tail_window`] for steady-state comparison.
+pub fn standard_scenario(seed: u64) -> Scenario {
+    let ladder = ladder_for_mode(PolicyMode::Gso);
+    let mut s = Scenario {
+        seed,
+        mode: PolicyMode::Gso,
+        duration: SimDuration::from_secs(30),
+        clients: (1..=3)
+            .map(|i| {
+                ClientScenario::clean(
+                    ClientId(i),
+                    Bitrate::from_mbps(6),
+                    Bitrate::from_mbps(10),
+                    ladder.clone(),
+                )
+            })
+            .collect(),
+        speaker_schedule: Vec::new(),
+    };
+    s.subscribe_all_to_all(Resolution::R720);
+    s
+}
+
+/// The client ids of [`standard_scenario`].
+pub fn standard_clients() -> Vec<ClientId> {
+    (1..=3).map(ClientId).collect()
+}

@@ -14,7 +14,7 @@ use gso_algo::{diff, EngineConfig, Solution, SolutionDiff, SolveEngine, SolverCo
 use gso_rtp::{GsoTmmbn, GsoTmmbr};
 use gso_telemetry::{keys, Telemetry};
 use gso_util::{Bitrate, ClientId, SimTime, Ssrc};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Link direction, used as part of the hysteresis key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -46,6 +46,13 @@ pub struct ControllerConfig {
     /// fraction — reconfiguration itself costs quality (layer switches wait
     /// for keyframes), so marginal wins are not worth taking (§7).
     pub stickiness: f64,
+    /// Solve-deadline watchdog budget, in DP class-rows recomputed per
+    /// round (the sim's deterministic work/latency proxy — see
+    /// `CTRL_SOLVE_ROWS`). A round whose fresh solve exceeds the budget is
+    /// served by `fallback_solution` instead, and the next round re-solves
+    /// on the warm engine and re-promotes if it fits. `0` disables the
+    /// watchdog.
+    pub solve_deadline_rows: u64,
 }
 
 impl ControllerConfig {
@@ -59,6 +66,7 @@ impl ControllerConfig {
             feedback: FeedbackConfig::default(),
             event_threshold: 0.15,
             stickiness: 0.10,
+            solve_deadline_rows: 500_000,
         }
     }
 }
@@ -90,7 +98,21 @@ pub struct GsoController {
     /// Reusable solve engine: carries MCKP memos across ticks, so a tick
     /// where few clients changed re-solves only those clients' knapsacks.
     engine: SolveEngine,
+    /// Effective fallback state of the most recent orchestration round;
+    /// transitions are what increment `fallback.entered`/`fallback.exited`.
     fallback_mode: bool,
+    /// Fallback cause: operator/exception override via [`Self::set_fallback`].
+    manual_fallback: bool,
+    /// Fallback cause: clients whose configuration exhausted the GTMB
+    /// retransmission budget. Cleared when delivery works again (a later
+    /// config is acked), or on leave/rejoin. Fallback exits when empty.
+    failed_clients: BTreeSet<ClientId>,
+    /// The watchdog downgraded the previous solving round (informational;
+    /// the next round always retries on the warm engine).
+    degraded: bool,
+    /// Chaos/test hook: treat this many upcoming solves as deadline
+    /// overruns regardless of their measured work.
+    forced_overruns: u32,
     last_solution: Option<Solution>,
     /// Metrics sink (disabled by default; see `gso-telemetry`).
     telemetry: Telemetry,
@@ -107,6 +129,10 @@ impl GsoController {
             engine: SolveEngine::with_engine_config(cfg.solver.clone(), cfg.engine.clone()),
             cfg,
             fallback_mode: false,
+            manual_fallback: false,
+            failed_clients: BTreeSet::new(),
+            degraded: false,
+            forced_overruns: 0,
             last_solution: None,
             telemetry: Telemetry::disabled(),
         }
@@ -120,7 +146,17 @@ impl GsoController {
     }
 
     /// A client joined (signaling + SDP/simulcastInfo negotiation done).
+    ///
+    /// A join for an already-known `ClientId` is a *rejoin*: the endpoint
+    /// crashed and came back with none of its previous state, so its
+    /// delivery bookkeeping (pending config, retry budget, applied entry)
+    /// is reset rather than continuing the old retransmission sequence,
+    /// and it no longer counts as an undeliverable fallback cause.
     pub fn on_join(&mut self, id: ClientId, caps: CodecCapability) {
+        if self.picture.contains(id) {
+            self.executor.reset_client(id);
+            self.failed_clients.remove(&id);
+        }
         self.picture.join(id, caps);
         self.scheduler.trigger_event();
     }
@@ -132,6 +168,7 @@ impl GsoController {
         // entries forever and a reused ClientId would inherit a stale
         // `applied` configuration.
         self.executor.on_client_leave(id);
+        self.failed_clients.remove(&id);
         self.scheduler.trigger_event();
     }
 
@@ -181,16 +218,53 @@ impl GsoController {
 
     /// A GTBN acknowledgement from a client.
     pub fn on_ack(&mut self, client: ClientId, ack: &GsoTmmbn) {
+        let was_pending = self.executor.pending(client);
         self.executor.on_ack(client, ack);
-    }
-
-    /// Enter/leave the single-stream fallback mode (§7 "Design for
-    /// failure"); entering triggers an immediate reconfiguration.
-    pub fn set_fallback(&mut self, on: bool) {
-        if self.fallback_mode != on {
-            self.fallback_mode = on;
+        if was_pending && !self.executor.pending(client) && self.failed_clients.remove(&client) {
+            // Delivery to a previously unreachable client works again; if
+            // that was the last cause, the next round exits fallback.
             self.scheduler.trigger_event();
         }
+    }
+
+    /// Force (or release) the single-stream fallback mode (§7 "Design for
+    /// failure"); a change triggers an immediate reconfiguration. Other
+    /// fallback causes (undeliverable clients, deadline overruns) are
+    /// tracked independently, so releasing the override does not exit
+    /// fallback while those persist.
+    pub fn set_fallback(&mut self, on: bool) {
+        if self.manual_fallback != on {
+            self.manual_fallback = on;
+            self.scheduler.trigger_event();
+        }
+    }
+
+    /// Is the controller currently serving fallback configurations?
+    pub fn fallback_active(&self) -> bool {
+        self.fallback_mode
+    }
+
+    /// Did the watchdog downgrade the most recent solving round?
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Treat the next `rounds` fresh solves as solve-deadline overruns
+    /// (chaos injection; the watchdog then degrades those rounds to the
+    /// fallback configuration exactly as a real overrun would).
+    pub fn inject_deadline_overrun(&mut self, rounds: u32) {
+        self.forced_overruns = self.forced_overruns.saturating_add(rounds);
+    }
+
+    /// Set the controller generation stamped on outgoing GTMB messages
+    /// (bumped by the conference node across restarts).
+    pub fn set_epoch(&mut self, epoch: u32) {
+        self.executor.set_epoch(epoch);
+    }
+
+    /// Current controller generation.
+    pub fn epoch(&self) -> u32 {
+        self.executor.epoch()
     }
 
     /// Run one controller step: orchestrate if the scheduler says so, and
@@ -199,7 +273,7 @@ impl GsoController {
     /// Returns `(orchestration_output, retransmissions)`.
     pub fn tick(&mut self, now: SimTime) -> (Option<ControlOutput>, Vec<(ClientId, GsoTmmbr)>) {
         let retransmissions = self.executor.poll(now);
-        // Undeliverable configuration is the trigger for fallback (§7).
+        // Undeliverable configuration is a fallback cause (§7).
         let failed = self.executor.take_failed();
         if !failed.is_empty() {
             self.telemetry.event(
@@ -207,7 +281,8 @@ impl GsoController {
                 keys::EV_FALLBACK,
                 format!("{} undeliverable client(s)", failed.len()),
             );
-            self.set_fallback(true);
+            self.failed_clients.extend(failed);
+            self.scheduler.trigger_event();
         }
 
         // An empty conference never orchestrates (and records no call
@@ -217,13 +292,16 @@ impl GsoController {
         }
 
         let Ok(problem) = self.picture.to_problem() else {
-            // An inconsistent picture is an exception: fall back rather
-            // than dropping control entirely.
-            self.fallback_mode = true;
+            // An inconsistent picture is an exception: skip this round and
+            // retry on the next tick (the picture is rebuilt from fresh
+            // signaling, so the condition is transient — latching fallback
+            // here would never release it).
+            self.telemetry.event(now, keys::EV_FALLBACK, "inconsistent picture, round skipped");
             return (None, retransmissions);
         };
         let rows_before = self.engine.stats().rows_recomputed;
-        let (solution, fallback) = if self.fallback_mode {
+        let must_fall_back = self.manual_fallback || !self.failed_clients.is_empty();
+        let (solution, fallback) = if must_fall_back {
             (fallback_solution(&problem), true)
         } else {
             // Trust boundary: in debug builds the engine's solve is traced
@@ -244,16 +322,47 @@ impl GsoController {
             };
             #[cfg(not(debug_assertions))]
             let fresh = self.engine.solve(&problem);
-            // Solution stickiness: a still-valid previous configuration is
-            // kept unless the fresh one is a clear improvement.
-            let keep_previous = self
-                .last_solution
-                .as_ref()
-                .filter(|prev| prev.validate(&problem).is_ok())
-                .filter(|prev| fresh.total_qoe < prev.total_qoe * (1.0 + self.cfg.stickiness))
-                .cloned();
-            (keep_previous.unwrap_or(fresh), false)
+            // Solve-deadline watchdog: a round whose solve overran its work
+            // budget (the deterministic latency proxy) is served by the
+            // safe fallback configuration instead; the engine is now warm,
+            // so the next round's incremental re-solve usually fits the
+            // budget and re-promotes automatically.
+            let rows_delta = self.engine.stats().rows_recomputed - rows_before;
+            let forced = self.forced_overruns > 0;
+            if forced {
+                self.forced_overruns -= 1;
+            }
+            let overrun = forced
+                || (self.cfg.solve_deadline_rows > 0 && rows_delta > self.cfg.solve_deadline_rows);
+            if overrun {
+                self.telemetry.incr(keys::CTRL_DEADLINE_OVERRUNS, "");
+                self.degraded = true;
+                // Re-run promptly instead of waiting out the full cadence.
+                self.scheduler.trigger_event();
+                (fallback_solution(&problem), true)
+            } else {
+                self.degraded = false;
+                // Solution stickiness: a still-valid previous configuration
+                // is kept unless the fresh one is a clear improvement.
+                let keep_previous = self
+                    .last_solution
+                    .as_ref()
+                    .filter(|prev| prev.validate(&problem).is_ok())
+                    .filter(|prev| fresh.total_qoe < prev.total_qoe * (1.0 + self.cfg.stickiness))
+                    .cloned();
+                (keep_previous.unwrap_or(fresh), false)
+            }
         };
+        if fallback != self.fallback_mode {
+            self.fallback_mode = fallback;
+            if fallback {
+                self.telemetry.incr(keys::CTRL_FALLBACK_ENTERED, "");
+                self.telemetry.event(now, keys::EV_FALLBACK, "entered");
+            } else {
+                self.telemetry.incr(keys::CTRL_FALLBACK_EXITED, "");
+                self.telemetry.event(now, keys::EV_FALLBACK, "exited");
+            }
+        }
 
         let ladder_layers: BTreeMap<SourceId, Vec<u16>> = problem
             .sources()
@@ -333,6 +442,13 @@ impl GsoController {
         let mut h = StableHasher::new();
         self.picture.digest(&mut h);
         self.fallback_mode.digest(&mut h);
+        self.manual_fallback.digest(&mut h);
+        self.degraded.digest(&mut h);
+        self.failed_clients.len().digest(&mut h);
+        for c in &self.failed_clients {
+            c.digest(&mut h);
+        }
+        self.executor.epoch().digest(&mut h);
         self.last_solution.digest(&mut h);
         self.engine.stats().digest(&mut h);
         h.finish()
@@ -436,13 +552,126 @@ mod tests {
         let mut c = two_party();
         let (out, _) = c.tick(SimTime::from_millis(10));
         assert!(out.is_some());
-        // Never ack; poll past the retransmission budget (5 × 200 ms).
+        // Never ack; poll past the retransmission budget (backoff schedule
+        // 200/400/800/800 ms, five transmissions in total).
         for ms in (200..2_500).step_by(200) {
             let _ = c.tick(SimTime::from_millis(ms));
         }
         // Next orchestration is fallback.
         let (out, _) = c.tick(SimTime::from_secs(6));
         assert!(out.expect("scheduled run").fallback);
+    }
+
+    /// §7 recovery: fallback caused by undeliverable clients must *exit*
+    /// once delivery works again — an ack for the (re-issued) fallback
+    /// configuration clears the cause and the next round re-promotes.
+    #[test]
+    fn fallback_exits_when_failed_clients_ack_again() {
+        let telemetry = Telemetry::new("test");
+        let mut c = two_party();
+        c.set_telemetry(telemetry.clone());
+        let (out, _) = c.tick(SimTime::from_millis(10));
+        // Ack client 1 so only client 2 goes undeliverable.
+        for (client, msg) in out.expect("first tick runs").configs {
+            if client == ClientId(1) {
+                ack(&mut c, client, &msg);
+            }
+        }
+        for ms in (200..2_500).step_by(200) {
+            let _ = c.tick(SimTime::from_millis(ms));
+        }
+        let (out, _) = c.tick(SimTime::from_secs(6));
+        let out = out.expect("scheduled run");
+        assert!(out.fallback, "client 2 exhausted its budget");
+        assert_eq!(telemetry.counter(keys::CTRL_FALLBACK_ENTERED, ""), 1);
+
+        // Client 2 comes back: it acks the fallback configuration.
+        for (client, msg) in out.configs {
+            ack(&mut c, client, &msg);
+        }
+        let (out, _) = c.tick(SimTime::from_secs(8));
+        let out = out.expect("recovery run");
+        assert!(!out.fallback, "delivery works again, full solving resumes");
+        assert_eq!(telemetry.counter(keys::CTRL_FALLBACK_EXITED, ""), 1);
+    }
+
+    /// The solve-deadline watchdog degrades an over-budget round to the
+    /// fallback configuration and re-promotes when the engine fits again.
+    #[test]
+    fn deadline_overrun_degrades_then_repromotes() {
+        let telemetry = Telemetry::new("test");
+        let mut c = two_party();
+        c.set_telemetry(telemetry.clone());
+        c.inject_deadline_overrun(1);
+        let (out, _) = c.tick(SimTime::from_millis(10));
+        let out = out.expect("first tick runs");
+        assert!(out.fallback, "overrun round serves the fallback configuration");
+        assert!(c.is_degraded());
+        assert_eq!(telemetry.counter(keys::CTRL_DEADLINE_OVERRUNS, ""), 1);
+        assert_eq!(telemetry.counter(keys::CTRL_FALLBACK_ENTERED, ""), 1);
+        for (client, msg) in out.configs {
+            ack(&mut c, client, &msg);
+        }
+
+        let (out, _) = c.tick(SimTime::from_millis(1_100));
+        let out = out.expect("watchdog triggered a prompt re-run");
+        assert!(!out.fallback, "the warm engine fits the budget again");
+        assert!(!c.is_degraded());
+        assert_eq!(telemetry.counter(keys::CTRL_FALLBACK_EXITED, ""), 1);
+    }
+
+    /// A rejoin mid-retransmission resets the endpoint instead of letting
+    /// the stale retry sequence push the conference into fallback.
+    #[test]
+    fn rejoin_mid_retransmission_avoids_fallback() {
+        let mut c = two_party();
+        let (out, _) = c.tick(SimTime::from_millis(10));
+        // Ack client 1; client 2 crashes and burns most of its budget.
+        for (client, msg) in out.expect("first tick runs").configs {
+            if client == ClientId(1) {
+                ack(&mut c, client, &msg);
+            }
+        }
+        for ms in (200..1_700).step_by(200) {
+            let _ = c.tick(SimTime::from_millis(ms));
+        }
+        assert!(c.executor.pending(ClientId(2)));
+        // Client 2 rejoins with fresh caps before the budget exhausts.
+        c.on_join(ClientId(2), caps());
+        c.on_subscriptions(
+            ClientId(2),
+            vec![SubscribeIntent {
+                source: SourceId::video(ClientId(1)),
+                max_resolution: Resolution::R720,
+                tag: 0,
+            }],
+        );
+        assert!(!c.executor.pending(ClientId(2)), "rejoin clears the old message");
+        // The next rounds re-issue a fresh config; ack it promptly.
+        for s in 2..=8u64 {
+            let (out, retx) = c.tick(SimTime::from_secs(s));
+            if let Some(out) = out {
+                assert!(!out.fallback, "rejoined client must not trip fallback");
+                for (client, msg) in out.configs {
+                    ack(&mut c, client, &msg);
+                }
+            }
+            for (client, msg) in retx {
+                ack(&mut c, client, &msg);
+            }
+        }
+    }
+
+    fn ack(c: &mut GsoController, client: ClientId, msg: &GsoTmmbr) {
+        c.on_ack(
+            client,
+            &GsoTmmbn {
+                sender_ssrc: Ssrc(9),
+                epoch: msg.epoch,
+                request_seq: msg.request_seq,
+                entries: vec![],
+            },
+        );
     }
 
     #[test]
@@ -526,14 +755,7 @@ mod tests {
             acked.extend(retx);
             // Ack everything promptly so no fallback trips.
             for (client, msg) in acked.drain(..) {
-                c.on_ack(
-                    client,
-                    &GsoTmmbn {
-                        sender_ssrc: Ssrc(9),
-                        request_seq: msg.request_seq,
-                        entries: vec![],
-                    },
-                );
+                ack(&mut c, client, &msg);
             }
         }
         let intervals = c.call_intervals();

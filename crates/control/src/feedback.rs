@@ -11,7 +11,7 @@
 use gso_algo::{Solution, SourceId};
 use gso_rtp::{ssrc_for, GsoTmmbn, GsoTmmbr, TmmbrEntry};
 use gso_telemetry::{keys, Telemetry};
-use gso_util::{Bitrate, ClientId, SimDuration, SimTime, Ssrc};
+use gso_util::{Bitrate, ClientId, DetRng, SimDuration, SimTime, Ssrc};
 use std::collections::BTreeMap;
 
 /// A forwarding instruction for the media plane: which exact stream a
@@ -30,11 +30,26 @@ pub struct ForwardingRule {
     pub bitrate: Bitrate,
 }
 
-/// Executor policy.
+/// Executor policy: seeded exponential backoff for GTMB retransmissions.
+///
+/// The n-th retransmission waits `initial_rto · rto_multiplier^(n-1)`
+/// (capped at `max_rto`) plus a deterministic jitter of up to
+/// `jitter_frac` of that interval, drawn from a [`DetRng`] stream keyed by
+/// `(seed, client, request_seq, transmission)`. A fixed retransmission
+/// interval synchronizes retries across clients after a shared outage;
+/// the backoff both spreads them out and stops hammering a dead path.
 #[derive(Debug, Clone)]
 pub struct FeedbackConfig {
-    /// Retransmit an unacknowledged GTMB after this long.
-    pub retransmit_after: SimDuration,
+    /// Wait this long before the first retransmission.
+    pub initial_rto: SimDuration,
+    /// Multiply the wait by this factor after every retransmission.
+    pub rto_multiplier: u32,
+    /// Never wait longer than this between retransmissions.
+    pub max_rto: SimDuration,
+    /// Add up to this fraction of the interval as deterministic jitter.
+    pub jitter_frac: f64,
+    /// Seed for the jitter streams (derive from the scenario seed).
+    pub seed: u64,
     /// Give up after this many transmissions (the client is then handled by
     /// the failure path).
     pub max_transmissions: u32,
@@ -42,7 +57,14 @@ pub struct FeedbackConfig {
 
 impl Default for FeedbackConfig {
     fn default() -> Self {
-        FeedbackConfig { retransmit_after: SimDuration::from_millis(200), max_transmissions: 5 }
+        FeedbackConfig {
+            initial_rto: SimDuration::from_millis(200),
+            rto_multiplier: 2,
+            max_rto: SimDuration::from_millis(800),
+            jitter_frac: 0.0,
+            seed: 0,
+            max_transmissions: 5,
+        }
     }
 }
 
@@ -58,6 +80,7 @@ struct Outstanding {
 pub struct FeedbackExecutor {
     cfg: FeedbackConfig,
     next_seq: u32,
+    epoch: u32,
     controller_ssrc: Ssrc,
     outstanding: BTreeMap<ClientId, Outstanding>,
     /// Last acknowledged layer configuration per client (to skip no-ops).
@@ -75,6 +98,7 @@ impl FeedbackExecutor {
         FeedbackExecutor {
             cfg,
             next_seq: 1,
+            epoch: 0,
             controller_ssrc,
             outstanding: BTreeMap::new(),
             applied: BTreeMap::new(),
@@ -86,6 +110,21 @@ impl FeedbackExecutor {
     /// Attach a metrics registry (GTMB send/retransmit/ack/fail counters).
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Set the controller generation stamped on every outgoing GTMB.
+    ///
+    /// A restarted controller bumps its epoch so clients can reject the
+    /// predecessor's late retransmissions; acknowledgements from an older
+    /// epoch are likewise ignored here (a GTBN for epoch n−1 may carry a
+    /// `request_seq` that collides with a fresh post-restart request).
+    pub fn set_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
+    /// Current controller generation.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// Translate a solution into per-client GTMB messages (returned for
@@ -145,13 +184,17 @@ impl FeedbackExecutor {
                     // reset `transmissions` on every controller tick, so a
                     // persistently unreachable client could never exhaust
                     // the budget and reach the §7 failure path whenever the
-                    // tick cadence is shorter than
-                    // `retransmit_after × max_transmissions`.
+                    // tick cadence is shorter than the summed backoff
+                    // schedule.
                     continue;
                 }
             }
-            let message =
-                GsoTmmbr { sender_ssrc: self.controller_ssrc, request_seq: self.next_seq, entries };
+            let message = GsoTmmbr {
+                sender_ssrc: self.controller_ssrc,
+                epoch: self.epoch,
+                request_seq: self.next_seq,
+                entries,
+            };
             self.next_seq += 1;
             self.outstanding.insert(
                 client,
@@ -163,8 +206,12 @@ impl FeedbackExecutor {
         (messages, rules)
     }
 
-    /// Process a GTBN acknowledgement from a client.
+    /// Process a GTBN acknowledgement from a client. Acks from a different
+    /// controller epoch are ignored (see [`Self::set_epoch`]).
     pub fn on_ack(&mut self, client: ClientId, ack: &GsoTmmbn) {
+        if ack.epoch != self.epoch {
+            return;
+        }
         if let Some(out) = self.outstanding.get(&client) {
             if out.message.request_seq == ack.request_seq {
                 let out = self
@@ -189,19 +236,56 @@ impl FeedbackExecutor {
         self.failed.retain(|&c| c != client);
     }
 
+    /// A known `ClientId` re-registered: treat it as a fresh endpoint.
+    ///
+    /// A client that crashes and rejoins mid-retransmission has lost its
+    /// applied configuration and its epoch/seq bookkeeping; continuing the
+    /// old retry sequence would count its silence against the old message's
+    /// budget and a stale `applied` entry would suppress its initial
+    /// configuration. Delivery state is dropped wholesale instead.
+    pub fn reset_client(&mut self, client: ClientId) {
+        self.on_client_leave(client);
+    }
+
+    /// The backoff interval before retransmission number `tx + 1` of
+    /// `message` (exponential in `tx`, capped, plus deterministic jitter).
+    fn rto(&self, client: ClientId, message: &GsoTmmbr, tx: u32) -> SimDuration {
+        let mult = u64::from(self.cfg.rto_multiplier).saturating_pow(tx.saturating_sub(1));
+        let base = self
+            .cfg
+            .max_rto
+            .min(SimDuration::from_micros(self.cfg.initial_rto.as_micros().saturating_mul(mult)));
+        if self.cfg.jitter_frac <= 0.0 {
+            return base;
+        }
+        let label = format!("gtmb-rto-{}-{}-{}-{}", client, message.epoch, message.request_seq, tx);
+        let mut rng = DetRng::derive(self.cfg.seed, &label);
+        base + base.mul_f64(self.cfg.jitter_frac * rng.f64())
+    }
+
     /// Retransmission poll; returns messages to resend now.
     pub fn poll(&mut self, now: SimTime) -> Vec<(ClientId, GsoTmmbr)> {
         let mut resend = Vec::new();
         let mut exhausted = Vec::new();
-        for (&client, out) in self.outstanding.iter_mut() {
-            if now.saturating_since(out.sent_at) >= self.cfg.retransmit_after {
-                if out.transmissions >= self.cfg.max_transmissions {
-                    exhausted.push(client);
-                } else {
-                    out.transmissions += 1;
-                    out.sent_at = now;
-                    resend.push((client, out.message.clone()));
-                }
+        let mut due: Vec<ClientId> = Vec::new();
+        for (&client, out) in &self.outstanding {
+            if now.saturating_since(out.sent_at)
+                >= self.rto(client, &out.message, out.transmissions)
+            {
+                due.push(client);
+            }
+        }
+        for client in due {
+            let out = self
+                .outstanding
+                .get_mut(&client)
+                .expect("invariant: due clients come from the outstanding map");
+            if out.transmissions >= self.cfg.max_transmissions {
+                exhausted.push(client);
+            } else {
+                out.transmissions += 1;
+                out.sent_at = now;
+                resend.push((client, out.message.clone()));
             }
         }
         for (client, _) in &resend {
@@ -283,7 +367,12 @@ mod tests {
         assert!(ex.pending(*client));
         ex.on_ack(
             *client,
-            &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: msg.request_seq, entries: vec![] },
+            &GsoTmmbn {
+                sender_ssrc: Ssrc(2),
+                epoch: 0,
+                request_seq: msg.request_seq,
+                entries: vec![],
+            },
         );
         assert!(!ex.pending(*client));
         // Nothing to resend for the acknowledged client.
@@ -292,22 +381,53 @@ mod tests {
     }
 
     #[test]
-    fn unacked_message_retransmits_then_fails() {
+    fn unacked_message_retransmits_with_backoff_then_fails() {
         let (sol, layers) = solved();
-        let cfg = FeedbackConfig {
-            retransmit_after: SimDuration::from_millis(200),
-            max_transmissions: 3,
-        };
+        let cfg = FeedbackConfig { max_transmissions: 3, ..FeedbackConfig::default() };
         let mut ex = FeedbackExecutor::new(cfg, Ssrc(1));
         let (msgs, _) = ex.execute(SimTime::ZERO, &sol, &layers);
         assert_eq!(msgs.len(), 2);
+        // Backoff intervals: 200 ms, 400 ms, then 800 ms to exhaustion.
         assert_eq!(ex.poll(SimTime::from_millis(100)).len(), 0, "too early");
         assert_eq!(ex.poll(SimTime::from_millis(250)).len(), 2, "first retransmit");
-        assert_eq!(ex.poll(SimTime::from_millis(500)).len(), 2, "second retransmit");
-        assert_eq!(ex.poll(SimTime::from_millis(750)).len(), 0, "exhausted");
+        assert_eq!(ex.poll(SimTime::from_millis(500)).len(), 0, "backoff doubled, not yet due");
+        assert_eq!(ex.poll(SimTime::from_millis(700)).len(), 2, "second retransmit");
+        assert_eq!(ex.poll(SimTime::from_millis(1000)).len(), 0, "800 ms RTO not yet over");
+        assert_eq!(ex.poll(SimTime::from_millis(1500)).len(), 0, "exhausted");
         let failed = ex.take_failed();
         assert_eq!(failed.len(), 2);
         assert!(ex.take_failed().is_empty(), "failure list drains");
+    }
+
+    /// With jitter enabled the retransmission offsets are seed-stable:
+    /// the same seed yields the same schedule, and every interval stays
+    /// within `[rto, rto · (1 + jitter_frac)]`.
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let (sol, layers) = solved();
+        let cfg = FeedbackConfig { jitter_frac: 0.5, seed: 42, ..FeedbackConfig::default() };
+        let schedule = |cfg: &FeedbackConfig| {
+            let mut ex = FeedbackExecutor::new(cfg.clone(), Ssrc(1));
+            ex.execute(SimTime::ZERO, &sol, &layers);
+            let mut times = Vec::new();
+            for ms in (0..10_000).step_by(10) {
+                for (c, m) in ex.poll(SimTime::from_millis(ms)) {
+                    times.push((c, m.request_seq, ms));
+                }
+            }
+            times
+        };
+        let a = schedule(&cfg);
+        let b = schedule(&cfg);
+        assert_eq!(a, b, "same seed, same retransmission schedule");
+        assert!(!a.is_empty());
+        // First retransmission for each client lands in [200, 300] ms
+        // (initial RTO 200 ms, jitter up to 50%), on the 10 ms poll grid.
+        for (_, _, ms) in a.iter().take(2) {
+            assert!((200..=310).contains(ms), "first retransmit at {ms} ms");
+        }
+        let c = schedule(&FeedbackConfig { seed: 43, ..cfg });
+        assert_ne!(a, c, "a different seed perturbs the schedule");
     }
 
     #[test]
@@ -318,7 +438,12 @@ mod tests {
         let (client, msg) = &msgs[0];
         ex.on_ack(
             *client,
-            &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: msg.request_seq + 99, entries: vec![] },
+            &GsoTmmbn {
+                sender_ssrc: Ssrc(2),
+                epoch: 0,
+                request_seq: msg.request_seq + 99,
+                entries: vec![],
+            },
         );
         assert!(ex.pending(*client), "wrong seq must not ack");
     }
@@ -387,7 +512,12 @@ mod tests {
         let (c1, m1) = msgs.iter().find(|(c, _)| *c == ClientId(1)).unwrap();
         ex.on_ack(
             *c1,
-            &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: m1.request_seq, entries: vec![] },
+            &GsoTmmbn {
+                sender_ssrc: Ssrc(2),
+                epoch: 0,
+                request_seq: m1.request_seq,
+                entries: vec![],
+            },
         );
         // Client 2 exhausts its budget and lands in `failed`.
         for tick in 1..=6u64 {
@@ -416,7 +546,12 @@ mod tests {
         let (c1, m1) = msgs.iter().find(|(c, _)| *c == ClientId(1)).unwrap();
         ex.on_ack(
             *c1,
-            &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: m1.request_seq, entries: vec![] },
+            &GsoTmmbn {
+                sender_ssrc: Ssrc(2),
+                epoch: 0,
+                request_seq: m1.request_seq,
+                entries: vec![],
+            },
         );
         for tick in 1..=6u64 {
             ex.poll(SimTime::from_secs(tick));
@@ -436,12 +571,85 @@ mod tests {
         for (client, msg) in &msgs {
             ex.on_ack(
                 *client,
-                &GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: msg.request_seq, entries: vec![] },
+                &GsoTmmbn {
+                    sender_ssrc: Ssrc(2),
+                    epoch: 0,
+                    request_seq: msg.request_seq,
+                    entries: vec![],
+                },
             );
         }
         // Same solution again: no new messages.
         let (msgs2, rules2) = ex.execute(SimTime::from_secs(2), &sol, &layers);
         assert!(msgs2.is_empty());
         assert!(!rules2.is_empty(), "rules are still reported");
+    }
+
+    /// An acknowledgement carrying a stale controller epoch (e.g. a GTBN
+    /// for a pre-restart request whose seq collides with a fresh one) must
+    /// not clear the in-flight message.
+    #[test]
+    fn ack_from_stale_epoch_ignored() {
+        let (sol, layers) = solved();
+        let mut ex = FeedbackExecutor::new(FeedbackConfig::default(), Ssrc(1));
+        ex.set_epoch(2);
+        let (msgs, _) = ex.execute(SimTime::ZERO, &sol, &layers);
+        let (client, msg) = &msgs[0];
+        assert_eq!(msg.epoch, 2, "messages are stamped with the current epoch");
+        ex.on_ack(
+            *client,
+            &GsoTmmbn {
+                sender_ssrc: Ssrc(2),
+                epoch: 1,
+                request_seq: msg.request_seq,
+                entries: vec![],
+            },
+        );
+        assert!(ex.pending(*client), "stale-epoch ack must not clear the message");
+        ex.on_ack(
+            *client,
+            &GsoTmmbn {
+                sender_ssrc: Ssrc(2),
+                epoch: 2,
+                request_seq: msg.request_seq,
+                entries: vec![],
+            },
+        );
+        assert!(!ex.pending(*client));
+    }
+
+    /// Satellite regression: a client that crashes and rejoins while its
+    /// configuration is mid-retransmission is a fresh endpoint — its old
+    /// retry sequence must not keep counting down to the failure path, and
+    /// the next execute must re-issue its configuration from scratch.
+    #[test]
+    fn rejoin_mid_retransmission_restarts_delivery_state() {
+        let (sol, layers) = solved();
+        let mut ex = FeedbackExecutor::new(FeedbackConfig::default(), Ssrc(1));
+        let (msgs, _) = ex.execute(SimTime::ZERO, &sol, &layers);
+        let seq0 = msgs.iter().find(|(c, _)| *c == ClientId(2)).unwrap().1.request_seq;
+        // Burn client 2's full budget (5 of 5 transmissions); the next due
+        // poll would move it to the failure path.
+        for tick in 1..=4u64 {
+            ex.poll(SimTime::from_secs(tick));
+        }
+        assert!(ex.pending(ClientId(2)));
+
+        // Client 2 crashes and rejoins: the controller resets it.
+        ex.reset_client(ClientId(2));
+        assert!(!ex.pending(ClientId(2)));
+
+        // Re-executing the same solution re-issues a fresh message with a
+        // full budget instead of exhausting the old one.
+        let (msgs2, _) = ex.execute(SimTime::from_secs(5), &sol, &layers);
+        let m2 = &msgs2.iter().find(|(c, _)| *c == ClientId(2)).unwrap().1;
+        assert!(m2.request_seq > seq0, "fresh sequence number after rejoin");
+        for tick in 6..=8u64 {
+            ex.poll(SimTime::from_secs(tick));
+        }
+        // (Client 1, which never acked and never rejoined, legitimately
+        // exhausts its original budget in the same window.)
+        assert!(!ex.take_failed().contains(&ClientId(2)), "old budget must not carry over");
+        assert!(ex.pending(ClientId(2)), "fresh message still retransmitting");
     }
 }

@@ -53,6 +53,7 @@ fn deliver_lossy(
                 *client,
                 &GsoTmmbn {
                     sender_ssrc: Ssrc(0xace),
+                    epoch: msg.epoch,
                     request_seq: msg.request_seq,
                     entries: Vec::<TmmbrEntry>::new(),
                 },
@@ -94,8 +95,9 @@ proptest! {
         }
 
         // Phase 2 (quiesce): no further executes; polling alone must drain
-        // every outstanding entry within the retransmission budget
-        // (5 × 200 ms), whatever happened above.
+        // every outstanding entry within the retransmission budget (five
+        // transmissions on the 200/400/800 ms backoff), whatever happened
+        // above.
         for step in 1..=30u64 {
             let t = now + gso_util::SimDuration::from_millis(step * 200);
             let resent = ex.poll(t);

@@ -26,7 +26,8 @@ use std::path::{Path, PathBuf};
 /// Crates whose `src/` trees are scanned. These are the hot paths whose
 /// behaviour must replay bit-identically; support crates (`util` owns the
 /// approved shims, `audit`/`telemetry`/`detguard` are observers) are exempt.
-pub const HOT_PATH_CRATES: &[&str] = &["algo", "control", "net", "sim", "sfu", "bwe", "media"];
+pub const HOT_PATH_CRATES: &[&str] =
+    &["algo", "control", "net", "sim", "sfu", "bwe", "media", "chaos"];
 
 /// Lint rule identifiers.
 pub const RULE_IDS: &[&str] =

@@ -64,6 +64,15 @@ pub struct LinkConfig {
     pub jitter: Schedule<SimDuration>,
     /// Independent per-packet loss probability in [0, 1].
     pub loss: Schedule<f64>,
+    /// Independent per-packet duplication probability in [0, 1]: the far
+    /// end receives a second copy of the packet (after the first). Models
+    /// last-hop retransmission artefacts; control-plane endpoints must
+    /// re-apply idempotently.
+    pub duplicate: Schedule<f64>,
+    /// Allow jitter to reorder deliveries. A single FIFO path never
+    /// reorders, so this is off for realistic links; chaos schedules turn
+    /// it on to exercise out-of-order control-plane delivery.
+    pub allow_reorder: bool,
     /// Drop-tail queue capacity in bytes (including wire overhead).
     pub queue_bytes: usize,
     /// Additional bound on queueing *delay*: the effective queue limit is
@@ -83,6 +92,8 @@ impl LinkConfig {
             delay,
             jitter: Schedule::constant(SimDuration::ZERO),
             loss: Schedule::constant(0.0),
+            duplicate: Schedule::constant(0.0),
+            allow_reorder: false,
             queue_bytes,
             max_queue_delay: SimDuration::from_millis(400),
         }
@@ -97,6 +108,18 @@ impl LinkConfig {
     /// Set a constant jitter mean.
     pub fn with_jitter(mut self, mean: SimDuration) -> Self {
         self.jitter = Schedule::constant(mean);
+        self
+    }
+
+    /// Set a constant duplication rate.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = Schedule::constant(p);
+        self
+    }
+
+    /// Let jitter reorder deliveries (for chaos schedules).
+    pub fn with_reorder(mut self) -> Self {
+        self.allow_reorder = true;
         self
     }
 
@@ -120,6 +143,8 @@ pub struct LinkStats {
     pub delivered_bytes: u64,
     /// Packets delivered.
     pub delivered: u64,
+    /// Extra copies delivered by random duplication.
+    pub duplicated: u64,
     /// High-watermark of queued bytes (queue depth) over the run.
     pub peak_queued_bytes: u64,
 }
@@ -131,6 +156,7 @@ impl gso_detguard::StateDigest for LinkStats {
         h.write_u64(self.dropped_loss);
         h.write_u64(self.delivered_bytes);
         h.write_u64(self.delivered);
+        h.write_u64(self.duplicated);
         h.write_u64(self.peak_queued_bytes);
     }
 }
@@ -155,6 +181,8 @@ pub struct Link {
 pub enum Transmit {
     /// Will arrive at the far end at this time.
     Deliver(SimTime),
+    /// Will arrive twice: the original and a duplicated copy.
+    DeliverDup(SimTime, SimTime),
     /// Dropped: queue overflow.
     DropQueue,
     /// Dropped: random loss (bandwidth was still consumed).
@@ -220,19 +248,39 @@ impl Link {
             return Transmit::DropLoss;
         }
 
+        // Jitter models variable queueing further along the path; a single
+        // FIFO path never reorders, so deliveries are monotone unless a
+        // chaos schedule explicitly allows reordering.
+        let arrival = self.jittered(now, tx_end + self.config.delay);
+        self.stats.delivered += 1;
+        self.stats.delivered_bytes += size as u64;
+
+        if self.rng.chance(self.config.duplicate.at(now)) {
+            let dup_at = self.jittered(now, arrival);
+            self.stats.duplicated += 1;
+            self.stats.delivered += 1;
+            self.stats.delivered_bytes += size as u64;
+            return Transmit::DeliverDup(arrival, dup_at);
+        }
+        Transmit::Deliver(arrival)
+    }
+
+    /// Add a jitter sample to `base`, clamping to keep deliveries monotone
+    /// unless the link is configured to reorder.
+    fn jittered(&mut self, now: SimTime, base: SimTime) -> SimTime {
         let jitter_mean = self.config.jitter.at(now);
         let jitter = if jitter_mean.is_zero() {
             SimDuration::ZERO
         } else {
             SimDuration::from_secs_f64(self.rng.exponential(jitter_mean.as_secs_f64()))
         };
-        // Jitter models variable queueing further along the path; a single
-        // FIFO path never reorders, so deliveries are monotone.
-        let arrival = (tx_end + self.config.delay + jitter).max(self.last_arrival);
+        let arrival = base + jitter;
+        if self.config.allow_reorder {
+            return arrival;
+        }
+        let arrival = arrival.max(self.last_arrival);
         self.last_arrival = arrival;
-        self.stats.delivered += 1;
-        self.stats.delivered_bytes += size as u64;
-        Transmit::Deliver(arrival)
+        arrival
     }
 }
 
@@ -276,7 +324,7 @@ mod tests {
         let mut dropped = 0;
         for _ in 0..10 {
             match l.offer(SimTime::ZERO, &packet(972)) {
-                Transmit::Deliver(_) => delivered += 1,
+                Transmit::Deliver(_) | Transmit::DeliverDup(..) => delivered += 1,
                 Transmit::DropQueue => dropped += 1,
                 Transmit::DropLoss => {}
             }
@@ -378,6 +426,54 @@ mod tests {
         assert_eq!(s.at(SimTime::from_secs(9)), 1);
         assert_eq!(s.at(SimTime::from_secs(10)), 2);
         assert_eq!(s.at(SimTime::from_secs(100)), 3);
+    }
+
+    #[test]
+    fn full_duplication_delivers_two_copies() {
+        let cfg = LinkConfig::clean(Bitrate::from_mbps(10), SimDuration::from_millis(5))
+            .with_duplicate(1.0);
+        let mut l = mk_link(cfg);
+        match l.offer(SimTime::ZERO, &packet(100)) {
+            Transmit::DeliverDup(first, second) => assert!(second >= first),
+            other => panic!("expected a duplicated delivery, got {other:?}"),
+        }
+        assert_eq!(l.stats.duplicated, 1);
+        assert_eq!(l.stats.delivered, 2);
+    }
+
+    #[test]
+    fn statistical_duplication_rate() {
+        let cfg =
+            LinkConfig::clean(Bitrate::from_mbps(100), SimDuration::ZERO).with_duplicate(0.25);
+        let mut l = mk_link(cfg);
+        let n = 10_000u64;
+        for i in 0..n {
+            l.offer(SimTime::from_millis(i), &packet(100));
+        }
+        let rate = l.stats.duplicated as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "observed duplication {rate}");
+    }
+
+    #[test]
+    fn reordering_requires_opt_in() {
+        let jittery = LinkConfig::clean(Bitrate::from_mbps(100), SimDuration::from_millis(10))
+            .with_jitter(SimDuration::from_millis(30));
+        let arrivals = |cfg: LinkConfig| {
+            let mut l = mk_link(cfg);
+            (0..500u64)
+                .map(|i| match l.offer(SimTime::from_millis(i), &packet(100)) {
+                    Transmit::Deliver(at) => at,
+                    other => panic!("clean link must deliver, got {other:?}"),
+                })
+                .collect::<Vec<_>>()
+        };
+        let fifo = arrivals(jittery.clone());
+        assert!(fifo.windows(2).all(|w| w[0] <= w[1]), "FIFO link must stay monotone");
+        let reordered = arrivals(jittery.with_reorder());
+        assert!(
+            reordered.windows(2).any(|w| w[0] > w[1]),
+            "reorder-enabled jittery link should produce at least one inversion"
+        );
     }
 
     #[test]

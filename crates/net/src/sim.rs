@@ -233,6 +233,10 @@ impl Simulator {
         };
         match link.offer(now, &packet) {
             Transmit::Deliver(at) => self.push_event(at, EventKind::Deliver { from, to, packet }),
+            Transmit::DeliverDup(at, dup_at) => {
+                self.push_event(at, EventKind::Deliver { from, to, packet: packet.clone() });
+                self.push_event(dup_at, EventKind::Deliver { from, to, packet });
+            }
             Transmit::DropQueue | Transmit::DropLoss => {}
         }
     }

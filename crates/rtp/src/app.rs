@@ -67,6 +67,10 @@ impl Semb {
 pub struct GsoTmmbr {
     /// The accessing node issuing the configuration.
     pub sender_ssrc: Ssrc,
+    /// Controller generation that issued the configuration; clients reject
+    /// requests from an older epoch so a restarted controller's messages
+    /// cannot race with a predecessor's late retransmissions (§7).
+    pub epoch: u32,
     /// Sequence number matched by the GTBN acknowledgement; used for the
     /// retransmission scheme of §4.3.
     pub request_seq: u32,
@@ -79,6 +83,8 @@ pub struct GsoTmmbr {
 pub struct GsoTmmbn {
     /// The acknowledging client.
     pub sender_ssrc: Ssrc,
+    /// Echo of the request's controller epoch.
+    pub epoch: u32,
     /// Echo of the request's sequence number.
     pub request_seq: u32,
     /// Echo of the applied configuration.
@@ -89,6 +95,7 @@ impl GsoTmmbr {
     pub(crate) const NAME: &'static [u8; 4] = b"GTMB";
 
     pub(crate) fn write_body(&self, b: &mut BytesMut) {
+        b.put_u32(self.epoch);
         b.put_u32(self.request_seq);
         for e in &self.entries {
             e.write(b);
@@ -96,8 +103,8 @@ impl GsoTmmbr {
     }
 
     pub(crate) fn read_body(sender_ssrc: Ssrc, b: &mut impl Buf) -> Result<GsoTmmbr, ParseError> {
-        let (request_seq, entries) = read_seq_entries(b)?;
-        Ok(GsoTmmbr { sender_ssrc, request_seq, entries })
+        let (epoch, request_seq, entries) = read_seq_entries(b)?;
+        Ok(GsoTmmbr { sender_ssrc, epoch, request_seq, entries })
     }
 }
 
@@ -105,6 +112,7 @@ impl GsoTmmbn {
     pub(crate) const NAME: &'static [u8; 4] = b"GTBN";
 
     pub(crate) fn write_body(&self, b: &mut BytesMut) {
+        b.put_u32(self.epoch);
         b.put_u32(self.request_seq);
         for e in &self.entries {
             e.write(b);
@@ -112,21 +120,22 @@ impl GsoTmmbn {
     }
 
     pub(crate) fn read_body(sender_ssrc: Ssrc, b: &mut impl Buf) -> Result<GsoTmmbn, ParseError> {
-        let (request_seq, entries) = read_seq_entries(b)?;
-        Ok(GsoTmmbn { sender_ssrc, request_seq, entries })
+        let (epoch, request_seq, entries) = read_seq_entries(b)?;
+        Ok(GsoTmmbn { sender_ssrc, epoch, request_seq, entries })
     }
 }
 
-fn read_seq_entries(b: &mut impl Buf) -> Result<(u32, Vec<TmmbrEntry>), ParseError> {
-    if b.remaining() < 4 {
-        return Err(ParseError::Truncated { needed: 4, got: b.remaining() });
+fn read_seq_entries(b: &mut impl Buf) -> Result<(u32, u32, Vec<TmmbrEntry>), ParseError> {
+    if b.remaining() < 8 {
+        return Err(ParseError::Truncated { needed: 8, got: b.remaining() });
     }
+    let epoch = b.get_u32();
     let seq = b.get_u32();
     if !b.remaining().is_multiple_of(TmmbrEntry::WIRE_LEN) {
         return Err(ParseError::BadLength);
     }
     let n = b.remaining() / TmmbrEntry::WIRE_LEN;
-    Ok((seq, (0..n).map(|_| TmmbrEntry::read(b)).collect()))
+    Ok((epoch, seq, (0..n).map(|_| TmmbrEntry::read(b)).collect()))
 }
 
 #[cfg(test)]
@@ -150,6 +159,7 @@ mod tests {
     fn gtmb_roundtrip_with_disable_entry() {
         let g = GsoTmmbr {
             sender_ssrc: Ssrc(1),
+            epoch: 3,
             request_seq: 0xdeadbeef,
             entries: vec![
                 TmmbrEntry { ssrc: Ssrc(100), bitrate: Bitrate::from_kbps(800), overhead: 40 },
@@ -159,6 +169,7 @@ mod tests {
         let mut b = BytesMut::new();
         g.write_body(&mut b);
         let back = GsoTmmbr::read_body(Ssrc(1), &mut b.freeze()).unwrap();
+        assert_eq!(back.epoch, 3);
         assert_eq!(back.request_seq, 0xdeadbeef);
         assert_eq!(back.entries[0].bitrate, Bitrate::from_kbps(800));
         assert!(back.entries[1].bitrate.is_zero(), "zero mantissa disables the stream");
@@ -166,10 +177,11 @@ mod tests {
 
     #[test]
     fn gtbn_echoes_request() {
-        let n = GsoTmmbn { sender_ssrc: Ssrc(2), request_seq: 7, entries: vec![] };
+        let n = GsoTmmbn { sender_ssrc: Ssrc(2), epoch: 1, request_seq: 7, entries: vec![] };
         let mut b = BytesMut::new();
         n.write_body(&mut b);
         let back = GsoTmmbn::read_body(Ssrc(2), &mut b.freeze()).unwrap();
+        assert_eq!(back.epoch, 1);
         assert_eq!(back.request_seq, 7);
         assert!(back.entries.is_empty());
     }
@@ -177,6 +189,7 @@ mod tests {
     #[test]
     fn rejects_ragged_entry_list() {
         let mut b = BytesMut::new();
+        b.put_u32(0); // epoch
         b.put_u32(1); // seq
         b.put_u32(2); // half an entry
         let err = GsoTmmbr::read_body(Ssrc(1), &mut b.freeze()).unwrap_err();

@@ -253,6 +253,7 @@ mod tests {
     fn sample_gtmb() -> RtcpPacket {
         RtcpPacket::GsoTmmbr(GsoTmmbr {
             sender_ssrc: Ssrc(4),
+            epoch: 0,
             request_seq: 9,
             entries: vec![TmmbrEntry {
                 ssrc: Ssrc(100),
@@ -306,6 +307,7 @@ mod tests {
             sample_gtmb(),
             RtcpPacket::GsoTmmbn(GsoTmmbn {
                 sender_ssrc: Ssrc(2),
+                epoch: 0,
                 request_seq: 9,
                 entries: vec![],
             }),

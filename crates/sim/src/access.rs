@@ -8,8 +8,8 @@
 //! policy instead of controller rules.
 
 use crate::client::PolicyMode;
-use crate::ctrl::CtrlMessage;
-use gso_algo::SourceId;
+use crate::ctrl::{ClientSnapshot, CtrlMessage};
+use gso_algo::{Ladder, SourceId};
 use gso_bwe::TwccGenerator;
 use gso_bwe::{
     BweConfig, ProbeConfig, ProbeController, SembConfig, SembScheduler, SendHistory, SenderBwe,
@@ -84,6 +84,14 @@ pub struct AccessNode {
     /// Subscriptions as signaled (used by baseline selection and audio
     /// fan-out).
     subs: BTreeMap<ClientId, Vec<SubscribeIntent>>,
+    /// Negotiated ladders, cached from SDP offers / joins passing through,
+    /// so a restarted controller can resync without re-negotiating.
+    client_ladders: BTreeMap<ClientId, Vec<(StreamKind, Ladder)>>,
+    /// Last SEMB uplink estimate relayed per client (also for resync).
+    last_uplink: BTreeMap<ClientId, Bitrate>,
+    /// When set, periodic downlink reports toward the conference node are
+    /// suppressed (chaos: BWE feedback blackout).
+    report_blackout: bool,
     /// Observed publisher layers.
     layer_rates: BTreeMap<Ssrc, LayerRate>,
     last_slow: SimTime,
@@ -106,6 +114,9 @@ impl AccessNode {
             down: BTreeMap::new(),
             switchers: BTreeMap::new(),
             subs: BTreeMap::new(),
+            client_ladders: BTreeMap::new(),
+            last_uplink: BTreeMap::new(),
+            report_blackout: false,
             layer_rates: BTreeMap::new(),
             last_slow: SimTime::ZERO,
             started: false,
@@ -145,6 +156,27 @@ impl AccessNode {
     /// Downlink estimate for a client (for tests/metrics).
     pub fn downlink_estimate(&self, client: ClientId) -> Option<Bitrate> {
         self.down.get(&client).map(|d| d.bwe.estimate())
+    }
+
+    /// Suppress (or restore) downlink reports toward the conference node —
+    /// the server-side half of a BWE feedback blackout fault.
+    pub fn set_report_blackout(&mut self, on: bool) {
+        self.report_blackout = on;
+    }
+
+    /// Snapshot of every locally-attached client's cached state, for
+    /// controller resync after a restart.
+    fn snapshot(&self) -> Vec<ClientSnapshot> {
+        self.clients
+            .keys()
+            .map(|&client| ClientSnapshot {
+                client,
+                ladders: self.client_ladders.get(&client).cloned().unwrap_or_default(),
+                intents: self.subs.get(&client).cloned().unwrap_or_default(),
+                uplink: self.last_uplink.get(&client).copied().unwrap_or(Bitrate::ZERO),
+                downlink: self.down.get(&client).map_or(Bitrate::ZERO, |d| d.bwe.estimate()),
+            })
+            .collect()
     }
 
     /// Kick off periodic timers.
@@ -302,6 +334,7 @@ impl AccessNode {
                     }
                 }
                 RtcpPacket::Semb(semb) => {
+                    self.last_uplink.insert(from, semb.bitrate);
                     if let (PolicyMode::Gso, Some(cn)) = (self.mode, self.conference) {
                         out.send(
                             cn,
@@ -342,9 +375,25 @@ impl AccessNode {
     fn handle_ctrl(&mut self, now: SimTime, from: NodeId, msg: CtrlMessage, out: &mut Actions) {
         let from_client = self.endpoint_to_client.get(&from).copied();
         match msg {
-            // Client → CN signaling, recorded locally for baseline policy
-            // and audio fan-out, then relayed.
-            CtrlMessage::Join { .. } | CtrlMessage::Leave { .. } | CtrlMessage::SdpOffer { .. } => {
+            // Client → CN signaling, recorded locally for baseline policy,
+            // audio fan-out and controller resync, then relayed.
+            CtrlMessage::Join { client, ref ladders } => {
+                self.client_ladders.insert(client, ladders.clone());
+                if let Some(cn) = self.conference {
+                    out.send(cn, Packet::new(msg.serialize()));
+                }
+            }
+            CtrlMessage::SdpOffer { client, ref sdp } => {
+                if let Ok(offer) = gso_control::SdpOffer::parse(sdp) {
+                    self.client_ladders.insert(client, offer.ladders);
+                }
+                if let Some(cn) = self.conference {
+                    out.send(cn, Packet::new(msg.serialize()));
+                }
+            }
+            CtrlMessage::Leave { client } => {
+                self.client_ladders.remove(&client);
+                self.last_uplink.remove(&client);
                 if let Some(cn) = self.conference {
                     out.send(cn, Packet::new(msg.serialize()));
                 }
@@ -378,6 +427,14 @@ impl AccessNode {
                 }
             }
             // CN → AN.
+            CtrlMessage::ResyncRequest => {
+                // A restarted controller rebuilds its picture from our
+                // cached view of the attached clients (§7).
+                out.send(
+                    from,
+                    Packet::new(CtrlMessage::ResyncState { clients: self.snapshot() }.serialize()),
+                );
+            }
             CtrlMessage::ConfigPush { client, rtcp } => {
                 if let Some(&endpoint) = self.clients.get(&client) {
                     out.send(endpoint, Packet::new(rtcp));
@@ -660,7 +717,10 @@ impl Node for AccessNode {
                     path.history.prune(now);
                     if self.mode == PolicyMode::Gso {
                         if let Some(report) = path.reporter.poll(now, estimate) {
-                            if let Some(cn) = self.conference {
+                            // During a blackout the scheduler still advances
+                            // (reports resume on cadence), but nothing is
+                            // sent.
+                            if let (false, Some(cn)) = (self.report_blackout, self.conference) {
                                 out.send(
                                     cn,
                                     Packet::new(
@@ -816,6 +876,7 @@ mod tests {
         let (mut an, cn, e1, _e2) = an_with_two_clients();
         let ack = RtcpPacket::GsoTmmbn(GsoTmmbn {
             sender_ssrc: ssrc_for(ClientId(1), StreamKind::Video, 0),
+            epoch: 0,
             request_seq: 7,
             entries: vec![],
         });
@@ -832,6 +893,69 @@ mod tests {
             CtrlMessage::parse(out.sends()[0].1.data.clone()),
             Some(CtrlMessage::AckRelay { client, .. }) if client == ClientId(1)
         ));
+    }
+
+    #[test]
+    fn resync_request_returns_cached_snapshot() {
+        let (mut an, cn, e1, _e2) = an_with_two_clients();
+        // An SDP offer passing through caches the negotiated ladders.
+        let offer = gso_control::SdpOffer {
+            client: ClientId(1),
+            codec: "H264".into(),
+            ladders: vec![(StreamKind::Video, gso_algo::ladders::paper_table1())],
+        };
+        let mut out = Actions::default();
+        an.on_packet(
+            SimTime::ZERO,
+            e1,
+            Packet::new(
+                CtrlMessage::SdpOffer { client: ClientId(1), sdp: offer.to_sdp() }.serialize(),
+            ),
+            &mut out,
+        );
+        // A subscribe and a SEMB cache intents and the uplink estimate.
+        let sub = CtrlMessage::Subscribe {
+            client: ClientId(1),
+            intents: vec![SubscribeIntent {
+                source: SourceId::video(ClientId(2)),
+                max_resolution: gso_algo::Resolution::R720,
+                tag: 0,
+            }],
+        };
+        let mut out = Actions::default();
+        an.on_packet(SimTime::ZERO, e1, Packet::new(sub.serialize()), &mut out);
+        let semb = RtcpPacket::Semb(Semb {
+            sender_ssrc: ssrc_for(ClientId(1), StreamKind::Video, 0),
+            bitrate: Bitrate::from_kbps(1_500),
+            ssrcs: vec![],
+        });
+        let mut out = Actions::default();
+        an.on_packet(
+            SimTime::ZERO,
+            e1,
+            Packet::new(RtcpPacket::serialize_compound(&[semb])),
+            &mut out,
+        );
+        // The resync reply carries all of it back to the conference node.
+        let mut out = Actions::default();
+        an.on_packet(
+            SimTime::ZERO,
+            cn,
+            Packet::new(CtrlMessage::ResyncRequest.serialize()),
+            &mut out,
+        );
+        assert_eq!(out.sends().len(), 1);
+        assert_eq!(out.sends()[0].0, cn);
+        let Some(CtrlMessage::ResyncState { clients }) =
+            CtrlMessage::parse(out.sends()[0].1.data.clone())
+        else {
+            panic!("expected a ResyncState reply");
+        };
+        assert_eq!(clients.len(), 2, "both attached clients snapshotted");
+        let c1 = clients.iter().find(|c| c.client == ClientId(1)).unwrap();
+        assert_eq!(c1.ladders.len(), 1, "ladder recovered from the cached offer");
+        assert_eq!(c1.intents.len(), 1, "intents recovered");
+        assert_eq!(c1.uplink, Bitrate::from_kbps(1_500), "uplink recovered");
     }
 
     #[test]

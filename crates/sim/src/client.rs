@@ -22,10 +22,11 @@ use gso_media::{
 use gso_net::{Actions, Node, NodeId, Packet};
 use gso_rtp::{decode_ssrc, ssrc_for, GsoTmmbn, Nack, RtcpPacket, RtpPacket, Semb};
 use gso_sfu::{layers_for, TemplateKind};
+use gso_telemetry::{keys, Telemetry};
 use gso_util::stats::TimeSeries;
 use gso_util::{Bitrate, ClientId, SimDuration, SimTime, Ssrc, StreamKind};
 use std::any::Any;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Which stream policy the client (and its conference) runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +63,9 @@ impl PolicyMode {
     }
 }
 
-/// Timer tokens.
+/// Timer tokens. The low byte is the kind; higher bits carry the boot
+/// generation so timer chains armed before a crash die out instead of
+/// doubling the cadence after a rejoin.
 const BOOT: u64 = 0;
 const VIDEO_TICK: u64 = 1;
 const AUDIO_TICK: u64 = 2;
@@ -164,6 +167,22 @@ pub struct ClientNode {
     downgrade: DowngradeMonitor,
     last_keyframe_req: BTreeMap<SourceId, SimTime>,
 
+    /// Highest controller generation seen; GTMBs from older epochs are
+    /// rejected (§7: a config issued before a controller restart must not
+    /// clobber post-restart state).
+    ctrl_epoch: u32,
+    /// Configs already applied in the current epoch, so duplicated GTMBs
+    /// are re-acked without re-application.
+    applied_cfgs: BTreeSet<(u32, u32)>,
+    /// Crashed: the node is silent and deaf until [`ClientNode::rejoin`].
+    down: bool,
+    /// Boot generation, stamped into timer tokens (see token constants).
+    boot_gen: u64,
+    /// When set, SEMB uplink reports are suppressed (chaos: BWE feedback
+    /// blackout).
+    semb_blackout: bool,
+    telemetry: Telemetry,
+
     bytes_recv_window: u64,
     bytes_sent_window: u64,
     last_sample: SimTime,
@@ -229,6 +248,12 @@ impl ClientNode {
             twcc_rx: TwccGenerator::new(),
             downgrade: DowngradeMonitor::new(SimDuration::from_secs(2)),
             last_keyframe_req: BTreeMap::new(),
+            ctrl_epoch: 0,
+            applied_cfgs: BTreeSet::new(),
+            down: false,
+            boot_gen: 0,
+            semb_blackout: false,
+            telemetry: Telemetry::disabled(),
             bytes_recv_window: 0,
             bytes_sent_window: 0,
             last_sample: SimTime::ZERO,
@@ -246,7 +271,42 @@ impl ClientNode {
     /// Attach a metrics registry; the uplink estimator reports with an
     /// `up:<client>` label.
     pub fn set_telemetry(&mut self, telemetry: gso_telemetry::Telemetry) {
+        self.telemetry = telemetry.clone();
         self.bwe.set_telemetry(telemetry, format!("up:{}", self.cfg.id));
+    }
+
+    /// Suppress (or restore) SEMB uplink reporting — a BWE feedback
+    /// blackout fault.
+    pub fn set_semb_blackout(&mut self, on: bool) {
+        self.semb_blackout = on;
+    }
+
+    /// Abrupt crash: the node goes silent and ignores all input until
+    /// [`ClientNode::rejoin`]. Pending timer chains die out (stale boot
+    /// generation), so the cadence does not double on rejoin.
+    pub fn crash(&mut self) {
+        self.down = true;
+    }
+
+    /// Whether the node is currently crashed.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Rejoin after a crash as a fresh endpoint: transport and receiver
+    /// state is reset, then the normal boot sequence (SDP offer, subscribe,
+    /// timers) replays under a new boot generation.
+    pub fn rejoin(&mut self, now: SimTime, out: &mut Actions) {
+        self.down = false;
+        self.boot_gen += 1;
+        self.receivers.clear();
+        self.rtx.clear();
+        self.recent_rtx.clear();
+        self.seqs.clear();
+        self.twcc_rx = TwccGenerator::new();
+        self.history = SendHistory::new();
+        self.applied_cfgs.clear();
+        self.on_timer(now, (self.boot_gen << 8) | BOOT, out);
     }
 
     /// Current uplink estimate.
@@ -364,15 +424,37 @@ impl ClientNode {
                     feedback_results.extend(self.history.resolve(ssrc, &fb));
                 }
                 RtcpPacket::GsoTmmbr(req) => {
-                    for e in &req.entries {
-                        if !self.video_enc.set_layer_rate(e.ssrc, e.bitrate) {
-                            if let Some(screen) = self.screen_enc.as_mut() {
-                                screen.set_layer_rate(e.ssrc, e.bitrate);
+                    if req.epoch < self.ctrl_epoch {
+                        // A config from a pre-restart controller generation:
+                        // applying it would clobber newer state. Drop without
+                        // acking, so the stale sender gives up on its own.
+                        self.telemetry.incr(keys::EPOCH_STALE_REJECTED, self.cfg.id);
+                        continue;
+                    }
+                    if req.epoch > self.ctrl_epoch {
+                        self.ctrl_epoch = req.epoch;
+                        self.applied_cfgs.clear();
+                    }
+                    if self.applied_cfgs.insert((req.epoch, req.request_seq)) {
+                        for e in &req.entries {
+                            if !self.video_enc.set_layer_rate(e.ssrc, e.bitrate) {
+                                if let Some(screen) = self.screen_enc.as_mut() {
+                                    screen.set_layer_rate(e.ssrc, e.bitrate);
+                                }
                             }
                         }
+                        if self.applied_cfgs.len() > 1024 {
+                            self.applied_cfgs.pop_first();
+                        }
+                    } else {
+                        // Duplicated delivery (network dup or controller
+                        // retransmission racing the ack): don't re-apply,
+                        // but do re-ack so delivery state converges.
+                        self.telemetry.incr(keys::EPOCH_DUP_REACKED, self.cfg.id);
                     }
                     replies.push(RtcpPacket::GsoTmmbn(GsoTmmbn {
                         sender_ssrc: ssrc_for(self.cfg.id, StreamKind::Video, 0),
+                        epoch: req.epoch,
                         request_seq: req.request_seq,
                         entries: req.entries.clone(),
                     }));
@@ -448,6 +530,9 @@ impl ClientNode {
 
 impl Node for ClientNode {
     fn on_packet(&mut self, now: SimTime, _from: NodeId, packet: Packet, out: &mut Actions) {
+        if self.down {
+            return;
+        }
         let data = packet.data;
         if data.is_empty() {
             return;
@@ -485,7 +570,13 @@ impl Node for ClientNode {
     }
 
     fn on_timer(&mut self, now: SimTime, token: u64, out: &mut Actions) {
-        match token {
+        // Timers from a previous boot generation (armed before a crash)
+        // fall through harmlessly instead of duplicating the new chains.
+        if self.down || (token >> 8) != self.boot_gen {
+            return;
+        }
+        let gen_bits = self.boot_gen << 8;
+        match token & 0xff {
             BOOT => {
                 self.started = Some(now);
                 self.last_sample = now;
@@ -516,12 +607,12 @@ impl Node for ClientNode {
                     ),
                 );
                 self.apply_template(now);
-                out.timer_at(now, VIDEO_TICK);
+                out.timer_at(now, gen_bits | VIDEO_TICK);
                 if self.audio_src.is_some() {
-                    out.timer_at(now, AUDIO_TICK);
+                    out.timer_at(now, gen_bits | AUDIO_TICK);
                 }
-                out.timer_in(now, FAST_INTERVAL, FAST_TICK);
-                out.timer_in(now, SLOW_INTERVAL, SLOW_TICK);
+                out.timer_in(now, FAST_INTERVAL, gen_bits | FAST_TICK);
+                out.timer_in(now, SLOW_INTERVAL, gen_bits | SLOW_TICK);
             }
             VIDEO_TICK => {
                 let mut frames = self.video_enc.tick(now);
@@ -537,7 +628,7 @@ impl Node for ClientNode {
                         self.send_rtp(now, p, false, out);
                     }
                 }
-                out.timer_in(now, self.video_enc.frame_interval(), VIDEO_TICK);
+                out.timer_in(now, self.video_enc.frame_interval(), gen_bits | VIDEO_TICK);
             }
             AUDIO_TICK => {
                 if let Some(audio) = self.audio_src.as_mut() {
@@ -546,7 +637,11 @@ impl Node for ClientNode {
                     // Audio is not part of the BWE media history (tiny) but
                     // does traverse the link.
                     out.send(self.an, Packet::new(pkt.serialize()));
-                    out.timer_in(now, gso_media::audio::AUDIO_FRAME_INTERVAL, AUDIO_TICK);
+                    out.timer_in(
+                        now,
+                        gso_media::audio::AUDIO_FRAME_INTERVAL,
+                        gen_bits | AUDIO_TICK,
+                    );
                 }
             }
             FAST_TICK => {
@@ -581,8 +676,12 @@ impl Node for ClientNode {
                     }
                 }
 
-                // Uplink SEMB report.
-                if let Some(report) = self.semb.poll(now, self.bwe.estimate()) {
+                // Uplink SEMB report (suppressed during a chaos blackout).
+                if self.semb_blackout {
+                    // Keep the scheduler's clock moving so reports resume
+                    // on cadence when the blackout lifts.
+                    let _ = self.semb.poll(now, self.bwe.estimate());
+                } else if let Some(report) = self.semb.poll(now, self.bwe.estimate()) {
                     let semb = RtcpPacket::Semb(Semb {
                         sender_ssrc: ssrc_for(self.cfg.id, StreamKind::Video, 0),
                         bitrate: report,
@@ -618,7 +717,7 @@ impl Node for ClientNode {
                     .min(per_sec.max(30_000.0));
                 self.recent_rtx
                     .retain(|_, &mut t| now.saturating_since(t) < SimDuration::from_secs(1));
-                out.timer_in(now, FAST_INTERVAL, FAST_TICK);
+                out.timer_in(now, FAST_INTERVAL, gen_bits | FAST_TICK);
             }
             SLOW_TICK => {
                 self.apply_template(now);
@@ -630,7 +729,7 @@ impl Node for ClientNode {
                 self.bytes_recv_window = 0;
                 self.bytes_sent_window = 0;
                 self.last_sample = now;
-                out.timer_in(now, SLOW_INTERVAL, SLOW_TICK);
+                out.timer_in(now, SLOW_INTERVAL, gen_bits | SLOW_TICK);
             }
             _ => {}
         }
@@ -793,6 +892,7 @@ mod tests {
         let ssrc = ssrc_for(ClientId(1), StreamKind::Video, 360);
         let gtmb = RtcpPacket::GsoTmmbr(GsoTmmbr {
             sender_ssrc: Ssrc(0xC0DE),
+            epoch: 0,
             request_seq: 9,
             entries: vec![TmmbrEntry { ssrc, bitrate: Bitrate::from_kbps(512), overhead: 40 }],
         });
@@ -811,6 +911,103 @@ mod tests {
             })
         });
         assert!(acked, "GTMB must be acknowledged with GTBN");
+    }
+
+    fn gtmb_packet(epoch: u32, seq: u32, kbps: u64) -> Packet {
+        let ssrc = ssrc_for(ClientId(1), StreamKind::Video, 360);
+        Packet::new(RtcpPacket::serialize_compound(&[RtcpPacket::GsoTmmbr(GsoTmmbr {
+            sender_ssrc: Ssrc(0xC0DE),
+            epoch,
+            request_seq: seq,
+            entries: vec![TmmbrEntry { ssrc, bitrate: Bitrate::from_kbps(kbps), overhead: 40 }],
+        })]))
+    }
+
+    fn acks_in(out: &Actions) -> usize {
+        out.sends()
+            .iter()
+            .filter(|(_, p)| {
+                RtcpPacket::parse_compound(p.data.clone())
+                    .is_ok_and(|ps| ps.iter().any(|x| matches!(x, RtcpPacket::GsoTmmbn(_))))
+            })
+            .count()
+    }
+
+    #[test]
+    fn stale_epoch_gtmb_rejected_without_ack() {
+        let mut c = client(PolicyMode::Gso);
+        let mut out = Actions::default();
+        c.on_timer(SimTime::ZERO, 0, &mut out);
+        let ssrc = ssrc_for(ClientId(1), StreamKind::Video, 360);
+        // Epoch 2 config applies.
+        let mut out = Actions::default();
+        c.on_packet(SimTime::from_millis(10), NodeId(0), gtmb_packet(2, 1, 512), &mut out);
+        assert_eq!(c.video_enc.layer_rate(ssrc), Some(Bitrate::from_kbps(512)));
+        assert_eq!(acks_in(&out), 1);
+        // A straggler from the pre-restart controller (epoch 1) must not
+        // clobber it — and must not be acked.
+        let mut out = Actions::default();
+        c.on_packet(SimTime::from_millis(20), NodeId(0), gtmb_packet(1, 9, 64), &mut out);
+        assert_eq!(c.video_enc.layer_rate(ssrc), Some(Bitrate::from_kbps(512)));
+        assert_eq!(acks_in(&out), 0, "stale-epoch GTMB must not be acknowledged");
+    }
+
+    #[test]
+    fn duplicated_gtmb_reacked_not_reapplied() {
+        let mut c = client(PolicyMode::Gso);
+        let mut out = Actions::default();
+        c.on_timer(SimTime::ZERO, 0, &mut out);
+        let ssrc = ssrc_for(ClientId(1), StreamKind::Video, 360);
+        let mut out = Actions::default();
+        c.on_packet(SimTime::from_millis(10), NodeId(0), gtmb_packet(0, 5, 512), &mut out);
+        assert_eq!(acks_in(&out), 1);
+        // A later config moves the rate; then the network re-delivers the
+        // old (epoch 0, seq 5) packet. It must be re-acked — the ack may
+        // have been lost — but not re-applied.
+        let mut out = Actions::default();
+        c.on_packet(SimTime::from_millis(20), NodeId(0), gtmb_packet(0, 6, 800), &mut out);
+        let mut out = Actions::default();
+        c.on_packet(SimTime::from_millis(30), NodeId(0), gtmb_packet(0, 5, 512), &mut out);
+        assert_eq!(acks_in(&out), 1, "duplicate must be re-acked");
+        assert_eq!(
+            c.video_enc.layer_rate(ssrc),
+            Some(Bitrate::from_kbps(800)),
+            "duplicate must not roll the encoder back"
+        );
+    }
+
+    #[test]
+    fn crash_silences_and_rejoin_reboots_fresh() {
+        let mut c = client(PolicyMode::Gso);
+        let mut out = Actions::default();
+        c.on_timer(SimTime::ZERO, 0, &mut out);
+        c.on_packet(SimTime::from_millis(10), NodeId(0), gtmb_packet(0, 1, 512), &mut out);
+        c.crash();
+        assert!(c.is_down());
+        // While down: timers and packets are ignored.
+        let mut out = Actions::default();
+        c.on_timer(SimTime::from_millis(100), 3, &mut out);
+        c.on_packet(SimTime::from_millis(110), NodeId(0), gtmb_packet(0, 2, 256), &mut out);
+        assert!(out.is_empty(), "a crashed client is silent");
+        // Rejoin: fresh boot generation, SDP offer + subscribe go out again,
+        // and the applied-config memory is gone (seq 2 now applies).
+        let mut out = Actions::default();
+        c.rejoin(SimTime::from_secs(2), &mut out);
+        let offers = out
+            .sends()
+            .iter()
+            .filter_map(|(_, p)| CtrlMessage::parse(p.data.clone()))
+            .filter(|m| matches!(m, CtrlMessage::SdpOffer { .. }))
+            .count();
+        assert_eq!(offers, 1, "rejoin must re-offer");
+        // Stale-generation timer (armed pre-crash) is a no-op…
+        let mut out = Actions::default();
+        c.on_timer(SimTime::from_secs(2), 3, &mut out);
+        assert!(out.is_empty(), "pre-crash timer chains must die");
+        // …while the new generation's fast tick runs.
+        let mut out = Actions::default();
+        c.on_timer(SimTime::from_secs(2) + SimDuration::from_millis(100), (1 << 8) | 3, &mut out);
+        assert!(out.timers().iter().any(|&(_, t)| t == (1 << 8) | 3));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::ctrl::CtrlMessage;
 use gso_control::{CodecCapability, ControllerConfig, GsoController};
 use gso_net::{Actions, Node, NodeId, Packet};
 use gso_rtp::RtcpPacket;
+use gso_telemetry::{keys, Telemetry};
 use gso_util::{ClientId, SimDuration, SimTime, Ssrc};
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -27,28 +28,45 @@ pub struct ConferenceNode {
     /// The controller (public for post-run inspection: solutions, call
     /// intervals).
     pub controller: GsoController,
+    /// Kept to rebuild the controller after a simulated process restart.
+    cfg: ControllerConfig,
     /// Accessing nodes to broadcast rules to.
     access_nodes: Vec<NodeId>,
     /// Which accessing node serves each client.
     client_an: BTreeMap<ClientId, NodeId>,
     /// Accessing node that relayed each client's join (learned dynamically).
     default_an: Option<NodeId>,
+    /// Crashed: everything is dropped until [`ConferenceNode::restart`].
+    down: bool,
+    /// Controller generation, bumped on every restart and stamped into
+    /// GTMBs so clients can reject stale configs (§7).
+    epoch: u32,
+    /// Set at restart; cleared when the rebuilt controller first produces a
+    /// non-fallback solution (that interval is the recovery time).
+    restarted_at: Option<SimTime>,
+    telemetry: Telemetry,
 }
 
 impl ConferenceNode {
     /// Build a conference node that will broadcast rules to `access_nodes`.
     pub fn new(cfg: ControllerConfig, access_nodes: Vec<NodeId>) -> Self {
         ConferenceNode {
-            controller: GsoController::new(cfg, Ssrc(0xC0DE)),
+            controller: GsoController::new(cfg.clone(), Ssrc(0xC0DE)),
+            cfg,
             access_nodes,
             client_an: BTreeMap::new(),
             default_an: None,
+            down: false,
+            epoch: 0,
+            restarted_at: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
     /// Attach a metrics registry to the embedded controller (and its
     /// feedback executor).
     pub fn set_telemetry(&mut self, telemetry: gso_telemetry::Telemetry) {
+        self.telemetry = telemetry.clone();
         self.controller.set_telemetry(telemetry);
     }
 
@@ -64,13 +82,79 @@ impl ConferenceNode {
             self.access_nodes.push(an);
         }
     }
+
+    /// Simulate an abrupt controller outage: all input is dropped and no
+    /// configuration goes out until [`ConferenceNode::restart`]. The tick
+    /// timer chain stays armed so the node can come back.
+    pub fn crash(&mut self, now: SimTime) {
+        self.down = true;
+        self.telemetry.event(now, keys::EV_CTRL_CRASH, "controller down".to_string());
+    }
+
+    /// Whether the node is currently crashed.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Current controller generation.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Restart after a crash: the controller is rebuilt from scratch under
+    /// a new epoch (in-memory state is gone, as in a real process restart)
+    /// and its picture is reconstructed by asking every accessing node to
+    /// resync its cached client state (§7: recovery without interruption —
+    /// the media plane keeps forwarding on the last rules throughout).
+    pub fn restart(&mut self, now: SimTime, out: &mut Actions) {
+        self.down = false;
+        self.epoch += 1;
+        let mut controller = GsoController::new(self.cfg.clone(), Ssrc(0xC0DE));
+        controller.set_telemetry(self.telemetry.clone());
+        controller.set_epoch(self.epoch);
+        self.controller = controller;
+        self.client_an.clear();
+        self.restarted_at = Some(now);
+        self.telemetry.event(
+            now,
+            keys::EV_CTRL_RESTART,
+            format!("controller restarted, epoch {}", self.epoch),
+        );
+        let targets: Vec<NodeId> = if self.access_nodes.is_empty() {
+            self.default_an.into_iter().collect()
+        } else {
+            self.access_nodes.clone()
+        };
+        for an in targets {
+            out.send(an, Packet::new(CtrlMessage::ResyncRequest.serialize()));
+        }
+    }
 }
 
 impl Node for ConferenceNode {
     fn on_packet(&mut self, now: SimTime, from: NodeId, packet: Packet, _out: &mut Actions) {
+        if self.down {
+            return;
+        }
         let Some(msg) = CtrlMessage::parse(packet.data) else { return };
         self.default_an.get_or_insert(from);
         match msg {
+            CtrlMessage::ResyncState { clients } => {
+                // Re-registration of everything an accessing node knows
+                // about its clients: capabilities, subscriptions and the
+                // last bandwidth estimates.
+                for snap in clients {
+                    self.client_an.insert(snap.client, from);
+                    self.controller.on_join(snap.client, CodecCapability { ladders: snap.ladders });
+                    self.controller.on_subscriptions(snap.client, snap.intents);
+                    if !snap.uplink.is_zero() {
+                        self.controller.on_uplink_report(now, snap.client, snap.uplink);
+                    }
+                    if !snap.downlink.is_zero() {
+                        self.controller.on_downlink_report(now, snap.client, snap.downlink);
+                    }
+                }
+            }
             CtrlMessage::Join { client, ladders } => {
                 self.client_an.insert(client, from);
                 self.controller.on_join(client, CodecCapability { ladders });
@@ -131,14 +215,35 @@ impl Node for ConferenceNode {
 
     fn on_timer(&mut self, now: SimTime, token: u64, out: &mut Actions) {
         if token & SPEAKER_EVENT != 0 {
-            let raw = (token & 0xffff_ffff) as u32;
-            self.controller.on_speaker((raw > 0).then(|| ClientId(raw - 1)));
+            if !self.down {
+                let raw = (token & 0xffff_ffff) as u32;
+                self.controller.on_speaker((raw > 0).then(|| ClientId(raw - 1)));
+            }
             return;
         }
         if token != TICK {
             return;
         }
+        if self.down {
+            // Keep the tick chain alive through the outage so the node
+            // resumes on cadence once restarted.
+            out.timer_in(now, TICK_INTERVAL, TICK);
+            return;
+        }
         let (output, retransmissions) = self.controller.tick(now);
+        if let Some(restarted) = self.restarted_at {
+            if output.is_some() && !self.controller.fallback_active() {
+                // First full (non-fallback) solve after a restart closes
+                // the recovery window.
+                self.restarted_at = None;
+                self.telemetry.observe(
+                    keys::CTRL_RECOVERY_TIME_MS,
+                    "restart",
+                    now.saturating_since(restarted).as_millis(),
+                    keys::RECOVERY_MS_BOUNDS,
+                );
+            }
+        }
 
         let mut pushes: Vec<(ClientId, Vec<RtcpPacket>)> = Vec::new();
         if let Some(output) = &output {

@@ -97,6 +97,32 @@ pub enum CtrlMessage {
         /// The answer text.
         sdp: String,
     },
+    /// CN → AN: a restarted controller asks for the node's view of its
+    /// attached clients (§7: recovery without interruption).
+    ResyncRequest,
+    /// AN → CN: the node's cached client state, from which a restarted
+    /// controller reconstructs its global picture.
+    ResyncState {
+        /// One snapshot per locally-attached client.
+        clients: Vec<ClientSnapshot>,
+    },
+}
+
+/// One client's state as cached by its accessing node: everything a
+/// restarted controller needs to re-register the client without a round
+/// trip to the endpoint itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientSnapshot {
+    /// The client.
+    pub client: ClientId,
+    /// Negotiated per-kind ladders (cached from the SDP offer / join).
+    pub ladders: Vec<(StreamKind, Ladder)>,
+    /// Last signaled subscription intents.
+    pub intents: Vec<SubscribeIntent>,
+    /// Last relayed SEMB uplink estimate (zero if none seen).
+    pub uplink: Bitrate,
+    /// The node's current downlink estimate for the client.
+    pub downlink: Bitrate,
 }
 
 fn put_kind(b: &mut BytesMut, k: StreamKind) {
@@ -205,6 +231,35 @@ impl CtrlMessage {
                 b.put_u32(client.0);
                 b.put_u32(sdp.len() as u32);
                 b.extend_from_slice(sdp.as_bytes());
+            }
+            CtrlMessage::ResyncRequest => {
+                b.put_u8(13);
+            }
+            CtrlMessage::ResyncState { clients } => {
+                b.put_u8(14);
+                b.put_u16(clients.len() as u16);
+                for c in clients {
+                    b.put_u32(c.client.0);
+                    b.put_u8(c.ladders.len() as u8);
+                    for (kind, ladder) in &c.ladders {
+                        put_kind(&mut b, *kind);
+                        b.put_u16(ladder.len() as u16);
+                        for s in ladder.specs() {
+                            b.put_u16(s.resolution.0);
+                            b.put_u64(s.bitrate.as_bps());
+                            b.put_f64(s.qoe);
+                        }
+                    }
+                    b.put_u16(c.intents.len() as u16);
+                    for i in &c.intents {
+                        b.put_u32(i.source.client.0);
+                        put_kind(&mut b, i.source.kind);
+                        b.put_u16(i.max_resolution.0);
+                        b.put_u8(i.tag);
+                    }
+                    b.put_u64(c.uplink.as_bps());
+                    b.put_u64(c.downlink.as_bps());
+                }
             }
         }
         b.freeze()
@@ -334,6 +389,52 @@ impl CtrlMessage {
                     CtrlMessage::SdpAnswer { client, sdp }
                 }
             }
+            13 => CtrlMessage::ResyncRequest,
+            14 => {
+                need(b, 2)?;
+                let n = b.get_u16() as usize;
+                let mut clients = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    need(b, 5)?;
+                    let client = ClientId(b.get_u32());
+                    let nl = b.get_u8() as usize;
+                    let mut ladders = Vec::with_capacity(nl);
+                    for _ in 0..nl {
+                        need(b, 3)?;
+                        let kind = get_kind(b)?;
+                        let m = b.get_u16() as usize;
+                        need(b, m.checked_mul(18)?)?;
+                        let mut specs = Vec::with_capacity(m);
+                        for _ in 0..m {
+                            let res = Resolution(b.get_u16());
+                            let rate = Bitrate::from_bps(b.get_u64());
+                            let qoe = b.get_f64();
+                            specs.push(StreamSpec::new(res, rate, qoe));
+                        }
+                        ladders.push((kind, Ladder::new(specs).ok()?));
+                    }
+                    need(b, 2)?;
+                    let ni = b.get_u16() as usize;
+                    need(b, ni.checked_mul(8)?)?;
+                    let mut intents = Vec::with_capacity(ni);
+                    for _ in 0..ni {
+                        let pub_client = ClientId(b.get_u32());
+                        let kind = get_kind(b)?;
+                        let max_resolution = Resolution(b.get_u16());
+                        let tag = b.get_u8();
+                        intents.push(SubscribeIntent {
+                            source: SourceId { client: pub_client, kind },
+                            max_resolution,
+                            tag,
+                        });
+                    }
+                    need(b, 16)?;
+                    let uplink = Bitrate::from_bps(b.get_u64());
+                    let downlink = Bitrate::from_bps(b.get_u64());
+                    clients.push(ClientSnapshot { client, ladders, intents, uplink, downlink });
+                }
+                CtrlMessage::ResyncState { clients }
+            }
             _ => return None,
         })
     }
@@ -386,6 +487,29 @@ mod tests {
             CtrlMessage::KeyframeRequest { source: SourceId::screen(ClientId(5)) },
             CtrlMessage::SdpOffer { client: ClientId(6), sdp: "v=0\r\n".into() },
             CtrlMessage::SdpAnswer { client: ClientId(6), sdp: "v=0\r\na=ssrc:1\r\n".into() },
+            CtrlMessage::ResyncRequest,
+            CtrlMessage::ResyncState {
+                clients: vec![
+                    ClientSnapshot {
+                        client: ClientId(1),
+                        ladders: vec![(StreamKind::Video, ladders::paper_table1())],
+                        intents: vec![SubscribeIntent {
+                            source: SourceId::video(ClientId(2)),
+                            max_resolution: Resolution::R720,
+                            tag: 0,
+                        }],
+                        uplink: Bitrate::from_kbps(3_000),
+                        downlink: Bitrate::from_kbps(2_500),
+                    },
+                    ClientSnapshot {
+                        client: ClientId(2),
+                        ladders: vec![],
+                        intents: vec![],
+                        uplink: Bitrate::ZERO,
+                        downlink: Bitrate::ZERO,
+                    },
+                ],
+            },
         ];
         for m in msgs {
             let wire = m.serialize();

@@ -25,4 +25,4 @@ pub mod scenario;
 pub mod workloads;
 
 pub use client::{ClientConfig, ClientNode, PolicyMode, SessionMetrics};
-pub use scenario::{ClientScenario, Scenario, ScenarioResult};
+pub use scenario::{ClientScenario, Scenario, ScenarioResult, WiredConference};

@@ -158,7 +158,11 @@ impl Scenario {
     }
 
     /// Build the full system onto a fresh simulator without running it.
-    fn build(&self) -> WiredConference {
+    ///
+    /// Public so external harnesses (the chaos runner) can step the
+    /// simulator themselves, injecting faults between steps, and then
+    /// [`Scenario::harvest`] the same metrics a plain run would produce.
+    pub fn build(&self) -> WiredConference {
         let mut sim = Simulator::new(self.seed);
         let telemetry = Telemetry::new(format!("{}-seed{}", self.mode.short_name(), self.seed));
 
@@ -251,12 +255,12 @@ impl Scenario {
             sim.schedule_timer(cn, at, token);
         }
 
-        WiredConference { sim, telemetry, cn, endpoints }
+        WiredConference { sim, telemetry, cn, endpoints, ans }
     }
 
     /// Harvest metrics from a wired conference that has been run to `end`.
-    fn harvest(&self, wired: WiredConference, end: SimTime) -> ScenarioResult {
-        let WiredConference { sim, telemetry, cn, endpoints } = wired;
+    pub fn harvest(&self, wired: WiredConference, end: SimTime) -> ScenarioResult {
+        let WiredConference { sim, telemetry, cn, endpoints, .. } = wired;
         let mut per_client = BTreeMap::new();
         let mut recv_series = BTreeMap::new();
         let mut send_series = BTreeMap::new();
@@ -304,12 +308,19 @@ impl Scenario {
 }
 
 /// A fully wired but not-yet-run conference: the simulator with every node
-/// and link attached, plus the handles harvesting needs afterwards.
-struct WiredConference {
-    sim: Simulator,
-    telemetry: Telemetry,
-    cn: NodeId,
-    endpoints: BTreeMap<ClientId, NodeId>,
+/// and link attached, plus the handles harvesting (and fault injection)
+/// needs afterwards.
+pub struct WiredConference {
+    /// The packet simulator owning every node.
+    pub sim: Simulator,
+    /// The shared metrics registry.
+    pub telemetry: Telemetry,
+    /// The conference node's id.
+    pub cn: NodeId,
+    /// Client id → its endpoint node id.
+    pub endpoints: BTreeMap<ClientId, NodeId>,
+    /// Accessing-node ids, indexed by region.
+    pub ans: Vec<NodeId>,
 }
 
 /// Everything harvested from one scenario run.

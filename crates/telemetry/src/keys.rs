@@ -30,6 +30,23 @@ pub const CTRL_CHURN_SWITCHES: &str = "ctrl.churn.switch_changes";
 /// Gauge — total QoE of the most recent solution.
 pub const CTRL_QOE: &str = "ctrl.qoe_total";
 
+/// Counter — transitions into §7 fallback (any cause).
+pub const CTRL_FALLBACK_ENTERED: &str = "fallback.entered";
+/// Counter — transitions out of §7 fallback back to full solving.
+pub const CTRL_FALLBACK_EXITED: &str = "fallback.exited";
+/// Histogram — controller-restart → first full (non-fallback) solution,
+/// in milliseconds (bounds: [`RECOVERY_MS_BOUNDS`]).
+pub const CTRL_RECOVERY_TIME_MS: &str = "recovery.time_ms";
+/// Counter — solve rounds skipped by the deadline watchdog because the
+/// engine's work proxy overran its budget (served by fallback instead).
+pub const CTRL_DEADLINE_OVERRUNS: &str = "ctrl.deadline_overruns";
+/// Counter — GTMB messages rejected by a client because they carried a
+/// stale controller epoch (label: client).
+pub const EPOCH_STALE_REJECTED: &str = "epoch.stale_rejected";
+/// Counter — duplicate GTMB deliveries re-acked idempotently without
+/// re-applying the configuration (label: client).
+pub const EPOCH_DUP_REACKED: &str = "epoch.dup_reacked";
+
 /// Counter — fresh GTMB configuration messages sent (label: client).
 pub const GTMB_SENT: &str = "gtmb.sent";
 /// Counter — GTMB retransmissions (label: client).
@@ -120,6 +137,10 @@ pub const EV_BWE_OVERUSE: &str = "bwe_overuse";
 pub const EV_BWE_PROBE: &str = "bwe_probe";
 /// Event — a pending layer switch landed on a keyframe.
 pub const EV_SWITCH_LANDED: &str = "switch_landed";
+/// Event — the conference node's controller crashed (chaos injection).
+pub const EV_CTRL_CRASH: &str = "ctrl_crash";
+/// Event — the conference node's controller restarted and began resync.
+pub const EV_CTRL_RESTART: &str = "ctrl_restart";
 
 // ---------------------------------------------------------------------
 // Histogram bound sets (inclusive upper bounds, strictly increasing).
@@ -135,3 +156,7 @@ pub const ITERATION_BOUNDS: &[u64] = &[1, 2, 3, 5, 8, 13, 21, 34];
 
 /// Bounds for solver work units (DP class-rows recomputed per solve).
 pub const WORK_BOUNDS: &[u64] = &[0, 10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Bounds for recovery-time histograms in milliseconds: one controller
+/// scheduling interval up to well past the 3 s maximum solve gap.
+pub const RECOVERY_MS_BOUNDS: &[u64] = &[100, 250, 500, 1_000, 2_000, 3_000, 5_000, 10_000, 30_000];

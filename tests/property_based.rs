@@ -144,6 +144,7 @@ proptest! {
         };
         let msg = RtcpPacket::GsoTmmbr(GsoTmmbr {
             sender_ssrc: gso_simulcast::util::Ssrc(1),
+            epoch: 0,
             request_seq: 1,
             entries: vec![entry],
         });

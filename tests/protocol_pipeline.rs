@@ -76,6 +76,7 @@ fn solution_to_wire_to_encoder_roundtrip() {
     assert!(executor.pending(a));
     let ack = GsoTmmbn {
         sender_ssrc: ssrc_for(a, StreamKind::Video, 0),
+        epoch: received.epoch,
         request_seq: received.request_seq,
         entries: received.entries.clone(),
     };

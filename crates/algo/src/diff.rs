@@ -73,11 +73,13 @@ pub fn diff(old: &Solution, new: &Solution) -> SolutionDiff {
         s.publish
             .iter()
             .flat_map(|(&src, ps)| ps.iter().map(move |p| ((src, p.resolution), p.bitrate)))
+            // sentinel: allow(hot-alloc, reason = "per-solve delta computation over solution snapshots; map reuse is tracked by the zero-alloc roadmap item")
             .collect()
     };
     let old_layers = layer_map(old);
     let new_layers = layer_map(new);
     let mut keys: Vec<(SourceId, Resolution)> =
+        // sentinel: allow(hot-alloc, reason = "per-solve delta computation over solution snapshots; map reuse is tracked by the zero-alloc roadmap item")
         old_layers.keys().chain(new_layers.keys()).copied().collect();
     keys.sort();
     keys.dedup();
@@ -85,6 +87,7 @@ pub fn diff(old: &Solution, new: &Solution) -> SolutionDiff {
         let from = old_layers.get(&key).copied().unwrap_or(Bitrate::ZERO);
         let to = new_layers.get(&key).copied().unwrap_or(Bitrate::ZERO);
         if from != to {
+            // sentinel: allow(hot-alloc, reason = "per-solve delta computation over solution snapshots; map reuse is tracked by the zero-alloc roadmap item")
             out.layer_changes.push(LayerChange { source: key.0, resolution: key.1, from, to });
         }
     }
@@ -96,11 +99,13 @@ pub fn diff(old: &Solution, new: &Solution) -> SolutionDiff {
             .flat_map(|(&sub, rs)| {
                 rs.iter().map(move |r| ((sub, r.source, r.tag), (r.resolution, r.bitrate)))
             })
+            // sentinel: allow(hot-alloc, reason = "per-solve delta computation over solution snapshots; map reuse is tracked by the zero-alloc roadmap item")
             .collect()
     };
     let old_recv = recv_map(old);
     let new_recv = recv_map(new);
     let mut keys: Vec<(ClientId, SourceId, u8)> =
+        // sentinel: allow(hot-alloc, reason = "per-solve delta computation over solution snapshots; map reuse is tracked by the zero-alloc roadmap item")
         old_recv.keys().chain(new_recv.keys()).copied().collect();
     keys.sort();
     keys.dedup();
@@ -108,6 +113,7 @@ pub fn diff(old: &Solution, new: &Solution) -> SolutionDiff {
         let from = old_recv.get(&key).copied();
         let to = new_recv.get(&key).copied();
         if from != to {
+            // sentinel: allow(hot-alloc, reason = "per-solve delta computation over solution snapshots; map reuse is tracked by the zero-alloc roadmap item")
             out.switch_changes.push(SwitchChange {
                 subscriber: key.0,
                 source: key.1,

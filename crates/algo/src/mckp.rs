@@ -157,6 +157,7 @@ impl McState {
     /// selection is read back via [`Self::choices`] / [`Self::value`]; the
     /// result is bit-identical to a fresh [`solve_units`] call on the same
     /// input, whatever state the memo was in.
+    // sentinel: hot_path(mckp-dp-rows)
     pub fn solve_flat(
         &mut self,
         items: &[McItem],
@@ -175,15 +176,18 @@ impl McState {
         // jointly use; trimming keeps the table small for huge downlinks.
         let max_useful: u64 = ranges
             .iter()
-            .map(|&(lo, hi)| items[lo..hi].iter().map(|i| i.weight).max().unwrap_or(0))
+            .map(|&(lo, hi)| {
+                let class = items.get(lo..hi).expect("invariant: ranges index into items");
+                class.iter().map(|i| i.weight).max().unwrap_or(0)
+            })
             .sum();
         let w_max = capacity.min(max_useful) as usize;
 
         // Longest memoized class prefix matching this call's classes.
         let mut first_dirty = 0;
-        while first_dirty < k.min(self.keys.len()) {
-            let (lo, hi) = ranges[first_dirty];
-            if self.keys[first_dirty].as_slice() != &items[lo..hi] {
+        for (&(lo, hi), key) in ranges.iter().zip(self.keys.iter()) {
+            let class = items.get(lo..hi).expect("invariant: ranges index into items");
+            if key.as_slice() != class {
                 break;
             }
             first_dirty += 1;
@@ -194,8 +198,10 @@ impl McState {
         if w_max + 1 > self.stride {
             self.stride = w_max + 1;
             self.rows.clear();
+            // sentinel: allow(hot-alloc, reason = "table rebuild at a wider stride; amortized — steady-state re-solves keep the stride")
             self.rows.resize((k + 1) * self.stride, 0.0);
             self.choice.clear();
+            // sentinel: allow(hot-alloc, reason = "table rebuild at a wider stride; amortized — steady-state re-solves keep the stride")
             self.choice.resize(k * self.stride, 0);
             self.keys.clear();
             first_dirty = 0;
@@ -214,36 +220,48 @@ impl McState {
         }
 
         // Recompute rows `first_dirty..k` in place; earlier rows are reused.
+        // sentinel: allow(hot-alloc, reason = "memo growth is amortized: steady-state re-solves reuse the buffers without reallocating")
         self.rows.resize((k + 1) * stride, 0.0);
+        // sentinel: allow(hot-alloc, reason = "memo growth is amortized: steady-state re-solves reuse the buffers without reallocating")
         self.choice.resize(k * stride, 0);
         self.keys.truncate(k);
-        for c in first_dirty..k {
-            let (lo, hi) = ranges[c];
-            let class = &items[lo..hi];
+        for (c, &(lo, hi)) in ranges.iter().enumerate().skip(first_dirty) {
+            let class = items.get(lo..hi).expect("invariant: ranges index into items");
             let (prev_rows, next_rows) = self.rows.split_at_mut((c + 1) * stride);
-            let prev = &prev_rows[c * stride..];
-            let next = &mut next_rows[..stride];
+            let prev =
+                prev_rows.get(c * stride..).expect("invariant: rows hold k+1 rows of width stride");
+            let next =
+                next_rows.get_mut(..stride).expect("invariant: rows hold k+1 rows of width stride");
             // Skipping the class is always allowed.
             next.copy_from_slice(prev);
-            let ch = &mut self.choice[c * stride..(c + 1) * stride];
+            let ch = self
+                .choice
+                .get_mut(c * stride..(c + 1) * stride)
+                .expect("invariant: choice holds k rows of width stride");
             ch.fill(-1);
             for (i, item) in class.iter().enumerate() {
                 let wi = item.weight as usize;
                 if wi >= stride {
                     continue;
                 }
-                for w in wi..stride {
-                    let cand = prev[w - wi] + item.value;
-                    if cand > next[w] {
-                        next[w] = cand;
-                        ch[w] = i as i32;
+                // `next[w] = max(next[w], prev[w - wi] + value)` for
+                // `w ∈ wi..stride`, expressed as a zip so the DP cell walk
+                // carries no bounds checks or panic paths.
+                let cells = next.iter_mut().skip(wi).zip(ch.iter_mut().skip(wi)).zip(prev.iter());
+                for ((nx, choice), pv) in cells {
+                    let cand = pv + item.value;
+                    if cand > *nx {
+                        *nx = cand;
+                        *choice = i as i32;
                     }
                 }
             }
-            if c < self.keys.len() {
-                self.keys[c].clear();
-                self.keys[c].extend_from_slice(class);
+            if let Some(key) = self.keys.get_mut(c) {
+                key.clear();
+                // sentinel: allow(hot-alloc, reason = "memo key refresh reuses the existing buffer; grows only when a class grows")
+                key.extend_from_slice(class);
             } else {
+                // sentinel: allow(hot-alloc, reason = "memo key for a newly seen class; allocated once per class, reused afterwards")
                 self.keys.push(class.to_vec());
             }
         }
@@ -262,16 +280,26 @@ impl McState {
         let k = ranges.len();
         let stride = self.stride;
         // dp is monotone in w, so the optimum sits at the capacity column.
-        self.value = self.rows[k * stride + w_max];
+        self.value = *self
+            .rows
+            .get(k * stride + w_max)
+            .expect("invariant: rows hold k+1 rows of width stride > w_max");
         self.choices.clear();
+        // sentinel: allow(hot-alloc, reason = "selection buffer is reused across solves; grows only when the class count grows")
         self.choices.resize(k, None);
         let mut w = w_max;
-        for c in (0..k).rev() {
-            let picked = self.choice[c * stride + w];
+        for (c, (slot, &(lo, _))) in self.choices.iter_mut().zip(ranges.iter()).enumerate().rev() {
+            let picked = *self
+                .choice
+                .get(c * stride + w)
+                .expect("invariant: choice holds k rows of width stride > w_max");
             if picked >= 0 {
                 let i = picked as usize;
-                self.choices[c] = Some(i);
-                w -= items[ranges[c].0 + i].weight as usize;
+                *slot = Some(i);
+                w -= items
+                    .get(lo + i)
+                    .expect("invariant: choice entries index into their class range")
+                    .weight as usize;
             }
         }
         self.w_used = w_max;
@@ -285,15 +313,20 @@ impl McState {
 /// itself is correct for any order). `capacity` is in the same units as the
 /// item weights.
 pub fn solve_units(classes: &[Vec<McItem>], capacity: u64) -> McSolution {
+    // sentinel: allow(hot-alloc, reason = "one-shot convenience entry; incremental callers use solve_flat with reused buffers")
     let mut items = Vec::new();
+    // sentinel: allow(hot-alloc, reason = "one-shot convenience entry; incremental callers use solve_flat with reused buffers")
     let mut ranges = Vec::with_capacity(classes.len());
     for class in classes {
         let lo = items.len();
+        // sentinel: allow(hot-alloc, reason = "one-shot convenience entry; incremental callers use solve_flat with reused buffers")
         items.extend_from_slice(class);
+        // sentinel: allow(hot-alloc, reason = "one-shot convenience entry; incremental callers use solve_flat with reused buffers")
         ranges.push((lo, items.len()));
     }
     let mut state = McState::default();
     state.solve_flat(&items, &ranges, capacity);
+    // sentinel: allow(hot-alloc, reason = "one-shot convenience entry returns an owned selection by API contract")
     McSolution { choices: state.choices().to_vec(), value: state.value() }
 }
 
@@ -312,10 +345,13 @@ pub fn solve_bitrates(
     let quantized: Vec<Vec<McItem>> = classes
         .iter()
         .map(|c| {
+            // sentinel: allow(hot-alloc, reason = "one-shot convenience entry; incremental callers quantize into reused flat buffers")
             c.iter().map(|&(b, v)| McItem { weight: b.as_bps().div_ceil(u), value: v }).collect()
         })
+        // sentinel: allow(hot-alloc, reason = "one-shot convenience entry; incremental callers quantize into reused flat buffers")
         .collect();
-    solve_units(&quantized, capacity.as_bps() / u)
+    let units = capacity.as_bps().checked_div(u).expect("invariant: unit checked non-zero above");
+    solve_units(&quantized, units)
 }
 
 /// Quantize one bitrate to capacity units (round **up**), exactly as
@@ -332,7 +368,7 @@ pub fn quantize_weight(bitrate: Bitrate, unit: Bitrate) -> u64 {
 #[must_use]
 pub fn quantize_capacity(capacity: Bitrate, unit: Bitrate) -> u64 {
     debug_assert!(!unit.is_zero(), "quantization unit must be non-zero");
-    capacity.as_bps() / unit.as_bps()
+    capacity.as_bps().checked_div(unit.as_bps()).expect("invariant: quantization unit is non-zero")
 }
 
 #[cfg(test)]

@@ -209,11 +209,14 @@ impl Problem {
     ) -> Result<Self, ProblemError> {
         clients.sort_by_key(|c| c.id);
         for w in clients.windows(2) {
-            if w[0].id == w[1].id {
-                return Err(ProblemError::DuplicateClient(w[0].id));
+            if let [a, b] = w {
+                if a.id == b.id {
+                    return Err(ProblemError::DuplicateClient(a.id));
+                }
             }
         }
         subscriptions.sort_by_key(|s| (s.subscriber, s.source, s.tag));
+        // sentinel: allow(hot-alloc, reason = "construction-time validation; one tree per problem build, not per DP cell")
         let mut seen = BTreeSet::new();
         for s in &subscriptions {
             if !s.qoe_boost.is_finite() || s.qoe_boost <= 0.0 {
@@ -232,6 +235,7 @@ impl Problem {
             if publisher.source(s.source).is_none() {
                 return Err(ProblemError::UnknownSource(s.source));
             }
+            // sentinel: allow(hot-alloc, reason = "construction-time validation; one tree per problem build, not per DP cell")
             if !seen.insert((s.subscriber, s.source, s.tag)) {
                 return Err(ProblemError::DuplicateSubscription(s.subscriber, s.source, s.tag));
             }
@@ -251,7 +255,7 @@ impl Problem {
 
     /// Look up a client by id (binary search; clients are sorted and unique).
     pub fn client(&self, id: ClientId) -> Option<&ClientSpec> {
-        self.clients.binary_search_by_key(&id, |c| c.id).ok().map(|i| &self.clients[i])
+        self.clients.binary_search_by_key(&id, |c| c.id).ok().and_then(|i| self.clients.get(i))
     }
 
     /// Look up a source across all clients.
@@ -262,6 +266,7 @@ impl Problem {
     /// Subscriptions held by a given subscriber (the classes of its Step-1
     /// knapsack), in deterministic order.
     pub fn subscriptions_of(&self, subscriber: ClientId) -> Vec<&Subscription> {
+        // sentinel: allow(hot-alloc, reason = "owned-snapshot convenience API; hot callers use subscriptions_of_slice")
         self.subscriptions_of_slice(subscriber).iter().collect()
     }
 
@@ -272,7 +277,9 @@ impl Problem {
     pub fn subscriptions_of_slice(&self, subscriber: ClientId) -> &[Subscription] {
         let lo = self.subscriptions.partition_point(|s| s.subscriber < subscriber);
         let hi = self.subscriptions.partition_point(|s| s.subscriber <= subscriber);
-        &self.subscriptions[lo..hi]
+        self.subscriptions
+            .get(lo..hi)
+            .expect("invariant: partition points are ordered and in range")
     }
 
     /// Look up one subscription by its unique (subscriber, source, tag) key
@@ -286,16 +293,18 @@ impl Problem {
         self.subscriptions
             .binary_search_by_key(&(subscriber, source, tag), |s| (s.subscriber, s.source, s.tag))
             .ok()
-            .map(|i| &self.subscriptions[i])
+            .and_then(|i| self.subscriptions.get(i))
     }
 
     /// Subscriptions targeting a given source (`M_i` plus requested caps).
     pub fn subscribers_of(&self, source: SourceId) -> Vec<&Subscription> {
+        // sentinel: allow(hot-alloc, reason = "owned-snapshot convenience API over an unsorted-by-source axis")
         self.subscriptions.iter().filter(|s| s.source == source).collect()
     }
 
     /// All publisher sources in the problem, in client order.
     pub fn sources(&self) -> Vec<&PublisherSource> {
+        // sentinel: allow(hot-alloc, reason = "owned-snapshot convenience API; bounded by publisher count, not DP size")
         self.clients.iter().flat_map(|c| c.sources.iter()).collect()
     }
 

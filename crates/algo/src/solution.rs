@@ -93,11 +93,13 @@ impl Solution {
         for (src, policies) in &self.publish {
             let ladder =
                 &problem.source(*src).ok_or(ConstraintViolation::UnknownSource(*src))?.ladder;
+            // sentinel: allow(hot-alloc, reason = "validation scratch, bounded by policies per source; validate runs off the steady-state switch path")
             let mut seen = Vec::new();
             for p in policies {
                 if seen.contains(&p.resolution) {
                     return Err(ConstraintViolation::DuplicateResolution(*src, p.resolution));
                 }
+                // sentinel: allow(hot-alloc, reason = "validation scratch, bounded by policies per source; validate runs off the steady-state switch path")
                 seen.push(p.resolution);
                 let spec = ladder.spec_for_bitrate(p.bitrate);
                 match spec {
@@ -132,6 +134,7 @@ impl Solution {
         // actual subscription, respects its resolution cap, and a
         // (subscriber, source, tag) receives at most one stream.
         for (sub, streams) in &self.received {
+            // sentinel: allow(hot-alloc, reason = "validation scratch, bounded by policies per source; validate runs off the steady-state switch path")
             let mut seen = Vec::new();
             for r in streams {
                 if seen.contains(&(r.source, r.tag)) {
@@ -139,6 +142,7 @@ impl Solution {
                         *sub, r.source, r.tag,
                     ));
                 }
+                // sentinel: allow(hot-alloc, reason = "validation scratch, bounded by policies per source; validate runs off the steady-state switch path")
                 seen.push((r.source, r.tag));
                 let subscription = problem
                     .subscriptions_of(*sub)

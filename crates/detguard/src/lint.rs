@@ -24,10 +24,18 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` trees are scanned. These are the hot paths whose
-/// behaviour must replay bit-identically; support crates (`util` owns the
-/// approved shims, `audit`/`telemetry`/`detguard` are observers) are exempt.
+/// behaviour must replay bit-identically, plus the observer crates whose
+/// *judgements* must themselves be deterministic (`audit` verdicts and
+/// `bench` baselines feed CI gates); `util` owns the approved shims and
+/// `telemetry`/`detguard` stay exempt as the instrumentation boundary.
 pub const HOT_PATH_CRATES: &[&str] =
-    &["algo", "control", "net", "sim", "sfu", "bwe", "media", "chaos"];
+    &["algo", "audit", "bench", "control", "net", "sim", "sfu", "bwe", "media", "chaos"];
+
+/// Workspace-root source trees scanned in addition to the crate list:
+/// integration tests and examples drive the replay scenarios, so ambient
+/// nondeterminism there corrupts the fixtures the digests are checked
+/// against.
+pub const ROOT_TREES: &[&str] = &["tests", "examples"];
 
 /// Lint rule identifiers.
 pub const RULE_IDS: &[&str] =
@@ -685,6 +693,19 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
         }
         let mut files = Vec::new();
         rust_files(&src_dir, &mut files)?;
+        for path in files {
+            let src = std::fs::read_to_string(&path)?;
+            let label = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().into_owned();
+            scan_source(&label, &src, &mut report);
+        }
+    }
+    for tree in ROOT_TREES {
+        let dir = root.join(tree);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rust_files(&dir, &mut files)?;
         for path in files {
             let src = std::fs::read_to_string(&path)?;
             let label = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().into_owned();

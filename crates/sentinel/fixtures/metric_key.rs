@@ -1,0 +1,8 @@
+//! Known-bad fixture: a metric recorded under a raw string name instead of
+//! a `keys::` const.
+
+/// Records one good and one bad metric.
+pub fn record(t: &gso_telemetry::Telemetry) {
+    t.incr(keys::GOOD_METRIC, "label");
+    t.incr("raw.metric.name", "label");
+}

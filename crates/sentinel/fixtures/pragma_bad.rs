@@ -1,0 +1,11 @@
+//! Known-bad fixture: malformed and unused pragmas — the allowlist is
+//! itself checked, so each of these is a violation.
+
+// sentinel: allow(not-a-rule, reason = "unknown rule id")
+pub fn a() {}
+
+// sentinel: allow(hot-panic)
+pub fn b() {}
+
+// sentinel: allow(hot-alloc, reason = "nothing on the next line allocates")
+pub fn c() {}

@@ -1,0 +1,13 @@
+//! Known-bad fixture: bare-primitive declarations with bitrate names.
+
+/// A config struct with a raw bitrate field.
+pub struct Config {
+    /// Uplink budget in bits per second.
+    pub uplink_bps: u64,
+}
+
+/// Computes a floor from a raw kbps parameter.
+pub fn cap(target_kbps: u64) -> u64 {
+    let floor_bitrate: u64 = 64;
+    target_kbps.max(floor_bitrate)
+}

@@ -1,0 +1,115 @@
+//! `sentinel` — hot-path static analysis CLI.
+//!
+//! Scans the workspace sources, runs the four sentinel passes, and exits
+//! nonzero on any unallowlisted finding, malformed/unused pragma, or
+//! dangling marker, so CI can gate on it directly.
+//!
+//! ```text
+//! sentinel [--root <workspace-root>] [--json] [--fixtures <dir>]
+//! ```
+//!
+//! `--root` defaults to the current directory; `--json` prints the
+//! machine-readable report (per-root hot-path allocation/panic site
+//! counts included) instead of the human summary; `--fixtures <dir>`
+//! scans a standalone fixture corpus instead of the workspace — used by
+//! CI to prove the analyzer still fails on known-bad code.
+
+use gso_sentinel::passes::RULE_IDS;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut fixtures: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(v) = args.next() else {
+                    eprintln!("sentinel: --root requires a path");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(v);
+            }
+            "--fixtures" => {
+                let Some(v) = args.next() else {
+                    eprintln!("sentinel: --fixtures requires a path");
+                    return ExitCode::from(2);
+                };
+                fixtures = Some(PathBuf::from(v));
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: sentinel [--root <workspace-root>] [--json] [--fixtures <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sentinel: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match &fixtures {
+        Some(dir) => gso_sentinel::scan_fixture_dir(dir),
+        None => gso_sentinel::scan_workspace(&root),
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sentinel: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        println!(
+            "sentinel: scanned {} files, {} functions, rules {RULE_IDS:?}",
+            report.files_scanned, report.functions
+        );
+        for r in &report.roots {
+            println!(
+                "  root {} [{}]: {} reachable fn(s), {} panic site(s), {} documented invariant(s), {} alloc site(s)",
+                r.root, r.label, r.reachable_fns, r.panic_sites, r.documented_invariants, r.alloc_sites
+            );
+        }
+        for f in &report.findings {
+            if f.allowed {
+                println!(
+                    "  allowed  {}:{} [{}] {} — reason: {}",
+                    f.file,
+                    f.line,
+                    f.rule,
+                    f.trigger,
+                    f.reason.as_deref().unwrap_or("<none>")
+                );
+            }
+        }
+        for f in report.unallowed() {
+            let in_fn =
+                if f.function.is_empty() { String::new() } else { format!(" in {}", f.function) };
+            println!(
+                "  VIOLATION {}:{} [{}] {}{}\n    {}",
+                f.file, f.line, f.rule, f.trigger, in_fn, f.snippet
+            );
+        }
+        for e in &report.pragma_errors {
+            println!("  VIOLATION {}:{} [directive] {}", e.file, e.line, e.message);
+        }
+        println!(
+            "sentinel: {} finding(s), {} allowed, {} violation(s)",
+            report.findings.len(),
+            report.findings.iter().filter(|f| f.allowed).count(),
+            report.violation_count()
+        );
+    }
+
+    if report.violation_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

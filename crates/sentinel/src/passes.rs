@@ -1,0 +1,384 @@
+//! The four semantic passes, plus marker and pragma handling.
+//!
+//! * `hot-panic` — no `unwrap`/undocumented `expect`/`panic!` family/raw
+//!   indexing/runtime division reachable from a declared hot-path root.
+//! * `hot-alloc` — no allocator traffic (`Vec::new`, `push`, `collect`,
+//!   `clone`, `Box::new`, `to_vec`, `format!`, …) reachable from a root.
+//! * `metric-key` — every telemetry recording call outside
+//!   `crates/telemetry` must pass a `keys::` const, never a literal or
+//!   variable (the "every metric name lives in keys.rs" invariant).
+//! * `unit-hygiene` — no bare-primitive declarations whose identifiers
+//!   match `*_bps`/`*_kbps`/`*bitrate*` bypassing the `Bitrate` newtype
+//!   (the newtype's own module is the one sanctioned boundary).
+//!
+//! ## Markers and pragmas
+//!
+//! Roots are declared in source with a marker comment directly above the
+//! function (attributes included):
+//!
+//! ```text
+//! // sentinel: hot_path(warm_resolve)
+//! pub fn solve(&mut self, …) { … }
+//! ```
+//!
+//! `// sentinel: cold_path(reason = "…")` excludes a function (and
+//! everything only reachable through it) from every cone — for slow-path
+//! branches like crash recovery that share a caller with the hot loop.
+//! Exemptions are detguard-style line-scoped pragmas:
+//!
+//! ```text
+//! // sentinel: allow(hot-alloc, reason = "amortized: buffer reuse")
+//! ```
+//!
+//! A pragma applies to its own line and the line directly below. Unknown
+//! rules, missing reasons, and unused pragmas are themselves violations.
+
+use crate::graph::CallGraph;
+use crate::model::{ParsedFile, SiteKind};
+use crate::report::{Finding, PragmaError, Report, RootReport};
+use std::collections::BTreeSet;
+
+/// Sentinel rule identifiers.
+pub const RULE_IDS: &[&str] = &["hot-panic", "hot-alloc", "metric-key", "unit-hygiene"];
+
+/// The one file allowed to declare bare-primitive bitrate quantities: the
+/// `Bitrate` newtype's own conversion boundary.
+const UNIT_BOUNDARY_FILE: &str = "bitrate.rs";
+
+#[derive(Debug)]
+struct Pragma {
+    file: String,
+    line: usize,
+    rule: String,
+    reason: Option<String>,
+    used: bool,
+    malformed: Option<String>,
+}
+
+#[derive(Debug)]
+enum Marker {
+    HotPath {
+        label: Option<String>,
+    },
+    /// Reason is validated at parse time; only the exclusion matters here.
+    ColdPath,
+}
+
+/// Parse `sentinel:` pragmas and markers out of one file's comments.
+fn parse_directives(
+    file: &str,
+    comments: &[(usize, String)],
+) -> (Vec<Pragma>, Vec<(usize, Marker)>, Vec<PragmaError>) {
+    let mut pragmas = Vec::new();
+    let mut markers = Vec::new();
+    let mut errors = Vec::new();
+    for (line, text) in comments {
+        // Doc comments (`///`, `//!`) are rustdoc prose — examples in them
+        // must not register as directives. A real directive is a plain
+        // `//` comment whose body *starts* with `sentinel:`, so prose that
+        // merely mentions the word is ignored too.
+        let body = text.trim_start_matches('/');
+        if text.len() - body.len() != 2 {
+            continue;
+        }
+        let Some(body) = body.trim_start().strip_prefix("sentinel:") else {
+            continue;
+        };
+        let body = body.trim();
+        if body.starts_with(':') {
+            continue; // `sentinel::` path reference
+        }
+        if let Some(rest) = body.strip_prefix("allow(") {
+            let Some(inner) = rest.rfind(')').map(|p| &rest[..p]) else {
+                pragmas.push(Pragma {
+                    file: file.to_string(),
+                    line: *line,
+                    rule: String::new(),
+                    reason: None,
+                    used: false,
+                    malformed: Some("pragma missing closing `)`".to_string()),
+                });
+                continue;
+            };
+            let (rule_part, reason_part) = match inner.find(',') {
+                Some(c) => (inner[..c].trim(), Some(inner[c + 1..].trim())),
+                None => (inner.trim(), None),
+            };
+            let rule = rule_part.to_string();
+            let mut malformed = None;
+            if !RULE_IDS.contains(&rule.as_str()) {
+                malformed = Some(format!("unknown rule `{rule}` in pragma"));
+            }
+            let reason = parse_reason(reason_part);
+            let reason = match reason {
+                Some(r) if !r.is_empty() => Some(r),
+                _ => {
+                    if malformed.is_none() {
+                        malformed = Some(
+                            "pragma must carry `reason = \"…\"` with a non-empty justification"
+                                .to_string(),
+                        );
+                    }
+                    None
+                }
+            };
+            pragmas.push(Pragma {
+                file: file.to_string(),
+                line: *line,
+                rule,
+                reason,
+                used: false,
+                malformed,
+            });
+        } else if body == "hot_path" || body.starts_with("hot_path(") {
+            let label = body
+                .strip_prefix("hot_path(")
+                .and_then(|r| r.rfind(')').map(|p| r[..p].trim().to_string()))
+                .filter(|s| !s.is_empty());
+            markers.push((*line, Marker::HotPath { label }));
+        } else if let Some(rest) = body.strip_prefix("cold_path(") {
+            let inner = rest.rfind(')').map(|p| &rest[..p]);
+            let reason = parse_reason(inner).filter(|r| !r.is_empty());
+            if reason.is_none() {
+                errors.push(PragmaError {
+                    file: file.to_string(),
+                    line: *line,
+                    message: "cold_path marker must carry `reason = \"…\"`".to_string(),
+                });
+            } else {
+                markers.push((*line, Marker::ColdPath));
+            }
+        } else {
+            errors.push(PragmaError {
+                file: file.to_string(),
+                line: *line,
+                message: format!("unrecognized sentinel directive: `{body}`"),
+            });
+        }
+    }
+    (pragmas, markers, errors)
+}
+
+fn parse_reason(part: Option<&str>) -> Option<String> {
+    part.and_then(|r| {
+        r.strip_prefix("reason")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('='))
+            .map(|r| r.trim().trim_matches('"').to_string())
+    })
+}
+
+/// Run all four passes over the parsed files with no crate-dependency
+/// information (single-crate corpora, fixtures, unit tests).
+#[must_use]
+pub fn analyze(files: &[ParsedFile]) -> Report {
+    analyze_with_deps(files, &std::collections::BTreeMap::new())
+}
+
+/// Run all four passes over the parsed files, constraining call-graph
+/// edges by the workspace dependency relation (see
+/// [`CallGraph::build_with_deps`]), and assemble the report.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn analyze_with_deps(
+    files: &[ParsedFile],
+    deps: &std::collections::BTreeMap<String, Vec<String>>,
+) -> Report {
+    let graph = CallGraph::build_with_deps(files, deps);
+    let mut report =
+        Report { files_scanned: files.len(), functions: graph.fns.len(), ..Report::default() };
+
+    // ---- directives -----------------------------------------------------
+    let mut pragmas: Vec<Pragma> = Vec::new();
+    let mut roots: Vec<(usize, String)> = Vec::new();
+    let mut cold: BTreeSet<usize> = BTreeSet::new();
+    for pf in files {
+        let (mut ps, markers, errors) = parse_directives(&pf.file, &pf.comments);
+        pragmas.append(&mut ps);
+        report.pragma_errors.extend(errors);
+        for (line, marker) in markers {
+            // A marker attaches to the function whose item (first
+            // attribute included) starts on one of the next few lines, or
+            // whose `fn` shares the marker's line (trailing comment).
+            let target = graph
+                .fns
+                .iter()
+                .position(|f| {
+                    f.file == pf.file
+                        && ((f.start_line >= line && f.start_line <= line + 3) || f.line == line)
+                })
+                .or_else(|| {
+                    // Also look among test fns to give a better error.
+                    pf.fns
+                        .iter()
+                        .find(|f| f.is_test && f.start_line >= line && f.start_line <= line + 3)
+                        .map(|_| usize::MAX)
+                });
+            match (target, marker) {
+                (Some(usize::MAX), _) => report.pragma_errors.push(PragmaError {
+                    file: pf.file.clone(),
+                    line,
+                    message: "sentinel marker on a test function has no effect".to_string(),
+                }),
+                (Some(idx), Marker::HotPath { label }) => {
+                    let label = label.unwrap_or_else(|| graph.fns[idx].name.clone());
+                    roots.push((idx, label));
+                }
+                (Some(idx), Marker::ColdPath) => {
+                    cold.insert(idx);
+                }
+                (None, _) => report.pragma_errors.push(PragmaError {
+                    file: pf.file.clone(),
+                    line,
+                    message: "sentinel marker is not attached to a function".to_string(),
+                }),
+            }
+        }
+    }
+    roots.sort_by_key(|a| a.0);
+
+    // ---- passes 1–2: hot-path panic freedom & allocation discipline ----
+    let mut per_root: Vec<(usize, String, BTreeSet<usize>)> = roots
+        .iter()
+        .map(|(idx, label)| (*idx, label.clone(), graph.reachable(&[*idx], &cold)))
+        .collect();
+    let mut hot: BTreeSet<usize> = BTreeSet::new();
+    for (_, _, set) in &per_root {
+        hot.extend(set.iter().copied());
+    }
+    let src_line = |file: &str, line: usize| -> String {
+        files
+            .iter()
+            .find(|p| p.file == file)
+            .and_then(|p| p.src_lines.get(line - 1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+    for &idx in &hot {
+        let f = graph.fns[idx];
+        for site in &f.sites {
+            let rule = match site.kind {
+                SiteKind::Panic => "hot-panic",
+                SiteKind::Alloc => "hot-alloc",
+                SiteKind::DocumentedInvariant => continue, // counted per root only
+            };
+            report.findings.push(Finding {
+                file: f.file.clone(),
+                line: site.line,
+                rule: rule.to_string(),
+                trigger: site.what.to_string(),
+                function: f.qualified(),
+                snippet: src_line(&f.file, site.line),
+                allowed: false,
+                reason: None,
+            });
+        }
+    }
+
+    // ---- pass 3: metric-key literal lint --------------------------------
+    for pf in files {
+        if pf.krate == "telemetry" {
+            continue; // the crate implementing the API is the boundary
+        }
+        for m in &pf.metric_sites {
+            if m.keyed {
+                continue;
+            }
+            report.findings.push(Finding {
+                file: pf.file.clone(),
+                line: m.line,
+                rule: "metric-key".to_string(),
+                trigger: format!("{}({})", m.method, m.arg),
+                function: String::new(),
+                snippet: src_line(&pf.file, m.line),
+                allowed: false,
+                reason: None,
+            });
+        }
+    }
+
+    // ---- pass 4: bitrate-unit hygiene -----------------------------------
+    for pf in files {
+        if pf.file.ends_with(UNIT_BOUNDARY_FILE) && pf.krate == "util" {
+            continue;
+        }
+        for u in &pf.unit_sites {
+            if u.is_test {
+                continue;
+            }
+            report.findings.push(Finding {
+                file: pf.file.clone(),
+                line: u.line,
+                rule: "unit-hygiene".to_string(),
+                trigger: format!("{}: {} ({:?})", u.ident, u.prim, u.ctx).to_lowercase(),
+                function: String::new(),
+                snippet: src_line(&pf.file, u.line),
+                allowed: false,
+                reason: None,
+            });
+        }
+    }
+
+    // ---- pragma application ---------------------------------------------
+    report.findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    report.findings.dedup_by(|a, b| {
+        a.file == b.file && a.line == b.line && a.rule == b.rule && a.trigger == b.trigger
+    });
+    for f in &mut report.findings {
+        let pragma = pragmas.iter_mut().find(|p| {
+            p.malformed.is_none()
+                && p.file == f.file
+                && p.rule == f.rule
+                && (p.line == f.line || p.line + 1 == f.line)
+        });
+        if let Some(p) = pragma {
+            p.used = true;
+            f.allowed = true;
+            f.reason = p.reason.clone();
+        }
+    }
+    for p in &pragmas {
+        if let Some(msg) = &p.malformed {
+            report.pragma_errors.push(PragmaError {
+                file: p.file.clone(),
+                line: p.line,
+                message: msg.clone(),
+            });
+        } else if !p.used {
+            report.pragma_errors.push(PragmaError {
+                file: p.file.clone(),
+                line: p.line,
+                message: format!(
+                    "unused pragma: no `{}` finding on this or the next line — remove it",
+                    p.rule
+                ),
+            });
+        }
+    }
+    report.pragma_errors.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    // ---- per-root summaries ----------------------------------------------
+    for (idx, label, set) in per_root.drain(..) {
+        let mut panic_sites = 0usize;
+        let mut documented = 0usize;
+        let mut alloc_sites = 0usize;
+        for &i in &set {
+            for s in &graph.fns[i].sites {
+                match s.kind {
+                    SiteKind::Panic => panic_sites += 1,
+                    SiteKind::DocumentedInvariant => documented += 1,
+                    SiteKind::Alloc => alloc_sites += 1,
+                }
+            }
+        }
+        report.roots.push(RootReport {
+            root: graph.fns[idx].qualified(),
+            label,
+            reachable_fns: set.len(),
+            panic_sites,
+            documented_invariants: documented,
+            alloc_sites,
+        });
+    }
+    report
+}

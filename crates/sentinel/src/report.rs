@@ -1,0 +1,159 @@
+//! Findings, per-root summaries, and the JSON report.
+//!
+//! The JSON is hand-rolled with stable key order (no serde in the offline
+//! build) so CI can diff reports across runs, matching the detguard and
+//! telemetry export conventions.
+
+use std::fmt::Write as _;
+
+/// One rule hit, exempted or not.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Scan-root-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier from [`crate::passes::RULE_IDS`].
+    pub rule: String,
+    /// What fired (e.g. `unwrap`, `index`, `collect`, `literal-name`).
+    pub trigger: String,
+    /// Qualified function the site sits in (empty for file-scope passes).
+    pub function: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// Whether a pragma exempts this finding.
+    pub allowed: bool,
+    /// The pragma's justification, when allowed.
+    pub reason: Option<String>,
+}
+
+/// A malformed/unused pragma or a dangling marker — always a violation.
+#[derive(Debug, Clone)]
+pub struct PragmaError {
+    /// Scan-root-relative path.
+    pub file: String,
+    /// 1-based line of the pragma/marker.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Hot-path summary for one declared root.
+#[derive(Debug, Clone)]
+pub struct RootReport {
+    /// Qualified name of the root function.
+    pub root: String,
+    /// Marker label (defaults to the function name).
+    pub label: String,
+    /// Functions reachable from this root (including itself).
+    pub reachable_fns: usize,
+    /// Panic-capable sites in the cone (allowed or not).
+    pub panic_sites: usize,
+    /// `.expect("invariant: …")` sites in the cone.
+    pub documented_invariants: usize,
+    /// Allocation sites in the cone (allowed or not) — the number the
+    /// zero-alloc work drives to zero.
+    pub alloc_sites: usize,
+}
+
+/// Aggregate result of a scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of non-test functions in the call graph.
+    pub functions: usize,
+    /// Per-root hot-path summaries.
+    pub roots: Vec<RootReport>,
+    /// Every rule hit.
+    pub findings: Vec<Finding>,
+    /// Malformed/unused pragmas and dangling markers.
+    pub pragma_errors: Vec<PragmaError>,
+}
+
+impl Report {
+    /// Findings not covered by a valid pragma.
+    #[must_use]
+    pub fn unallowed(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| !f.allowed).collect()
+    }
+
+    /// Total violations: unallowed findings plus pragma/marker errors.
+    #[must_use]
+    pub fn violation_count(&self) -> usize {
+        self.unallowed().len() + self.pragma_errors.len()
+    }
+
+    /// Machine-readable JSON report (stable key order).
+    #[must_use]
+    #[allow(clippy::missing_panics_doc)] // write! to String is infallible
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"functions\": {},", self.functions);
+        let _ = writeln!(out, "  \"violations\": {},", self.violation_count());
+        out.push_str("  \"roots\": [");
+        for (i, r) in self.roots.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"root\": {}, \"label\": {}, \"reachable_fns\": {}, \"panic_sites\": {}, \"documented_invariants\": {}, \"alloc_sites\": {}}}",
+                json_str(&r.root),
+                json_str(&r.label),
+                r.reachable_fns,
+                r.panic_sites,
+                r.documented_invariants,
+                r.alloc_sites,
+            );
+        }
+        out.push_str("\n  ],\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"trigger\": {}, \"function\": {}, \"allowed\": {}, \"reason\": {}, \"snippet\": {}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(&f.rule),
+                json_str(&f.trigger),
+                json_str(&f.function),
+                f.allowed,
+                f.reason.as_deref().map_or_else(|| "null".to_string(), json_str),
+                json_str(&f.snippet),
+            );
+        }
+        out.push_str("\n  ],\n  \"pragma_errors\": [");
+        for (i, e) in self.pragma_errors.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(&e.file),
+                e.line,
+                json_str(&e.message),
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

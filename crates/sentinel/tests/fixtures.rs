@@ -1,0 +1,110 @@
+//! Fixture-corpus self-tests: each known-bad file must produce exactly the
+//! findings it was written to produce — rule, file AND line — so a parser
+//! or pass regression that silently stops firing fails CI here even though
+//! the workspace scan (which gates on zero violations) would still pass.
+
+use gso_sentinel::{scan_fixture_dir, Report};
+use std::path::Path;
+
+fn fixture_report() -> Report {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    scan_fixture_dir(&dir).expect("fixture dir is readable")
+}
+
+/// Assert a non-allowed finding exists with this exact (file, line, rule).
+fn assert_finding(report: &Report, file: &str, line: usize, rule: &str) {
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.file == file && f.line == line && f.rule == rule && !f.allowed),
+        "expected {rule} violation at {file}:{line}; got {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn hot_panic_fixture_flags_unwrap_index_and_panic_macro() {
+    let r = fixture_report();
+    assert_finding(&r, "hot_panic.rs", 5, "hot-panic"); // .unwrap()
+    assert_finding(&r, "hot_panic.rs", 6, "hot-panic"); // xs[1]
+    assert_finding(&r, "hot_panic.rs", 8, "hot-panic"); // panic!()
+}
+
+#[test]
+fn hot_alloc_fixture_flags_ctor_and_push() {
+    let r = fixture_report();
+    assert_finding(&r, "hot_alloc.rs", 5, "hot-alloc"); // Vec::new()
+    assert_finding(&r, "hot_alloc.rs", 7, "hot-alloc"); // out.push(x)
+}
+
+#[test]
+fn metric_key_fixture_flags_literal_name_only() {
+    let r = fixture_report();
+    assert_finding(&r, "metric_key.rs", 7, "metric-key");
+    // The `keys::GOOD_METRIC` call on line 6 must NOT fire.
+    assert!(
+        !r.findings.iter().any(|f| f.file == "metric_key.rs" && f.line == 6),
+        "keys:: const call was wrongly flagged"
+    );
+}
+
+#[test]
+fn unit_hygiene_fixture_flags_field_param_and_let() {
+    let r = fixture_report();
+    assert_finding(&r, "unit_hygiene.rs", 6, "unit-hygiene"); // field
+    assert_finding(&r, "unit_hygiene.rs", 10, "unit-hygiene"); // param
+    assert_finding(&r, "unit_hygiene.rs", 11, "unit-hygiene"); // let
+}
+
+#[test]
+fn call_graph_reaches_panic_two_calls_below_root() {
+    let r = fixture_report();
+    // `leaf` has no marker of its own; the finding exists only because the
+    // BFS walked root -> middle -> leaf.
+    assert_finding(&r, "two_deep.rs", 14, "hot-panic");
+    let f = r
+        .findings
+        .iter()
+        .find(|f| f.file == "two_deep.rs" && f.line == 14)
+        .expect("two-deep finding present");
+    assert_eq!(f.function, "two_deep::leaf");
+    let root = r.roots.iter().find(|root| root.label == "fx-deep").expect("fx-deep root reported");
+    assert_eq!(root.reachable_fns, 3, "root + middle + leaf");
+    assert_eq!(root.panic_sites, 1);
+}
+
+#[test]
+fn pragma_errors_cover_unknown_rule_missing_reason_and_unused() {
+    let r = fixture_report();
+    let err_at = |line: usize, needle: &str| {
+        assert!(
+            r.pragma_errors
+                .iter()
+                .any(|e| e.file == "pragma_bad.rs" && e.line == line && e.message.contains(needle)),
+            "expected pragma error at pragma_bad.rs:{line} containing {needle:?}; got {:#?}",
+            r.pragma_errors
+        );
+    };
+    err_at(4, "unknown rule");
+    err_at(7, "reason");
+    err_at(10, "unused pragma");
+}
+
+#[test]
+fn fixture_corpus_is_a_nonzero_exit_for_the_binary() {
+    let r = fixture_report();
+    // 10 rule findings + 3 pragma errors; the binary exits nonzero whenever
+    // this count is nonzero, so the corpus guards the CI gate itself.
+    assert_eq!(r.violation_count(), 13);
+    assert!(r.findings.iter().all(|f| !f.allowed));
+}
+
+#[test]
+fn per_root_alloc_counts_are_reported() {
+    let r = fixture_report();
+    let alloc_root =
+        r.roots.iter().find(|root| root.label == "fx-alloc").expect("fx-alloc root reported");
+    assert_eq!(alloc_root.alloc_sites, 2);
+    assert_eq!(alloc_root.panic_sites, 0);
+}

@@ -42,6 +42,9 @@
 //!   subscriptions).
 //! * [`mckp`] — the Step-1 multiple-choice knapsack DP.
 //! * [`solver`] — the iterative Knapsack–Merge–Reduction algorithm.
+//! * [`engine`] — incremental re-solve driver with memoized DP state.
+//! * [`batch`] — persistent work-stealing scheduler interleaving many
+//!   conferences' engine solves per control tick.
 //! * [`brute`] — exact exponential-time baseline (Fig. 6a/6b comparison).
 //! * [`solution`] — solution representation and full constraint validation.
 //! * [`digest`] — stable [`gso_detguard::StateDigest`] fingerprints for
@@ -51,6 +54,7 @@
 //! * [`ladders`] — the paper's Table-1 ladder, fine 15-level and coarse
 //!   3-level production ladders, and parametric generators.
 
+pub mod batch;
 pub mod brute;
 pub mod diff;
 pub mod digest;
@@ -63,8 +67,10 @@ pub mod solution;
 pub mod solver;
 pub mod types;
 
+pub use batch::{BatchConfig, BatchJob, BatchResult, BatchScheduler};
 pub use diff::{diff, LayerChange, SolutionDiff, SwitchChange};
-pub use engine::{EngineConfig, EngineStats, SolveEngine};
+pub use engine::{EngineStats, SolveEngine};
+pub use mckp::McPool;
 pub use problem::{ClientSpec, Problem, ProblemError, PublisherSource, SourceId, Subscription};
 pub use solution::{ConstraintViolation, PublishPolicy, ReceivedStream, Solution};
 pub use solver::{IterationTrace, ReductionTrace, Request, SolveTrace, SolverConfig};

@@ -23,14 +23,13 @@
 //! ## Incrementality
 //!
 //! [`McState`] keeps the DP checkpoint row *after every class* (a flat
-//! `(K+1) × stride` table) plus the flat row-major choice table. Because row
-//! `r` depends only on the first `r` classes — never on the capacity, which
-//! merely selects the backtrack start column — three cheap re-solve paths
-//! fall out:
+//! `(K+1) × stride` table). Because row `r` depends only on the first `r`
+//! classes — never on the capacity, which merely selects the backtrack start
+//! column — three cheap re-solve paths fall out:
 //!
 //! * identical classes and capacity → return the cached selection;
 //! * identical classes, different capacity within the stored width → re-run
-//!   only the `O(K)` backtrack;
+//!   only the backtrack;
 //! * classes changed from index `m` on (e.g. one source's ladder was
 //!   Reduced) → recompute only rows `m..K`.
 //!
@@ -38,9 +37,31 @@
 //! current capacity column; columns `≤ w` of every row are bit-identical to
 //! a table built at exactly width `w`, because an item only ever writes
 //! columns `≥ weight` and cell updates scan items in the same order
-//! regardless of width. The free functions [`solve_units`] /
+//! regardless of width. Growth rebuilds therefore add slack (25 %, rounded
+//! to a 64-unit boundary, capped at the joint item weight): an oscillating
+//! bandwidth estimate cannot force a full rebuild every tick, and the extra
+//! columns never change results. The free functions [`solve_units`] /
 //! [`solve_bitrates`] remain the one-shot entry points and are wrappers over
 //! a fresh [`McState`].
+//!
+//! ## Memory layout & discipline
+//!
+//! All state lives in four flat struct-of-arrays slabs: the checkpoint rows
+//! (`(K+1) × stride` `f64`s), the item memo (`key_items` + per-class
+//! `key_ranges`, replacing a `Vec<Vec<_>>` per class), and the cached
+//! selection. There is **no choice table**: the backtrack reconstructs each
+//! class's pick by re-running that single cell's item scan against the
+//! checkpoint row above it — the same comparison sequence the DP executed,
+//! so the reconstructed pick is bit-identical to what a stored table would
+//! say, at `O(Σ |items|)` total cost and half the memory traffic. The DP
+//! inner loop is a branch-light elementwise `max` over two contiguous `f64`
+//! slices ([`relax_row`]); the `simd` cargo feature swaps in a manually
+//! 4-lane-unrolled variant of the same elementwise update (bit-identical —
+//! the update carries no cross-lane dependency).
+//!
+//! [`McPool`] recycles retired states' slabs across clients, ticks and
+//! conferences: capacity is kept on [`McState::clear`], so a state acquired
+//! from the pool re-solves without touching the allocator.
 
 use gso_util::Bitrate;
 
@@ -93,23 +114,24 @@ pub struct McOutcome {
 
 /// Reusable, incremental MCKP solver state for one knapsack (one subscriber).
 ///
-/// Owns the flat DP checkpoint rows, the flat row-major choice table and the
-/// per-class item memo used to detect which suffix of the class list changed
-/// between calls. All buffers are reused across calls; a fresh
-/// `McState::default()` behaves exactly like [`solve_units`].
+/// Owns the flat DP checkpoint rows and the flat per-class item memo used to
+/// detect which suffix of the class list changed between calls. All buffers
+/// are reused across calls; a fresh `McState::default()` behaves exactly
+/// like [`solve_units`].
 #[derive(Debug, Clone, Default)]
 pub struct McState {
-    /// Item memo per class; `keys[c]` is the class-`c` item list of the last
-    /// solve whose DP row `c+1` is still stored.
-    keys: Vec<Vec<McItem>>,
-    /// Row length of `rows` / `choice` (stored capacity + 1; 0 = no table).
+    /// Flat item memo: the concatenated class item lists of the last solve
+    /// whose DP rows are still stored (struct-of-arrays; one slab, not one
+    /// `Vec` per class).
+    key_items: Vec<McItem>,
+    /// `key_ranges[c]` delimits class `c` inside `key_items`; its length is
+    /// the number of memoized classes.
+    key_ranges: Vec<(u32, u32)>,
+    /// Row length of `rows` (stored capacity + 1; 0 = no table).
     stride: usize,
-    /// `(keys.len() + 1) × stride` DP checkpoints; row `r` is the best-value
-    /// profile after the first `r` classes (row 0 is all zeros).
+    /// `(key_ranges.len() + 1) × stride` DP checkpoints; row `r` is the
+    /// best-value profile after the first `r` classes (row 0 is all zeros).
     rows: Vec<f64>,
-    /// `keys.len() × stride` row-major choice table; `choice[c·stride + w]`
-    /// is the item picked for class `c` at column `w`, or `-1` for skip.
-    choice: Vec<i32>,
     /// Backtrack start column of the cached selection.
     w_used: usize,
     /// Cached selection of the last solve.
@@ -138,11 +160,15 @@ impl McState {
     }
 
     /// Drop all memoized state but keep the allocations for reuse.
+    ///
+    /// `rows` and `stride` survive on purpose: row 0 is permanently the
+    /// all-zero row and every later row is fully overwritten before it is
+    /// read, so the next solve can rebuild straight into the slab without a
+    /// zero-fill pass over tens of kilobytes of cache-cold memory — the
+    /// dominant cost of a cold re-solve against pooled states.
     pub fn clear(&mut self) {
-        self.keys.clear();
-        self.stride = 0;
-        self.rows.clear();
-        self.choice.clear();
+        self.key_items.clear();
+        self.key_ranges.clear();
         self.w_used = 0;
         self.choices.clear();
         self.value = 0.0;
@@ -166,7 +192,8 @@ impl McState {
     ) -> McOutcome {
         let k = ranges.len();
         if k == 0 {
-            self.keys.clear();
+            self.key_items.clear();
+            self.key_ranges.clear();
             self.choices.clear();
             self.value = 0.0;
             self.w_used = 0;
@@ -185,25 +212,37 @@ impl McState {
 
         // Longest memoized class prefix matching this call's classes.
         let mut first_dirty = 0;
-        for (&(lo, hi), key) in ranges.iter().zip(self.keys.iter()) {
+        for (&(lo, hi), &(klo, khi)) in ranges.iter().zip(self.key_ranges.iter()) {
             let class = items.get(lo..hi).expect("invariant: ranges index into items");
-            if key.as_slice() != class {
+            let key = self
+                .key_items
+                .get(klo as usize..khi as usize)
+                .expect("invariant: key ranges index into the key memo");
+            if key != class {
                 break;
             }
             first_dirty += 1;
         }
 
         // A stored table is only usable when at least as wide as the new
-        // backtrack column; otherwise rebuild at the wider stride.
-        if w_max + 1 > self.stride {
-            self.stride = w_max + 1;
+        // backtrack column; otherwise rebuild at a wider stride. Every build
+        // (including the first) adds 25 % headroom, rounded up to a 64-unit
+        // boundary and capped at the joint item weight, so a jittering
+        // capacity estimate lands inside the stored table instead of forcing
+        // a full rebuild every tick. A slab more than 4× the target (a state
+        // recycled from a much bigger knapsack) also rebuilds: the DP row
+        // update runs over the full stride, so a grossly oversized slab
+        // would tax every future solve. Columns `≤ w` are bit-identical at
+        // any stride, so neither the slack nor the hysteresis changes
+        // results.
+        let needed = w_max + 1;
+        let cap_units = (max_useful as usize).saturating_add(1).max(needed);
+        let target = (needed + needed / 4).next_multiple_of(64).clamp(needed, cap_units);
+        if needed > self.stride || self.stride > target.saturating_mul(4) {
+            self.stride = target;
             self.rows.clear();
-            // sentinel: allow(hot-alloc, reason = "table rebuild at a wider stride; amortized — steady-state re-solves keep the stride")
-            self.rows.resize((k + 1) * self.stride, 0.0);
-            self.choice.clear();
-            // sentinel: allow(hot-alloc, reason = "table rebuild at a wider stride; amortized — steady-state re-solves keep the stride")
-            self.choice.resize(k * self.stride, 0);
-            self.keys.clear();
+            self.key_items.clear();
+            self.key_ranges.clear();
             first_dirty = 0;
         }
         let stride = self.stride;
@@ -211,20 +250,34 @@ impl McState {
         if first_dirty == k {
             // Every row the backtrack reads is already valid; rows past `k`
             // (from a previously longer class list) are simply abandoned.
-            if self.keys.len() == k && w_max == self.w_used {
+            if self.key_ranges.len() == k && w_max == self.w_used {
                 return McOutcome { reuse: McReuse::Full, classes: k };
             }
-            self.keys.truncate(k);
+            let keep = self.key_ranges.get(k - 1).map_or(0, |&(_, hi)| hi as usize);
+            self.key_items.truncate(keep);
+            self.key_ranges.truncate(k);
             self.backtrack(items, ranges, w_max);
             return McOutcome { reuse: McReuse::Backtrack, classes: k };
         }
 
         // Recompute rows `first_dirty..k` in place; earlier rows are reused.
-        // sentinel: allow(hot-alloc, reason = "memo growth is amortized: steady-state re-solves reuse the buffers without reallocating")
-        self.rows.resize((k + 1) * stride, 0.0);
-        // sentinel: allow(hot-alloc, reason = "memo growth is amortized: steady-state re-solves reuse the buffers without reallocating")
-        self.choice.resize(k * stride, 0);
-        self.keys.truncate(k);
+        // Grow-only: zero-filling matters solely for row 0 (and only right
+        // after a stride rebuild emptied the slab); rows past a previously
+        // longer class list are abandoned in place, not truncated, so a
+        // class count oscillation never re-pays the memset.
+        if self.rows.len() < (k + 1) * stride {
+            // sentinel: allow(hot-alloc, reason = "memo growth is amortized: steady-state re-solves reuse the buffers without reallocating")
+            self.rows.resize((k + 1) * stride, 0.0);
+        }
+        // Trim the memo to the clean prefix; dirty classes are re-appended
+        // below as their rows recompute.
+        let keep = if first_dirty == 0 {
+            0
+        } else {
+            self.key_ranges.get(first_dirty - 1).map_or(0, |&(_, hi)| hi as usize)
+        };
+        self.key_items.truncate(keep);
+        self.key_ranges.truncate(first_dirty);
         for (c, &(lo, hi)) in ranges.iter().enumerate().skip(first_dirty) {
             let class = items.get(lo..hi).expect("invariant: ranges index into items");
             let (prev_rows, next_rows) = self.rows.split_at_mut((c + 1) * stride);
@@ -234,36 +287,23 @@ impl McState {
                 next_rows.get_mut(..stride).expect("invariant: rows hold k+1 rows of width stride");
             // Skipping the class is always allowed.
             next.copy_from_slice(prev);
-            let ch = self
-                .choice
-                .get_mut(c * stride..(c + 1) * stride)
-                .expect("invariant: choice holds k rows of width stride");
-            ch.fill(-1);
-            for (i, item) in class.iter().enumerate() {
+            for item in class {
                 let wi = item.weight as usize;
                 if wi >= stride {
                     continue;
                 }
                 // `next[w] = max(next[w], prev[w - wi] + value)` for
-                // `w ∈ wi..stride`, expressed as a zip so the DP cell walk
-                // carries no bounds checks or panic paths.
-                let cells = next.iter_mut().skip(wi).zip(ch.iter_mut().skip(wi)).zip(prev.iter());
-                for ((nx, choice), pv) in cells {
-                    let cand = pv + item.value;
-                    if cand > *nx {
-                        *nx = cand;
-                        *choice = i as i32;
-                    }
-                }
+                // `w ∈ wi..stride`: two contiguous slices, no choice-table
+                // traffic, no branches — the loop autovectorizes.
+                let dst = next.get_mut(wi..).expect("invariant: wi < stride");
+                let src = prev.get(..stride - wi).expect("invariant: wi < stride");
+                relax_row(dst, src, item.value);
             }
-            if let Some(key) = self.keys.get_mut(c) {
-                key.clear();
-                // sentinel: allow(hot-alloc, reason = "memo key refresh reuses the existing buffer; grows only when a class grows")
-                key.extend_from_slice(class);
-            } else {
-                // sentinel: allow(hot-alloc, reason = "memo key for a newly seen class; allocated once per class, reused afterwards")
-                self.keys.push(class.to_vec());
-            }
+            let klo = self.key_items.len() as u32;
+            // sentinel: allow(hot-alloc, reason = "memo refresh into one flat slab; steady-state re-solves reuse its capacity")
+            self.key_items.extend_from_slice(class);
+            // sentinel: allow(hot-alloc, reason = "memo refresh into one flat slab; steady-state re-solves reuse its capacity")
+            self.key_ranges.push((klo, self.key_items.len() as u32));
         }
         self.backtrack(items, ranges, w_max);
         let reuse = if first_dirty == 0 {
@@ -274,8 +314,16 @@ impl McState {
         McOutcome { reuse, classes: k }
     }
 
-    /// Walk the choice table from `w_max` down, refreshing the cached
-    /// selection. Rows/choices for all `ranges.len()` classes must be valid.
+    /// Walk the checkpoint rows from `w_max` down, refreshing the cached
+    /// selection. Rows for all `ranges.len()` classes must be valid.
+    ///
+    /// There is no stored choice table: each class's pick is reconstructed
+    /// by re-running that one cell's item scan against the checkpoint row
+    /// above it. The scan repeats the exact comparison sequence the DP
+    /// executed for the cell (same item order, same strict-`>` rule, same
+    /// additions), so the reconstructed pick — the *last* strict improver —
+    /// is bit-identical to what a stored table would hold, at
+    /// `O(Σ |items|)` total cost instead of `K × stride` extra memory.
     fn backtrack(&mut self, items: &[McItem], ranges: &[(usize, usize)], w_max: usize) {
         let k = ranges.len();
         let stride = self.stride;
@@ -288,21 +336,122 @@ impl McState {
         // sentinel: allow(hot-alloc, reason = "selection buffer is reused across solves; grows only when the class count grows")
         self.choices.resize(k, None);
         let mut w = w_max;
-        for (c, (slot, &(lo, _))) in self.choices.iter_mut().zip(ranges.iter()).enumerate().rev() {
-            let picked = *self
-                .choice
-                .get(c * stride + w)
-                .expect("invariant: choice holds k rows of width stride > w_max");
-            if picked >= 0 {
-                let i = picked as usize;
+        for (c, (slot, &(lo, hi))) in self.choices.iter_mut().zip(ranges.iter()).enumerate().rev() {
+            let prev = self
+                .rows
+                .get(c * stride..c * stride + stride)
+                .expect("invariant: rows hold k+1 rows of width stride");
+            let class = items.get(lo..hi).expect("invariant: ranges index into items");
+            let mut best = *prev.get(w).expect("invariant: w <= w_max < stride");
+            let mut pick = None;
+            for (i, item) in class.iter().enumerate() {
+                let wi = item.weight as usize;
+                if wi <= w {
+                    let cand =
+                        *prev.get(w - wi).expect("invariant: w - wi <= w < stride") + item.value;
+                    if cand > best {
+                        best = cand;
+                        pick = Some(i);
+                    }
+                }
+            }
+            if let Some(i) = pick {
                 *slot = Some(i);
-                w -= items
-                    .get(lo + i)
-                    .expect("invariant: choice entries index into their class range")
-                    .weight as usize;
+                w -= class.get(i).expect("invariant: pick indexes the scanned class").weight
+                    as usize;
             }
         }
         self.w_used = w_max;
+    }
+}
+
+/// The DP cell update over one item: `dst[j] = max(dst[j], src[j] + value)`
+/// for every lane. Strict `>` keeps the documented tie-breaking (an equal
+/// candidate never replaces the incumbent), and the unconditional select
+/// store keeps the loop branch-free so it autovectorizes.
+#[cfg(not(feature = "simd"))]
+#[inline]
+fn relax_row(dst: &mut [f64], src: &[f64], value: f64) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        let cand = s + value;
+        *d = if cand > *d { cand } else { *d };
+    }
+}
+
+/// 4-lane manually unrolled variant of [`relax_row`], selected by the `simd`
+/// cargo feature. The update is purely elementwise — lane `j` never reads
+/// another lane — so any unroll width produces bit-identical tables to the
+/// scalar loop; the unroll only hands the backend wider independent chains.
+#[cfg(feature = "simd")]
+#[inline]
+fn relax_row(dst: &mut [f64], src: &[f64], value: f64) {
+    let mut d4 = dst.chunks_exact_mut(4);
+    let mut s4 = src.chunks_exact(4);
+    for (d, s) in d4.by_ref().zip(s4.by_ref()) {
+        let ([d0, d1, d2, d3], [s0, s1, s2, s3]) = (d, s) else {
+            continue;
+        };
+        let (c0, c1, c2, c3) = (s0 + value, s1 + value, s2 + value, s3 + value);
+        *d0 = if c0 > *d0 { c0 } else { *d0 };
+        *d1 = if c1 > *d1 { c1 } else { *d1 };
+        *d2 = if c2 > *d2 { c2 } else { *d2 };
+        *d3 = if c3 > *d3 { c3 } else { *d3 };
+    }
+    for (d, s) in d4.into_remainder().iter_mut().zip(s4.remainder().iter()) {
+        let cand = s + value;
+        *d = if cand > *d { cand } else { *d };
+    }
+}
+
+/// Recycles the heap slabs behind retired [`McState`]s — checkpoint rows,
+/// the flat item memo and the selection buffer — across clients, ticks and
+/// conferences.
+///
+/// [`McState::clear`] keeps buffer capacity, so a state acquired from the
+/// pool re-solves a similarly shaped knapsack without touching the
+/// allocator. The engine retires a departing client's state here and seeds
+/// joining clients from it; the batch scheduler moves whole pools between
+/// conferences the same way ([`McPool::absorb`]).
+///
+/// Recycling is FIFO: a roster retired in client order and re-acquired in
+/// client order hands every client its *own* slab back, so preserved row
+/// strides line up with each client's downlink instead of shuffling across
+/// heterogeneous capacities.
+#[derive(Debug, Default)]
+pub struct McPool {
+    states: std::collections::VecDeque<McState>,
+}
+
+impl McPool {
+    /// An empty pool (no allocation).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Retire a state: its memo is cleared, its slabs keep their capacity
+    /// for the next [`acquire`](Self::acquire).
+    pub fn retire(&mut self, mut state: McState) {
+        state.clear();
+        // sentinel: allow(hot-alloc, reason = "pool growth is bounded by peak concurrent clients; steady-state churn pops and pushes within capacity")
+        self.states.push_back(state);
+    }
+
+    /// Hand out a cleared state, reusing retired slabs when available.
+    pub fn acquire(&mut self) -> McState {
+        self.states.pop_front().unwrap_or_default()
+    }
+
+    /// Move every retired state of `other` into this pool (cross-conference
+    /// recycling: a torn-down conference's slabs serve new ones).
+    pub fn absorb(&mut self, mut other: McPool) {
+        self.states.append(&mut other.states);
+    }
+
+    /// Number of retired states currently held.
+    #[must_use]
+    pub fn idle_states(&self) -> usize {
+        self.states.len()
     }
 }
 
@@ -313,20 +462,15 @@ impl McState {
 /// itself is correct for any order). `capacity` is in the same units as the
 /// item weights.
 pub fn solve_units(classes: &[Vec<McItem>], capacity: u64) -> McSolution {
-    // sentinel: allow(hot-alloc, reason = "one-shot convenience entry; incremental callers use solve_flat with reused buffers")
     let mut items = Vec::new();
-    // sentinel: allow(hot-alloc, reason = "one-shot convenience entry; incremental callers use solve_flat with reused buffers")
     let mut ranges = Vec::with_capacity(classes.len());
     for class in classes {
         let lo = items.len();
-        // sentinel: allow(hot-alloc, reason = "one-shot convenience entry; incremental callers use solve_flat with reused buffers")
         items.extend_from_slice(class);
-        // sentinel: allow(hot-alloc, reason = "one-shot convenience entry; incremental callers use solve_flat with reused buffers")
         ranges.push((lo, items.len()));
     }
     let mut state = McState::default();
     state.solve_flat(&items, &ranges, capacity);
-    // sentinel: allow(hot-alloc, reason = "one-shot convenience entry returns an owned selection by API contract")
     McSolution { choices: state.choices().to_vec(), value: state.value() }
 }
 
@@ -342,16 +486,29 @@ pub fn solve_bitrates(
 ) -> McSolution {
     assert!(!unit.is_zero(), "quantization unit must be non-zero");
     let u = unit.as_bps();
-    let quantized: Vec<Vec<McItem>> = classes
+    // Quantize straight into the flat item layout `solve_flat` consumes;
+    // no intermediate per-class vectors.
+    let items: Vec<McItem> = classes
+        .iter()
+        .flatten()
+        .map(|&(b, v)| McItem { weight: b.as_bps().div_ceil(u), value: v })
+        // sentinel: allow(hot-alloc, reason = "one-shot convenience entry; incremental callers quantize into reused flat buffers")
+        .collect();
+    let mut lo = 0;
+    let ranges: Vec<(usize, usize)> = classes
         .iter()
         .map(|c| {
-            // sentinel: allow(hot-alloc, reason = "one-shot convenience entry; incremental callers quantize into reused flat buffers")
-            c.iter().map(|&(b, v)| McItem { weight: b.as_bps().div_ceil(u), value: v }).collect()
+            let r = (lo, lo + c.len());
+            lo += c.len();
+            r
         })
         // sentinel: allow(hot-alloc, reason = "one-shot convenience entry; incremental callers quantize into reused flat buffers")
         .collect();
     let units = capacity.as_bps().checked_div(u).expect("invariant: unit checked non-zero above");
-    solve_units(&quantized, units)
+    let mut state = McState::default();
+    state.solve_flat(&items, &ranges, units);
+    // sentinel: allow(hot-alloc, reason = "one-shot convenience entry returns an owned selection by API contract")
+    McSolution { choices: state.choices().to_vec(), value: state.value() }
 }
 
 /// Quantize one bitrate to capacity units (round **up**), exactly as
@@ -593,6 +750,74 @@ mod tests {
         let out = st.solve_flat(&items, &ranges, 150);
         assert_eq!(out.reuse, McReuse::Fresh);
         assert_matches_fresh(&st, &classes, 150);
+    }
+
+    #[test]
+    fn growth_rebuild_leaves_headroom_for_the_next_wobble() {
+        let classes = sample_classes();
+        let (items, ranges) = flatten(&classes);
+        let mut st = McState::new();
+        st.solve_flat(&items, &ranges, 40);
+        // First growth rebuilds with 25 % slack rounded to a 64 boundary…
+        let out = st.solve_flat(&items, &ranges, 100);
+        assert_eq!(out.reuse, McReuse::Fresh);
+        assert_matches_fresh(&st, &classes, 100);
+        // …so a further bump within the headroom (needed 126 → stride 128)
+        // reuses the stored rows instead of rebuilding again.
+        let out = st.solve_flat(&items, &ranges, 120);
+        assert_eq!(out.reuse, McReuse::Backtrack);
+        assert_matches_fresh(&st, &classes, 120);
+        // Shrinking back down never rebuilds either.
+        let out = st.solve_flat(&items, &ranges, 40);
+        assert_eq!(out.reuse, McReuse::Backtrack);
+        assert_matches_fresh(&st, &classes, 40);
+    }
+
+    #[test]
+    fn slack_stride_is_capped_at_joint_item_weight() {
+        let classes = sample_classes();
+        let (items, ranges) = flatten(&classes);
+        let mut st = McState::new();
+        st.solve_flat(&items, &ranges, 40);
+        // max_useful is 190; growth to capacity 300 clamps w_max to 190 and
+        // the slack to 191 columns — no table wider than ever useful.
+        let out = st.solve_flat(&items, &ranges, 300);
+        assert_eq!(out.reuse, McReuse::Fresh);
+        assert_matches_fresh(&st, &classes, 300);
+        assert_eq!(st.stride, 191);
+    }
+
+    #[test]
+    fn pool_recycles_slab_capacity_across_states() {
+        let classes = sample_classes();
+        let (items, ranges) = flatten(&classes);
+        let mut st = McState::new();
+        st.solve_flat(&items, &ranges, 100);
+        let rows_cap = st.rows.capacity();
+        assert!(rows_cap > 0);
+
+        let mut pool = McPool::new();
+        pool.retire(st);
+        assert_eq!(pool.idle_states(), 1);
+
+        // The recycled state starts cleared but keeps its slabs.
+        let mut st = pool.acquire();
+        assert_eq!(pool.idle_states(), 0);
+        assert!(st.choices().is_empty());
+        assert_eq!(st.rows.capacity(), rows_cap);
+        let out = st.solve_flat(&items, &ranges, 100);
+        assert_eq!(out.reuse, McReuse::Fresh);
+        assert_matches_fresh(&st, &classes, 100);
+
+        // An exhausted pool hands out fresh states; absorb merges pools.
+        let other = McPool::new();
+        pool.retire(McState::new());
+        let mut merged = McPool::new();
+        merged.absorb(pool);
+        merged.absorb(other);
+        assert_eq!(merged.idle_states(), 1);
+        assert!(merged.acquire().choices().is_empty());
+        assert!(merged.acquire().choices().is_empty());
     }
 
     #[test]

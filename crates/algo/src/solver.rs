@@ -133,15 +133,14 @@ fn solve_impl(
     let mut wp = problem.clone();
     // Upper bound on iterations per the convergence argument, plus one for
     // the terminal iteration.
-    let max_iters: usize =
-        1 + wp.sources().iter().map(|s| s.ladder.resolutions().len()).sum::<usize>();
+    let max_iters: usize = 1 + convergence_bound(problem);
 
     for iteration in 1..=max_iters {
         // ---- Step 1: per-subscriber multiple-choice knapsack -------------
         let requests_by_source = knapsack_step(&wp, cfg);
 
         // ---- Step 2: merge per resolution ---------------------------------
-        let mut policies = merge_step(&requests_by_source);
+        let mut policies = merge_step(requests_by_source.iter().map(|(s, v)| (*s, v.as_slice())));
 
         let mut iter_trace = trace.as_ref().map(|_| IterationTrace {
             requests: requests_by_source.clone(),
@@ -204,6 +203,18 @@ fn solve_impl(
     unreachable!("the reduction step strictly shrinks a ladder each iteration");
 }
 
+/// Σ_sources |resolutions|: every non-terminal iteration removes one whole
+/// resolution from one source's ladder, so this bounds the iteration count.
+/// Walks the client list directly to stay allocation-free on the solve path.
+pub(crate) fn convergence_bound(problem: &Problem) -> usize {
+    problem
+        .clients()
+        .iter()
+        .flat_map(|c| c.sources.iter())
+        .map(|s| s.ladder.distinct_resolutions())
+        .sum()
+}
+
 /// Step 1 for the one-shot path: every subscriber's MCKP, solved fresh.
 /// (The incremental engine has its own Step 1 with memoized DP state; both
 /// produce requests in identical client-then-subscription order.)
@@ -250,34 +261,43 @@ fn knapsack_step(wp: &Problem, cfg: &SolverConfig) -> BTreeMap<SourceId, Vec<Req
 
 /// Step 2: per source, group the requested streams by resolution and merge
 /// each group to its *minimum* requested bitrate (Meg(), Eq. 12).
-pub(crate) fn merge_step(
-    requests_by_source: &BTreeMap<SourceId, Vec<Request>>,
-) -> BTreeMap<SourceId, Vec<PublishPolicy>> {
-    // sentinel: allow(hot-alloc, reason = "per-solve merge output; grouping-buffer reuse is tracked by the zero-alloc roadmap item")
+///
+/// Generic over any ascending-`SourceId` iteration of request slices so the
+/// one-shot solver's `BTreeMap` and the engine's flat per-source buckets
+/// share one implementation. Grouping is a linear scan over a handful of
+/// resolutions (≤4 in every production ladder) sorted ascending at the end —
+/// the same (resolution-ascending, audience-in-request-order) output the
+/// previous `BTreeMap` grouping produced, without its per-node allocations.
+pub(crate) fn merge_step<'a, I>(requests_by_source: I) -> BTreeMap<SourceId, Vec<PublishPolicy>>
+where
+    I: IntoIterator<Item = (SourceId, &'a [Request])>,
+{
+    // sentinel: allow(hot-alloc, reason = "per-solve merge output; the policies move into the Solution the caller retains")
     let mut policies: BTreeMap<SourceId, Vec<PublishPolicy>> = BTreeMap::new();
     for (source, reqs) in requests_by_source {
-        // sentinel: allow(hot-alloc, reason = "per-solve merge output; grouping-buffer reuse is tracked by the zero-alloc roadmap item")
-        let mut by_res: BTreeMap<Resolution, (Bitrate, Vec<(ClientId, u8)>)> = BTreeMap::new();
+        // sentinel: allow(hot-alloc, reason = "per-solve merge output; one group per distinct requested resolution (≤4)")
+        let mut groups: Vec<PublishPolicy> = Vec::new();
         for r in reqs {
-            // sentinel: allow(hot-alloc, reason = "per-solve merge output; grouping-buffer reuse is tracked by the zero-alloc roadmap item")
-            let entry = by_res.entry(r.spec.resolution).or_insert((r.spec.bitrate, Vec::new()));
-            entry.0 = entry.0.min(r.spec.bitrate); // Meg(): s_i^R = min (Eq. 12)
-                                                   // sentinel: allow(hot-alloc, reason = "per-solve merge output; grouping-buffer reuse is tracked by the zero-alloc roadmap item")
-            entry.1.push((r.subscriber, r.tag));
+            match groups.iter_mut().find(|g| g.resolution == r.spec.resolution) {
+                Some(g) => {
+                    g.bitrate = g.bitrate.min(r.spec.bitrate); // Meg(): s_i^R = min (Eq. 12)
+                                                               // sentinel: allow(hot-alloc, reason = "per-solve merge output; the audiences move into the Solution the caller retains")
+                    g.audience.push((r.subscriber, r.tag));
+                }
+                // sentinel: allow(hot-alloc, reason = "per-solve merge output; the policies move into the Solution the caller retains")
+                None => groups.push(PublishPolicy {
+                    resolution: r.spec.resolution,
+                    bitrate: r.spec.bitrate,
+                    // sentinel: allow(hot-alloc, reason = "per-solve merge output; the audiences move into the Solution the caller retains")
+                    audience: vec![(r.subscriber, r.tag)],
+                }),
+            }
         }
-        // sentinel: allow(hot-alloc, reason = "per-solve merge output; grouping-buffer reuse is tracked by the zero-alloc roadmap item")
-        policies.insert(
-            *source,
-            by_res
-                .into_iter()
-                .map(|(resolution, (bitrate, audience))| PublishPolicy {
-                    resolution,
-                    bitrate,
-                    audience,
-                })
-                // sentinel: allow(hot-alloc, reason = "per-solve merge output; grouping-buffer reuse is tracked by the zero-alloc roadmap item")
-                .collect(),
-        );
+        // One group per resolution, so keys are unique and the unstable sort
+        // is deterministic; audiences keep their request order.
+        groups.sort_unstable_by_key(|g| g.resolution);
+        // sentinel: allow(hot-alloc, reason = "per-solve merge output; the policies move into the Solution the caller retains")
+        policies.insert(source, groups);
     }
     policies
 }
@@ -294,11 +314,12 @@ pub(crate) fn uplink_step<L: LadderView>(
     repaired: &mut Vec<ClientId>,
 ) -> Option<(SourceId, Resolution)> {
     for client in clients {
-        // sentinel: allow(hot-alloc, reason = "per-publisher source-id scratch, bounded by sources per client (typically 1-2)")
-        let client_sources: Vec<SourceId> = client.sources.iter().map(|s| s.id).collect();
-        let total: Bitrate = client_sources
+        // The client's sources are walked in place (typically 1-2 of them);
+        // the check itself allocates nothing.
+        let total: Bitrate = client
+            .sources
             .iter()
-            .flat_map(|src| policies.get(src).into_iter().flatten())
+            .flat_map(|s| policies.get(&s.id).into_iter().flatten())
             .map(|p| p.bitrate)
             .sum();
         if total <= client.uplink {
@@ -306,12 +327,13 @@ pub(crate) fn uplink_step<L: LadderView>(
         }
         // Fixability (Eq. 17): can we fit by taking the smallest bitrate
         // at each already-selected resolution?
-        let min_total: Bitrate = client_sources
+        let min_total: Bitrate = client
+            .sources
             .iter()
-            .flat_map(|src| policies.get(src).into_iter().flatten().map(move |p| (src, p)))
+            .flat_map(|s| policies.get(&s.id).into_iter().flatten().map(move |p| (s.id, p)))
             .map(|(src, p)| {
                 ladders
-                    .ladder_of(*src)
+                    .ladder_of(src)
                     .and_then(|l| l.min_bitrate_at(p.resolution))
                     .unwrap_or(p.bitrate)
             })
@@ -323,9 +345,10 @@ pub(crate) fn uplink_step<L: LadderView>(
         } else {
             // Not fixable: drop the highest resolution this client
             // currently publishes (Eq. 18) and restart.
-            return client_sources
+            return client
+                .sources
                 .iter()
-                .flat_map(|src| policies.get(src).into_iter().flatten().map(move |p| (*src, p)))
+                .flat_map(|s| policies.get(&s.id).into_iter().flatten().map(move |p| (s.id, p)))
                 .max_by_key(|(_, p)| (p.resolution, p.bitrate))
                 .map(|(src, p)| (src, p.resolution));
         }

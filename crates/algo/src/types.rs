@@ -168,6 +168,16 @@ impl Ladder {
         rs
     }
 
+    /// Number of distinct resolutions, without materializing them (the
+    /// solver's convergence bound sums this per source on every solve).
+    pub fn distinct_resolutions(&self) -> usize {
+        self.specs
+            .iter()
+            .enumerate()
+            .filter(|&(i, s)| !self.specs.iter().take(i).any(|t| t.resolution == s.resolution))
+            .count()
+    }
+
     /// Specs at exactly the given resolution (`S_i^R` in the paper),
     /// ascending by bitrate.
     pub fn at_resolution(&self, r: Resolution) -> Vec<StreamSpec> {
@@ -184,7 +194,9 @@ impl Ladder {
     /// The smallest bitrate at the given resolution, if any
     /// (`min_{s in S_i^R} s`, used by the Step-3 fixability test, Eq. 17).
     pub fn min_bitrate_at(&self, r: Resolution) -> Option<Bitrate> {
-        self.at_resolution(r).first().map(|s| s.bitrate)
+        // Specs are ascending by bitrate, so the first match is the minimum;
+        // scanning in place keeps the Step-3 fixability test allocation-free.
+        self.specs.iter().find(|s| s.resolution == r).map(|s| s.bitrate)
     }
 
     /// Look up the spec with this exact bitrate.

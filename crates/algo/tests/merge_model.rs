@@ -1,24 +1,28 @@
-//! Unit model of the sharded Step-1 in-order merge, plus digest-equivalence
-//! checks for the sharded engine at 1/2/8 threads.
+//! Unit model of the batch scheduler's concurrency shape, plus
+//! digest-equivalence checks for `BatchScheduler` at 1/2/8 workers.
 //!
 //! The `model_*` tests replicate the exact concurrency shape of
-//! `SolveEngine::knapsack_step` — `std::thread::scope` workers writing
-//! disjoint `chunks_mut` shards, the calling thread merging afterwards in
-//! ascending index order — on a small, pure computation. They run in
-//! seconds under Miri (`cargo miri test -p gso-algo --test merge_model
-//! model_`), which checks the pattern for undefined behaviour and data
-//! races; the `engine_*` tests then tie the model back to the real engine by
-//! asserting digest-identical solutions and traces across thread counts.
+//! `BatchScheduler::solve_batch` — persistent workers stealing owned tasks
+//! from per-worker deques and sending `(index, result)` pairs over a
+//! channel, the submitter re-ordering by index — on a small, pure
+//! computation. They run in seconds under Miri (`cargo miri test -p
+//! gso-algo --test merge_model model_`), which checks the pattern for
+//! undefined behaviour and data races; the `engine_*` tests then tie the
+//! model back to the real scheduler by asserting digest-identical solutions
+//! and traces across worker counts.
 
 use gso_algo::{
-    ladders, solver, ClientSpec, EngineConfig, Problem, Resolution, SolveEngine, SolverConfig,
-    SourceId, Subscription,
+    ladders, solver, BatchConfig, BatchJob, BatchScheduler, ClientSpec, Problem, Resolution,
+    SolveEngine, SolverConfig, SourceId, Subscription,
 };
 use gso_detguard::StateDigest;
 use gso_util::{Bitrate, ClientId};
+use std::collections::VecDeque;
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
 
-/// The computation each "subscriber" shard performs in the model: something
-/// order-sensitive enough that a wrong merge order or a torn write would
+/// The computation each "conference job" performs in the model: something
+/// order-sensitive enough that a wrong merge order or a lost task would
 /// change the result.
 fn work(id: u64) -> u64 {
     let mut acc = id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -33,50 +37,69 @@ fn sequential(ids: &[u64]) -> Vec<u64> {
     ids.iter().map(|&id| work(id)).collect()
 }
 
-/// The engine's pattern: shard `entries` across scoped threads with
-/// `chunks_mut`, each worker filling only its shard, then merge on the
-/// calling thread in index order.
-fn sharded(ids: &[u64], threads: usize) -> Vec<u64> {
-    let mut out: Vec<Option<u64>> = vec![None; ids.len()];
-    let chunk = ids.len().div_ceil(threads.max(1)).max(1);
+/// The scheduler's pattern: tasks distributed round-robin over per-worker
+/// deques, workers popping their own front and stealing others' backs,
+/// results sent as `(index, value)` and re-ordered by the submitter.
+fn batched(ids: &[u64], workers: usize) -> Vec<u64> {
+    #[allow(clippy::type_complexity)]
+    let queues: Arc<Vec<Mutex<VecDeque<(usize, u64)>>>> =
+        Arc::new((0..workers).map(|_| Mutex::new(VecDeque::new())).collect());
+    for (idx, &id) in ids.iter().enumerate() {
+        queues[idx % workers].lock().unwrap().push_back((idx, id));
+    }
+    let (tx, rx) = channel();
     std::thread::scope(|s| {
-        for (in_shard, out_shard) in ids.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            s.spawn(move || {
-                for (id, slot) in in_shard.iter().zip(out_shard.iter_mut()) {
-                    *slot = Some(work(*id));
+        for wid in 0..workers {
+            let queues = Arc::clone(&queues);
+            let tx = tx.clone();
+            s.spawn(move || loop {
+                let mut task = None;
+                for off in 0..workers {
+                    let mut q = queues[(wid + off) % workers].lock().unwrap();
+                    task = if off == 0 { q.pop_front() } else { q.pop_back() };
+                    if task.is_some() {
+                        break;
+                    }
                 }
+                let Some((idx, id)) = task else { return };
+                tx.send((idx, work(id))).unwrap();
             });
         }
-    });
-    // In-order merge on the calling thread: identical to the sequential
-    // iteration order regardless of worker completion order.
-    out.into_iter().map(|v| v.expect("every slot filled exactly once")).collect()
+        drop(tx);
+        // Index-keyed merge: identical to the sequential iteration order
+        // regardless of which worker finished first.
+        let mut out: Vec<Option<u64>> = vec![None; ids.len()];
+        for (idx, value) in rx {
+            assert!(out[idx].replace(value).is_none(), "task {idx} completed twice");
+        }
+        out.into_iter().map(|v| v.expect("every slot filled exactly once")).collect()
+    })
 }
 
 #[test]
-fn model_sharded_merge_matches_sequential() {
+fn model_batched_merge_matches_sequential() {
     let ids: Vec<u64> = (0..37).map(|i| i * 3 + 1).collect();
     let expect = sequential(&ids);
-    for threads in [1, 2, 3, 8] {
-        assert_eq!(sharded(&ids, threads), expect, "threads = {threads}");
+    for workers in [1, 2, 3, 8] {
+        assert_eq!(batched(&ids, workers), expect, "workers = {workers}");
     }
 }
 
 #[test]
-fn model_uneven_shards_cover_all_entries() {
-    // 10 entries across 8 threads: chunks of 2, last shards short/empty.
+fn model_more_workers_than_tasks_covers_all_entries() {
     let ids: Vec<u64> = (100..110).collect();
-    assert_eq!(sharded(&ids, 8), sequential(&ids));
+    assert_eq!(batched(&ids, 8), sequential(&ids));
+    assert_eq!(batched(&ids, 16), sequential(&ids));
 }
 
 #[test]
 fn model_single_entry_and_empty() {
-    assert_eq!(sharded(&[42], 8), sequential(&[42]));
-    assert_eq!(sharded(&[], 4), Vec::<u64>::new());
+    assert_eq!(batched(&[42], 8), sequential(&[42]));
+    assert_eq!(batched(&[], 4), Vec::<u64>::new());
 }
 
 // ---------------------------------------------------------------------------
-// Engine digest equivalence across thread counts (not run under Miri; the
+// Scheduler digest equivalence across worker counts (not run under Miri; the
 // CI Miri job filters to `model_`).
 // ---------------------------------------------------------------------------
 
@@ -105,47 +128,66 @@ fn mesh_problem(n: u32) -> Problem {
 }
 
 #[test]
-fn engine_digest_identical_across_1_2_8_threads() {
-    let problem = mesh_problem(9);
+fn engine_digest_identical_across_1_2_8_workers() {
+    let conferences: Vec<Arc<Problem>> = (6..=9).map(|n| Arc::new(mesh_problem(n))).collect();
     let cfg = SolverConfig::default();
-    let (ref_solution, ref_trace) = solver::solve_traced(&problem, &cfg);
-    let (ref_sol_digest, ref_trace_digest) =
-        (ref_solution.state_digest(), ref_trace.state_digest());
+    let reference: Vec<_> = conferences
+        .iter()
+        .map(|p| {
+            let (sol, trace) = solver::solve_traced(p, &cfg);
+            (sol.state_digest(), trace.state_digest())
+        })
+        .collect();
 
-    for threads in [1usize, 2, 8] {
-        // parallel_threshold 1 forces the sharded path even on 9 clients.
-        let mut engine = SolveEngine::with_engine_config(
-            cfg.clone(),
-            EngineConfig { threads, parallel_threshold: 1 },
-        );
-        // Cold solve, then warm re-solve: both must match the sequential
-        // solver bit-for-bit.
+    for workers in [1usize, 2, 8] {
+        let mut sched = BatchScheduler::new(&BatchConfig { workers });
+        let mut jobs: Vec<BatchJob> = conferences
+            .iter()
+            .map(|p| BatchJob {
+                engine: SolveEngine::new(cfg.clone()),
+                problem: Arc::clone(p),
+                traced: true,
+            })
+            .collect();
+        // Cold batch, then warm re-batch with the returned engines: both
+        // must match the sequential solver bit-for-bit.
         for pass in 0..2 {
-            let (sol, trace) = engine.solve_traced(&problem);
-            assert_eq!(
-                sol.state_digest(),
-                ref_sol_digest,
-                "solution digest, threads={threads} pass={pass}"
-            );
-            assert_eq!(
-                trace.state_digest(),
-                ref_trace_digest,
-                "trace digest, threads={threads} pass={pass}"
-            );
+            let results = sched.solve_batch(jobs);
+            for (ci, (res, (sol_digest, trace_digest))) in
+                results.iter().zip(&reference).enumerate()
+            {
+                assert_eq!(
+                    res.solution.state_digest(),
+                    *sol_digest,
+                    "solution digest, workers={workers} pass={pass} conference={ci}"
+                );
+                assert_eq!(
+                    res.trace.as_ref().map(StateDigest::state_digest),
+                    Some(*trace_digest),
+                    "trace digest, workers={workers} pass={pass} conference={ci}"
+                );
+            }
+            jobs = results
+                .into_iter()
+                .zip(&conferences)
+                .map(|(r, p)| BatchJob { engine: r.engine, problem: Arc::clone(p), traced: true })
+                .collect();
         }
     }
 }
 
 #[test]
 fn engine_digest_stable_across_repeated_construction() {
-    let problem = mesh_problem(6);
+    let problem = Arc::new(mesh_problem(6));
     let cfg = SolverConfig::default();
-    let digest = |threads: usize| {
-        let mut engine = SolveEngine::with_engine_config(
-            cfg.clone(),
-            EngineConfig { threads, parallel_threshold: 1 },
-        );
-        engine.solve(&problem).state_digest()
+    let digest = |workers: usize| {
+        let mut sched = BatchScheduler::new(&BatchConfig { workers });
+        let mut results = sched.solve_batch(vec![BatchJob {
+            engine: SolveEngine::new(cfg.clone()),
+            problem: Arc::clone(&problem),
+            traced: false,
+        }]);
+        results.pop().expect("one result").solution.state_digest()
     };
     assert_eq!(digest(2), digest(2));
     assert_eq!(digest(2), digest(8));

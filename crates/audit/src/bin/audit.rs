@@ -16,63 +16,107 @@
 //! determinism guarantee.
 //!
 //! `--digest` switches to divergence-detection mode: every scenario is
-//! solved twice — sequential solver plus sharded engines at 1, 2, and
-//! 8 threads — and the per-scenario `StateDigest` traces of both passes are
-//! compared with `first_divergence`. Any nondeterminism (across runs, or
-//! between the sequential solver and any sharded engine) bisects to the
+//! solved twice — sequential solver plus batch schedulers at 1, 2, and
+//! 8 workers — and the per-scenario `StateDigest` traces of both passes are
+//! compared with `first_divergence`. Each worker count keeps one engine warm
+//! across scenarios (single-job batches), and the pass closes with all
+//! scenarios submitted as one batch; any nondeterminism (across runs, or
+//! between the sequential solver and any scheduled engine) bisects to the
 //! first divergent scenario and fails the gate.
 
 use gso_algo::solver::{self, SolverConfig};
-use gso_algo::{EngineConfig, SolveEngine};
+use gso_algo::{BatchConfig, BatchJob, BatchScheduler, Problem, SolveEngine};
 use gso_audit::{report, scenarios, SolutionAuditor};
 use gso_detguard::{first_divergence, DigestEntry, DigestTrace, StateDigest};
 use gso_telemetry::{keys, Telemetry};
 use std::process::ExitCode;
+use std::sync::Arc;
 
-const DIGEST_THREADS: [usize; 3] = [1, 2, 8];
+const DIGEST_WORKERS: [usize; 3] = [1, 2, 8];
 
 /// One full pass over every scenario: for each, digest the sequential
-/// solver's solution+trace and each sharded engine's solution+trace.
-/// Engines force `parallel_threshold: 1` so even two-client scenarios
-/// exercise the sharded Step-1 merge.
+/// solver's solution+trace and, per worker count, the batch scheduler's
+/// solution+trace. Each worker count carries one engine warm across the
+/// whole scenario list so reconciliation against the previous scenario's
+/// client set is exercised on the workers, not just inline.
 fn digest_pass(cfg: &SolverConfig) -> (DigestTrace, bool) {
-    let mut engines: Vec<SolveEngine> = DIGEST_THREADS
+    let (names, problems): (Vec<&'static str>, Vec<Arc<Problem>>) =
+        scenarios::all().into_iter().map(|s| (s.name, Arc::new(s.problem))).unzip();
+    let mut lanes: Vec<(BatchScheduler, Option<SolveEngine>)> = DIGEST_WORKERS
         .iter()
-        .map(|&threads| {
-            SolveEngine::with_engine_config(
-                cfg.clone(),
-                EngineConfig { threads, parallel_threshold: 1 },
-            )
+        .map(|&workers| {
+            (BatchScheduler::new(&BatchConfig { workers }), Some(SolveEngine::new(cfg.clone())))
         })
         .collect();
     let mut trace = DigestTrace::new();
     let mut engines_match = true;
-    for (i, scenario) in scenarios::all().into_iter().enumerate() {
-        let (solution, solve_trace) = solver::solve_traced(&scenario.problem, cfg);
+    for (i, (name, problem)) in names.iter().zip(&problems).enumerate() {
+        let (solution, solve_trace) = solver::solve_traced(problem, cfg);
         let solution_digest = solution.state_digest();
         let trace_digest = solve_trace.state_digest();
         let mut components = vec![
             ("solver.solution".to_string(), solution_digest),
             ("solver.trace".to_string(), trace_digest),
         ];
-        for (engine, &threads) in engines.iter_mut().zip(&DIGEST_THREADS) {
-            let (es, et) = engine.solve_traced(&scenario.problem);
-            let es_digest = es.state_digest();
-            let et_digest = et.state_digest();
+        for ((scheduler, engine_slot), &workers) in lanes.iter_mut().zip(&DIGEST_WORKERS) {
+            let engine = engine_slot.take().expect("invariant: lane engine always restored");
+            let mut results = scheduler.solve_batch(vec![BatchJob {
+                engine,
+                problem: Arc::clone(problem),
+                traced: true,
+            }]);
+            let result = results.pop().expect("invariant: one job in, one result out");
+            *engine_slot = Some(result.engine);
+            let es_digest = result.solution.state_digest();
+            let et_digest =
+                result.trace.expect("invariant: traced jobs return a trace").state_digest();
             if es_digest != solution_digest || et_digest != trace_digest {
                 engines_match = false;
                 eprintln!(
-                    "FAIL {:<18} engine({threads} threads) digest diverges from sequential solver",
-                    scenario.name
+                    "FAIL {name:<18} batch({workers} workers) digest diverges from sequential solver",
                 );
             }
-            components.push((format!("engine{threads}.solution"), es_digest));
-            components.push((format!("engine{threads}.trace"), et_digest));
+            components.push((format!("batch{workers}.solution"), es_digest));
+            components.push((format!("batch{workers}.trace"), et_digest));
         }
         trace.record(DigestEntry::new(
             i as u64,
             components,
-            format!("scenario {} qoe {:.3}", scenario.name, solution.total_qoe),
+            format!("scenario {name} qoe {:.3}", solution.total_qoe),
+        ));
+    }
+    // Close the pass with all scenarios interleaved as one batch per worker
+    // count: fresh engines, results must still match the sequential solver
+    // scenario-for-scenario in submission order.
+    for ((scheduler, _), &workers) in lanes.iter_mut().zip(&DIGEST_WORKERS) {
+        let jobs: Vec<BatchJob> = problems
+            .iter()
+            .map(|p| BatchJob {
+                engine: SolveEngine::new(cfg.clone()),
+                problem: Arc::clone(p),
+                traced: true,
+            })
+            .collect();
+        let results = scheduler.solve_batch(jobs);
+        let mut components = Vec::new();
+        for ((name, problem), result) in names.iter().zip(&problems).zip(results) {
+            let (solution, solve_trace) = solver::solve_traced(problem, cfg);
+            let es_digest = result.solution.state_digest();
+            let et_digest =
+                result.trace.expect("invariant: traced jobs return a trace").state_digest();
+            if es_digest != solution.state_digest() || et_digest != solve_trace.state_digest() {
+                engines_match = false;
+                eprintln!(
+                    "FAIL {name:<18} full-batch({workers} workers) digest diverges from sequential solver",
+                );
+            }
+            components.push((format!("fullbatch{workers}.{name}.solution"), es_digest));
+            components.push((format!("fullbatch{workers}.{name}.trace"), et_digest));
+        }
+        trace.record(DigestEntry::new(
+            (names.len() + workers) as u64,
+            components,
+            format!("full batch at {workers} workers"),
         ));
     }
     (trace, engines_match)
@@ -86,11 +130,11 @@ fn digest_mode(cfg: &SolverConfig) -> ExitCode {
         return ExitCode::FAILURE;
     }
     if !(ok_a && ok_b) {
-        eprintln!("digest FAILED: sharded engine diverged from the sequential solver");
+        eprintln!("digest FAILED: batch scheduler diverged from the sequential solver");
         return ExitCode::FAILURE;
     }
     println!(
-        "digest clean: {} scenarios x2 runs, solver + engines at {DIGEST_THREADS:?} threads all identical",
+        "digest clean: {} entries x2 runs, solver + batch schedulers at {DIGEST_WORKERS:?} workers all identical",
         a.entries.len()
     );
     ExitCode::SUCCESS

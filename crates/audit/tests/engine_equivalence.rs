@@ -3,23 +3,26 @@
 //!
 //! For each random instance the engine is driven through the controller's
 //! real access patterns — cold solve, warm re-solve after a single-source
-//! ladder reduction, warm re-solve after a single-client bandwidth delta,
-//! and a parallel cold solve — and each resulting `(Solution, SolveTrace)`
-//! pair must equal a fresh `solver::solve_traced` on the same problem
-//! exactly (f64 equality, not tolerance), with zero auditor findings.
+//! ladder reduction, warm re-solve after a single-client bandwidth delta —
+//! and each resulting `(Solution, SolveTrace)` pair must equal a fresh
+//! `solver::solve_traced` on the same problem exactly (f64 equality, not
+//! tolerance), with zero auditor findings. Random conference *batches* are
+//! then pushed through [`BatchScheduler`] at 2 and 8 workers, cold and
+//! warm, and must stay bit-identical to the sequential path too.
 //!
 //! Instances here are larger than `solver_vs_brute`'s (no exhaustive
 //! baseline to keep tractable): up to 6 clients, 4 publishers, 9-rung
 //! ladders, and virtual-publisher tags.
 
 use gso_algo::{
-    ladders, solver, ClientSpec, EngineConfig, Ladder, Problem, Resolution, SolveEngine,
-    SolverConfig, SourceId, Subscription,
+    ladders, solver, BatchConfig, BatchJob, BatchScheduler, ClientSpec, Ladder, Problem,
+    Resolution, SolveEngine, SolverConfig, SourceId, Subscription,
 };
 use gso_audit::{report, SolutionAuditor};
 use gso_detguard::StateDigest;
 use gso_util::{Bitrate, ClientId};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn arb_ladder() -> impl Strategy<Value = Ladder> {
     (0usize..4).prop_map(|pick| match pick {
@@ -168,41 +171,73 @@ proptest! {
         check(&mut engine, &problem, &cfg, "warm after bandwidth restore")?;
     }
 
+    /// Random conference batches through the scheduler, cold then warm:
+    /// every result must be bit-identical to a sequential engine driven
+    /// over the same sequence, at every worker count.
     #[test]
-    fn parallel_engine_matches_sequential_solver(problem in arb_problem()) {
+    fn batch_scheduler_matches_sequential_engine(
+        problems in prop::collection::vec(arb_problem(), 1..5)
+    ) {
         let cfg = SolverConfig::default();
-        let mut engine = SolveEngine::with_engine_config(
-            cfg.clone(),
-            EngineConfig { threads: 3, parallel_threshold: 0 },
-        );
-        check(&mut engine, &problem, &cfg, "parallel cold")?;
-        let shrunk = bandwidth_variant(&problem);
-        check(&mut engine, &shrunk, &cfg, "parallel warm")?;
-    }
+        let batch: Vec<Arc<Problem>> = problems.into_iter().map(Arc::new).collect();
+        let warm_batch: Vec<Arc<Problem>> =
+            batch.iter().map(|p| Arc::new(bandwidth_variant(p))).collect();
 
-    /// The sharded cold path is digest-identical at every thread count: the
-    /// shard partition must be invisible in the output bits.
-    #[test]
-    fn sharded_cold_path_digest_identical_across_thread_counts(problem in arb_problem()) {
-        let cfg = SolverConfig::default();
-        let (ref_sol, ref_trace) = solver::solve_traced(&problem, &cfg);
-        let (ref_sol_digest, ref_trace_digest) =
-            (ref_sol.state_digest(), ref_trace.state_digest());
-        for threads in [1usize, 2, 8] {
-            let mut engine = SolveEngine::with_engine_config(
-                cfg.clone(),
-                // threshold 0 so even the smallest instance shards.
-                EngineConfig { threads, parallel_threshold: 0 },
-            );
-            let (sol, trace) = engine.solve_traced(&problem);
-            prop_assert!(
-                sol.state_digest() == ref_sol_digest,
-                "{threads} threads: solution digest diverged from sequential solver"
-            );
-            prop_assert!(
-                trace.state_digest() == ref_trace_digest,
-                "{threads} threads: trace digest diverged from sequential solver"
-            );
+        // Sequential reference: one engine per conference, cold then warm.
+        let reference: Vec<_> = batch
+            .iter()
+            .zip(&warm_batch)
+            .map(|(cold, warm)| {
+                let mut engine = SolveEngine::new(cfg.clone());
+                let c = engine.solve_traced(cold);
+                let w = engine.solve_traced(warm);
+                (c, w)
+            })
+            .collect();
+
+        for workers in [2usize, 8] {
+            let mut sched = BatchScheduler::new(&BatchConfig { workers });
+            let jobs: Vec<BatchJob> = batch
+                .iter()
+                .map(|p| BatchJob {
+                    engine: SolveEngine::new(cfg.clone()),
+                    problem: Arc::clone(p),
+                    traced: true,
+                })
+                .collect();
+            let cold = sched.solve_batch(jobs);
+            // Check the cold pass, then re-batch with the *returned* engines
+            // so the warm pass runs on warm memos; must still equal the warm
+            // sequential reference.
+            let warm_jobs: Vec<BatchJob> = cold
+                .into_iter()
+                .zip(&warm_batch)
+                .zip(&reference)
+                .map(|((r, p), ((ref_sol, ref_trace), _))| {
+                    prop_assert!(
+                        r.solution == *ref_sol && r.solution.state_digest() == ref_sol.state_digest(),
+                        "{workers} workers: cold batch solution diverged"
+                    );
+                    let trace = r.trace.expect("traced job returns a trace");
+                    prop_assert!(
+                        trace == *ref_trace && trace.state_digest() == ref_trace.state_digest(),
+                        "{workers} workers: cold batch trace diverged"
+                    );
+                    Ok(BatchJob { engine: r.engine, problem: Arc::clone(p), traced: true })
+                })
+                .collect::<Result<_, _>>()?;
+            let warm = sched.solve_batch(warm_jobs);
+            for (r, (_, (ref_sol, ref_trace))) in warm.into_iter().zip(&reference) {
+                prop_assert!(
+                    r.solution == *ref_sol && r.solution.state_digest() == ref_sol.state_digest(),
+                    "{workers} workers: warm batch solution diverged"
+                );
+                let trace = r.trace.expect("traced job returns a trace");
+                prop_assert!(
+                    trace == *ref_trace && trace.state_digest() == ref_trace.state_digest(),
+                    "{workers} workers: warm batch trace diverged"
+                );
+            }
         }
     }
 }

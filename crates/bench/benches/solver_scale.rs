@@ -1,29 +1,72 @@
 //! solver_scale — SolveEngine vs the one-shot solver at Fig. 6c shapes.
 //!
-//! Times four regimes on the paper's large-meeting tuples:
+//! Times three regimes on the paper's large-meeting tuples:
 //!
 //! * `seq_cold` — the plain `solver::solve` baseline (what Fig. 6c reports);
 //! * `engine_cold` — a cache-cleared [`SolveEngine`] (measures engine
 //!   overhead on first contact);
 //! * `warm_*` — re-solves after a single-client bandwidth delta and after a
-//!   single-source ladder reduction (the controller's steady-state work);
-//! * `parallel_cold` — the engine's sharded Step-1 (meaningful only on
-//!   multi-core hosts; `host_parallelism` in the output records reality).
+//!   single-source ladder reduction (the controller's steady-state work).
 //!
 //! A multi-conference harness then drives 64 concurrent 20-party
 //! conferences through one orchestration tick each, cold and warm, the way
-//! a conference node's control plane would each round.
+//! a conference node's control plane would each round — first sequentially
+//! (one engine per conference, solved in a loop), then through the
+//! persistent [`BatchScheduler`] at 1/2/4/8 workers. The batch section also
+//! reports heap allocations per warm solve, measured by a counting
+//! `GlobalAlloc` wrapper (bench-only; the library crates stay allocator-
+//! agnostic).
 //!
 //! Every timed engine path is first cross-checked bit-identical against a
-//! fresh `solver::solve` on the same problem. The full run writes
-//! machine-readable `BENCH_solver.json` at the repo root; `--smoke` runs a
-//! trimmed version (CI) and writes nothing.
+//! fresh `solver::solve` on the same problem. Both the full run and
+//! `--smoke` (CI) write machine-readable `BENCH_solver.json` at the repo
+//! root; smoke output is marked `"smoke":true` so baselines are never taken
+//! from it.
 
-use gso_algo::{ladders, solver, EngineConfig, Problem, SolveEngine, SolverConfig};
+use gso_algo::{
+    ladders, solver, BatchConfig, BatchJob, BatchScheduler, Problem, SolveEngine, SolverConfig,
+};
 use gso_bench::banner;
 use gso_sim::experiments::fig6;
 use gso_util::Bitrate;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Counts every heap allocation made by the process. Only the delta around
+/// a timed region is reported, so the harness's own setup allocations do
+/// not pollute the per-solve numbers.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+#[allow(unsafe_code)]
+// SAFETY: pure pass-through to `System`; the counter is a relaxed atomic
+// increment with no effect on layout or aliasing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Allocations since process start.
+fn allocs_now() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
 
 /// Median wall-clock milliseconds of `reps` runs of `f`.
 fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -82,7 +125,6 @@ struct ShapeReport {
     shape: (usize, usize, usize),
     seq_cold_ms: f64,
     engine_cold_ms: f64,
-    parallel_cold_ms: f64,
     warm_bw_delta_ms: f64,
     warm_reduction_last_ms: f64,
     warm_reduction_first_ms: f64,
@@ -99,7 +141,7 @@ impl ShapeReport {
             concat!(
                 "{{\"pubs\":{},\"subs\":{},\"levels\":{},",
                 "\"seq_cold_ms\":{:.4},\"engine_cold_ms\":{:.4},",
-                "\"parallel_cold_ms\":{:.4},\"warm_bw_delta_ms\":{:.4},",
+                "\"warm_bw_delta_ms\":{:.4},",
                 "\"warm_reduction_last_ms\":{:.4},\"warm_reduction_first_ms\":{:.4},",
                 "\"warm_speedup_vs_cold\":{:.2}}}"
             ),
@@ -108,7 +150,6 @@ impl ShapeReport {
             l,
             self.seq_cold_ms,
             self.engine_cold_ms,
-            self.parallel_cold_ms,
             self.warm_bw_delta_ms,
             self.warm_reduction_last_ms,
             self.warm_reduction_first_ms,
@@ -117,7 +158,6 @@ impl ShapeReport {
     }
 }
 
-#[allow(clippy::too_many_lines)]
 fn bench_shape(shape: (usize, usize, usize), cold_reps: usize, warm_reps: usize) -> ShapeReport {
     let (pubs, subs, levels) = shape;
     let base = fig6::asymmetric_meeting(pubs, subs, levels);
@@ -132,11 +172,6 @@ fn bench_shape(shape: (usize, usize, usize), cold_reps: usize, warm_reps: usize)
     cross_check(&mut engine, &base, &delta);
     cross_check(&mut engine, &base, &reduced_last);
     cross_check(&mut engine, &base, &reduced_first);
-    let mut par = SolveEngine::with_engine_config(
-        cfg.clone(),
-        EngineConfig { threads: 0, parallel_threshold: 0 },
-    );
-    cross_check(&mut par, &base, &base);
 
     let seq_cold_ms = median_ms(cold_reps, || {
         std::hint::black_box(solver::solve(&base, &cfg));
@@ -146,11 +181,6 @@ fn bench_shape(shape: (usize, usize, usize), cold_reps: usize, warm_reps: usize)
     let engine_cold_ms = median_ms(cold_reps, || {
         engine.clear_cache();
         std::hint::black_box(engine.solve(&base));
-    });
-
-    let parallel_cold_ms = median_ms(cold_reps, || {
-        par.clear_cache();
-        std::hint::black_box(par.solve(&base));
     });
 
     // Warm paths alternate between the base and the perturbed problem so
@@ -190,11 +220,22 @@ fn bench_shape(shape: (usize, usize, usize), cold_reps: usize, warm_reps: usize)
         shape,
         seq_cold_ms,
         engine_cold_ms,
-        parallel_cold_ms,
         warm_bw_delta_ms,
         warm_reduction_last_ms,
         warm_reduction_first_ms,
     }
+}
+
+/// The jittered problem every conference `ci` sees at warm tick `tick`:
+/// one rotating client reports a downlink change (70–129 % of nominal,
+/// from a fixed sequence so every configuration solves identical inputs).
+fn jittered(base: &Problem, tick: usize, ci: usize) -> Problem {
+    let mut clients = base.clients().to_vec();
+    let idx = (tick + ci) % clients.len();
+    let scale = 70 + ((tick * 13 + ci * 7) % 60) as u64;
+    let c = clients.get_mut(idx).expect("index within client count");
+    c.downlink = Bitrate::from_bps(c.downlink.as_bps() * scale / 100);
+    Problem::new(clients, base.subscriptions().to_vec()).expect("jittered valid")
 }
 
 struct MultiConfReport {
@@ -202,6 +243,7 @@ struct MultiConfReport {
     parties: usize,
     cold_tick_ms: f64,
     warm_tick_ms: f64,
+    warm_allocs_per_solve: f64,
 }
 
 impl MultiConfReport {
@@ -213,20 +255,22 @@ impl MultiConfReport {
         format!(
             concat!(
                 "{{\"conferences\":{},\"parties\":{},\"cold_tick_ms\":{:.4},",
-                "\"warm_tick_ms\":{:.4},\"conference_solves_per_sec_warm\":{:.1}}}"
+                "\"warm_tick_ms\":{:.4},\"warm_allocs_per_solve\":{:.1},",
+                "\"conference_solves_per_sec_warm\":{:.1}}}"
             ),
             self.conferences,
             self.parties,
             self.cold_tick_ms,
             self.warm_tick_ms,
+            self.warm_allocs_per_solve,
             self.warm_solves_per_sec()
         )
     }
 }
 
 /// Drive `conferences` concurrent `parties`-way meetings through control
-/// ticks: one engine per conference, bandwidth jitter on a rotating client
-/// between warm ticks — the load a conference node's control plane carries.
+/// ticks: one engine per conference solved in a plain loop — the sequential
+/// reference the batch scheduler is measured against.
 fn bench_multi_conference(
     conferences: usize,
     parties: usize,
@@ -244,31 +288,117 @@ fn bench_multi_conference(
     }
     let cold_tick_ms = t.elapsed().as_secs_f64() * 1e3;
 
-    // Warm ticks: each round, one client per conference reports a downlink
-    // change (rotating through clients, ±jitter from a fixed sequence).
-    let mut total = 0.0;
+    let mut ticks_ms = Vec::with_capacity(warm_ticks);
+    let mut allocs = 0u64;
     for tick in 0..warm_ticks {
-        let problems: Vec<Problem> = bases
-            .iter()
-            .enumerate()
-            .map(|(ci, base)| {
-                let mut clients = base.clients().to_vec();
-                let idx = (tick + ci) % clients.len();
-                let scale = 70 + ((tick * 13 + ci * 7) % 60) as u64; // 70–129 %
-                let c = &mut clients[idx];
-                c.downlink = Bitrate::from_bps(c.downlink.as_bps() * scale / 100);
-                Problem::new(clients, base.subscriptions().to_vec()).expect("jittered valid")
-            })
-            .collect();
+        let problems: Vec<Problem> =
+            bases.iter().enumerate().map(|(ci, base)| jittered(base, tick, ci)).collect();
+        let a = allocs_now();
         let t = Instant::now();
         for (engine, p) in engines.iter_mut().zip(&problems) {
             std::hint::black_box(engine.solve(p));
         }
-        total += t.elapsed().as_secs_f64() * 1e3;
+        ticks_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        allocs += allocs_now() - a;
     }
-    let warm_tick_ms = total / warm_ticks as f64;
+    ticks_ms.sort_by(f64::total_cmp);
+    let warm_tick_ms = ticks_ms[ticks_ms.len() / 2];
+    let warm_allocs_per_solve = allocs as f64 / (warm_ticks * conferences) as f64;
 
-    MultiConfReport { conferences, parties, cold_tick_ms, warm_tick_ms }
+    MultiConfReport { conferences, parties, cold_tick_ms, warm_tick_ms, warm_allocs_per_solve }
+}
+
+struct BatchTickReport {
+    workers: usize,
+    cold_tick_ms: f64,
+    warm_tick_ms: f64,
+    warm_allocs_per_solve: f64,
+}
+
+impl BatchTickReport {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"workers\":{},\"cold_tick_ms\":{:.4},\"warm_tick_ms\":{:.4},",
+                "\"warm_allocs_per_solve\":{:.1}}}"
+            ),
+            self.workers, self.cold_tick_ms, self.warm_tick_ms, self.warm_allocs_per_solve
+        )
+    }
+}
+
+/// The same multi-conference workload through the persistent
+/// [`BatchScheduler`]: one cold batch, then jittered warm batches. Timing
+/// and allocation deltas bracket `solve_batch` only, so problem
+/// construction (the controller's job, not the scheduler's) stays outside
+/// the measurement. Warm solutions are cross-checked against a sequential
+/// engine once per worker count.
+fn bench_batch_tick(
+    conferences: usize,
+    parties: usize,
+    warm_ticks: usize,
+    workers: usize,
+) -> BatchTickReport {
+    let ladder = ladders::paper_table1();
+    let bases: Vec<Arc<Problem>> = (0..conferences)
+        .map(|_| Arc::new(fig6::symmetric_meeting(parties, ladder.clone())))
+        .collect();
+    let cfg = SolverConfig::default();
+    let mut sched = BatchScheduler::new(&BatchConfig { workers });
+
+    let jobs: Vec<BatchJob> = bases
+        .iter()
+        .map(|p| BatchJob {
+            engine: SolveEngine::new(cfg.clone()),
+            problem: Arc::clone(p),
+            traced: false,
+        })
+        .collect();
+    let t = Instant::now();
+    let mut results = sched.solve_batch(jobs);
+    let cold_tick_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let mut ticks_ms = Vec::with_capacity(warm_ticks);
+    let mut allocs = 0u64;
+    for tick in 0..warm_ticks {
+        let problems: Vec<Arc<Problem>> =
+            bases.iter().enumerate().map(|(ci, base)| Arc::new(jittered(base, tick, ci))).collect();
+        let jobs: Vec<BatchJob> = results
+            .into_iter()
+            .zip(&problems)
+            .map(|(r, p)| BatchJob { engine: r.engine, problem: Arc::clone(p), traced: false })
+            .collect();
+        let a = allocs_now();
+        let t = Instant::now();
+        results = sched.solve_batch(jobs);
+        ticks_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        allocs += allocs_now() - a;
+    }
+    ticks_ms.sort_by(f64::total_cmp);
+    let warm_tick_ms = ticks_ms[ticks_ms.len() / 2];
+    let warm_allocs_per_solve = allocs as f64 / (warm_ticks * conferences) as f64;
+
+    // Correctness: one final untimed warm batch, checked bit-identical
+    // against the one-shot solver on every conference.
+    let problems: Vec<Arc<Problem>> = bases
+        .iter()
+        .enumerate()
+        .map(|(ci, base)| Arc::new(jittered(base, warm_ticks, ci)))
+        .collect();
+    let jobs: Vec<BatchJob> = results
+        .into_iter()
+        .zip(&problems)
+        .map(|(r, p)| BatchJob { engine: r.engine, problem: Arc::clone(p), traced: false })
+        .collect();
+    for (p, r) in problems.iter().zip(sched.solve_batch(jobs)) {
+        assert_eq!(
+            r.solution,
+            solver::solve(p, &cfg),
+            "warm batch solution must be bit-identical to the solver ({workers} workers)"
+        );
+    }
+
+    BatchTickReport { workers, cold_tick_ms, warm_tick_ms, warm_allocs_per_solve }
 }
 
 fn host_parallelism() -> usize {
@@ -283,27 +413,19 @@ fn main() {
         (&[(10, 50, 9), (10, 200, 18), (10, 400, 18)], 7, 25)
     };
 
-    banner("solver_scale: SolveEngine cold/warm/parallel at Fig. 6c shapes");
+    banner("solver_scale: SolveEngine cold/warm at Fig. 6c shapes");
     println!(
-        "{:>14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
-        "(P, S, L)",
-        "seq cold",
-        "eng cold",
-        "par cold",
-        "warm bw",
-        "warm red",
-        "warm red1",
-        "×warm"
+        "{:>14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "(P, S, L)", "seq cold", "eng cold", "warm bw", "warm red", "warm red1", "×warm"
     );
     let mut reports = Vec::new();
     for &shape in shapes {
         let r = bench_shape(shape, cold_reps, warm_reps);
         println!(
-            "{:>14} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>8.1}",
+            "{:>14} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>8.1}",
             format!("{:?}", r.shape),
             r.seq_cold_ms,
             r.engine_cold_ms,
-            r.parallel_cold_ms,
             r.warm_bw_delta_ms,
             r.warm_reduction_last_ms,
             r.warm_reduction_first_ms,
@@ -317,27 +439,40 @@ fn main() {
     banner("solver_scale: multi-conference control-plane throughput");
     let mc = bench_multi_conference(confs, parties, ticks);
     println!(
-        "{} conferences × {} parties: cold tick {:.2} ms, warm tick {:.2} ms ({:.0} conference solves/s warm)",
+        "sequential: {} conferences × {} parties: cold tick {:.2} ms, warm tick {:.2} ms \
+         ({:.0} conference solves/s warm, {:.0} allocs/solve)",
         mc.conferences,
         mc.parties,
         mc.cold_tick_ms,
         mc.warm_tick_ms,
-        mc.warm_solves_per_sec()
+        mc.warm_solves_per_sec(),
+        mc.warm_allocs_per_solve
     );
-    println!("host parallelism: {} (parallel Step-1 needs >1 to pay off)", host_parallelism());
 
-    if !smoke {
-        let json = format!(
-            concat!(
-                "{{\"bench\":\"solver_scale\",\"unit\":\"milliseconds\",",
-                "\"host_parallelism\":{},\"shapes\":[{}],\"multi_conference\":{}}}\n"
-            ),
-            host_parallelism(),
-            reports.iter().map(ShapeReport::to_json).collect::<Vec<_>>().join(","),
-            mc.to_json()
+    let mut batch_reports = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let b = bench_batch_tick(confs, parties, ticks, workers);
+        println!(
+            "batch w={}: cold tick {:.2} ms, warm tick {:.2} ms ({:.0} allocs/solve)",
+            b.workers, b.cold_tick_ms, b.warm_tick_ms, b.warm_allocs_per_solve
         );
-        let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
-        std::fs::write(out, json).expect("write BENCH_solver.json");
-        println!("wrote {out}");
+        batch_reports.push(b);
     }
+    println!("host parallelism: {} (batch workers beyond it time-share)", host_parallelism());
+
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"solver_scale\",\"unit\":\"milliseconds\",\"smoke\":{},",
+            "\"host_parallelism\":{},\"shapes\":[{}],\"multi_conference\":{},",
+            "\"batch_tick\":[{}]}}\n"
+        ),
+        smoke,
+        host_parallelism(),
+        reports.iter().map(ShapeReport::to_json).collect::<Vec<_>>().join(","),
+        mc.to_json(),
+        batch_reports.iter().map(BatchTickReport::to_json).collect::<Vec<_>>().join(",")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    std::fs::write(out, json).expect("write BENCH_solver.json");
+    println!("wrote {out}");
 }

@@ -10,11 +10,14 @@ use crate::feedback::{FeedbackConfig, FeedbackExecutor, ForwardingRule};
 use crate::hysteresis::{BandwidthHysteresis, HysteresisConfig};
 use crate::scheduler::{ControlScheduler, SchedulerConfig};
 use crate::state::{CodecCapability, GlobalPicture, SubscribeIntent};
-use gso_algo::{diff, EngineConfig, Solution, SolutionDiff, SolveEngine, SolverConfig, SourceId};
+use gso_algo::{
+    diff, Problem, Solution, SolutionDiff, SolveEngine, SolveTrace, SolverConfig, SourceId,
+};
 use gso_rtp::{GsoTmmbn, GsoTmmbr};
 use gso_telemetry::{keys, Telemetry};
 use gso_util::{Bitrate, ClientId, SimTime, Ssrc};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Link direction, used as part of the hysteresis key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -30,9 +33,6 @@ pub enum Direction {
 pub struct ControllerConfig {
     /// Solver knobs.
     pub solver: SolverConfig,
-    /// Execution strategy of the reusable solve engine (threading; results
-    /// are identical for every setting).
-    pub engine: EngineConfig,
     /// Scheduling cadence (1–3 s in production).
     pub scheduler: SchedulerConfig,
     /// Oscillation-avoidance gate.
@@ -60,7 +60,6 @@ impl ControllerConfig {
     pub fn paper_defaults() -> Self {
         ControllerConfig {
             solver: SolverConfig::default(),
-            engine: EngineConfig::default(),
             scheduler: SchedulerConfig::default(),
             hysteresis: HysteresisConfig::default(),
             feedback: FeedbackConfig::default(),
@@ -69,6 +68,55 @@ impl ControllerConfig {
             solve_deadline_rows: 500_000,
         }
     }
+}
+
+/// An orchestration round prepared by [`GsoController::tick_prepare`],
+/// waiting for its solve before [`GsoController::tick_commit`].
+#[derive(Debug)]
+pub struct RoundContext {
+    problem: Arc<Problem>,
+    must_fall_back: bool,
+}
+
+impl RoundContext {
+    /// The problem snapshot this round must solve (shared with the batch
+    /// scheduler's job).
+    #[must_use]
+    pub fn problem(&self) -> &Arc<Problem> {
+        &self.problem
+    }
+
+    /// True when the round is forced into the §7 single-stream fallback —
+    /// no solve needed; commit with `None`.
+    #[must_use]
+    pub fn must_fall_back(&self) -> bool {
+        self.must_fall_back
+    }
+}
+
+/// What [`GsoController::tick_prepare`] decided about this tick.
+#[derive(Debug)]
+pub enum TickPrep {
+    /// No orchestration round is due.
+    Idle,
+    /// A round is due: solve the context's problem (unless it must fall
+    /// back) and pass both to [`GsoController::tick_commit`].
+    Round(RoundContext),
+}
+
+/// The solve a round's [`RoundContext`] asked for, produced inline by
+/// [`GsoController::tick`] or by a `BatchScheduler` worker via
+/// [`ControllerFleet`](crate::ControllerFleet).
+#[derive(Debug)]
+pub struct SolveOutcome {
+    /// The fresh solution.
+    pub solution: Solution,
+    /// Per-iteration trace; required in debug builds (the commit audits
+    /// against it), ignored in release.
+    pub trace: Option<SolveTrace>,
+    /// DP class-rows recomputed by this solve — the deterministic latency
+    /// proxy the solve-deadline watchdog meters.
+    pub rows_delta: u64,
 }
 
 /// One orchestration round's output.
@@ -126,7 +174,7 @@ impl GsoController {
             scheduler: ControlScheduler::new(cfg.scheduler.clone()),
             hysteresis: BandwidthHysteresis::new(cfg.hysteresis.clone()),
             executor: FeedbackExecutor::new(cfg.feedback.clone(), controller_ssrc),
-            engine: SolveEngine::with_engine_config(cfg.solver.clone(), cfg.engine.clone()),
+            engine: SolveEngine::new(cfg.solver.clone()),
             cfg,
             fallback_mode: false,
             manual_fallback: false,
@@ -270,9 +318,46 @@ impl GsoController {
     /// Run one controller step: orchestrate if the scheduler says so, and
     /// collect any due retransmissions.
     ///
+    /// Equivalent to [`tick_prepare`](Self::tick_prepare), an inline solve
+    /// on this controller's own engine, then
+    /// [`tick_commit`](Self::tick_commit). Multi-conference hosts drive the
+    /// same three phases through a shared `BatchScheduler` via
+    /// [`ControllerFleet`](crate::ControllerFleet) instead.
+    ///
     /// Returns `(orchestration_output, retransmissions)`.
     // sentinel: hot_path(controller-tick)
     pub fn tick(&mut self, now: SimTime) -> (Option<ControlOutput>, Vec<(ClientId, GsoTmmbr)>) {
+        let (prep, retransmissions) = self.tick_prepare(now);
+        let out = match prep {
+            TickPrep::Idle => None,
+            TickPrep::Round(ctx) => {
+                let solved = if ctx.must_fall_back() {
+                    None
+                } else {
+                    let rows_before = self.engine.stats().rows_recomputed;
+                    #[cfg(debug_assertions)]
+                    let (solution, trace) = {
+                        let (s, t) = self.engine.solve_traced(ctx.problem());
+                        (s, Some(t))
+                    };
+                    #[cfg(not(debug_assertions))]
+                    let (solution, trace) = (self.engine.solve(ctx.problem()), None);
+                    let rows_delta = self.engine.stats().rows_recomputed - rows_before;
+                    Some(SolveOutcome { solution, trace, rows_delta })
+                };
+                self.tick_commit(now, ctx, solved)
+            }
+        };
+        (out, retransmissions)
+    }
+
+    /// Phase 1 of a tick: poll the executor, evaluate fallback causes and
+    /// the schedule, and snapshot the problem for a due round.
+    ///
+    /// Always returns the due retransmissions; [`TickPrep::Round`] means the
+    /// caller must solve the context's problem (unless it must fall back)
+    /// and finish with [`tick_commit`](Self::tick_commit).
+    pub fn tick_prepare(&mut self, now: SimTime) -> (TickPrep, Vec<(ClientId, GsoTmmbr)>) {
         let retransmissions = self.executor.poll(now);
         // Undeliverable configuration is a fallback cause (§7).
         let failed = self.executor.take_failed();
@@ -291,7 +376,7 @@ impl GsoController {
         // An empty conference never orchestrates (and records no call
         // intervals — the Fig. 12 data starts with the first participant).
         if self.picture.is_empty() || !self.scheduler.poll(now) {
-            return (None, retransmissions);
+            return (TickPrep::Idle, retransmissions);
         }
 
         let Ok(problem) = self.picture.to_problem() else {
@@ -300,37 +385,70 @@ impl GsoController {
             // signaling, so the condition is transient — latching fallback
             // here would never release it).
             self.telemetry.event(now, keys::EV_FALLBACK, "inconsistent picture, round skipped");
-            return (None, retransmissions);
+            return (TickPrep::Idle, retransmissions);
         };
-        let rows_before = self.engine.stats().rows_recomputed;
         let must_fall_back = self.manual_fallback || !self.failed_clients.is_empty();
+        (
+            TickPrep::Round(RoundContext { problem: Arc::new(problem), must_fall_back }),
+            retransmissions,
+        )
+    }
+
+    /// Detach the engine so a batch worker can run this round's solve;
+    /// [`restore_engine`](Self::restore_engine) must put it back before the
+    /// commit reads its stats.
+    pub(crate) fn take_engine(&mut self) -> SolveEngine {
+        std::mem::replace(&mut self.engine, SolveEngine::new(self.cfg.solver.clone()))
+    }
+
+    /// Reattach the engine a batch worker warmed up.
+    pub(crate) fn restore_engine(&mut self, engine: SolveEngine) {
+        self.engine = engine;
+    }
+
+    /// Phase 3 of a tick: apply the watchdog/stickiness policy to the
+    /// round's solve, execute the configuration, and record metrics.
+    ///
+    /// `solved` must be `Some` exactly when the context does not force a
+    /// fallback; behavior is byte-identical to the inline
+    /// [`tick`](Self::tick) path.
+    pub fn tick_commit(
+        &mut self,
+        now: SimTime,
+        ctx: RoundContext,
+        solved: Option<SolveOutcome>,
+    ) -> Option<ControlOutput> {
+        let RoundContext { problem, must_fall_back } = ctx;
+        let mut solve_rows = 0;
         let (solution, fallback) = if must_fall_back {
             (fallback_solution(&problem), true)
         } else {
-            // Trust boundary: in debug builds the engine's solve is traced
-            // and every fresh solution crossing into the controller passes
-            // the full trace-backed audit (constraint families + QoE
-            // accounting + convergence bound + merge/reduction invariants).
+            let SolveOutcome { solution: fresh, trace, rows_delta } =
+                solved.expect("invariant: non-fallback rounds carry their solve outcome");
+            solve_rows = rows_delta;
+            // Trust boundary: in debug builds every round is traced and
+            // every fresh solution crossing into the controller passes the
+            // full trace-backed audit (constraint families + QoE accounting
+            // + convergence bound + merge/reduction invariants).
             #[cfg(debug_assertions)]
-            let fresh = {
-                let (fresh, trace) = self.engine.solve_traced(&problem);
+            {
+                let trace =
+                    trace.as_ref().expect("invariant: debug-build rounds are always traced");
                 let findings =
-                    gso_audit::SolutionAuditor::new().audit_traced(&problem, &fresh, &trace);
+                    gso_audit::SolutionAuditor::new().audit_traced(&problem, &fresh, trace);
                 debug_assert!(
                     findings.is_empty(),
                     "solver handed the controller an invalid solution:\n{}",
                     gso_audit::report(&findings)
                 );
-                fresh
-            };
+            }
             #[cfg(not(debug_assertions))]
-            let fresh = self.engine.solve(&problem);
+            drop(trace);
             // Solve-deadline watchdog: a round whose solve overran its work
             // budget (the deterministic latency proxy) is served by the
             // safe fallback configuration instead; the engine is now warm,
             // so the next round's incremental re-solve usually fits the
             // budget and re-promotes automatically.
-            let rows_delta = self.engine.stats().rows_recomputed - rows_before;
             let forced = self.forced_overruns > 0;
             if forced {
                 self.forced_overruns -= 1;
@@ -421,17 +539,12 @@ impl GsoController {
                 solution.iterations as u64,
                 keys::ITERATION_BOUNDS,
             );
-            self.telemetry.observe(
-                keys::CTRL_SOLVE_ROWS,
-                "",
-                self.engine.stats().rows_recomputed - rows_before,
-                keys::WORK_BOUNDS,
-            );
+            self.telemetry.observe(keys::CTRL_SOLVE_ROWS, "", solve_rows, keys::WORK_BOUNDS);
         }
         self.telemetry.add(keys::CTRL_CHURN_LAYERS, "", churn.layer_changes.len() as u64);
         self.telemetry.add(keys::CTRL_CHURN_SWITCHES, "", churn.switch_changes.len() as u64);
         self.telemetry.gauge(keys::CTRL_QOE, "", solution.total_qoe);
-        (Some(ControlOutput { configs, rules, solution, churn, fallback }), retransmissions)
+        Some(ControlOutput { configs, rules, solution, churn, fallback })
     }
 
     /// Cumulative solve-engine work counters (cache hits, rows recomputed…).

@@ -1,0 +1,258 @@
+//! Multi-conference control host: many [`GsoController`]s sharing one
+//! persistent [`BatchScheduler`].
+//!
+//! A production node runs hundreds of conferences; solving them one after
+//! another serializes the control plane on a single core, and spawning
+//! threads inside each solve costs more than the warm solves themselves.
+//! [`ControllerFleet`] instead splits every controller's tick into its three
+//! phases and runs the middle one — the solves — as one batch on the shared
+//! scheduler's persistent workers:
+//!
+//! 1. **Prepare** every controller ([`GsoController::tick_prepare`]):
+//!    executor polling, fallback causes, schedule, problem snapshot.
+//! 2. **Solve** all due non-fallback rounds as one
+//!    [`BatchScheduler::solve_batch`] call. Each job carries its
+//!    conference's own engine, so warm memos travel with the job and no
+//!    state is shared between workers.
+//! 3. **Commit** in ascending conference order
+//!    ([`GsoController::tick_commit`]): watchdog, stickiness, execution,
+//!    telemetry — byte-identical to each controller ticking alone.
+//!
+//! Teardown feeds a retiring conference's engine into the scheduler's slab
+//! reservoir ([`ControllerFleet::retire`]); new conferences adopt from it.
+
+use crate::controller::{ControlOutput, GsoController, SolveOutcome, TickPrep};
+use gso_algo::{BatchConfig, BatchJob, BatchScheduler};
+use gso_rtp::GsoTmmbr;
+use gso_util::{ClientId, SimTime};
+use std::sync::Arc;
+
+/// One fleet tick's per-conference result: the orchestration output (if a
+/// round ran) and the due retransmissions.
+pub type FleetTick = (Option<ControlOutput>, Vec<(ClientId, GsoTmmbr)>);
+
+/// A set of conference controllers driven through one shared batch
+/// scheduler. Conference order is submission order; results and commits
+/// always follow it, so a fleet tick is deterministic at any worker count.
+pub struct ControllerFleet {
+    scheduler: BatchScheduler,
+    controllers: Vec<GsoController>,
+}
+
+impl ControllerFleet {
+    /// A fleet with its own worker pool.
+    #[must_use]
+    pub fn new(cfg: &BatchConfig) -> Self {
+        ControllerFleet { scheduler: BatchScheduler::new(cfg), controllers: Vec::new() }
+    }
+
+    /// Add a conference; returns its fleet index.
+    pub fn push(&mut self, controller: GsoController) -> usize {
+        self.controllers.push(controller);
+        self.controllers.len() - 1
+    }
+
+    /// Remove a conference, recycling its engine's DP slabs into the
+    /// scheduler's reservoir for future conferences. Later conferences
+    /// shift down by one index.
+    pub fn retire(&mut self, index: usize) -> GsoController {
+        let mut controller = self.controllers.remove(index);
+        let engine = controller.take_engine();
+        self.scheduler.recycle(engine);
+        controller
+    }
+
+    /// Number of conferences.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// True when the fleet hosts no conferences.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.controllers.is_empty()
+    }
+
+    /// Worker threads in the shared scheduler.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.scheduler.workers()
+    }
+
+    /// The conference at `index`.
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut GsoController> {
+        self.controllers.get_mut(index)
+    }
+
+    /// All conferences, for inspection.
+    #[must_use]
+    pub fn controllers(&self) -> &[GsoController] {
+        &self.controllers
+    }
+
+    /// Tick every conference at `now`, interleaving all due solves on the
+    /// shared workers. `out[i]` is conference `i`'s result — identical to
+    /// calling `controllers[i].tick(now)` in isolation.
+    pub fn tick_all(&mut self, now: SimTime) -> Vec<FleetTick> {
+        // Phase 1: prepare every controller.
+        let preps: Vec<(TickPrep, Vec<(ClientId, GsoTmmbr)>)> =
+            self.controllers.iter_mut().map(|c| c.tick_prepare(now)).collect();
+
+        // Phase 2: one batch over all due, non-fallback rounds. Jobs are
+        // submitted in ascending conference order and solve_batch returns
+        // them in submission order.
+        let mut owners: Vec<usize> = Vec::new();
+        let mut rows_before: Vec<u64> = Vec::new();
+        let mut jobs: Vec<BatchJob> = Vec::new();
+        for (ci, (prep, _)) in preps.iter().enumerate() {
+            if let TickPrep::Round(ctx) = prep {
+                if !ctx.must_fall_back() {
+                    let controller = self
+                        .controllers
+                        .get_mut(ci)
+                        .expect("invariant: preps index the controller list");
+                    let engine = controller.take_engine();
+                    owners.push(ci);
+                    rows_before.push(engine.stats().rows_recomputed);
+                    jobs.push(BatchJob {
+                        engine,
+                        problem: Arc::clone(ctx.problem()),
+                        // Commit audits against the trace in debug builds.
+                        traced: cfg!(debug_assertions),
+                    });
+                }
+            }
+        }
+        let results = self.scheduler.solve_batch(jobs);
+
+        // Phase 3: hand engines and outcomes back, then commit in ascending
+        // conference order.
+        let mut solved: Vec<Option<SolveOutcome>> = Vec::with_capacity(self.controllers.len());
+        solved.resize_with(self.controllers.len(), || None);
+        for ((ci, result), before) in owners.into_iter().zip(results).zip(rows_before) {
+            let rows_delta = result.engine.stats().rows_recomputed - before;
+            let controller =
+                self.controllers.get_mut(ci).expect("invariant: owners index the controller list");
+            controller.restore_engine(result.engine);
+            let slot = solved.get_mut(ci).expect("invariant: owners index the controller list");
+            *slot =
+                Some(SolveOutcome { solution: result.solution, trace: result.trace, rows_delta });
+        }
+        self.controllers
+            .iter_mut()
+            .zip(preps)
+            .zip(solved)
+            .map(|((controller, (prep, retransmissions)), solved)| {
+                let out = match prep {
+                    TickPrep::Idle => None,
+                    TickPrep::Round(ctx) => controller.tick_commit(now, ctx, solved),
+                };
+                (out, retransmissions)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ControllerConfig;
+    use crate::state::{CodecCapability, SubscribeIntent};
+    use gso_algo::{ladders, Resolution, SourceId};
+    use gso_util::{Bitrate, Ssrc, StreamKind};
+
+    fn caps() -> CodecCapability {
+        CodecCapability { ladders: vec![(StreamKind::Video, ladders::paper_table1())] }
+    }
+
+    fn k(v: u64) -> Bitrate {
+        Bitrate::from_kbps(v)
+    }
+
+    /// An n-party full-mesh conference controller with reported bandwidth.
+    fn conference(n: u32, downlink_kbps: u64, ssrc: u32) -> GsoController {
+        let mut c = GsoController::new(ControllerConfig::paper_defaults(), Ssrc(ssrc));
+        for i in 1..=n {
+            c.on_join(ClientId(i), caps());
+        }
+        for i in 1..=n {
+            let intents: Vec<SubscribeIntent> = (1..=n)
+                .filter(|j| *j != i)
+                .map(|j| SubscribeIntent {
+                    source: SourceId::video(ClientId(j)),
+                    max_resolution: Resolution::R720,
+                    tag: 0,
+                })
+                .collect();
+            c.on_subscriptions(ClientId(i), intents);
+            c.on_uplink_report(SimTime::ZERO, ClientId(i), k(2_000));
+            c.on_downlink_report(SimTime::ZERO, ClientId(i), k(downlink_kbps));
+        }
+        c
+    }
+
+    #[test]
+    fn fleet_tick_matches_solo_ticks() {
+        let shapes: Vec<(u32, u64)> = vec![(3, 2_000), (4, 1_200), (5, 1_800), (3, 700)];
+        let mut solo: Vec<GsoController> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, d))| conference(n, d, 100 + i as u32))
+            .collect();
+        let mut fleet = ControllerFleet::new(&BatchConfig { workers: 2 });
+        for (i, &(n, d)) in shapes.iter().enumerate() {
+            fleet.push(conference(n, d, 100 + i as u32));
+        }
+
+        for step in 0..4u64 {
+            let now = SimTime::from_millis(10 + step * 1_100);
+            let fleet_out = fleet.tick_all(now);
+            assert_eq!(fleet_out.len(), solo.len());
+            for (ci, (solo_c, (fleet_out, fleet_retx))) in
+                solo.iter_mut().zip(fleet_out).enumerate()
+            {
+                let (solo_out, solo_retx) = solo_c.tick(now);
+                assert_eq!(
+                    solo_out.map(|o| (o.solution, o.fallback)),
+                    fleet_out.map(|o| (o.solution, o.fallback)),
+                    "conference {ci} diverged at step {step}"
+                );
+                assert_eq!(solo_retx.len(), fleet_retx.len());
+            }
+            // State digests must agree exactly after every tick.
+            for (ci, (solo_c, fleet_c)) in solo.iter().zip(fleet.controllers().iter()).enumerate() {
+                assert_eq!(
+                    solo_c.state_digest(),
+                    fleet_c.state_digest(),
+                    "conference {ci} digest diverged at step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_respects_manual_fallback() {
+        let mut fleet = ControllerFleet::new(&BatchConfig { workers: 2 });
+        fleet.push(conference(3, 2_000, 1));
+        fleet.push(conference(3, 2_000, 2));
+        fleet.get_mut(1).expect("present").set_fallback(true);
+        let out = fleet.tick_all(SimTime::from_millis(10));
+        assert!(!out[0].0.as_ref().expect("round ran").fallback);
+        assert!(out[1].0.as_ref().expect("round ran").fallback);
+    }
+
+    #[test]
+    fn retire_recycles_engine_slabs() {
+        let mut fleet = ControllerFleet::new(&BatchConfig { workers: 1 });
+        fleet.push(conference(4, 1_500, 7));
+        let _ = fleet.tick_all(SimTime::from_millis(10));
+        let retired = fleet.retire(0);
+        drop(retired);
+        assert!(fleet.is_empty());
+        assert!(
+            fleet.scheduler.idle_states() >= 4,
+            "the retired conference's DP states must land in the reservoir"
+        );
+    }
+}

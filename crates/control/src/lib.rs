@@ -14,18 +14,23 @@
 //! * [`sdp`] — SDP offer/answer with the custom `simulcastInfo` attribute
 //!   and per-layer SSRC assignment (§4.2).
 //! * [`controller`] — the composed [`controller::GsoController`].
+//! * [`fleet`] — many controllers sharing one persistent batch scheduler.
 
 pub mod controller;
 pub mod failure;
 pub mod feedback;
+pub mod fleet;
 pub mod hysteresis;
 pub mod scheduler;
 pub mod sdp;
 pub mod state;
 
-pub use controller::{ControlOutput, ControllerConfig, Direction, GsoController};
+pub use controller::{
+    ControlOutput, ControllerConfig, Direction, GsoController, RoundContext, SolveOutcome, TickPrep,
+};
 pub use failure::{fallback_solution, DowngradeMonitor};
 pub use feedback::{FeedbackConfig, FeedbackExecutor, ForwardingRule};
+pub use fleet::{ControllerFleet, FleetTick};
 pub use hysteresis::{BandwidthHysteresis, HysteresisConfig};
 pub use scheduler::{ControlScheduler, SchedulerConfig};
 pub use sdp::{SdpAnswer, SdpError, SdpOffer};

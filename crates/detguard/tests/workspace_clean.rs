@@ -42,9 +42,10 @@ fn every_allowlisted_finding_carries_a_reason() {
 #[test]
 fn known_sanctioned_sites_are_present_and_allowlisted() {
     // The workspace has exactly two sanctioned hazard classes today: the
-    // sharded engine merge and the Fig. 6 host-time stopwatch. If either
-    // disappears this test goes stale on purpose — update it alongside the
-    // pragma so the allowlist stays a reviewed, enumerable set.
+    // batch scheduler's work-stealing plumbing and the Fig. 6 host-time
+    // stopwatch. If either disappears this test goes stale on purpose —
+    // update it alongside the pragma so the allowlist stays a reviewed,
+    // enumerable set.
     let report = scan_workspace(workspace_root()).expect("scan workspace");
     let allowed: Vec<(&str, &str)> = report
         .findings
@@ -53,10 +54,8 @@ fn known_sanctioned_sites_are_present_and_allowlisted() {
         .map(|f| (f.file.as_str(), f.rule.as_str()))
         .collect();
     assert!(
-        allowed
-            .iter()
-            .any(|(file, rule)| file.ends_with("engine.rs") && *rule == "unordered-merge"),
-        "expected the sharded-engine merge pragma, got {allowed:?}"
+        allowed.iter().any(|(file, rule)| file.ends_with("batch.rs") && *rule == "unordered-merge"),
+        "expected the batch-scheduler work-stealing pragma, got {allowed:?}"
     );
     assert!(
         allowed.iter().any(|(file, rule)| file.ends_with("fig6.rs") && *rule == "wall-clock"),

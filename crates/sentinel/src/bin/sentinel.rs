@@ -5,23 +5,70 @@
 //! dangling marker, so CI can gate on it directly.
 //!
 //! ```text
-//! sentinel [--root <workspace-root>] [--json] [--fixtures <dir>]
+//! sentinel [--root <workspace-root>] [--json] [--fixtures <dir>] [--ratchet <file>]
 //! ```
 //!
 //! `--root` defaults to the current directory; `--json` prints the
 //! machine-readable report (per-root hot-path allocation/panic site
 //! counts included) instead of the human summary; `--fixtures <dir>`
 //! scans a standalone fixture corpus instead of the workspace — used by
-//! CI to prove the analyzer still fails on known-bad code.
+//! CI to prove the analyzer still fails on known-bad code; `--ratchet
+//! <file>` additionally enforces per-root allocation-site ceilings from a
+//! committed baseline file (`<label> <max-alloc-sites>` per line, `#`
+//! comments), failing when a root exceeds its ceiling or disappears — the
+//! alloc-discipline ratchet CI gates on.
 
 use gso_sentinel::passes::RULE_IDS;
-use std::path::PathBuf;
+use gso_sentinel::Report;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// Check per-root alloc-site counts against the committed baseline file.
+/// Returns human-readable violations; an empty list means the ratchet holds.
+fn check_ratchet(report: &Report, path: &Path) -> Result<Vec<String>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut problems = Vec::new();
+    let mut seen_any = false;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(label), Some(max), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "{}:{}: expected `<label> <max-alloc-sites>`, got `{line}`",
+                path.display(),
+                lineno + 1
+            ));
+        };
+        let max: usize = max
+            .parse()
+            .map_err(|e| format!("{}:{}: bad ceiling `{max}`: {e}", path.display(), lineno + 1))?;
+        seen_any = true;
+        match report.roots.iter().find(|r| r.label == label) {
+            None => problems.push(format!(
+                "ratchet root `{label}` is missing from the scan — was its hot_path marker removed?"
+            )),
+            Some(r) if r.alloc_sites > max => problems.push(format!(
+                "root `{label}` has {} alloc site(s), above its ratchet ceiling of {max}",
+                r.alloc_sites
+            )),
+            Some(_) => {}
+        }
+    }
+    if !seen_any {
+        return Err(format!("{}: no ratchet entries found", path.display()));
+    }
+    Ok(problems)
+}
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json = false;
     let mut fixtures: Option<PathBuf> = None;
+    let mut ratchet: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -39,9 +86,16 @@ fn main() -> ExitCode {
                 };
                 fixtures = Some(PathBuf::from(v));
             }
+            "--ratchet" => {
+                let Some(v) = args.next() else {
+                    eprintln!("sentinel: --ratchet requires a path");
+                    return ExitCode::from(2);
+                };
+                ratchet = Some(PathBuf::from(v));
+            }
             "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: sentinel [--root <workspace-root>] [--json] [--fixtures <dir>]");
+                println!("usage: sentinel [--root <workspace-root>] [--json] [--fixtures <dir>] [--ratchet <file>]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -107,7 +161,27 @@ fn main() -> ExitCode {
         );
     }
 
-    if report.violation_count() > 0 {
+    let mut ratchet_broken = false;
+    if let Some(path) = &ratchet {
+        match check_ratchet(&report, path) {
+            Ok(problems) => {
+                for p in &problems {
+                    eprintln!("  RATCHET {p}");
+                }
+                if problems.is_empty() {
+                    println!("sentinel: alloc ratchet holds ({})", path.display());
+                } else {
+                    ratchet_broken = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("sentinel: ratchet check failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if report.violation_count() > 0 || ratchet_broken {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

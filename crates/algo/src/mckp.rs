@@ -239,10 +239,22 @@ impl McState {
         let cap_units = (max_useful as usize).saturating_add(1).max(needed);
         let target = (needed + needed / 4).next_multiple_of(64).clamp(needed, cap_units);
         if needed > self.stride || self.stride > target.saturating_mul(4) {
+            let shrinking = self.stride > target.saturating_mul(4);
             self.stride = target;
             self.rows.clear();
             self.key_items.clear();
             self.key_ranges.clear();
+            if shrinking {
+                // The point of the shrink rebuild is to stop paying for a
+                // slab sized by a much bigger knapsack — return the memory,
+                // don't just stop reading it. `clear` alone keeps capacity,
+                // so without this a pooled state adopted from a huge
+                // conference would pin its worst-case slab forever. Grow
+                // rebuilds skip this: they reallocate upward right away.
+                self.rows.shrink_to((k + 1) * target);
+                self.key_items.shrink_to(items.len());
+                self.key_ranges.shrink_to(k);
+            }
             first_dirty = 0;
         }
         let stride = self.stride;
@@ -875,6 +887,86 @@ mod tests {
             }
             let (items, ranges) = flatten(&classes);
             st.solve_flat(&items, &ranges, capacity);
+            assert_matches_fresh(&st, &classes, capacity);
+        }
+    }
+
+    /// Classes sized so the solve needs roughly `w` units of DP width.
+    fn sized_classes(w: u64) -> Vec<Vec<McItem>> {
+        vec![vec![item(w / 2, 100.0), item(w, 300.0)], vec![item(w / 2, 90.0), item(w, 250.0)]]
+    }
+
+    #[test]
+    fn shrink_hysteresis_releases_slab_after_sustained_small_problems() {
+        // A state shaped by a huge knapsack (e.g. adopted from the pool
+        // after serving a high-capacity client) must not pin its worst-case
+        // slab forever once it settles onto small problems.
+        let big = sized_classes(50_000);
+        let (items, ranges) = flatten(&big);
+        let mut st = McState::new();
+        st.solve_flat(&items, &ranges, 100_000);
+        let big_cap = st.rows.capacity();
+        assert!(big_cap > 100_000, "big solve must build a wide slab");
+
+        let small = sized_classes(100);
+        let (items, ranges) = flatten(&small);
+        for _ in 0..8 {
+            st.solve_flat(&items, &ranges, 200);
+            assert_matches_fresh(&st, &small, 200);
+        }
+        assert!(
+            st.rows.capacity() < big_cap / 10,
+            "4x shrink hysteresis must release the oversized slab \
+             (still holding {} of {} f64s)",
+            st.rows.capacity(),
+            big_cap,
+        );
+    }
+
+    #[test]
+    fn pooled_state_adopted_for_small_problems_releases_memory() {
+        // Same scenario through the pool: retire a state shaped by a big
+        // conference, re-acquire it for a small one.
+        let big = sized_classes(50_000);
+        let (items, ranges) = flatten(&big);
+        let mut st = McState::new();
+        st.solve_flat(&items, &ranges, 100_000);
+        let big_cap = st.rows.capacity();
+
+        let mut pool = McPool::new();
+        pool.retire(st);
+        let mut st = pool.acquire();
+        assert_eq!(st.rows.capacity(), big_cap, "retire/acquire keeps slabs");
+
+        let small = sized_classes(100);
+        let (items, ranges) = flatten(&small);
+        st.solve_flat(&items, &ranges, 200);
+        assert_matches_fresh(&st, &small, 200);
+        assert!(st.rows.capacity() < big_cap / 10, "adopted slab must be released, not hoarded");
+    }
+
+    #[test]
+    fn alternating_sizes_within_hysteresis_never_thrash() {
+        // Two capacities within the 4x hysteresis band: after the first
+        // build at the larger size, neither direction may rebuild or touch
+        // the allocator — the 25% headroom absorbs the jitter upward and
+        // the 4x band absorbs it downward.
+        let classes = sized_classes(1_500);
+        let (items, ranges) = flatten(&classes);
+        let mut st = McState::new();
+        st.solve_flat(&items, &ranges, 1_500);
+        let stride = st.stride;
+        let cap = st.rows.capacity();
+        for round in 0..10 {
+            let capacity = if round % 2 == 0 { 1_000 } else { 1_500 };
+            let out = st.solve_flat(&items, &ranges, capacity);
+            assert_ne!(
+                out.reuse,
+                McReuse::Fresh,
+                "alternating within the band must reuse, not rebuild (round {round})"
+            );
+            assert_eq!(st.stride, stride, "stride must be stable across alternation");
+            assert_eq!(st.rows.capacity(), cap, "no allocator traffic across alternation");
             assert_matches_fresh(&st, &classes, capacity);
         }
     }

@@ -13,6 +13,13 @@
 //! Instances here are larger than `solver_vs_brute`'s (no exhaustive
 //! baseline to keep tractable): up to 6 clients, 4 publishers, 9-rung
 //! ladders, and virtual-publisher tags.
+//!
+//! A third property interleaves §7 fallback interludes (rounds where the
+//! controller never consults the engine) with speaker changes — boost-only
+//! f64 edits to otherwise identical subscriptions — and pins the
+//! whole-solve fingerprint fast path from both sides: an unchanged problem
+//! must recompute zero DP rows, and a boost-only change must invalidate
+//! the memo rather than serve a stale solution.
 
 use gso_algo::{
     ladders, solver, BatchConfig, BatchJob, BatchScheduler, ClientSpec, Ladder, Problem,
@@ -113,6 +120,27 @@ fn bandwidth_variant(base: &Problem) -> Problem {
     Problem::new(clients, base.subscriptions().to_vec()).expect("bandwidth variant valid")
 }
 
+/// Apply the controller's speaker boost to every untagged subscription of
+/// the problem's first-subscribed source, leaving everything else —
+/// including the subscription set's shape — identical. The variant differs
+/// from the base only in `qoe_boost` f64s, exactly what a speaker change
+/// produces through `GlobalPicture::to_problem`.
+fn speaker_variant(base: &Problem, boost: f64) -> Problem {
+    let target = base.subscriptions().first().expect("caller checked non-empty").source;
+    let subs: Vec<Subscription> = base
+        .subscriptions()
+        .iter()
+        .map(|s| {
+            let mut s = *s;
+            if s.source == target && s.tag == 0 {
+                s.qoe_boost = boost;
+            }
+            s
+        })
+        .collect();
+    Problem::new(base.clients().to_vec(), subs).expect("speaker variant valid")
+}
+
 /// Engine output on `problem` must match a fresh traced solve exactly and
 /// audit clean.
 fn check(
@@ -169,6 +197,68 @@ proptest! {
         let shrunk = bandwidth_variant(&problem);
         check(&mut engine, &shrunk, &cfg, "warm after bandwidth delta")?;
         check(&mut engine, &problem, &cfg, "warm after bandwidth restore")?;
+    }
+
+    /// Interleave fallback interludes and speaker changes against one warm
+    /// engine. Ops: 0 = re-solve unchanged, 1 = speaker on, 2 = speaker
+    /// off, 3 = fallback interlude (the controller serves the §7 template
+    /// and never consults the engine, while the speaker state drifts
+    /// underneath it). Every solve must equal a fresh solver run, an
+    /// unchanged re-solve must recompute zero DP rows (the fast path), and
+    /// a boost-only change — including one that happened entirely inside a
+    /// fallback interlude — must recompute rows, proving the fingerprint
+    /// keys on the boost f64s and not just the subscription shape.
+    #[test]
+    fn fingerprint_invalidates_across_fallback_and_speaker_interleaving(
+        problem in arb_problem(),
+        ops in prop::collection::vec(0u8..=3, 4..16),
+    ) {
+        prop_assume!(!problem.subscriptions().is_empty());
+        let cfg = SolverConfig::default();
+        let mut engine = SolveEngine::new(cfg.clone());
+        let boosted = speaker_variant(&problem, gso_algo::qoe::SPEAKER_BOOST);
+
+        check(&mut engine, &problem, &cfg, "cold")?;
+        let mut speaker_on = false;
+        let mut last_solved = false;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                1 => speaker_on = true,
+                2 => speaker_on = false,
+                3 => {
+                    // Fallback interlude: no engine call; the next solve
+                    // resumes from whatever the roster looks like by then.
+                    speaker_on = !speaker_on;
+                    continue;
+                }
+                _ => {}
+            }
+            let current = if speaker_on { &boosted } else { &problem };
+            let before = engine.stats();
+            check(&mut engine, current, &cfg, &format!("op {i} speaker={speaker_on}"))?;
+            let rows = engine.stats().rows_recomputed - before.rows_recomputed;
+            let iters = engine.stats().iterations - before.iterations;
+            if last_solved == speaker_on {
+                // The zero-work guarantee holds for single-iteration solves
+                // (the steady state); a solve that replays ladder
+                // reductions legitimately recomputes the reduced sources'
+                // subscribers, because iteration 1 runs on the full ladder.
+                if iters == 1 {
+                    prop_assert!(
+                        rows == 0,
+                        "op {i}: unchanged problem must take the fingerprint fast path \
+                         (recomputed {rows} rows)"
+                    );
+                }
+            } else {
+                prop_assert!(
+                    rows > 0,
+                    "op {i}: boost-only speaker change must invalidate the fingerprint, \
+                     not serve the stale memo"
+                );
+            }
+            last_solved = speaker_on;
+        }
     }
 
     /// Random conference batches through the scheduler, cold then warm:

@@ -24,11 +24,17 @@
 //! from it.
 
 use gso_algo::{
-    ladders, solver, BatchConfig, BatchJob, BatchScheduler, Problem, SolveEngine, SolverConfig,
+    ladders, solver, BatchConfig, BatchJob, BatchScheduler, PriorityClass, Problem, Resolution,
+    SolveEngine, SolverConfig, SourceId, Tenancy, TenantId,
 };
 use gso_bench::banner;
+use gso_control::{
+    AdmissionConfig, AdmissionController, CodecCapability, ControllerConfig, ControllerFleet,
+    FleetTick, GsoController, ShedPolicy, SubscribeIntent,
+};
+use gso_rtp::GsoTmmbn;
 use gso_sim::experiments::fig6;
-use gso_util::Bitrate;
+use gso_util::{Bitrate, ClientId, SimTime, Ssrc, StreamKind};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -405,6 +411,151 @@ fn host_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// One fleet tick under sustained overload: admission + priority shedding
+/// active, every conference churned so each round does real solve work.
+struct TenantOverloadReport {
+    conferences: usize,
+    parties: u32,
+    workers: usize,
+    warm_tick_ms: f64,
+    allocs_per_tick: f64,
+    shed: usize,
+}
+
+impl TenantOverloadReport {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"conferences\":{},\"parties\":{},\"workers\":{},",
+                "\"warm_tick_ms\":{:.4},\"allocs_per_tick\":{:.1},\"shed\":{}}}"
+            ),
+            self.conferences,
+            self.parties,
+            self.workers,
+            self.warm_tick_ms,
+            self.allocs_per_tick,
+            self.shed
+        )
+    }
+}
+
+/// An n-party full-mesh conference under the given tenancy.
+fn tenant_conference(tenancy: Tenancy, parties: u32, ssrc: u32) -> GsoController {
+    let caps = CodecCapability { ladders: vec![(StreamKind::Video, ladders::paper_table1())] };
+    let mut c = GsoController::new(ControllerConfig::paper_defaults(), Ssrc(ssrc));
+    for i in 1..=parties {
+        c.on_join(ClientId(i), caps.clone());
+    }
+    for i in 1..=parties {
+        let intents: Vec<SubscribeIntent> = (1..=parties)
+            .filter(|j| *j != i)
+            .map(|j| SubscribeIntent {
+                source: SourceId::video(ClientId(j)),
+                max_resolution: Resolution::R720,
+                tag: 0,
+            })
+            .collect();
+        c.on_subscriptions(ClientId(i), intents);
+        c.on_uplink_report(SimTime::ZERO, ClientId(i), Bitrate::from_kbps(2_000));
+        c.on_downlink_report(SimTime::ZERO, ClientId(i), Bitrate::from_kbps(1_800));
+    }
+    c.set_tenancy(tenancy);
+    c
+}
+
+/// Ack every delivered/retransmitted GTMB so the §7 undeliverable-client
+/// path stays out of the measurement.
+fn ack_fleet_tick(fleet: &mut ControllerFleet, ticks: &[FleetTick]) {
+    for (i, (out, retx)) in ticks.iter().enumerate() {
+        let configs = out.iter().flat_map(|o| o.configs.iter());
+        for (client, msg) in configs.chain(retx.iter()) {
+            fleet.get_mut(i).expect("ticked conference exists").on_ack(
+                *client,
+                &GsoTmmbn {
+                    sender_ssrc: Ssrc(9_999),
+                    epoch: msg.epoch,
+                    request_seq: msg.request_seq,
+                    entries: vec![],
+                },
+            );
+        }
+    }
+}
+
+/// Median tick latency and allocations of an overloaded multi-tenant
+/// fleet: a starvation row budget keeps the shedding state machine and the
+/// admission ledger active on every tick, and a standing low-priority join
+/// attempt exercises the admission reject path each round.
+fn bench_tenant_overload(
+    conferences: usize,
+    parties: u32,
+    ticks: usize,
+    workers: usize,
+) -> TenantOverloadReport {
+    let mut fleet = ControllerFleet::new(&BatchConfig { workers });
+    for i in 0..conferences {
+        let tier = match i % 3 {
+            0 => PriorityClass::High,
+            1 => PriorityClass::Normal,
+            _ => PriorityClass::Low,
+        };
+        let tenancy = Tenancy::new(TenantId(i as u32 + 1), tier);
+        fleet.push(tenant_conference(tenancy, parties, 100 + i as u32 * 10));
+    }
+    fleet.set_shed_policy(ShedPolicy {
+        row_budget_per_tick: 1,
+        enter_ticks: 2,
+        exit_ticks: 5,
+        headroom: 0.25,
+    });
+    fleet.set_admission(AdmissionController::new(AdmissionConfig {
+        row_budget: 1,
+        high_reserve: 0.2,
+        queue_capacity: 8,
+        tenant_quota: 0,
+    }));
+    let mut joiner =
+        Some(tenant_conference(Tenancy::new(TenantId(999), PriorityClass::Low), parties, 9_990));
+
+    let mut step = |fleet: &mut ControllerFleet, tick: usize| {
+        for i in 0..fleet.len() {
+            let speaker = ClientId(1 + (tick as u32 % parties));
+            fleet.get_mut(i).expect("pre-seated conference exists").on_speaker(Some(speaker));
+        }
+        if let Some(c) = joiner.take() {
+            // Low + exhausted budget → always rejected, controller returned.
+            joiner = fleet.admit(c, 1_000).err().map(|e| (*e).1);
+        }
+        let now = SimTime::from_millis(10 + tick as u64 * 1_100);
+        let out = fleet.tick_all(now);
+        ack_fleet_tick(fleet, &out);
+    };
+
+    // Warmup: cold solves plus enough ticks for shedding to reach its
+    // steady state under the starvation budget.
+    let warmup = 2 + 2 * conferences;
+    for tick in 0..warmup {
+        step(&mut fleet, tick);
+    }
+    let mut samples = Vec::with_capacity(ticks);
+    let a = allocs_now();
+    for tick in warmup..warmup + ticks {
+        let t = Instant::now();
+        step(&mut fleet, tick);
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let allocs_per_tick = (allocs_now() - a) as f64 / ticks as f64;
+    samples.sort_by(f64::total_cmp);
+    TenantOverloadReport {
+        conferences,
+        parties,
+        workers,
+        warm_tick_ms: samples[samples.len() / 2],
+        allocs_per_tick,
+        shed: fleet.shed_count(),
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (shapes, cold_reps, warm_reps): (&[(usize, usize, usize)], usize, usize) = if smoke {
@@ -460,17 +611,28 @@ fn main() {
     }
     println!("host parallelism: {} (batch workers beyond it time-share)", host_parallelism());
 
+    banner("solver_scale: multi-tenant fleet under overload (admission + shedding)");
+    let (ov_confs, ov_parties, ov_ticks, ov_workers) =
+        if smoke { (6, 4, 4, 2) } else { (18, 6, 12, 4) };
+    let ov = bench_tenant_overload(ov_confs, ov_parties, ov_ticks, ov_workers);
+    println!(
+        "tenant_overload w={}: {} conferences × {} parties: warm tick {:.3} ms \
+         ({:.0} allocs/tick, {} shed)",
+        ov.workers, ov.conferences, ov.parties, ov.warm_tick_ms, ov.allocs_per_tick, ov.shed
+    );
+
     let json = format!(
         concat!(
             "{{\"bench\":\"solver_scale\",\"unit\":\"milliseconds\",\"smoke\":{},",
             "\"host_parallelism\":{},\"shapes\":[{}],\"multi_conference\":{},",
-            "\"batch_tick\":[{}]}}\n"
+            "\"batch_tick\":[{}],\"tenant_overload\":{}}}\n"
         ),
         smoke,
         host_parallelism(),
         reports.iter().map(ShapeReport::to_json).collect::<Vec<_>>().join(","),
         mc.to_json(),
-        batch_reports.iter().map(BatchTickReport::to_json).collect::<Vec<_>>().join(",")
+        batch_reports.iter().map(BatchTickReport::to_json).collect::<Vec<_>>().join(","),
+        ov.to_json()
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
     std::fs::write(out, json).expect("write BENCH_solver.json");

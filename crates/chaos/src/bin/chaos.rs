@@ -13,8 +13,8 @@
 //! `--smoke` runs the reduced two-plan CI subset; the default replays the
 //! full five-plan matrix.
 
-use gso_chaos::{check_plan, run_plan, standard_clients, standard_scenario};
-use gso_chaos::{Baseline, ChaosBounds, FaultPlan};
+use gso_chaos::{check_overload, check_plan, run_plan, standard_clients, standard_scenario};
+use gso_chaos::{Baseline, ChaosBounds, FaultPlan, OverloadBounds};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -67,6 +67,16 @@ fn main() -> ExitCode {
         if !verdict.passed() {
             failed += 1;
         }
+    }
+    // Fleet overload rides in both matrices: 2× offered capacity against
+    // multi-tenant admission + shedding, judged on high-priority QoE.
+    let overload = check_overload(seed, &OverloadBounds::default());
+    println!("{}", overload.row());
+    if let Some(report) = &overload.divergence {
+        println!("{report}");
+    }
+    if !overload.passed() {
+        failed += 1;
     }
     if failed > 0 {
         println!("{failed} plan(s) FAILED");

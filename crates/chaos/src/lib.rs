@@ -15,12 +15,21 @@
 //!   Eq. 1–13; uplink budgets excluded for the §7 fallback), and
 //! * digest-identical double runs ([`gso_detguard::first_divergence`]).
 //!
-//! The `chaos` binary replays the full matrix (`--smoke` for the CI
-//! subset) and exits non-zero on any failed verdict.
+//! The [`overload`] module extends the harness from single-conference
+//! faults to fleet-level overload: 2× offered capacity against the
+//! multi-tenant admission controller and priority shedding, judged on
+//! high-priority tenant QoE.
+//!
+//! The `chaos` binary replays the full matrix plus the overload scenario
+//! (`--smoke` for the CI subset) and exits non-zero on any failed verdict.
 
+pub mod overload;
 pub mod plan;
 pub mod runner;
 
+pub use overload::{
+    check_overload, run_overload, OverloadBounds, OverloadOutcome, OverloadPlan, OverloadVerdict,
+};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, LinkFault, LinkSide};
 pub use runner::{
     check_plan, run_plan, steady_state_qoe, Baseline, ChaosBounds, ChaosOutcome, PlanVerdict,

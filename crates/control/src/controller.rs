@@ -11,7 +11,7 @@ use crate::hysteresis::{BandwidthHysteresis, HysteresisConfig};
 use crate::scheduler::{ControlScheduler, SchedulerConfig};
 use crate::state::{CodecCapability, GlobalPicture, SubscribeIntent};
 use gso_algo::{
-    diff, Problem, Solution, SolutionDiff, SolveEngine, SolveTrace, SolverConfig, SourceId,
+    diff, Problem, Solution, SolutionDiff, SolveEngine, SolveTrace, SolverConfig, SourceId, Tenancy,
 };
 use gso_rtp::{GsoTmmbn, GsoTmmbr};
 use gso_telemetry::{keys, Telemetry};
@@ -162,6 +162,9 @@ pub struct GsoController {
     /// overruns regardless of their measured work.
     forced_overruns: u32,
     last_solution: Option<Solution>,
+    /// Who owns this conference and at which tier; stamped into every
+    /// problem snapshot so the fleet's admission/shedding layer can rank it.
+    tenancy: Tenancy,
     /// Metrics sink (disabled by default; see `gso-telemetry`).
     telemetry: Telemetry,
 }
@@ -182,8 +185,21 @@ impl GsoController {
             degraded: false,
             forced_overruns: 0,
             last_solution: None,
+            tenancy: Tenancy::default(),
             telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Label this conference with its owning tenant and service tier
+    /// (default: tenant 0, normal). Read by the fleet's overload shedding
+    /// to decide who degrades first; never read by the solver.
+    pub fn set_tenancy(&mut self, tenancy: Tenancy) {
+        self.tenancy = tenancy;
+    }
+
+    /// The conference's tenancy label.
+    pub fn tenancy(&self) -> Tenancy {
+        self.tenancy
     }
 
     /// Attach a metrics registry; shared with the feedback executor so
@@ -389,7 +405,10 @@ impl GsoController {
         };
         let must_fall_back = self.manual_fallback || !self.failed_clients.is_empty();
         (
-            TickPrep::Round(RoundContext { problem: Arc::new(problem), must_fall_back }),
+            TickPrep::Round(RoundContext {
+                problem: Arc::new(problem.with_tenancy(self.tenancy)),
+                must_fall_back,
+            }),
             retransmissions,
         )
     }
@@ -569,6 +588,7 @@ impl GsoController {
             c.digest(&mut h);
         }
         self.executor.epoch().digest(&mut h);
+        self.tenancy.digest(&mut h);
         self.last_solution.digest(&mut h);
         self.engine.stats().digest(&mut h);
         h.finish()

@@ -92,6 +92,20 @@ pub fn seq_newer(a: u16, b: u16) -> bool {
     a != b && a.wrapping_sub(b) < 0x8000
 }
 
+/// Compare two controller epochs with wrap-around (RFC 1982 serial-number
+/// arithmetic): returns true if `a` is newer than `b`.
+///
+/// Epochs are bumped on every controller restart and live forever, so a
+/// deployment that restarts often enough eventually wraps `u32`. A plain
+/// `<`/`>` comparison then misclassifies the freshly wrapped epoch as
+/// ancient and the client rejects every valid configuration from the new
+/// controller generation — a permanent deadlock. Serial comparison keeps
+/// ordering correct as long as live generations stay within `2^31` of each
+/// other, which restart cadences cannot violate.
+pub fn epoch_newer(a: u32, b: u32) -> bool {
+    a != b && a.wrapping_sub(b) < 0x8000_0000
+}
+
 /// Distance from `b` forward to `a` with wrap-around.
 pub fn seq_distance(a: u16, b: u16) -> u16 {
     a.wrapping_sub(b)
@@ -168,5 +182,19 @@ mod tests {
         assert!(!seq_newer(99, 99));
         assert_eq!(seq_distance(1, 0xffff), 2);
         assert_eq!(seq_distance(5, 3), 2);
+    }
+
+    #[test]
+    fn epoch_comparison_survives_wraparound() {
+        assert!(epoch_newer(1, 0));
+        assert!(!epoch_newer(0, 1));
+        assert!(!epoch_newer(7, 7));
+        // The wrap boundary: epoch 0/1 follow u32::MAX, they do not precede
+        // it. A plain `<` gets every one of these wrong.
+        assert!(epoch_newer(0, u32::MAX));
+        assert!(epoch_newer(1, u32::MAX));
+        assert!(epoch_newer(3, u32::MAX - 1));
+        assert!(!epoch_newer(u32::MAX, 0));
+        assert!(!epoch_newer(u32::MAX - 1, 3));
     }
 }

@@ -29,6 +29,6 @@ pub use app::{GsoTmmbn, GsoTmmbr, Semb};
 pub use compound::RtcpPacket;
 pub use error::ParseError;
 pub use feedback::{Nack, Remb, Tmmbn, Tmmbr, TmmbrEntry, TransportFeedback};
-pub use header::{seq_distance, seq_newer, RtpPacket, RTP_HEADER_LEN};
+pub use header::{epoch_newer, seq_distance, seq_newer, RtpPacket, RTP_HEADER_LEN};
 pub use report::{ReceiverReport, ReportBlock, SenderReport};
 pub use ssrc_alloc::{decode_ssrc, ssrc_for};

@@ -20,7 +20,7 @@ use gso_media::{
     VideoPlayback, VoicePlayback,
 };
 use gso_net::{Actions, Node, NodeId, Packet};
-use gso_rtp::{decode_ssrc, ssrc_for, GsoTmmbn, Nack, RtcpPacket, RtpPacket, Semb};
+use gso_rtp::{decode_ssrc, epoch_newer, ssrc_for, GsoTmmbn, Nack, RtcpPacket, RtpPacket, Semb};
 use gso_sfu::{layers_for, TemplateKind};
 use gso_telemetry::{keys, Telemetry};
 use gso_util::stats::TimeSeries;
@@ -424,14 +424,19 @@ impl ClientNode {
                     feedback_results.extend(self.history.resolve(ssrc, &fb));
                 }
                 RtcpPacket::GsoTmmbr(req) => {
-                    if req.epoch < self.ctrl_epoch {
+                    // RFC 1982 serial comparison, not `<`/`>`: restart storms
+                    // eventually wrap the u32 epoch, and an ordinary compare
+                    // would then classify every post-wrap configuration as
+                    // stale — deadlocking the client against a live
+                    // controller forever.
+                    if epoch_newer(self.ctrl_epoch, req.epoch) {
                         // A config from a pre-restart controller generation:
                         // applying it would clobber newer state. Drop without
                         // acking, so the stale sender gives up on its own.
                         self.telemetry.incr(keys::EPOCH_STALE_REJECTED, self.cfg.id);
                         continue;
                     }
-                    if req.epoch > self.ctrl_epoch {
+                    if epoch_newer(req.epoch, self.ctrl_epoch) {
                         self.ctrl_epoch = req.epoch;
                         self.applied_cfgs.clear();
                     }
@@ -974,6 +979,48 @@ mod tests {
             Some(Bitrate::from_kbps(800)),
             "duplicate must not roll the encoder back"
         );
+    }
+
+    /// Regression: the controller epoch wraps `u32` under a long restart
+    /// storm. The first configuration after the wrap (epoch 2 following
+    /// `u32::MAX`) is *newer* in RFC 1982 serial terms — the old plain
+    /// `<`/`>` comparison classified it as stale and the client deadlocked,
+    /// rejecting every valid GTMBR from the live controller forever.
+    #[test]
+    fn epoch_wraparound_config_applies_instead_of_deadlocking() {
+        let mut c = client(PolicyMode::Gso);
+        let mut out = Actions::default();
+        c.on_timer(SimTime::ZERO, 0, &mut out);
+        let ssrc = ssrc_for(ClientId(1), StreamKind::Video, 360);
+
+        // The client walks up to a pre-wrap generation the way a real
+        // deployment does: each restart advances the epoch by far less than
+        // 2^31, so serial comparison accepts every hop.
+        for (i, epoch) in [0x7000_0000, 0xE000_0000, u32::MAX].into_iter().enumerate() {
+            let mut out = Actions::default();
+            let t = SimTime::from_millis(10 + i as u64);
+            c.on_packet(t, NodeId(0), gtmb_packet(epoch, 1, 512), &mut out);
+            assert_eq!(acks_in(&out), 1, "epoch {epoch:#x} must be adopted");
+        }
+        assert_eq!(c.video_enc.layer_rate(ssrc), Some(Bitrate::from_kbps(512)));
+
+        // The controller restarts twice more; its epoch wraps to 2. The new
+        // generation's configuration must apply and be acked (pre-fix: the
+        // `req.epoch < ctrl_epoch` check rejected it as stale).
+        let mut out = Actions::default();
+        c.on_packet(SimTime::from_millis(20), NodeId(0), gtmb_packet(2, 1, 800), &mut out);
+        assert_eq!(
+            c.video_enc.layer_rate(ssrc),
+            Some(Bitrate::from_kbps(800)),
+            "post-wrap epoch must be treated as newer, not stale"
+        );
+        assert_eq!(acks_in(&out), 1, "post-wrap GTMB must be acknowledged");
+
+        // A genuine straggler from the pre-wrap generation is still stale.
+        let mut out = Actions::default();
+        c.on_packet(SimTime::from_millis(30), NodeId(0), gtmb_packet(u32::MAX, 9, 64), &mut out);
+        assert_eq!(c.video_enc.layer_rate(ssrc), Some(Bitrate::from_kbps(800)));
+        assert_eq!(acks_in(&out), 0, "pre-wrap straggler must stay rejected");
     }
 
     #[test]

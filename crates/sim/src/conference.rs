@@ -108,7 +108,10 @@ impl ConferenceNode {
     /// the media plane keeps forwarding on the last rules throughout).
     pub fn restart(&mut self, now: SimTime, out: &mut Actions) {
         self.down = false;
-        self.epoch += 1;
+        // Wrapping: epochs are compared with RFC 1982 serial arithmetic on
+        // the client side, so the generation counter rolls over cleanly
+        // instead of panicking (debug) or freezing (release) at u32::MAX.
+        self.epoch = self.epoch.wrapping_add(1);
         let mut controller = GsoController::new(self.cfg.clone(), Ssrc(0xC0DE));
         controller.set_telemetry(self.telemetry.clone());
         controller.set_epoch(self.epoch);

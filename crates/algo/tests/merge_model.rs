@@ -19,7 +19,7 @@ use gso_detguard::StateDigest;
 use gso_util::{Bitrate, ClientId};
 use std::collections::VecDeque;
 use std::sync::mpsc::channel;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// The computation each "conference job" performs in the model: something
 /// order-sensitive enough that a wrong merge order or a lost task would
@@ -96,6 +96,142 @@ fn model_more_workers_than_tasks_covers_all_entries() {
 fn model_single_entry_and_empty() {
     assert_eq!(batched(&[42], 8), sequential(&[42]));
     assert_eq!(batched(&[], 4), Vec::<u64>::new());
+}
+
+/// Regression model for the submission/`Condvar::wait` race in the
+/// *persistent* scheduler. The scoped-thread model above tears its workers
+/// down after one batch; the real `BatchScheduler` parks idle workers on a
+/// condvar between batches, which opens the classic lost-wakeup window: a
+/// worker observes empty queues, a submitter pushes tasks and calls
+/// `notify_all`, and only then does the worker go to sleep — forever, since
+/// the single-wakeup `Sink` submitter is itself blocked waiting for that
+/// worker. `batch.rs` closes the window by re-scanning the queues *while
+/// holding the signal lock* (the submitter must take that lock to bump the
+/// epoch, so the worker either sees the tasks or sleeps strictly before the
+/// notify). This test replicates that exact handshake on a pure
+/// computation and hammers it with many tiny back-to-back batches; a lost
+/// wakeup manifests as a hang (caught by the test/Miri timeout).
+#[test]
+fn model_lost_wakeup_submission_race() {
+    const WORKERS: usize = 2;
+    const ROUNDS: u64 = 24;
+
+    struct Task {
+        idx: usize,
+        id: u64,
+        out: Arc<Sink>,
+    }
+    struct SignalState {
+        epoch: u64,
+        shutdown: bool,
+    }
+    struct Shared {
+        queues: Vec<Mutex<VecDeque<Task>>>,
+        signal: Mutex<SignalState>,
+        cv: Condvar,
+    }
+    struct SinkState {
+        slots: Vec<Option<u64>>,
+        remaining: usize,
+    }
+    struct Sink {
+        state: Mutex<SinkState>,
+        done: Condvar,
+    }
+
+    impl Shared {
+        fn grab(&self, wid: usize) -> Option<Task> {
+            let n = self.queues.len();
+            for off in 0..n {
+                let mut q = self.queues[(wid + off) % n].lock().unwrap();
+                let task = if off == 0 { q.pop_front() } else { q.pop_back() };
+                if task.is_some() {
+                    return task;
+                }
+            }
+            None
+        }
+    }
+
+    fn run_task(task: &Task) {
+        let value = work(task.id);
+        let mut st = task.out.state.lock().unwrap();
+        assert!(st.slots[task.idx].replace(value).is_none(), "task {} completed twice", task.idx);
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            task.out.done.notify_one();
+        }
+    }
+
+    let shared = Arc::new(Shared {
+        queues: (0..WORKERS).map(|_| Mutex::new(VecDeque::new())).collect(),
+        signal: Mutex::new(SignalState { epoch: 0, shutdown: false }),
+        cv: Condvar::new(),
+    });
+
+    std::thread::scope(|s| {
+        for wid in 0..WORKERS {
+            let shared = Arc::clone(&shared);
+            s.spawn(move || loop {
+                while let Some(task) = shared.grab(wid) {
+                    run_task(&task);
+                }
+                let mut sig = shared.signal.lock().unwrap();
+                if sig.shutdown {
+                    return;
+                }
+                // The lost-wakeup defence under test: re-scan with the
+                // signal lock held. Deleting this block makes the test hang.
+                if let Some(task) = shared.grab(wid) {
+                    drop(sig);
+                    run_task(&task);
+                    continue;
+                }
+                let epoch = sig.epoch;
+                while sig.epoch == epoch && !sig.shutdown {
+                    sig = shared.cv.wait(sig).unwrap();
+                }
+                if sig.shutdown {
+                    return;
+                }
+            });
+        }
+
+        // Submitter: many tiny batches back to back, so workers repeatedly
+        // drain everything and race their way back onto the condvar just as
+        // the next submission lands.
+        for round in 0..ROUNDS {
+            let n = 1 + (round as usize) % 3;
+            let ids: Vec<u64> = (0..n as u64).map(|i| round * 17 + i).collect();
+            let sink = Arc::new(Sink {
+                state: Mutex::new(SinkState { slots: vec![None; n], remaining: n }),
+                done: Condvar::new(),
+            });
+            for (idx, &id) in ids.iter().enumerate() {
+                shared.queues[idx % WORKERS].lock().unwrap().push_back(Task {
+                    idx,
+                    id,
+                    out: Arc::clone(&sink),
+                });
+            }
+            {
+                let mut sig = shared.signal.lock().unwrap();
+                sig.epoch = sig.epoch.wrapping_add(1);
+                shared.cv.notify_all();
+            }
+            let mut st = sink.state.lock().unwrap();
+            while st.remaining > 0 {
+                st = sink.done.wait(st).unwrap();
+            }
+            let got: Vec<u64> =
+                st.slots.iter().map(|v| v.expect("every slot filled exactly once")).collect();
+            assert_eq!(got, sequential(&ids), "round {round}");
+        }
+
+        let mut sig = shared.signal.lock().unwrap();
+        sig.shutdown = true;
+        shared.cv.notify_all();
+    });
 }
 
 // ---------------------------------------------------------------------------

@@ -20,16 +20,30 @@
 //! with no reason, an unknown rule name, or no matching finding is itself a
 //! violation — allowlists must never rot silently.
 
+use gso_srcmodel::lex::{is_ident_byte, mask_source};
+use gso_srcmodel::pragma;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` trees are scanned. These are the hot paths whose
 /// behaviour must replay bit-identically, plus the observer crates whose
-/// *judgements* must themselves be deterministic (`audit` verdicts and
-/// `bench` baselines feed CI gates); `util` owns the approved shims and
-/// `telemetry`/`detguard` stay exempt as the instrumentation boundary.
-pub const HOT_PATH_CRATES: &[&str] =
-    &["algo", "audit", "bench", "control", "net", "sim", "sfu", "bwe", "media", "chaos"];
+/// *judgements* must themselves be deterministic (`audit` verdicts,
+/// `bench` baselines, and `lockwatch` findings feed CI gates); `util` owns
+/// the approved shims and `telemetry`/`detguard` stay exempt as the
+/// instrumentation boundary.
+pub const HOT_PATH_CRATES: &[&str] = &[
+    "algo",
+    "audit",
+    "bench",
+    "control",
+    "net",
+    "sim",
+    "sfu",
+    "bwe",
+    "media",
+    "chaos",
+    "lockwatch",
+];
 
 /// Workspace-root source trees scanned in addition to the crate list:
 /// integration tests and examples drive the replay scenarios, so ambient
@@ -177,213 +191,8 @@ fn json_str(s: &str) -> String {
     out
 }
 
-// ---------------------------------------------------------------------------
-// Source masking
-// ---------------------------------------------------------------------------
-
-/// Result of masking one source file.
-struct Masked {
-    /// Source with comments/strings/chars blanked to spaces. Same byte
-    /// length and line structure as the input.
-    code: String,
-    /// `(line, text)` of every line comment, for pragma extraction.
-    comments: Vec<(usize, String)>,
-}
-
-/// Blank comments, strings, char literals, and raw strings to spaces,
-/// preserving newlines so line numbers survive.
-fn mask_source(src: &str) -> Masked {
-    let bytes = src.as_bytes();
-    let mut code = Vec::with_capacity(bytes.len());
-    let mut comments = Vec::new();
-    let mut line = 1usize;
-    let mut i = 0usize;
-
-    let blank = |b: u8| if b == b'\n' { b'\n' } else { b' ' };
-
-    while i < bytes.len() {
-        let b = bytes[i];
-        match b {
-            b'\n' => {
-                code.push(b'\n');
-                line += 1;
-                i += 1;
-            }
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                let start = i;
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    code.push(b' ');
-                    i += 1;
-                }
-                comments.push((line, src[start..i].to_string()));
-            }
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                let mut depth = 1;
-                code.push(b' ');
-                code.push(b' ');
-                i += 2;
-                while i < bytes.len() && depth > 0 {
-                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-                        depth += 1;
-                        code.push(b' ');
-                        code.push(b' ');
-                        i += 2;
-                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                        depth -= 1;
-                        code.push(b' ');
-                        code.push(b' ');
-                        i += 2;
-                    } else {
-                        if bytes[i] == b'\n' {
-                            line += 1;
-                        }
-                        code.push(blank(bytes[i]));
-                        i += 1;
-                    }
-                }
-            }
-            b'r' | b'b' if is_raw_string_start(bytes, i) => {
-                // r"..."  r#"..."#  br#"..."#  — count hashes, find the
-                // matching closer.
-                let mut j = i;
-                if bytes[j] == b'b' {
-                    code.push(b' ');
-                    j += 1;
-                }
-                code.push(b' ');
-                j += 1; // past 'r'
-                let mut hashes = 0;
-                while j < bytes.len() && bytes[j] == b'#' {
-                    hashes += 1;
-                    code.push(b' ');
-                    j += 1;
-                }
-                code.push(b' ');
-                j += 1; // past opening quote
-                loop {
-                    if j >= bytes.len() {
-                        break;
-                    }
-                    if bytes[j] == b'"' {
-                        let mut k = j + 1;
-                        let mut seen = 0;
-                        while k < bytes.len() && bytes[k] == b'#' && seen < hashes {
-                            seen += 1;
-                            k += 1;
-                        }
-                        if seen == hashes {
-                            code.resize(code.len() + (k - j), b' ');
-                            j = k;
-                            break;
-                        }
-                    }
-                    if bytes[j] == b'\n' {
-                        line += 1;
-                    }
-                    code.push(blank(bytes[j]));
-                    j += 1;
-                }
-                i = j;
-            }
-            b'"' => {
-                code.push(b' ');
-                i += 1;
-                while i < bytes.len() {
-                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
-                        code.push(b' ');
-                        code.push(blank(bytes[i + 1]));
-                        if bytes[i + 1] == b'\n' {
-                            line += 1;
-                        }
-                        i += 2;
-                        continue;
-                    }
-                    if bytes[i] == b'"' {
-                        code.push(b' ');
-                        i += 1;
-                        break;
-                    }
-                    if bytes[i] == b'\n' {
-                        line += 1;
-                    }
-                    code.push(blank(bytes[i]));
-                    i += 1;
-                }
-            }
-            // Distinguish char literal from lifetime: a lifetime is `'`
-            // followed by an identifier NOT closed by another `'`.
-            b'\'' if is_char_literal(bytes, i) => {
-                code.push(b' ');
-                i += 1;
-                while i < bytes.len() {
-                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
-                        code.push(b' ');
-                        code.push(b' ');
-                        i += 2;
-                        continue;
-                    }
-                    if bytes[i] == b'\'' {
-                        code.push(b' ');
-                        i += 1;
-                        break;
-                    }
-                    code.push(b' ');
-                    i += 1;
-                }
-            }
-            _ => {
-                code.push(b);
-                i += 1;
-            }
-        }
-    }
-
-    Masked { code: String::from_utf8_lossy(&code).into_owned(), comments }
-}
-
-fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
-    let mut j = i;
-    if bytes[j] == b'b' {
-        j += 1;
-        if j >= bytes.len() || bytes[j] != b'r' {
-            return false;
-        }
-    }
-    if j >= bytes.len() || bytes[j] != b'r' {
-        return false;
-    }
-    // Must not be the tail of a longer identifier (e.g. `attr"..."` is
-    // impossible, but `for r in` has `r` preceded by a space — the real
-    // guard is the char *before* i).
-    if i > 0 && is_ident_byte(bytes[i - 1]) {
-        return false;
-    }
-    j += 1;
-    while j < bytes.len() && bytes[j] == b'#' {
-        j += 1;
-    }
-    j < bytes.len() && bytes[j] == b'"'
-}
-
-fn is_char_literal(bytes: &[u8], i: usize) -> bool {
-    // `'x'`, `'\n'`, `'\u{...}'` are char literals; `'a` in `<'a>` is a
-    // lifetime. Escapes are always char literals; otherwise require a
-    // closing quote within a couple of bytes.
-    if i + 1 >= bytes.len() {
-        return false;
-    }
-    if bytes[i + 1] == b'\\' {
-        return true;
-    }
-    if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
-        return true;
-    }
-    false
-}
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
+// Source masking (comments/strings/chars blanked, line structure kept)
+// lives in the shared source model: `gso_srcmodel::lex::mask_source`.
 
 // ---------------------------------------------------------------------------
 // cfg(test) span skipping
@@ -504,44 +313,14 @@ fn parse_pragmas(comments: &[(usize, String)]) -> Vec<Pragma> {
             });
             continue;
         };
-        let Some(inner) = rest.rfind(')').map(|p| &rest[..p]) else {
-            out.push(Pragma {
-                line: *line,
-                rule: String::new(),
-                reason: None,
-                used: false,
-                malformed: Some("pragma missing closing `)`".to_string()),
-            });
-            continue;
-        };
-        let (rule_part, reason_part) = match inner.find(',') {
-            Some(c) => (inner[..c].trim(), Some(inner[c + 1..].trim())),
-            None => (inner.trim(), None),
-        };
-        let rule = rule_part.to_string();
-        let mut malformed = None;
-        if !RULE_IDS.contains(&rule.as_str()) {
-            malformed = Some(format!("unknown rule `{rule}` in pragma"));
-        }
-        let reason = reason_part.and_then(|r| {
-            r.strip_prefix("reason")
-                .map(str::trim_start)
-                .and_then(|r| r.strip_prefix('='))
-                .map(|r| r.trim().trim_matches('"').to_string())
+        let allow = pragma::parse_allow(rest, RULE_IDS);
+        out.push(Pragma {
+            line: *line,
+            rule: allow.rule,
+            reason: allow.reason,
+            used: false,
+            malformed: allow.malformed,
         });
-        let reason = match reason {
-            Some(r) if !r.is_empty() => Some(r),
-            _ => {
-                if malformed.is_none() {
-                    malformed = Some(
-                        "pragma must carry `reason = \"…\"` with a non-empty justification"
-                            .to_string(),
-                    );
-                }
-                None
-            }
-        };
-        out.push(Pragma { line: *line, rule, reason, used: false, malformed });
     }
     out
 }

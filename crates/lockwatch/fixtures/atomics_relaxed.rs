@@ -1,0 +1,21 @@
+//! Known-bad fixture: atomics-ordering policy breaches — a bare `Relaxed`
+//! with no reasoned pragma, and an `Acquire` ordering on a *store* (which
+//! is a release-side operation; `Acquire` on a store is either a typo or
+//! a misunderstanding, and `std` panics on it at runtime).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static COUNT: AtomicU64 = AtomicU64::new(0);
+static FLAG: AtomicBool = AtomicBool::new(false);
+
+pub fn bump() {
+    COUNT.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn publish() {
+    FLAG.store(true, Ordering::Acquire);
+}
+
+pub fn consume() -> bool {
+    FLAG.load(Ordering::Acquire)
+}

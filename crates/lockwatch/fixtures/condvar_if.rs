@@ -1,0 +1,23 @@
+//! Known-bad fixture: an `if`-guarded condvar wait. Condvars wake
+//! spuriously and the predicate can be re-falsified between notify and
+//! wake-up; the wait must sit in a `while` (or `loop`) that re-tests it.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+pub struct State {
+    pending: bool,
+    value: u64,
+}
+
+pub fn wait_once(s: &Shared) -> u64 {
+    let mut st = s.state.lock().unwrap();
+    if st.pending {
+        st = s.cv.wait(st).unwrap();
+    }
+    st.value
+}

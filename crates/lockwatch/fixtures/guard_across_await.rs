@@ -1,0 +1,27 @@
+//! Known-bad fixture: a mutex guard held across `.await`. The task can be
+//! parked at the yield point with the lock held, blocking every other
+//! task scheduled on the same executor thread — and `std` guards are not
+//! `Send`, so this also breaks work-stealing executors at compile time in
+//! subtle ways. The workspace is synchronous today; this pass is armed
+//! for when async lands.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    state: Mutex<u64>,
+    backend: Backend,
+}
+
+pub struct Backend;
+
+impl Backend {
+    pub async fn refetch(&self) -> u64 {
+        0
+    }
+}
+
+pub async fn refresh(s: &Shared) {
+    let mut g = s.state.lock().unwrap();
+    let v = s.backend.refetch().await;
+    *g = v;
+}

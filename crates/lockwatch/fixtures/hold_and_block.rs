@@ -1,0 +1,29 @@
+//! Known-bad fixture: blocking while holding a guard — directly (a channel
+//! `recv` under the `state` lock) and through a callee (`relock` calls
+//! `backoff`, which sleeps). Every other thread touching `state` stalls
+//! for the full blocking duration.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Stuff {
+    state: Mutex<Vec<u64>>,
+    rx: Receiver<u64>,
+}
+
+pub fn drain(q: &Stuff) -> u64 {
+    let mut g = q.state.lock().unwrap();
+    let item = q.rx.recv().unwrap();
+    g.push(item);
+    item
+}
+
+pub fn relock(q: &Stuff) -> usize {
+    let g = q.state.lock().unwrap();
+    backoff();
+    g.len()
+}
+
+fn backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,32 @@
+//! Known-bad fixture: AB/BA lock inversion, one side direct and the other
+//! buried two calls deep. `forward` acquires `alpha` then `beta`;
+//! `backward` holds `beta` while calling through `middle` into `inner`,
+//! which acquires `alpha`. Two threads interleaving these cones deadlock.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+pub fn forward(p: &Pair) -> u64 {
+    let a = p.alpha.lock().unwrap();
+    let b = p.beta.lock().unwrap();
+    *a + *b
+}
+
+pub fn backward(p: &Pair) -> u64 {
+    let b = p.beta.lock().unwrap();
+    let extra = middle(p);
+    *b + extra
+}
+
+fn middle(p: &Pair) -> u64 {
+    inner(p)
+}
+
+fn inner(p: &Pair) -> u64 {
+    let a = p.alpha.lock().unwrap();
+    *a
+}

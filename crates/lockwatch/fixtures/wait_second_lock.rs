@@ -1,0 +1,25 @@
+//! Known-bad fixture: a condvar wait performed while a *second* lock is
+//! held. The wait releases only its own guard (`st`); `aux` stays locked
+//! for the whole sleep, so the thread that should signal the condvar can
+//! block on `aux` first — a livelock-by-design hazard.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Shared {
+    aux: Mutex<u64>,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+pub struct State {
+    pending: bool,
+}
+
+pub fn wait_holding_aux(s: &Shared) -> u64 {
+    let aux = s.aux.lock().unwrap();
+    let mut st = s.state.lock().unwrap();
+    while st.pending {
+        st = s.cv.wait(st).unwrap();
+    }
+    *aux
+}

@@ -1,0 +1,191 @@
+//! `lockwatch` — concurrency static analysis CLI.
+//!
+//! Scans the workspace sources (crate `src/` and `benches/` trees, root
+//! `src/` and `examples/`), runs the five lockwatch passes, and exits
+//! nonzero on any unallowlisted finding or malformed/unused pragma, so CI
+//! can gate on it directly.
+//!
+//! ```text
+//! lockwatch [--root <workspace-root>] [--json] [--fixtures <dir>] [--ratchet <file>]
+//! ```
+//!
+//! `--root` defaults to the current directory; `--json` prints the
+//! machine-readable report (lock-order edge list and atomics census
+//! included) instead of the human summary; `--fixtures <dir>` scans a
+//! standalone fixture corpus instead of the workspace — used by CI to
+//! prove the analyzer still fails on known-bad code; `--ratchet <file>`
+//! additionally enforces per-crate total-finding ceilings from a
+//! committed baseline file (`<crate> <max-findings>` per line, `#`
+//! comments, unlisted crates implicitly 0), failing when a crate exceeds
+//! its ceiling — allowed findings count too, so pragma'd debt cannot grow
+//! silently.
+
+use gso_lockwatch::passes::RULE_IDS;
+use gso_lockwatch::Report;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Check per-crate finding totals against the committed baseline file.
+/// Returns human-readable violations; an empty list means the ratchet holds.
+fn check_ratchet(report: &Report, path: &Path) -> Result<Vec<String>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut ceilings: BTreeMap<&str, usize> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(krate), Some(max), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "{}:{}: expected `<crate> <max-findings>`, got `{line}`",
+                path.display(),
+                lineno + 1
+            ));
+        };
+        let max: usize = max
+            .parse()
+            .map_err(|e| format!("{}:{}: bad ceiling `{max}`: {e}", path.display(), lineno + 1))?;
+        ceilings.insert(krate, max);
+    }
+    if ceilings.is_empty() {
+        return Err(format!("{}: no ratchet entries found", path.display()));
+    }
+    let mut problems = Vec::new();
+    for (krate, count) in &report.per_crate {
+        let ceiling = ceilings.get(krate.as_str()).copied().unwrap_or(0);
+        if *count > ceiling {
+            problems.push(format!(
+                "crate `{krate}` has {count} finding(s), above its ratchet ceiling of {ceiling}"
+            ));
+        }
+    }
+    Ok(problems)
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut fixtures: Option<PathBuf> = None;
+    let mut ratchet: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(v) = args.next() else {
+                    eprintln!("lockwatch: --root requires a path");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(v);
+            }
+            "--fixtures" => {
+                let Some(v) = args.next() else {
+                    eprintln!("lockwatch: --fixtures requires a path");
+                    return ExitCode::from(2);
+                };
+                fixtures = Some(PathBuf::from(v));
+            }
+            "--ratchet" => {
+                let Some(v) = args.next() else {
+                    eprintln!("lockwatch: --ratchet requires a path");
+                    return ExitCode::from(2);
+                };
+                ratchet = Some(PathBuf::from(v));
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: lockwatch [--root <workspace-root>] [--json] [--fixtures <dir>] [--ratchet <file>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("lockwatch: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match &fixtures {
+        Some(dir) => gso_lockwatch::scan_fixture_dir(dir),
+        None => gso_lockwatch::scan_workspace(&root),
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lockwatch: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        println!(
+            "lockwatch: scanned {} files, {} functions, rules {RULE_IDS:?}",
+            report.files_scanned, report.functions
+        );
+        for e in &report.lock_edges {
+            let marker = if e.cyclic { " CYCLE" } else { "" };
+            println!("  order {} -> {} ({} site(s)){marker}", e.from, e.to, e.sites);
+        }
+        for (ordering, count) in &report.atomics {
+            println!("  atomics Ordering::{ordering}: {count} use(s)");
+        }
+        for f in &report.findings {
+            if f.allowed {
+                println!(
+                    "  allowed  {}:{} [{}] {} — reason: {}",
+                    f.file,
+                    f.line,
+                    f.rule,
+                    f.trigger,
+                    f.reason.as_deref().unwrap_or("<none>")
+                );
+            }
+        }
+        for f in report.unallowed() {
+            let in_fn =
+                if f.function.is_empty() { String::new() } else { format!(" in {}", f.function) };
+            println!(
+                "  VIOLATION {}:{} [{}] {}{}\n    {}",
+                f.file, f.line, f.rule, f.trigger, in_fn, f.snippet
+            );
+        }
+        for e in &report.pragma_errors {
+            println!("  VIOLATION {}:{} [directive] {}", e.file, e.line, e.message);
+        }
+        println!(
+            "lockwatch: {} finding(s), {} allowed, {} violation(s)",
+            report.findings.len(),
+            report.findings.iter().filter(|f| f.allowed).count(),
+            report.violation_count()
+        );
+    }
+
+    let mut ratchet_broken = false;
+    if let Some(path) = &ratchet {
+        match check_ratchet(&report, path) {
+            Ok(problems) => {
+                for p in &problems {
+                    eprintln!("  RATCHET {p}");
+                }
+                if problems.is_empty() {
+                    println!("lockwatch: finding ratchet holds ({})", path.display());
+                } else {
+                    ratchet_broken = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("lockwatch: ratchet check failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if report.violation_count() > 0 || ratchet_broken {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

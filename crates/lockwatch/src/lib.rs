@@ -1,0 +1,64 @@
+//! gso-lockwatch — concurrency static analyzer for the workspace.
+//!
+//! The batch scheduler, SFU switch fabric, and controller all coordinate
+//! threads with mutexes, condvars, and (in the benches) atomics. Those
+//! disciplines — locks acquired in one global order, nothing blocking
+//! while a guard is held, condvar waits re-testing their predicate in a
+//! loop, atomic orderings matching a documented policy — are exactly the
+//! kind that review misses and tests rarely catch: the failure is a rare
+//! interleaving, not a wrong value. Lockwatch re-checks them on every
+//! commit, token-level and offline like its siblings (detguard's lint,
+//! sentinel), on top of the shared [`gso_srcmodel`] source model and its
+//! approximate workspace call graph.
+//!
+//! Five passes (see [`passes`] for rule semantics): `lock-order`,
+//! `hold-and-block`, `condvar-predicate`, `atomics-policy`,
+//! `guard-across-yield`.
+//!
+//! The scan covers every crate's `src/` *and* `benches/` tree plus the
+//! workspace root's `src/` and `examples/` — bench harnesses spawn real
+//! worker pools, so their locking is production locking. `tests/` trees
+//! are exempt: a deadlock there hangs CI loudly, and test code freely
+//! uses ad-hoc synchronization.
+//!
+//! Exemptions are reasoned, line-scoped `// lockwatch: allow(rule,
+//! reason = "…")` pragmas, themselves checked: unknown rules, missing
+//! reasons and unused pragmas are violations. The `lockwatch` binary
+//! exits nonzero on any violation; CI gates on it, proves the fixture
+//! corpus still fails, and enforces the per-crate finding ratchet in
+//! `LOCKWATCH_BASELINE.txt` (see DESIGN.md "Concurrency contract").
+
+pub mod passes;
+pub mod report;
+
+pub use gso_srcmodel::{graph, lex, model, parse};
+
+pub use passes::{analyze, analyze_with_deps, RULE_IDS};
+pub use report::{Finding, LockEdge, PragmaError, Report};
+
+use gso_srcmodel::WalkOptions;
+use std::path::Path;
+
+/// Scan a workspace (crate `src/` + `benches/` trees, root `src/` and
+/// `examples/`) and run all passes.
+///
+/// # Errors
+/// Propagates I/O failures reading the source tree.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    let deps = gso_srcmodel::workspace_deps(root)?;
+    let files = gso_srcmodel::parse_workspace_with(
+        root,
+        WalkOptions { crate_benches: true, root_examples: true },
+    )?;
+    Ok(analyze_with_deps(&files, &deps))
+}
+
+/// Scan a flat directory of standalone fixture files. Each file is treated
+/// as its own crate (named after the file stem) so fixtures stay
+/// self-contained.
+///
+/// # Errors
+/// Propagates I/O failures reading the directory.
+pub fn scan_fixture_dir(dir: &Path) -> std::io::Result<Report> {
+    Ok(analyze(&gso_srcmodel::parse_fixture_dir(dir)?))
+}

@@ -1,0 +1,171 @@
+//! Findings, lock-order edge summaries, and the JSON report.
+//!
+//! The JSON is hand-rolled with stable key order (no serde in the offline
+//! build) so CI can diff reports across runs, matching the detguard and
+//! sentinel export conventions.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rule hit, exempted or not.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Scan-root-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Crate the file belongs to (ratchet key).
+    pub krate: String,
+    /// Rule identifier from [`crate::passes::RULE_IDS`].
+    pub rule: String,
+    /// What fired (e.g. `signal->queues`, `channel-recv while holding
+    /// `state``, `Relaxed`).
+    pub trigger: String,
+    /// Qualified function the site sits in.
+    pub function: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// Whether a pragma exempts this finding.
+    pub allowed: bool,
+    /// The pragma's justification, when allowed.
+    pub reason: Option<String>,
+}
+
+/// A malformed or unused pragma — always a violation.
+#[derive(Debug, Clone)]
+pub struct PragmaError {
+    /// Scan-root-relative path.
+    pub file: String,
+    /// 1-based line of the pragma.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// One observed lock-acquisition-order edge, cyclic or not — the report
+/// exposes the whole order graph so the DESIGN.md lock hierarchy can be
+/// checked against what the code actually does.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Lock held at the acquisition site.
+    pub from: String,
+    /// Lock acquired while `from` was held.
+    pub to: String,
+    /// Number of witness sites for this edge.
+    pub sites: usize,
+    /// Whether the edge participates in an acquisition-order cycle.
+    pub cyclic: bool,
+}
+
+/// Aggregate result of a scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of non-test functions analyzed.
+    pub functions: usize,
+    /// Every observed acquisition-order edge.
+    pub lock_edges: Vec<LockEdge>,
+    /// `Ordering::` variant → number of uses seen.
+    pub atomics: BTreeMap<String, usize>,
+    /// Crate → total findings (allowed or not) — the ratchet input.
+    pub per_crate: BTreeMap<String, usize>,
+    /// Every rule hit.
+    pub findings: Vec<Finding>,
+    /// Malformed/unused pragmas.
+    pub pragma_errors: Vec<PragmaError>,
+}
+
+impl Report {
+    /// Findings not covered by a valid pragma.
+    #[must_use]
+    pub fn unallowed(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| !f.allowed).collect()
+    }
+
+    /// Total violations: unallowed findings plus pragma errors.
+    #[must_use]
+    pub fn violation_count(&self) -> usize {
+        self.unallowed().len() + self.pragma_errors.len()
+    }
+
+    /// Machine-readable JSON report (stable key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"functions\": {},", self.functions);
+        let _ = writeln!(out, "  \"violations\": {},", self.violation_count());
+        out.push_str("  \"lock_edges\": [");
+        for (i, e) in self.lock_edges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"from\": {}, \"to\": {}, \"sites\": {}, \"cyclic\": {}}}",
+                json_str(&e.from),
+                json_str(&e.to),
+                e.sites,
+                e.cyclic,
+            );
+        }
+        out.push_str("\n  ],\n  \"atomics\": {");
+        for (i, (ordering, count)) in self.atomics.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(out, "    {}: {count}", json_str(ordering));
+        }
+        out.push_str("\n  },\n  \"per_crate\": {");
+        for (i, (krate, count)) in self.per_crate.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(out, "    {}: {count}", json_str(krate));
+        }
+        out.push_str("\n  },\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"trigger\": {}, \"function\": {}, \"allowed\": {}, \"reason\": {}, \"snippet\": {}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(&f.rule),
+                json_str(&f.trigger),
+                json_str(&f.function),
+                f.allowed,
+                f.reason.as_deref().map_or_else(|| "null".to_string(), json_str),
+                json_str(&f.snippet),
+            );
+        }
+        out.push_str("\n  ],\n  \"pragma_errors\": [");
+        for (i, e) in self.pragma_errors.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(&e.file),
+                e.line,
+                json_str(&e.message),
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

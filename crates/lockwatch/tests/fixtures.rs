@@ -1,0 +1,133 @@
+//! Fixture self-tests: the known-bad corpus must keep failing, at the
+//! exact sites the fixtures stage. A refactor that silently stops a pass
+//! from firing breaks these before it reaches CI's inverted fixture gate.
+
+use gso_lockwatch::Report;
+use std::path::Path;
+
+fn fixture_report() -> Report {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    gso_lockwatch::scan_fixture_dir(&dir).expect("fixture corpus scans")
+}
+
+fn assert_finding(r: &Report, file: &str, line: usize, rule: &str) {
+    assert!(
+        r.findings.iter().any(|f| f.file == file && f.line == line && f.rule == rule && !f.allowed),
+        "expected unallowed `{rule}` finding at {file}:{line}; got: {:#?}",
+        r.findings
+    );
+}
+
+#[test]
+fn lock_inversion_flags_both_sides_of_the_cycle() {
+    let r = fixture_report();
+    // Direct: `forward` acquires beta while holding alpha.
+    assert_finding(&r, "lock_inversion.rs", 15, "lock-order");
+    // Transitive: `backward` holds beta and reaches alpha two calls deep,
+    // so the witness is the `middle(p)` call site.
+    assert_finding(&r, "lock_inversion.rs", 21, "lock-order");
+    let cyclic: Vec<(&str, &str)> = r
+        .lock_edges
+        .iter()
+        .filter(|e| e.cyclic)
+        .map(|e| (e.from.as_str(), e.to.as_str()))
+        .collect();
+    assert_eq!(cyclic, vec![("alpha", "beta"), ("beta", "alpha")]);
+}
+
+#[test]
+fn hold_and_block_fires_direct_and_through_callee() {
+    let r = fixture_report();
+    // Direct: channel recv under the state lock.
+    assert_finding(&r, "hold_and_block.rs", 16, "hold-and-block");
+    // Indirect: `relock` holds state and calls `backoff`, which sleeps.
+    assert_finding(&r, "hold_and_block.rs", 23, "hold-and-block");
+    assert!(
+        r.findings.iter().any(|f| f.file == "hold_and_block.rs"
+            && f.line == 23
+            && f.trigger.contains("backoff")),
+        "the callee that blocks must be named in the trigger"
+    );
+}
+
+#[test]
+fn condvar_wait_holding_second_lock_is_hold_and_block() {
+    let r = fixture_report();
+    // The wait releases its own guard (`st`) but keeps `aux` locked.
+    assert_finding(&r, "wait_second_lock.rs", 22, "hold-and-block");
+    // The waited-on guard itself is exempt and the wait is in a `while`,
+    // so this is the file's only finding.
+    assert_eq!(
+        r.findings.iter().filter(|f| f.file == "wait_second_lock.rs").count(),
+        1,
+        "own-guard wait in a while loop must not add findings"
+    );
+    // aux -> state is a legal (acyclic) order edge, recorded but not flagged.
+    assert!(r.lock_edges.iter().any(|e| e.from == "aux" && e.to == "state" && !e.cyclic));
+}
+
+#[test]
+fn if_guarded_condvar_wait_is_flagged() {
+    let r = fixture_report();
+    assert_finding(&r, "condvar_if.rs", 20, "condvar-predicate");
+    assert_eq!(
+        r.findings.iter().filter(|f| f.file == "condvar_if.rs").count(),
+        1,
+        "waiting on your own guard is not hold-and-block"
+    );
+}
+
+#[test]
+fn atomics_policy_flags_relaxed_and_wrong_direction() {
+    let r = fixture_report();
+    // Bare Relaxed always needs a pragma.
+    assert_finding(&r, "atomics_relaxed.rs", 12, "atomics-policy");
+    // Acquire on a store is the wrong direction.
+    assert_finding(&r, "atomics_relaxed.rs", 16, "atomics-policy");
+    // Acquire on a load is fine.
+    assert!(!r.findings.iter().any(|f| f.file == "atomics_relaxed.rs" && f.line == 20));
+    // The census sees every ordering use, violating or not.
+    assert_eq!(r.atomics.get("Acquire"), Some(&2));
+}
+
+#[test]
+fn guard_across_await_is_flagged() {
+    let r = fixture_report();
+    assert_finding(&r, "guard_across_await.rs", 25, "guard-across-yield");
+}
+
+#[test]
+fn pragma_abuse_is_three_distinct_errors() {
+    let r = fixture_report();
+    let msgs: Vec<&str> = r
+        .pragma_errors
+        .iter()
+        .filter(|e| e.file == "pragma_bad.rs")
+        .map(|e| e.message.as_str())
+        .collect();
+    assert_eq!(msgs.len(), 3, "unknown rule, missing reason, unused: {msgs:?}");
+    assert!(msgs[0].contains("unknown rule `atomic-sloppiness`"));
+    assert!(msgs[1].contains("reason"));
+    assert!(msgs[2].contains("unused pragma"));
+    // A malformed pragma never exempts: both staged findings stay violations.
+    assert_finding(&r, "pragma_bad.rs", 11, "atomics-policy");
+    assert_finding(&r, "pragma_bad.rs", 16, "atomics-policy");
+}
+
+#[test]
+fn corpus_totals_are_pinned() {
+    let r = fixture_report();
+    assert_eq!(r.files_scanned, 7);
+    assert_eq!(
+        r.violation_count(),
+        14,
+        "11 unallowed findings + 3 pragma errors; update deliberately when the corpus changes"
+    );
+    // Every rule fires somewhere in the corpus.
+    for rule in gso_lockwatch::RULE_IDS {
+        assert!(
+            r.findings.iter().any(|f| f.rule == *rule),
+            "rule `{rule}` never fired on the fixture corpus"
+        );
+    }
+}

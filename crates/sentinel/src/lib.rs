@@ -4,9 +4,9 @@
 //! (zero-alloc SIMD MCKP, cross-conference batching); rewrites like that
 //! silently reintroduce panics, hidden allocations and unit confusions
 //! unless a machine re-checks on every commit. Sentinel parses every
-//! workspace crate with a hand-rolled token-level parser (the offline
-//! build has no `syn`), builds an approximate intra-workspace call graph,
-//! and runs four passes over it:
+//! workspace crate with the shared token-level source model
+//! ([`gso_srcmodel`] — the offline build has no `syn`), builds an
+//! approximate intra-workspace call graph, and runs four passes over it:
 //!
 //! 1. **hot-panic** — panic freedom on everything reachable from a
 //!    declared root set (`// sentinel: hot_path` markers on the warm
@@ -26,162 +26,18 @@
 //! The `sentinel` binary exits nonzero on any violation; CI gates on it
 //! and archives the JSON report (see DESIGN.md "Static analysis").
 
-pub mod graph;
-pub mod lex;
-pub mod model;
-pub mod parse;
 pub mod passes;
 pub mod report;
+
+pub use gso_srcmodel::{graph, lex, model, parse};
+pub use gso_srcmodel::{parse_path, parse_workspace, workspace_deps};
 
 pub use graph::CallGraph;
 pub use model::ParsedFile;
 pub use passes::{analyze, analyze_with_deps, RULE_IDS};
 pub use report::{Finding, PragmaError, Report, RootReport};
 
-use std::collections::BTreeMap;
-
-use std::path::{Path, PathBuf};
-
-/// Recursively collect `.rs` files under `dir`, sorted for deterministic
-/// report order.
-fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    let mut entries: Vec<PathBuf> =
-        std::fs::read_dir(dir)?.filter_map(Result::ok).map(|e| e.path()).collect();
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            rust_files(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// Module path implied by a file's location under its crate's `src/`:
-/// `src/lib.rs` → `[]`, `src/mckp.rs` → `["mckp"]`, `src/bin/x.rs` → `[]`,
-/// `src/a/mod.rs` → `["a"]`.
-fn module_prefix(rel: &Path) -> Vec<String> {
-    let mut parts: Vec<String> = rel
-        .with_extension("")
-        .components()
-        .map(|c| c.as_os_str().to_string_lossy().into_owned())
-        .collect();
-    if parts.first().is_some_and(|p| p == "bin") {
-        return Vec::new();
-    }
-    if parts.last().is_some_and(|l| l == "lib" || l == "main" || l == "mod") {
-        parts.pop();
-    }
-    parts
-}
-
-/// Parse one file from disk into a [`ParsedFile`].
-///
-/// # Errors
-/// Propagates I/O failures reading the file.
-pub fn parse_path(
-    root: &Path,
-    path: &Path,
-    krate: &str,
-    src_dir: &Path,
-) -> std::io::Result<ParsedFile> {
-    let src = std::fs::read_to_string(path)?;
-    let label = path.strip_prefix(root).unwrap_or(path).to_string_lossy().into_owned();
-    let rel = path.strip_prefix(src_dir).unwrap_or(path);
-    Ok(parse::parse_file(&label, krate, &module_prefix(rel), &src))
-}
-
-/// Parse every crate's `src/` tree under a workspace root, plus the root
-/// facade crate's own `src/`.
-///
-/// # Errors
-/// Propagates I/O failures reading the source tree.
-pub fn parse_workspace(root: &Path) -> std::io::Result<Vec<ParsedFile>> {
-    let mut out = Vec::new();
-    let crates_dir = root.join("crates");
-    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
-        .filter_map(Result::ok)
-        .map(|e| e.path())
-        .filter(|p| p.is_dir())
-        .collect();
-    crate_dirs.sort();
-    for dir in crate_dirs {
-        let krate = dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
-        let src_dir = dir.join("src");
-        if !src_dir.is_dir() {
-            continue;
-        }
-        let mut files = Vec::new();
-        rust_files(&src_dir, &mut files)?;
-        for path in files {
-            out.push(parse_path(root, &path, &krate, &src_dir)?);
-        }
-    }
-    // The workspace-root facade crate.
-    let root_src = root.join("src");
-    if root_src.is_dir() {
-        let mut files = Vec::new();
-        rust_files(&root_src, &mut files)?;
-        for path in files {
-            out.push(parse_path(root, &path, "gso_simulcast", &root_src)?);
-        }
-    }
-    Ok(out)
-}
-
-/// Intra-workspace dependencies of one crate, read from its `Cargo.toml`
-/// `[dependencies]` section: every `gso-x` entry maps to crate directory
-/// name `x`. Dev-dependencies are ignored — they only link into tests,
-/// which are never call-graph nodes.
-fn manifest_deps(manifest: &Path) -> std::io::Result<Vec<String>> {
-    let text = std::fs::read_to_string(manifest)?;
-    let mut deps = Vec::new();
-    let mut in_deps = false;
-    for line in text.lines() {
-        let line = line.trim();
-        if line.starts_with('[') {
-            in_deps = line == "[dependencies]";
-            continue;
-        }
-        if in_deps {
-            if let Some(rest) = line.strip_prefix("gso-") {
-                let name: String = rest
-                    .chars()
-                    .take_while(|c| c.is_alphanumeric() || *c == '-' || *c == '_')
-                    .collect();
-                deps.push(name.replace('-', "_"));
-            }
-        }
-    }
-    Ok(deps)
-}
-
-/// The workspace crate-dependency map: crate directory name → direct
-/// intra-workspace dependencies, plus the root facade crate.
-///
-/// # Errors
-/// Propagates I/O failures reading the manifests.
-pub fn workspace_deps(root: &Path) -> std::io::Result<BTreeMap<String, Vec<String>>> {
-    let mut deps = BTreeMap::new();
-    let crates_dir = root.join("crates");
-    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
-        for entry in entries.filter_map(Result::ok) {
-            let dir = entry.path();
-            let manifest = dir.join("Cargo.toml");
-            if manifest.is_file() {
-                let krate =
-                    dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
-                deps.insert(krate, manifest_deps(&manifest)?);
-            }
-        }
-    }
-    let root_manifest = root.join("Cargo.toml");
-    if root_manifest.is_file() {
-        deps.insert("gso_simulcast".to_string(), manifest_deps(&root_manifest)?);
-    }
-    Ok(deps)
-}
+use std::path::Path;
 
 /// Scan a workspace and run all passes.
 ///
@@ -199,14 +55,5 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
 /// # Errors
 /// Propagates I/O failures reading the directory.
 pub fn scan_fixture_dir(dir: &Path) -> std::io::Result<Report> {
-    let mut files = Vec::new();
-    rust_files(dir, &mut files)?;
-    let mut parsed = Vec::new();
-    for path in files {
-        let src = std::fs::read_to_string(&path)?;
-        let stem = path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
-        let label = path.file_name().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
-        parsed.push(parse::parse_file(&label, &stem, &[], &src));
-    }
-    Ok(analyze(&parsed))
+    Ok(analyze(&gso_srcmodel::parse_fixture_dir(dir)?))
 }

@@ -36,6 +36,7 @@
 use crate::graph::CallGraph;
 use crate::model::{ParsedFile, SiteKind};
 use crate::report::{Finding, PragmaError, Report, RootReport};
+use gso_srcmodel::pragma;
 use std::collections::BTreeSet;
 
 /// Sentinel rule identifiers.
@@ -89,46 +90,14 @@ fn parse_directives(
             continue; // `sentinel::` path reference
         }
         if let Some(rest) = body.strip_prefix("allow(") {
-            let Some(inner) = rest.rfind(')').map(|p| &rest[..p]) else {
-                pragmas.push(Pragma {
-                    file: file.to_string(),
-                    line: *line,
-                    rule: String::new(),
-                    reason: None,
-                    used: false,
-                    malformed: Some("pragma missing closing `)`".to_string()),
-                });
-                continue;
-            };
-            let (rule_part, reason_part) = match inner.find(',') {
-                Some(c) => (inner[..c].trim(), Some(inner[c + 1..].trim())),
-                None => (inner.trim(), None),
-            };
-            let rule = rule_part.to_string();
-            let mut malformed = None;
-            if !RULE_IDS.contains(&rule.as_str()) {
-                malformed = Some(format!("unknown rule `{rule}` in pragma"));
-            }
-            let reason = parse_reason(reason_part);
-            let reason = match reason {
-                Some(r) if !r.is_empty() => Some(r),
-                _ => {
-                    if malformed.is_none() {
-                        malformed = Some(
-                            "pragma must carry `reason = \"…\"` with a non-empty justification"
-                                .to_string(),
-                        );
-                    }
-                    None
-                }
-            };
+            let allow = pragma::parse_allow(rest, RULE_IDS);
             pragmas.push(Pragma {
                 file: file.to_string(),
                 line: *line,
-                rule,
-                reason,
+                rule: allow.rule,
+                reason: allow.reason,
                 used: false,
-                malformed,
+                malformed: allow.malformed,
             });
         } else if body == "hot_path" || body.starts_with("hot_path(") {
             let label = body
@@ -138,7 +107,7 @@ fn parse_directives(
             markers.push((*line, Marker::HotPath { label }));
         } else if let Some(rest) = body.strip_prefix("cold_path(") {
             let inner = rest.rfind(')').map(|p| &rest[..p]);
-            let reason = parse_reason(inner).filter(|r| !r.is_empty());
+            let reason = inner.and_then(pragma::parse_reason).filter(|r| !r.is_empty());
             if reason.is_none() {
                 errors.push(PragmaError {
                     file: file.to_string(),
@@ -157,15 +126,6 @@ fn parse_directives(
         }
     }
     (pragmas, markers, errors)
-}
-
-fn parse_reason(part: Option<&str>) -> Option<String> {
-    part.and_then(|r| {
-        r.strip_prefix("reason")
-            .map(str::trim_start)
-            .and_then(|r| r.strip_prefix('='))
-            .map(|r| r.trim().trim_matches('"').to_string())
-    })
 }
 
 /// Run all four passes over the parsed files with no crate-dependency

@@ -35,6 +35,12 @@ pub struct CallGraph<'a> {
     pub fns: Vec<&'a FnInfo>,
     /// Adjacency list: `edges[i]` lists callee indices of `fns[i]`.
     pub edges: Vec<Vec<usize>>,
+    /// All functions by name.
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// Functions with an impl/trait type context, by name.
+    methods_by_name: BTreeMap<String, Vec<usize>>,
+    /// Transitive closure of the crate dependency relation.
+    closure: BTreeMap<String, BTreeSet<String>>,
 }
 
 impl<'a> CallGraph<'a> {
@@ -57,7 +63,7 @@ impl<'a> CallGraph<'a> {
     #[allow(clippy::missing_panics_doc)] // closure lookup is over inserted keys
     pub fn build_with_deps(files: &'a [ParsedFile], deps: &BTreeMap<String, Vec<String>>) -> Self {
         // Transitive closure of the dependency relation.
-        let mut closure: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        let mut closure: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         for name in deps.keys() {
             let mut seen: BTreeSet<&str> = BTreeSet::from([name.as_str()]);
             let mut stack: Vec<&str> = vec![name.as_str()];
@@ -68,91 +74,108 @@ impl<'a> CallGraph<'a> {
                     }
                 }
             }
-            closure.insert(name, seen);
+            closure.insert(name.clone(), seen.into_iter().map(str::to_string).collect());
         }
-        let edge_ok = |from: &str, to: &str| -> bool {
-            from == to || closure.get(from).is_none_or(|c| c.contains(to))
-        };
         let mut fns: Vec<&FnInfo> =
             files.iter().flat_map(|f| f.fns.iter()).filter(|f| !f.is_test).collect();
         fns.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
 
         // Name indexes.
-        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         for (i, f) in fns.iter().enumerate() {
-            by_name.entry(&f.name).or_default().push(i);
+            by_name.entry(f.name.clone()).or_default().push(i);
             if f.type_ctx.is_some() {
-                methods_by_name.entry(&f.name).or_default().push(i);
+                methods_by_name.entry(f.name.clone()).or_default().push(i);
             }
         }
 
-        let mut edges = vec![Vec::new(); fns.len()];
-        for (i, f) in fns.iter().enumerate() {
+        let mut g = CallGraph { fns, edges: Vec::new(), by_name, methods_by_name, closure };
+        let mut edges = vec![Vec::new(); g.fns.len()];
+        for (i, edge_list) in edges.iter_mut().enumerate() {
             let mut out: BTreeSet<usize> = BTreeSet::new();
-            for (_, call) in &f.calls {
-                match call {
-                    CallRef::Method(name) => {
-                        if crate::parse::ALLOC_METHODS.contains(&name.as_str()) {
-                            continue; // counted at the call site; see module docs
-                        }
-                        if let Some(cands) = methods_by_name.get(name.as_str()) {
-                            out.extend(
-                                cands.iter().copied().filter(|&c| edge_ok(&f.krate, &fns[c].krate)),
-                            );
-                        }
-                    }
-                    CallRef::Path(segs) => {
-                        let want: Vec<&str> = segs
-                            .iter()
-                            .map(|s| s.as_str().strip_prefix("gso_").unwrap_or(s))
-                            .filter(|s| !matches!(*s, "crate" | "self" | "super"))
-                            .collect();
-                        let Some(name) = want.last() else { continue };
-                        if let Some(cands) = by_name.get(name) {
-                            out.extend(cands.iter().copied().filter(|&c| {
-                                edge_ok(&f.krate, &fns[c].krate)
-                                    && qualifier_matches(
-                                        &fns[c].segments(),
-                                        &want[..want.len() - 1],
-                                    )
-                            }));
-                        }
-                    }
-                    CallRef::Bare(name) => {
-                        let Some(cands) = by_name.get(name.as_str()) else { continue };
-                        let cands: Vec<usize> = cands
-                            .iter()
-                            .copied()
-                            .filter(|&c| edge_ok(&f.krate, &fns[c].krate))
-                            .collect();
-                        let free: Vec<usize> =
-                            cands.iter().copied().filter(|&c| fns[c].type_ctx.is_none()).collect();
-                        let same_module: Vec<usize> = free
-                            .iter()
-                            .copied()
-                            .filter(|&c| fns[c].krate == f.krate && fns[c].module == f.module)
-                            .collect();
-                        let same_crate: Vec<usize> =
-                            free.iter().copied().filter(|&c| fns[c].krate == f.krate).collect();
-                        if !same_module.is_empty() {
-                            out.extend(same_module);
-                        } else if !same_crate.is_empty() {
-                            out.extend(same_crate);
-                        } else if !free.is_empty() {
-                            out.extend(free);
-                        } else {
-                            // A bare call can also be a `use`-imported
-                            // associated fn; fall back to any candidate.
-                            out.extend(cands.iter().copied());
-                        }
-                    }
-                }
+            for (_, call) in &g.fns[i].calls {
+                out.extend(g.resolve(i, call));
             }
             out.remove(&i); // self-recursion adds nothing to reachability
-            edges[i] = out.into_iter().collect();
+            *edge_list = out.into_iter().collect();
         }
-        CallGraph { fns, edges }
+        g.edges = edges;
+        g
+    }
+
+    /// Candidate callee indices of `call` made from `fns[caller]`, using
+    /// the same resolution the edge builder uses (the caller itself may
+    /// appear for a recursive call; `edges` has self-edges removed).
+    #[must_use]
+    pub fn resolve(&self, caller: usize, call: &CallRef) -> Vec<usize> {
+        let f = self.fns[caller];
+        let edge_ok = |from: &str, to: &str| -> bool {
+            from == to || self.closure.get(from).is_none_or(|c| c.contains(to))
+        };
+        match call {
+            CallRef::Method(name) => {
+                if crate::parse::ALLOC_METHODS.contains(&name.as_str()) {
+                    return Vec::new(); // counted at the call site; see module docs
+                }
+                self.methods_by_name.get(name).map_or_else(Vec::new, |cands| {
+                    cands
+                        .iter()
+                        .copied()
+                        .filter(|&c| edge_ok(&f.krate, &self.fns[c].krate))
+                        .collect()
+                })
+            }
+            CallRef::Path(segs) => {
+                let want: Vec<&str> = segs
+                    .iter()
+                    .map(|s| s.as_str().strip_prefix("gso_").unwrap_or(s))
+                    .filter(|s| !matches!(*s, "crate" | "self" | "super"))
+                    .collect();
+                let Some(name) = want.last() else { return Vec::new() };
+                self.by_name.get(*name).map_or_else(Vec::new, |cands| {
+                    cands
+                        .iter()
+                        .copied()
+                        .filter(|&c| {
+                            edge_ok(&f.krate, &self.fns[c].krate)
+                                && qualifier_matches(
+                                    &self.fns[c].segments(),
+                                    &want[..want.len() - 1],
+                                )
+                        })
+                        .collect()
+                })
+            }
+            CallRef::Bare(name) => {
+                let Some(cands) = self.by_name.get(name) else { return Vec::new() };
+                let cands: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&c| edge_ok(&f.krate, &self.fns[c].krate))
+                    .collect();
+                let free: Vec<usize> =
+                    cands.iter().copied().filter(|&c| self.fns[c].type_ctx.is_none()).collect();
+                let same_module: Vec<usize> = free
+                    .iter()
+                    .copied()
+                    .filter(|&c| self.fns[c].krate == f.krate && self.fns[c].module == f.module)
+                    .collect();
+                let same_crate: Vec<usize> =
+                    free.iter().copied().filter(|&c| self.fns[c].krate == f.krate).collect();
+                if !same_module.is_empty() {
+                    same_module
+                } else if !same_crate.is_empty() {
+                    same_crate
+                } else if !free.is_empty() {
+                    free
+                } else {
+                    // A bare call can also be a `use`-imported associated
+                    // fn; fall back to any candidate.
+                    cands
+                }
+            }
+        }
     }
 
     /// Index of the function whose qualified name ends with `suffix`

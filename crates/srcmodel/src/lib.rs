@@ -1,0 +1,229 @@
+//! gso-srcmodel — shared token-level source model for workspace analyzers.
+//!
+//! The workspace builds offline with no `syn`, so its static analyzers
+//! (gso-sentinel, gso-detguard's lint, gso-lockwatch) are hand-rolled
+//! token-level tools. This crate owns the parts they share so each tool is
+//! only its passes:
+//!
+//! * [`lex`] — source masking (comments/strings/chars blanked, offsets and
+//!   line structure preserved) and tokenization;
+//! * [`parse`] — the approximate item/body parser: functions with module
+//!   path, impl type, test-ness, call expressions, panic/alloc sites,
+//!   metric and unit-hygiene sites, and an ordered synchronization-event
+//!   stream (lock acquisitions, blocking calls, scope boundaries) for
+//!   concurrency analyses;
+//! * [`graph`] — the approximate intra-workspace call graph with
+//!   dependency-constrained edge resolution and reachability;
+//! * [`pragma`] — the shared reason-mandatory `allow(rule, reason = "…")`
+//!   exemption grammar;
+//! * workspace walking — crate `src/` (and optionally `benches/`) trees
+//!   plus the root facade crate, and the Cargo-manifest dependency map
+//!   that constrains cross-crate call edges.
+
+pub mod graph;
+pub mod lex;
+pub mod model;
+pub mod parse;
+pub mod pragma;
+
+pub use graph::CallGraph;
+pub use model::{
+    BindKind, CallRef, FnInfo, MetricSite, ParsedFile, Site, SiteKind, SyncEvent, SyncOp, UnitCtx,
+    UnitSite,
+};
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Which source trees a workspace walk visits beyond every crate's `src/`
+/// and the root facade crate's `src/`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalkOptions {
+    /// Also parse each crate's `benches/` tree (bench harnesses run real
+    /// workspace code, so concurrency discipline applies there too).
+    pub crate_benches: bool,
+    /// Also parse the workspace root's `examples/` tree.
+    pub root_examples: bool,
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for deterministic
+/// report order.
+///
+/// # Errors
+/// Propagates I/O failures reading the directory.
+pub fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(Result::ok).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Module path implied by a file's location under its crate's `src/`:
+/// `src/lib.rs` → `[]`, `src/mckp.rs` → `["mckp"]`, `src/bin/x.rs` → `[]`,
+/// `src/a/mod.rs` → `["a"]`.
+fn module_prefix(rel: &Path) -> Vec<String> {
+    let mut parts: Vec<String> = rel
+        .with_extension("")
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    if parts.first().is_some_and(|p| p == "bin") {
+        return Vec::new();
+    }
+    if parts.last().is_some_and(|l| l == "lib" || l == "main" || l == "mod") {
+        parts.pop();
+    }
+    parts
+}
+
+/// Parse one file from disk into a [`ParsedFile`].
+///
+/// # Errors
+/// Propagates I/O failures reading the file.
+pub fn parse_path(
+    root: &Path,
+    path: &Path,
+    krate: &str,
+    src_dir: &Path,
+) -> std::io::Result<ParsedFile> {
+    let src = std::fs::read_to_string(path)?;
+    let label = path.strip_prefix(root).unwrap_or(path).to_string_lossy().into_owned();
+    let rel = path.strip_prefix(src_dir).unwrap_or(path);
+    Ok(parse::parse_file(&label, krate, &module_prefix(rel), &src))
+}
+
+/// Parse every crate's `src/` tree under a workspace root, plus the root
+/// facade crate's own `src/`.
+///
+/// # Errors
+/// Propagates I/O failures reading the source tree.
+pub fn parse_workspace(root: &Path) -> std::io::Result<Vec<ParsedFile>> {
+    parse_workspace_with(root, WalkOptions::default())
+}
+
+/// Parse a workspace with explicit [`WalkOptions`].
+///
+/// # Errors
+/// Propagates I/O failures reading the source tree.
+pub fn parse_workspace_with(root: &Path, opts: WalkOptions) -> std::io::Result<Vec<ParsedFile>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let krate = dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        let mut trees = vec![dir.join("src")];
+        if opts.crate_benches {
+            trees.push(dir.join("benches"));
+        }
+        for tree in trees {
+            if !tree.is_dir() {
+                continue;
+            }
+            let mut files = Vec::new();
+            rust_files(&tree, &mut files)?;
+            for path in files {
+                out.push(parse_path(root, &path, &krate, &tree)?);
+            }
+        }
+    }
+    // The workspace-root facade crate.
+    let mut root_trees = vec![(root.join("src"), "gso_simulcast")];
+    if opts.root_examples {
+        root_trees.push((root.join("examples"), "examples"));
+    }
+    for (tree, krate) in root_trees {
+        if !tree.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rust_files(&tree, &mut files)?;
+        for path in files {
+            out.push(parse_path(root, &path, krate, &tree)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a flat directory of standalone fixture files. Each file is
+/// treated as its own crate (named after the file stem) so fixtures stay
+/// self-contained; the file-name label keeps reports directory-agnostic.
+///
+/// # Errors
+/// Propagates I/O failures reading the directory.
+pub fn parse_fixture_dir(dir: &Path) -> std::io::Result<Vec<ParsedFile>> {
+    let mut files = Vec::new();
+    rust_files(dir, &mut files)?;
+    let mut parsed = Vec::new();
+    for path in files {
+        let src = std::fs::read_to_string(&path)?;
+        let stem = path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+        let label = path.file_name().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+        parsed.push(parse::parse_file(&label, &stem, &[], &src));
+    }
+    Ok(parsed)
+}
+
+/// Intra-workspace dependencies of one crate, read from its `Cargo.toml`
+/// `[dependencies]` section: every `gso-x` entry maps to crate directory
+/// name `x`. Dev-dependencies are ignored — they only link into tests,
+/// which are never call-graph nodes.
+fn manifest_deps(manifest: &Path) -> std::io::Result<Vec<String>> {
+    let text = std::fs::read_to_string(manifest)?;
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if in_deps {
+            if let Some(rest) = line.strip_prefix("gso-") {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '-' || *c == '_')
+                    .collect();
+                deps.push(name.replace('-', "_"));
+            }
+        }
+    }
+    Ok(deps)
+}
+
+/// The workspace crate-dependency map: crate directory name → direct
+/// intra-workspace dependencies, plus the root facade crate.
+///
+/// # Errors
+/// Propagates I/O failures reading the manifests.
+pub fn workspace_deps(root: &Path) -> std::io::Result<BTreeMap<String, Vec<String>>> {
+    let mut deps = BTreeMap::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        for entry in entries.filter_map(Result::ok) {
+            let dir = entry.path();
+            let manifest = dir.join("Cargo.toml");
+            if manifest.is_file() {
+                let krate =
+                    dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+                deps.insert(krate, manifest_deps(&manifest)?);
+            }
+        }
+    }
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        deps.insert("gso_simulcast".to_string(), manifest_deps(&root_manifest)?);
+    }
+    Ok(deps)
+}

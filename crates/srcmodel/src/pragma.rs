@@ -1,0 +1,99 @@
+//! Shared reason-mandatory `allow(rule, reason = "…")` pragma grammar.
+//!
+//! Every workspace analyzer (detguard, sentinel, lockwatch) uses the same
+//! line-scoped exemption form; only the tool prefix (`detguard:`,
+//! `sentinel:`, `lockwatch:`) and how the prefix is located in a comment
+//! differ per tool. This module owns the inner grammar so the error
+//! messages — which fixture self-tests pin — stay identical everywhere.
+
+/// One parsed `allow(…)` pragma body.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule the pragma names (may be unknown — see `malformed`).
+    pub rule: String,
+    /// The justification, when present and non-empty.
+    pub reason: Option<String>,
+    /// Why the pragma is invalid, when it is: missing `)`, unknown rule,
+    /// or missing/empty reason.
+    pub malformed: Option<String>,
+}
+
+/// Parse the text following `allow(` against the tool's `rule_ids`.
+#[must_use]
+pub fn parse_allow(rest: &str, rule_ids: &[&str]) -> Allow {
+    let Some(inner) = rest.rfind(')').map(|p| &rest[..p]) else {
+        return Allow {
+            rule: String::new(),
+            reason: None,
+            malformed: Some("pragma missing closing `)`".to_string()),
+        };
+    };
+    let (rule_part, reason_part) = match inner.find(',') {
+        Some(c) => (inner[..c].trim(), Some(inner[c + 1..].trim())),
+        None => (inner.trim(), None),
+    };
+    let rule = rule_part.to_string();
+    let mut malformed = None;
+    if !rule_ids.contains(&rule.as_str()) {
+        malformed = Some(format!("unknown rule `{rule}` in pragma"));
+    }
+    let reason = reason_part.and_then(parse_reason);
+    let reason = match reason {
+        Some(r) if !r.is_empty() => Some(r),
+        _ => {
+            if malformed.is_none() {
+                malformed = Some(
+                    "pragma must carry `reason = \"…\"` with a non-empty justification".to_string(),
+                );
+            }
+            None
+        }
+    };
+    Allow { rule, reason, malformed }
+}
+
+/// Extract the quoted string from a `reason = "…"` fragment. Returns the
+/// unquoted text (possibly empty) or `None` when the fragment is not a
+/// reason assignment at all.
+#[must_use]
+pub fn parse_reason(part: &str) -> Option<String> {
+    part.strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(|r| r.trim().trim_matches('"').to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["hot-alloc", "lock-order"];
+
+    #[test]
+    fn well_formed_allow() {
+        let a = parse_allow("lock-order, reason = \"ordered by contract\") trailing", RULES);
+        assert_eq!(a.rule, "lock-order");
+        assert_eq!(a.reason.as_deref(), Some("ordered by contract"));
+        assert!(a.malformed.is_none());
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        let a = parse_allow("no-such-rule, reason = \"x\")", RULES);
+        assert_eq!(a.malformed.as_deref(), Some("unknown rule `no-such-rule` in pragma"));
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let a = parse_allow("hot-alloc)", RULES);
+        assert!(a.malformed.as_deref().is_some_and(|m| m.contains("reason")));
+        let a = parse_allow("hot-alloc, reason = \"\")", RULES);
+        assert!(a.malformed.is_some(), "empty reason must not satisfy the grammar");
+    }
+
+    #[test]
+    fn missing_close_paren_is_malformed() {
+        let a = parse_allow("hot-alloc, reason = \"x\"", RULES);
+        assert_eq!(a.malformed.as_deref(), Some("pragma missing closing `)`"));
+    }
+}

@@ -10,10 +10,13 @@
 //! chaos [--smoke] [--seed N]
 //! ```
 //!
-//! `--smoke` runs the reduced two-plan CI subset; the default replays the
-//! full five-plan matrix.
+//! `--smoke` runs the reduced CI subset (controller outage + deadline
+//! overrun on the standard conference, shard crash + split brain on the
+//! standby-paired one); the default replays the full five-plan matrix plus
+//! all four failover plans.
 
-use gso_chaos::{check_overload, check_plan, run_plan, standard_clients, standard_scenario};
+use gso_chaos::{check_overload, check_plan, failover_scenario, run_plan};
+use gso_chaos::{standard_clients, standard_scenario};
 use gso_chaos::{Baseline, ChaosBounds, FaultPlan, OverloadBounds};
 use std::process::ExitCode;
 
@@ -60,6 +63,33 @@ fn main() -> ExitCode {
     let mut failed = 0;
     for plan in &plans {
         let verdict = check_plan(&scenario, baseline, plan, &bounds);
+        println!("{}", verdict.row());
+        if let Some(report) = &verdict.divergence {
+            println!("{report}");
+        }
+        if !verdict.passed() {
+            failed += 1;
+        }
+    }
+
+    // Failover plans run against the standby-paired conference and are
+    // judged against its own no-fault baseline (the replication stream and
+    // heartbeats change the wire mix, so the standard baseline is not the
+    // right reference).
+    let failover = failover_scenario(seed);
+    let failover_plans = if smoke {
+        FaultPlan::failover_smoke(seed)
+    } else {
+        FaultPlan::failover_matrix(seed, &clients)
+    };
+    let fo_baseline = run_plan(&failover, &FaultPlan::baseline());
+    let fo_baseline = Baseline::from_outcome(&fo_baseline, bounds.tail_window);
+    println!(
+        "failover baseline: orchestrated qoe {:.0}, tail media {:.0} bps",
+        fo_baseline.qoe, fo_baseline.media_bps
+    );
+    for plan in &failover_plans {
+        let verdict = check_plan(&failover, fo_baseline, plan, &bounds);
         println!("{}", verdict.row());
         if let Some(report) = &verdict.divergence {
             println!("{report}");

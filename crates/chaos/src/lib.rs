@@ -20,8 +20,17 @@
 //! multi-tenant admission controller and priority shedding, judged on
 //! high-priority tenant QoE.
 //!
-//! The `chaos` binary replays the full matrix plus the overload scenario
-//! (`--smoke` for the CI subset) and exits non-zero on any failed verdict.
+//! The sharded-controller failover plans — shard crash, standby promotion
+//! under load, heartbeat-loss flapping, symmetric-partition split brain —
+//! run against [`failover_scenario`] (the same conference paired with a
+//! standby shard) and are additionally judged on takeover time
+//! (`cluster.takeover_ms` ≤ the recovery bound), exact promotion counts,
+//! and split-brain fencing (`cluster.fenced` > 0 with a zombie stepdown,
+//! zero otherwise).
+//!
+//! The `chaos` binary replays the full matrix plus the failover matrix and
+//! the overload scenario (`--smoke` for the CI subset) and exits non-zero
+//! on any failed verdict.
 
 pub mod overload;
 pub mod plan;
@@ -64,6 +73,7 @@ pub fn standard_scenario(seed: u64) -> Scenario {
             })
             .collect(),
         speaker_schedule: Vec::new(),
+        standby: false,
     };
     s.subscribe_all_to_all(Resolution::R720);
     s
@@ -72,4 +82,15 @@ pub fn standard_scenario(seed: u64) -> Scenario {
 /// The client ids of [`standard_scenario`].
 pub fn standard_clients() -> Vec<ClientId> {
     (1..=3).map(ClientId).collect()
+}
+
+/// [`standard_scenario`] paired with a standby shard: the reference
+/// conference for the failover plans (shard crash, promotion under load,
+/// heartbeat flapping, split brain). Scripted-restart plans stay on the
+/// standby-free scenario — a restart and a promotion would both bump the
+/// epoch 0 → 1, and two writers at equal epochs cannot be fenced apart.
+pub fn failover_scenario(seed: u64) -> Scenario {
+    let mut s = standard_scenario(seed);
+    s.standby = true;
+    s
 }

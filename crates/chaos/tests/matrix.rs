@@ -5,20 +5,21 @@
 //! full five-plan matrix is `#[ignore]`d for local/CI deep runs via
 //! `cargo test -p gso-chaos -- --ignored`.
 
-use gso_chaos::{check_overload, check_plan, run_overload, standard_clients, standard_scenario};
+use gso_chaos::{check_overload, check_plan, failover_scenario, run_overload};
 use gso_chaos::{run_plan, Baseline, ChaosBounds, FaultPlan, OverloadBounds, OverloadPlan};
+use gso_chaos::{standard_clients, standard_scenario};
+use gso_sim::Scenario;
 use gso_telemetry::keys;
 use gso_util::ClientId;
 
-fn assert_plans_pass(plans: &[FaultPlan]) {
-    let scenario = standard_scenario(7);
+fn assert_plans_pass_on(scenario: &Scenario, plans: &[FaultPlan]) {
     let bounds = ChaosBounds::default();
-    let baseline = run_plan(&scenario, &FaultPlan::baseline());
+    let baseline = run_plan(scenario, &FaultPlan::baseline());
     let baseline = Baseline::from_outcome(&baseline, bounds.tail_window);
     assert!(baseline.qoe > 0.0, "baseline never solved");
     assert!(baseline.media_bps > 500_000.0, "baseline unhealthy: {}", baseline.media_bps);
     for plan in plans {
-        let verdict = check_plan(&scenario, baseline, plan, &bounds);
+        let verdict = check_plan(scenario, baseline, plan, &bounds);
         assert!(
             verdict.passed(),
             "{} failed: {}\n{}",
@@ -29,15 +30,73 @@ fn assert_plans_pass(plans: &[FaultPlan]) {
     }
 }
 
+fn assert_plans_pass(plans: &[FaultPlan]) {
+    assert_plans_pass_on(&standard_scenario(7), plans);
+}
+
 #[test]
 fn smoke_matrix_passes() {
     assert_plans_pass(&FaultPlan::smoke_matrix(7));
 }
 
 #[test]
+fn failover_smoke_passes() {
+    assert_plans_pass_on(&failover_scenario(7), &FaultPlan::failover_smoke(7));
+}
+
+#[test]
 #[ignore = "full matrix is a deep run (~10 simulated minutes); CI runs the binary instead"]
 fn full_matrix_passes() {
     assert_plans_pass(&FaultPlan::matrix(7, &standard_clients()));
+}
+
+#[test]
+#[ignore = "full failover matrix is a deep run; CI runs the binary instead"]
+fn full_failover_matrix_passes() {
+    assert_plans_pass_on(
+        &failover_scenario(7),
+        &FaultPlan::failover_matrix(7, &standard_clients()),
+    );
+}
+
+/// A shard crash must exercise the takeover machinery end to end: exactly
+/// one promotion, a takeover window inside the §7 bound, and — with no
+/// zombie writing — zero fenced writes.
+#[test]
+fn shard_crash_records_takeover() {
+    let scenario = failover_scenario(7);
+    let plan = FaultPlan::shard_crash(7);
+    let outcome = run_plan(&scenario, &plan);
+    assert_eq!(outcome.promotions, 1, "standby must promote exactly once");
+    let takeover = outcome.takeover.expect("promotion must record takeover time");
+    assert_eq!(takeover.total, 1, "one promotion, one takeover sample");
+    assert!(takeover.sum <= 5_000, "takeover {} ms exceeds bound", takeover.sum);
+    assert_eq!(outcome.fenced, 0, "a dead shard writes nothing to fence");
+}
+
+/// A symmetric partition must produce a fenced zombie: the old shard keeps
+/// writing on its island, the promoted standby captures the access layer,
+/// and after the heal the zombie's stale-epoch writes are rejected and the
+/// Fence replies make it step down.
+#[test]
+fn split_brain_fences_zombie() {
+    let scenario = failover_scenario(7);
+    let plan = FaultPlan::split_brain(7);
+    let outcome = run_plan(&scenario, &plan);
+    assert_eq!(outcome.promotions, 1, "standby must promote exactly once");
+    assert!(outcome.fenced >= 1, "the healed zombie's writes must be fenced");
+    assert!(outcome.stepdowns >= 1, "the fenced zombie must step down");
+}
+
+/// Sub-lease heartbeat-loss windows must not promote; only the final
+/// lease-outlasting window may, exactly once.
+#[test]
+fn heartbeat_flapping_promotes_exactly_once() {
+    let scenario = failover_scenario(7);
+    let plan = FaultPlan::heartbeat_flapping(7);
+    let outcome = run_plan(&scenario, &plan);
+    assert_eq!(outcome.promotions, 1, "flapping must cause exactly one promotion");
+    assert!(outcome.fenced >= 1, "the still-alive old shard must be fenced");
 }
 
 /// A controller outage must actually exercise the §7 machinery: the

@@ -118,7 +118,20 @@ impl FeedbackExecutor {
     /// predecessor's late retransmissions; acknowledgements from an older
     /// epoch are likewise ignored here (a GTBN for epoch n−1 may carry a
     /// `request_seq` that collides with a fresh post-restart request).
+    ///
+    /// Bumping the epoch also cancels every in-flight message: the stored
+    /// copies are stamped with the old epoch, so clients fence each resend
+    /// (`epoch.stale_rejected`) and can never acknowledge it — left in
+    /// place, the retransmission budget exhausts and parks the client on
+    /// the §7 failure path even though it is healthy. Dropping the
+    /// `outstanding` entries cancels those `gtmb-rto-*` schedules; the next
+    /// [`Self::execute`] re-issues each affected configuration under the
+    /// new epoch with a fresh sequence number and budget (re-keying the
+    /// jitter stream, which is labelled by epoch).
     pub fn set_epoch(&mut self, epoch: u32) {
+        if epoch != self.epoch {
+            self.outstanding.clear();
+        }
         self.epoch = epoch;
     }
 
@@ -627,6 +640,46 @@ mod tests {
             &GsoTmmbn {
                 sender_ssrc: Ssrc(2),
                 epoch: 2,
+                request_seq: msg.request_seq,
+                entries: vec![],
+            },
+        );
+        assert!(!ex.pending(*client));
+    }
+
+    /// Regression (shard failover): an epoch bump with configurations in
+    /// flight must cancel their retransmission schedules. The stored
+    /// messages carry the old epoch, so clients fence every resend and can
+    /// never ack — before the fix, the budget exhausted and `take_failed`
+    /// reported healthy clients into the spurious-fallback path.
+    #[test]
+    fn epoch_bump_cancels_inflight_retransmissions() {
+        let (sol, layers) = solved();
+        let mut ex = FeedbackExecutor::new(FeedbackConfig::default(), Ssrc(1));
+        let (msgs, _) = ex.execute(SimTime::ZERO, &sol, &layers);
+        assert_eq!(msgs.len(), 2, "both configs in flight");
+        // Promotion bumps the epoch on the live executor (unlike a restart,
+        // which builds a fresh controller).
+        ex.set_epoch(1);
+        for tick in 1..=8u64 {
+            assert!(
+                ex.poll(SimTime::from_secs(tick)).is_empty(),
+                "stale-epoch message retransmitted after the bump (tick {tick})"
+            );
+        }
+        assert!(ex.take_failed().is_empty(), "cancelled messages must not burn the failure budget");
+        // The next execute re-issues every affected configuration under the
+        // new epoch with a fresh budget.
+        let (msgs2, _) = ex.execute(SimTime::from_secs(9), &sol, &layers);
+        assert_eq!(msgs2.len(), 2, "configs re-issued under the new epoch");
+        assert!(msgs2.iter().all(|(_, m)| m.epoch == 1));
+        // And those are acknowledgeable as usual.
+        let (client, msg) = &msgs2[0];
+        ex.on_ack(
+            *client,
+            &GsoTmmbn {
+                sender_ssrc: Ssrc(2),
+                epoch: 1,
                 request_seq: msg.request_seq,
                 entries: vec![],
             },

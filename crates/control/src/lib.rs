@@ -40,4 +40,4 @@ pub use fleet::{ControllerFleet, FleetTick, ShedPolicy};
 pub use hysteresis::{BandwidthHysteresis, HysteresisConfig};
 pub use scheduler::{ControlScheduler, SchedulerConfig};
 pub use sdp::{SdpAnswer, SdpError, SdpOffer};
-pub use state::{CodecCapability, GlobalPicture, SubscribeIntent};
+pub use state::{ClientSnapshot, CodecCapability, GlobalPicture, SubscribeIntent};

@@ -33,6 +33,35 @@ pub struct CodecCapability {
     pub ladders: Vec<(StreamKind, Ladder)>,
 }
 
+/// One client's controller-relevant state: everything a restarted or
+/// promoted controller needs to re-register the client without a round
+/// trip to the endpoint itself. Accessing nodes cache these for §7 resync
+/// (`ResyncState`), and an active shard streams them as deltas to its
+/// standby for failover (gso-cluster).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientSnapshot {
+    /// The client.
+    pub client: ClientId,
+    /// Negotiated per-kind ladders (cached from the SDP offer / join).
+    pub ladders: Vec<(StreamKind, Ladder)>,
+    /// Last signaled subscription intents.
+    pub intents: Vec<SubscribeIntent>,
+    /// Last known SEMB uplink estimate (zero if none seen).
+    pub uplink: Bitrate,
+    /// Last known downlink estimate (zero if none seen).
+    pub downlink: Bitrate,
+}
+
+impl StateDigest for ClientSnapshot {
+    fn digest(&self, h: &mut StableHasher) {
+        self.client.digest(h);
+        self.ladders.digest(h);
+        self.intents.digest(h);
+        self.uplink.digest(h);
+        self.downlink.digest(h);
+    }
+}
+
 #[derive(Debug, Clone)]
 struct ClientState {
     caps: CodecCapability,
@@ -196,6 +225,24 @@ impl GlobalPicture {
     /// Latest downlink estimate for a client.
     pub fn downlink_of(&self, id: ClientId) -> Option<Bitrate> {
         self.clients.get(&id).and_then(|c| c.downlink)
+    }
+
+    /// The picture as one [`ClientSnapshot`] per client, in client order —
+    /// the unit of shard → standby delta replication. Unreported
+    /// bandwidths snapshot as zero (the standby falls back to
+    /// [`Self::default_bandwidth`] on rebuild, exactly like a restarted
+    /// controller absorbing `ResyncState`).
+    pub fn snapshot(&self) -> Vec<ClientSnapshot> {
+        self.clients
+            .iter()
+            .map(|(&id, c)| ClientSnapshot {
+                client: id,
+                ladders: c.caps.ladders.clone(),
+                intents: c.intents.clone(),
+                uplink: c.uplink.unwrap_or(Bitrate::ZERO),
+                downlink: c.downlink.unwrap_or(Bitrate::ZERO),
+            })
+            .collect()
     }
 
     /// Build the solver input from the current picture.

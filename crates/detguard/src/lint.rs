@@ -43,6 +43,7 @@ pub const HOT_PATH_CRATES: &[&str] = &[
     "media",
     "chaos",
     "lockwatch",
+    "cluster",
 ];
 
 /// Workspace-root source trees scanned in addition to the crate list:

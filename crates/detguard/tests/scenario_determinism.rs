@@ -41,6 +41,7 @@ fn two_party(seed: u64) -> Scenario {
             ),
         ],
         speaker_schedule: Vec::new(),
+        standby: false,
     };
     s.subscribe_all_to_all(Resolution::R720);
     s

@@ -80,6 +80,11 @@ pub struct LinkConfig {
     /// sojourn time; without this, capping a fast link's rate would leave a
     /// multi-second bufferbloat queue behind.
     pub max_queue_delay: SimDuration,
+    /// Partitioned: every offered packet is dropped at enqueue, consuming
+    /// no bandwidth and leaving the queue untouched. Chaos harnesses toggle
+    /// this mid-run (via `Simulator::link_config_mut`) to model network
+    /// partitions that heal with the queue state intact.
+    pub blocked: bool,
 }
 
 impl LinkConfig {
@@ -96,6 +101,7 @@ impl LinkConfig {
             allow_reorder: false,
             queue_bytes,
             max_queue_delay: SimDuration::from_millis(400),
+            blocked: false,
         }
     }
 
@@ -218,6 +224,11 @@ impl Link {
 
     /// Offer a packet at time `now`; returns the delivery decision.
     pub fn offer(&mut self, now: SimTime, packet: &Packet) -> Transmit {
+        if self.config.blocked {
+            // Partitioned: the packet never reaches the bottleneck.
+            self.stats.dropped_loss += 1;
+            return Transmit::DropLoss;
+        }
         let size = packet.wire_size();
         let delay_bound = self.config.rate.at(now).bytes_in(self.config.max_queue_delay) as usize;
         let limit = self.config.queue_bytes.min(delay_bound.max(2 * 1500));
@@ -474,6 +485,20 @@ mod tests {
             reordered.windows(2).any(|w| w[0] > w[1]),
             "reorder-enabled jittery link should produce at least one inversion"
         );
+    }
+
+    #[test]
+    fn blocked_link_drops_everything_and_heals() {
+        let mut l = mk_link(LinkConfig::clean(Bitrate::from_mbps(10), SimDuration::from_millis(5)));
+        assert!(matches!(l.offer(SimTime::ZERO, &packet(100)), Transmit::Deliver(_)));
+        l.config_mut().blocked = true;
+        assert_eq!(l.offer(SimTime::from_millis(1), &packet(100)), Transmit::DropLoss);
+        assert_eq!(l.offer(SimTime::from_millis(2), &packet(100)), Transmit::DropLoss);
+        assert_eq!(l.stats.dropped_loss, 2);
+        assert_eq!(l.stats.enqueued, 1, "blocked packets never reach the queue");
+        // Healing the partition restores delivery.
+        l.config_mut().blocked = false;
+        assert!(matches!(l.offer(SimTime::from_millis(3), &packet(100)), Transmit::Deliver(_)));
     }
 
     #[test]

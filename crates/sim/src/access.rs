@@ -17,7 +17,7 @@ use gso_bwe::{
 use gso_control::SubscribeIntent;
 use gso_media::FragmentHeader;
 use gso_net::{Actions, Node, NodeId, Packet};
-use gso_rtp::{decode_ssrc, ssrc_for, RtcpPacket, RtpPacket};
+use gso_rtp::{decode_ssrc, epoch_newer, ssrc_for, RtcpPacket, RtpPacket};
 use gso_sfu::{
     LargestFitSelector, LayerSwitcher, OfferedLayer, PassthroughSelector, StreamSelector,
     TwoLevelSelector,
@@ -68,6 +68,14 @@ struct LayerRate {
 pub struct AccessNode {
     mode: PolicyMode,
     conference: Option<NodeId>,
+    /// Epoch of the controller this node follows. Epoch-stamped CN → AN
+    /// traffic (rules, config pushes, resyncs) is accepted only from the
+    /// followed controller at this epoch — or from *any* node at a newer
+    /// epoch, which re-homes the node to it (standby promotion). Stale
+    /// traffic is fenced and answered with [`CtrlMessage::Fence`], so a
+    /// zombie controller on the wrong side of a partition can never
+    /// rewrite forwarding state (split-brain safety, §7).
+    ctrl_epoch: u32,
     /// Attached clients and their network endpoints.
     clients: BTreeMap<ClientId, NodeId>,
     endpoint_to_client: BTreeMap<NodeId, ClientId>,
@@ -106,6 +114,7 @@ impl AccessNode {
         AccessNode {
             mode,
             conference,
+            ctrl_epoch: 0,
             clients: BTreeMap::new(),
             endpoint_to_client: BTreeMap::new(),
             remote_clients: BTreeMap::new(),
@@ -372,6 +381,29 @@ impl AccessNode {
         }
     }
 
+    /// Epoch gate for CN → AN control traffic. Returns `true` when the
+    /// message must be dropped: the sender's epoch is older than the one we
+    /// follow (or equal but from a node we do not follow), i.e. a fenced
+    /// zombie. A strictly newer epoch re-homes this node to the sender —
+    /// that is how a promoted standby captures the access layer. Fenced
+    /// senders are told the live epoch so they can step down.
+    fn fenced(&mut self, from: NodeId, epoch: u32, out: &mut Actions) -> bool {
+        if epoch == self.ctrl_epoch && self.conference.is_none_or(|cn| cn == from) {
+            // Current epoch from the controller we follow (or the first
+            // controller we hear from at all).
+            self.conference = Some(from);
+            return false;
+        }
+        if epoch_newer(epoch, self.ctrl_epoch) {
+            self.ctrl_epoch = epoch;
+            self.conference = Some(from);
+            return false;
+        }
+        self.telemetry.incr(keys::CLUSTER_FENCED, "s0");
+        out.send(from, Packet::new(CtrlMessage::Fence { epoch: self.ctrl_epoch }.serialize()));
+        true
+    }
+
     fn handle_ctrl(&mut self, now: SimTime, from: NodeId, msg: CtrlMessage, out: &mut Actions) {
         let from_client = self.endpoint_to_client.get(&from).copied();
         match msg {
@@ -426,21 +458,30 @@ impl AccessNode {
                     }
                 }
             }
-            // CN → AN.
-            CtrlMessage::ResyncRequest => {
-                // A restarted controller rebuilds its picture from our
-                // cached view of the attached clients (§7).
+            // CN → AN — all epoch-stamped and fenced against stale writers.
+            CtrlMessage::ResyncRequest { epoch } => {
+                if self.fenced(from, epoch, out) {
+                    return;
+                }
+                // A restarted (or freshly promoted) controller rebuilds its
+                // picture from our cached view of the attached clients (§7).
                 out.send(
                     from,
                     Packet::new(CtrlMessage::ResyncState { clients: self.snapshot() }.serialize()),
                 );
             }
-            CtrlMessage::ConfigPush { client, rtcp } => {
+            CtrlMessage::ConfigPush { epoch, client, rtcp } => {
+                if self.fenced(from, epoch, out) {
+                    return;
+                }
                 if let Some(&endpoint) = self.clients.get(&client) {
                     out.send(endpoint, Packet::new(rtcp));
                 }
             }
-            CtrlMessage::Rules { rules } => {
+            CtrlMessage::Rules { epoch, rules } => {
+                if self.fenced(from, epoch, out) {
+                    return;
+                }
                 // Full replacement: local switchers serve locally-attached
                 // subscribers; relay routes carry locally-published streams
                 // to the peers whose subscribers need them.
@@ -783,6 +824,7 @@ mod tests {
 
     fn rules_for(sub: u32, publisher: u32) -> CtrlMessage {
         CtrlMessage::Rules {
+            epoch: 0,
             rules: vec![ForwardingRule {
                 subscriber: ClientId(sub),
                 source: SourceId::video(ClientId(publisher)),
@@ -941,7 +983,7 @@ mod tests {
         an.on_packet(
             SimTime::ZERO,
             cn,
-            Packet::new(CtrlMessage::ResyncRequest.serialize()),
+            Packet::new(CtrlMessage::ResyncRequest { epoch: 0 }.serialize()),
             &mut out,
         );
         assert_eq!(out.sends().len(), 1);
@@ -962,6 +1004,7 @@ mod tests {
     fn config_push_forwarded_to_client_endpoint() {
         let (mut an, cn, e1, _e2) = an_with_two_clients();
         let msg = CtrlMessage::ConfigPush {
+            epoch: 0,
             client: ClientId(1),
             rtcp: bytes::Bytes::from_static(b"\x80\xcc\x00\x00"),
         };
@@ -1006,5 +1049,55 @@ mod tests {
         );
         let dests: Vec<NodeId> = out.sends().iter().map(|(d, _)| *d).collect();
         assert_eq!(dests, vec![peer]);
+    }
+
+    #[test]
+    fn stale_epoch_writer_is_fenced_and_newer_epoch_rehomes() {
+        let (mut an, cn, _e1, e2) = an_with_two_clients();
+        let standby = NodeId(1);
+        // The promoted standby writes rules at epoch 1: accepted, and the
+        // node re-homes to it.
+        let newer = CtrlMessage::Rules {
+            epoch: 1,
+            rules: match rules_for(2, 1) {
+                CtrlMessage::Rules { rules, .. } => rules,
+                _ => unreachable!(),
+            },
+        };
+        let mut out = Actions::default();
+        an.on_packet(SimTime::ZERO, standby, Packet::new(newer.serialize()), &mut out);
+        assert_eq!(an.ctrl_epoch, 1);
+        assert_eq!(an.conference, Some(standby));
+        assert!(!an.switchers.is_empty(), "newer-epoch rules applied");
+
+        // The zombie controller's epoch-0 rules are dropped and answered
+        // with a Fence carrying the live epoch.
+        an.switchers.clear();
+        let mut out = Actions::default();
+        an.on_packet(
+            SimTime::from_millis(1),
+            cn,
+            Packet::new(rules_for(2, 1).serialize()),
+            &mut out,
+        );
+        assert!(an.switchers.is_empty(), "stale-epoch rules must not be applied");
+        assert_eq!(an.conference, Some(standby), "zombie must not capture the node");
+        assert_eq!(out.sends().len(), 1);
+        assert_eq!(out.sends()[0].0, cn);
+        assert_eq!(
+            CtrlMessage::parse(out.sends()[0].1.data.clone()),
+            Some(CtrlMessage::Fence { epoch: 1 })
+        );
+
+        // Same-epoch traffic from the followed controller still flows.
+        let push = CtrlMessage::ConfigPush {
+            epoch: 1,
+            client: ClientId(2),
+            rtcp: bytes::Bytes::from_static(b"\x80\xcc\x00\x00"),
+        };
+        let mut out = Actions::default();
+        an.on_packet(SimTime::from_millis(2), standby, Packet::new(push.serialize()), &mut out);
+        assert_eq!(out.sends().len(), 1);
+        assert_eq!(out.sends()[0].0, e2);
     }
 }

@@ -6,11 +6,22 @@
 //! acknowledgements. On each controller run it pushes per-client GTMB
 //! configurations (via the client's accessing node, in-band) and the
 //! forwarding rules to every accessing node.
+//!
+//! A conference node can also boot as a **standby shard**
+//! ([`ConferenceNode::new_standby`]): it mirrors the active's state from
+//! replication deltas, watches its heartbeats through a lease-based
+//! [`FailureDetector`], and on lease expiry promotes itself under a bumped
+//! epoch — rebuilding the controller from the replica and re-homing every
+//! accessing node with an epoch-stamped resync. Epoch fencing at the
+//! accessing nodes (plus the [`CtrlMessage::Fence`] reply that makes a
+//! zombie step down) guarantees at most one writer per conference even
+//! under a symmetric network partition.
 
 use crate::ctrl::CtrlMessage;
+use gso_cluster::{ApplyOutcome, FailureDetector, LeaseConfig, SnapshotPublisher, StandbyReplica};
 use gso_control::{CodecCapability, ControllerConfig, GsoController};
 use gso_net::{Actions, Node, NodeId, Packet};
-use gso_rtp::RtcpPacket;
+use gso_rtp::{epoch_newer, RtcpPacket};
 use gso_telemetry::{keys, Telemetry};
 use gso_util::{ClientId, SimDuration, SimTime, Ssrc};
 use std::any::Any;
@@ -44,8 +55,37 @@ pub struct ConferenceNode {
     /// Set at restart; cleared when the rebuilt controller first produces a
     /// non-fallback solution (that interval is the recovery time).
     restarted_at: Option<SimTime>,
+    /// Standby shard to stream heartbeats and replication deltas to (the
+    /// active side of the failover pair; set by the scenario builder).
+    standby: Option<NodeId>,
+    /// Diffs controller state into bounded deltas for the standby.
+    publisher: SnapshotPublisher,
+    /// Heartbeat sequence within the current epoch.
+    hb_seq: u64,
+    /// `Some` while this node is a passive standby; dropped at promotion.
+    standby_role: Option<StandbyRole>,
+    /// Set at promotion; cleared when the promoted controller first
+    /// produces a non-fallback solution (that interval is the takeover
+    /// time, recorded on `cluster.takeover_ms`).
+    promoted_at: Option<SimTime>,
     telemetry: Telemetry,
 }
+
+/// The passive half of a failover pair: a lease detector watching the
+/// active's heartbeats plus a replica mirroring its controller state.
+struct StandbyRole {
+    detector: FailureDetector,
+    replica: StandbyReplica,
+    /// Where the last heartbeat/delta came from (the active shard), for
+    /// addressing `SnapshotNack` replies.
+    active: Option<NodeId>,
+}
+
+/// Telemetry label for the (single) conference shard in the simulation.
+const SHARD_LABEL: &str = "s0";
+
+/// Replication change-entry budget per delta (see `gso-cluster`).
+const MAX_DELTA_CHANGES: usize = 64;
 
 impl ConferenceNode {
     /// Build a conference node that will broadcast rules to `access_nodes`.
@@ -60,13 +100,48 @@ impl ConferenceNode {
             epoch: 0,
             restarted_at: None,
             telemetry: Telemetry::disabled(),
+            standby: None,
+            publisher: SnapshotPublisher::new(MAX_DELTA_CHANGES),
+            hb_seq: 0,
+            standby_role: None,
+            promoted_at: None,
         }
+    }
+
+    /// Build a **standby** conference node: passive until the active
+    /// shard's lease expires, then promoted in its place. `lease` seeds the
+    /// failure detector's deterministic jitter stream.
+    pub fn new_standby(
+        cfg: ControllerConfig,
+        access_nodes: Vec<NodeId>,
+        lease: LeaseConfig,
+    ) -> Self {
+        let mut node = ConferenceNode::new(cfg, access_nodes);
+        let mut detector = FailureDetector::new(lease, SHARD_LABEL);
+        detector.arm(SimTime::ZERO);
+        node.standby_role =
+            Some(StandbyRole { detector, replica: StandbyReplica::new(SHARD_LABEL), active: None });
+        node
+    }
+
+    /// Point the active shard at its standby (heartbeat + delta target).
+    pub fn set_standby(&mut self, standby: NodeId) {
+        self.standby = Some(standby);
+    }
+
+    /// Is this node still a passive standby?
+    pub fn is_standby(&self) -> bool {
+        self.standby_role.is_some()
     }
 
     /// Attach a metrics registry to the embedded controller (and its
     /// feedback executor).
     pub fn set_telemetry(&mut self, telemetry: gso_telemetry::Telemetry) {
         self.telemetry = telemetry.clone();
+        if let Some(role) = &mut self.standby_role {
+            role.detector.set_telemetry(telemetry.clone());
+            role.replica.set_telemetry(telemetry.clone());
+        }
         self.controller.set_telemetry(telemetry);
     }
 
@@ -118,18 +193,65 @@ impl ConferenceNode {
         self.controller = controller;
         self.client_an.clear();
         self.restarted_at = Some(now);
+        // The rebuilt controller shares no diff base with the standby's
+        // replica: start the replication stream over with a full snapshot.
+        self.publisher = SnapshotPublisher::new(MAX_DELTA_CHANGES);
+        self.hb_seq = 0;
         self.telemetry.event(
             now,
             keys::EV_CTRL_RESTART,
             format!("controller restarted, epoch {}", self.epoch),
         );
-        let targets: Vec<NodeId> = if self.access_nodes.is_empty() {
+        let msg = CtrlMessage::ResyncRequest { epoch: self.epoch }.serialize();
+        for an in self.broadcast_targets() {
+            out.send(an, Packet::new(msg.clone()));
+        }
+    }
+
+    fn broadcast_targets(&self) -> Vec<NodeId> {
+        if self.access_nodes.is_empty() {
             self.default_an.into_iter().collect()
         } else {
             self.access_nodes.clone()
-        };
-        for an in targets {
-            out.send(an, Packet::new(CtrlMessage::ResyncRequest.serialize()));
+        }
+    }
+
+    /// Promote this standby to active: bump the epoch serially past
+    /// everything the dead shard ever heartbeat, rebuild the controller
+    /// from the replica, and re-home every accessing node with an
+    /// epoch-stamped resync (they fence the zombie from then on).
+    fn promote(&mut self, now: SimTime, out: &mut Actions) {
+        let Some(role) = self.standby_role.take() else { return };
+        self.epoch = role.detector.last_epoch().wrapping_add(1);
+        let mut controller = GsoController::new(self.cfg.clone(), Ssrc(0xC0DE));
+        controller.set_telemetry(self.telemetry.clone());
+        controller.set_epoch(self.epoch);
+        self.controller = controller;
+        for snap in role.replica.snapshots() {
+            self.controller.on_join(snap.client, CodecCapability { ladders: snap.ladders });
+            self.controller.on_subscriptions(snap.client, snap.intents);
+            if !snap.uplink.is_zero() {
+                self.controller.on_uplink_report(now, snap.client, snap.uplink);
+            }
+            if !snap.downlink.is_zero() {
+                self.controller.on_downlink_report(now, snap.client, snap.downlink);
+            }
+        }
+        self.promoted_at = Some(now);
+        self.publisher = SnapshotPublisher::new(MAX_DELTA_CHANGES);
+        self.hb_seq = 0;
+        self.telemetry.incr(keys::CLUSTER_PROMOTIONS, SHARD_LABEL);
+        self.telemetry.event(
+            now,
+            keys::EV_CLUSTER_PROMOTED,
+            format!("standby promoted, epoch {}", self.epoch),
+        );
+        // Epoch-stamped resync: accessing nodes adopt this node as their
+        // conference controller and send back their cached client state
+        // (client → accessing-node homing rides in on the replies).
+        let msg = CtrlMessage::ResyncRequest { epoch: self.epoch }.serialize();
+        for an in self.broadcast_targets() {
+            out.send(an, Packet::new(msg.clone()));
         }
     }
 }
@@ -139,7 +261,49 @@ impl Node for ConferenceNode {
         if self.down {
             return;
         }
+        let wire_len = packet.data.len() as u64;
         let Some(msg) = CtrlMessage::parse(packet.data) else { return };
+        // Passive standby: only the replication stream and heartbeats
+        // matter; everything else is the active shard's business.
+        if let Some(role) = &mut self.standby_role {
+            match msg {
+                CtrlMessage::ShardHeartbeat { epoch, seq } => {
+                    role.active = Some(from);
+                    role.detector.heartbeat(now, epoch, seq);
+                }
+                CtrlMessage::SnapshotDelta { delta } => {
+                    role.active = Some(from);
+                    self.telemetry.add(keys::CLUSTER_REPLICATION_BYTES, SHARD_LABEL, wire_len);
+                    if role.replica.apply(&delta) == ApplyOutcome::NeedFull {
+                        let nack = CtrlMessage::SnapshotNack { have_seq: role.replica.seq() };
+                        _out.send(from, Packet::new(nack.serialize()));
+                    }
+                }
+                _ => {}
+            }
+            return;
+        }
+        if let CtrlMessage::Fence { epoch } = msg {
+            // An accessing node follows a newer controller: this node is
+            // the zombie half of a healed partition. Step down instead of
+            // fighting the fence.
+            if epoch_newer(epoch, self.epoch) {
+                self.down = true;
+                self.telemetry.incr(keys::CLUSTER_STEPDOWNS, SHARD_LABEL);
+                self.telemetry.event(
+                    now,
+                    keys::EV_CLUSTER_STEPDOWN,
+                    format!("fenced at epoch {}, successor at {epoch}", self.epoch),
+                );
+            }
+            return;
+        }
+        if let CtrlMessage::SnapshotNack { .. } = msg {
+            // The standby lost the delta chain (loss/reorder on the
+            // replication link): start over with a full snapshot.
+            self.publisher.request_full();
+            return;
+        }
         self.default_an.get_or_insert(from);
         match msg {
             CtrlMessage::ResyncState { clients } => {
@@ -233,6 +397,18 @@ impl Node for ConferenceNode {
             out.timer_in(now, TICK_INTERVAL, TICK);
             return;
         }
+        if self.standby_role.is_some() {
+            // Passive standby: poll the lease; promote on expiry. Either
+            // way the tick chain continues (a promoted node solves on the
+            // very next cadence slot).
+            let expired =
+                self.standby_role.as_mut().is_some_and(|role| role.detector.check_expired(now));
+            if expired {
+                self.promote(now, out);
+            }
+            out.timer_in(now, TICK_INTERVAL, TICK);
+            return;
+        }
         let (output, retransmissions) = self.controller.tick(now);
         if let Some(restarted) = self.restarted_at {
             if output.is_some() && !self.controller.fallback_active() {
@@ -243,6 +419,20 @@ impl Node for ConferenceNode {
                     keys::CTRL_RECOVERY_TIME_MS,
                     "restart",
                     now.saturating_since(restarted).as_millis(),
+                    keys::RECOVERY_MS_BOUNDS,
+                );
+            }
+        }
+        if let Some(promoted) = self.promoted_at {
+            if output.is_some() && !self.controller.fallback_active() {
+                // First full solve after a standby promotion closes the
+                // takeover window (the failover analogue of restart
+                // recovery, judged against the same §7 5 s bound).
+                self.promoted_at = None;
+                self.telemetry.observe(
+                    keys::CLUSTER_TAKEOVER_MS,
+                    "takeover",
+                    now.saturating_since(promoted).as_millis(),
                     keys::RECOVERY_MS_BOUNDS,
                 );
             }
@@ -264,6 +454,7 @@ impl Node for ConferenceNode {
                     an,
                     Packet::new(
                         CtrlMessage::ConfigPush {
+                            epoch: self.epoch,
                             client,
                             rtcp: RtcpPacket::serialize_compound(&rtcp),
                         }
@@ -274,14 +465,24 @@ impl Node for ConferenceNode {
         }
 
         if let Some(output) = output {
-            let msg = CtrlMessage::Rules { rules: output.rules.clone() }.serialize();
-            let targets: Vec<NodeId> = if self.access_nodes.is_empty() {
-                self.default_an.into_iter().collect()
-            } else {
-                self.access_nodes.clone()
-            };
-            for an in targets {
+            let msg =
+                CtrlMessage::Rules { epoch: self.epoch, rules: output.rules.clone() }.serialize();
+            for an in self.broadcast_targets() {
                 out.send(an, Packet::new(msg.clone()));
+            }
+        }
+
+        // Failover pair maintenance: heartbeat the standby every tick and
+        // stream the controller-state diff alongside. Both ride the same
+        // backbone links as the rest of the control plane, so a partition
+        // that cuts them off is exactly what expires the lease.
+        if let Some(sb) = self.standby {
+            self.hb_seq += 1;
+            let hb = CtrlMessage::ShardHeartbeat { epoch: self.epoch, seq: self.hb_seq };
+            out.send(sb, Packet::new(hb.serialize()));
+            let snapshot = self.controller.picture.snapshot();
+            if let Some(delta) = self.publisher.tick(self.epoch, &snapshot) {
+                out.send(sb, Packet::new(CtrlMessage::SnapshotDelta { delta }.serialize()));
             }
         }
         out.timer_in(now, TICK_INTERVAL, TICK);

@@ -61,6 +61,8 @@ pub enum CtrlMessage {
     },
     /// CN → AN: forward this serialized RTCP compound to a client in-band.
     ConfigPush {
+        /// Controller epoch of the sender (for split-brain fencing).
+        epoch: u32,
         /// The destination client.
         client: ClientId,
         /// The serialized RTCP compound.
@@ -75,6 +77,8 @@ pub enum CtrlMessage {
     },
     /// CN → AN: the current forwarding rules (full replacement).
     Rules {
+        /// Controller epoch of the sender (for split-brain fencing).
+        epoch: u32,
         /// The full new rule set.
         rules: Vec<ForwardingRule>,
     },
@@ -98,32 +102,48 @@ pub enum CtrlMessage {
         sdp: String,
     },
     /// CN → AN: a restarted controller asks for the node's view of its
-    /// attached clients (§7: recovery without interruption).
-    ResyncRequest,
+    /// attached clients (§7: recovery without interruption). Carries the
+    /// sender's epoch so accessing nodes re-home to a promoted standby
+    /// (and fence a stale one).
+    ResyncRequest {
+        /// Controller epoch of the sender.
+        epoch: u32,
+    },
     /// AN → CN: the node's cached client state, from which a restarted
     /// controller reconstructs its global picture.
     ResyncState {
         /// One snapshot per locally-attached client.
         clients: Vec<ClientSnapshot>,
     },
+    /// Active shard → standby: "I am alive at (epoch, seq)". Renews the
+    /// standby's lease on the shard.
+    ShardHeartbeat {
+        /// Controller epoch of the sender.
+        epoch: u32,
+        /// Monotone heartbeat sequence within the epoch.
+        seq: u64,
+    },
+    /// Active shard → standby: one replication delta of controller state.
+    SnapshotDelta {
+        /// The delta (bounded, digest-covered; see `gso-cluster`).
+        delta: gso_cluster::SnapshotDelta,
+    },
+    /// Standby → active shard: a delta arrived against the wrong base
+    /// (gap / reorder / digest mismatch) — re-send a full snapshot.
+    SnapshotNack {
+        /// The sequence the standby actually holds.
+        have_seq: u64,
+    },
+    /// AN → CN: "your epoch is stale; a controller at `epoch` owns this
+    /// conference now". The receiving zombie shard steps down instead of
+    /// fighting the fence.
+    Fence {
+        /// The live epoch the accessing node is following.
+        epoch: u32,
+    },
 }
 
-/// One client's state as cached by its accessing node: everything a
-/// restarted controller needs to re-register the client without a round
-/// trip to the endpoint itself.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ClientSnapshot {
-    /// The client.
-    pub client: ClientId,
-    /// Negotiated per-kind ladders (cached from the SDP offer / join).
-    pub ladders: Vec<(StreamKind, Ladder)>,
-    /// Last signaled subscription intents.
-    pub intents: Vec<SubscribeIntent>,
-    /// Last relayed SEMB uplink estimate (zero if none seen).
-    pub uplink: Bitrate,
-    /// The node's current downlink estimate for the client.
-    pub downlink: Bitrate,
-}
+pub use gso_control::ClientSnapshot;
 
 fn put_kind(b: &mut BytesMut, k: StreamKind) {
     b.put_u8(match k {
@@ -140,6 +160,75 @@ fn get_kind(b: &mut impl Buf) -> Option<StreamKind> {
         2 => Some(StreamKind::Screen),
         _ => None,
     }
+}
+
+/// Encode one [`ClientSnapshot`] (shared by `ResyncState` and
+/// `SnapshotDelta`).
+fn put_snapshot(b: &mut BytesMut, c: &ClientSnapshot) {
+    b.put_u32(c.client.0);
+    b.put_u8(c.ladders.len() as u8);
+    for (kind, ladder) in &c.ladders {
+        put_kind(b, *kind);
+        b.put_u16(ladder.len() as u16);
+        for s in ladder.specs() {
+            b.put_u16(s.resolution.0);
+            b.put_u64(s.bitrate.as_bps());
+            b.put_f64(s.qoe);
+        }
+    }
+    b.put_u16(c.intents.len() as u16);
+    for i in &c.intents {
+        b.put_u32(i.source.client.0);
+        put_kind(b, i.source.kind);
+        b.put_u16(i.max_resolution.0);
+        b.put_u8(i.tag);
+    }
+    b.put_u64(c.uplink.as_bps());
+    b.put_u64(c.downlink.as_bps());
+}
+
+/// Decode one [`ClientSnapshot`]; `None` on truncation or invalid data.
+fn get_snapshot(b: &mut Bytes) -> Option<ClientSnapshot> {
+    fn need(b: &impl Buf, n: usize) -> Option<()> {
+        (b.remaining() >= n).then_some(())
+    }
+    need(b, 5)?;
+    let client = ClientId(b.get_u32());
+    let nl = b.get_u8() as usize;
+    let mut ladders = Vec::with_capacity(nl);
+    for _ in 0..nl {
+        need(b, 3)?;
+        let kind = get_kind(b)?;
+        let m = b.get_u16() as usize;
+        need(b, m.checked_mul(18)?)?;
+        let mut specs = Vec::with_capacity(m);
+        for _ in 0..m {
+            let res = Resolution(b.get_u16());
+            let rate = Bitrate::from_bps(b.get_u64());
+            let qoe = b.get_f64();
+            specs.push(StreamSpec::new(res, rate, qoe));
+        }
+        ladders.push((kind, Ladder::new(specs).ok()?));
+    }
+    need(b, 2)?;
+    let ni = b.get_u16() as usize;
+    need(b, ni.checked_mul(8)?)?;
+    let mut intents = Vec::with_capacity(ni);
+    for _ in 0..ni {
+        let pub_client = ClientId(b.get_u32());
+        let kind = get_kind(b)?;
+        let max_resolution = Resolution(b.get_u16());
+        let tag = b.get_u8();
+        intents.push(SubscribeIntent {
+            source: SourceId { client: pub_client, kind },
+            max_resolution,
+            tag,
+        });
+    }
+    need(b, 16)?;
+    let uplink = Bitrate::from_bps(b.get_u64());
+    let downlink = Bitrate::from_bps(b.get_u64());
+    Some(ClientSnapshot { client, ladders, intents, uplink, downlink })
 }
 
 impl CtrlMessage {
@@ -191,8 +280,9 @@ impl CtrlMessage {
                 b.put_u8(6);
                 b.put_u32(client.map_or(0, |c| c.0 + 1));
             }
-            CtrlMessage::ConfigPush { client, rtcp } => {
+            CtrlMessage::ConfigPush { epoch, client, rtcp } => {
                 b.put_u8(7);
+                b.put_u32(*epoch);
                 b.put_u32(client.0);
                 b.put_u32(rtcp.len() as u32);
                 b.extend_from_slice(rtcp);
@@ -203,8 +293,9 @@ impl CtrlMessage {
                 b.put_u32(rtcp.len() as u32);
                 b.extend_from_slice(rtcp);
             }
-            CtrlMessage::Rules { rules } => {
+            CtrlMessage::Rules { epoch, rules } => {
                 b.put_u8(9);
+                b.put_u32(*epoch);
                 b.put_u32(rules.len() as u32);
                 for r in rules {
                     b.put_u32(r.subscriber.0);
@@ -232,34 +323,44 @@ impl CtrlMessage {
                 b.put_u32(sdp.len() as u32);
                 b.extend_from_slice(sdp.as_bytes());
             }
-            CtrlMessage::ResyncRequest => {
+            CtrlMessage::ResyncRequest { epoch } => {
                 b.put_u8(13);
+                b.put_u32(*epoch);
             }
             CtrlMessage::ResyncState { clients } => {
                 b.put_u8(14);
                 b.put_u16(clients.len() as u16);
                 for c in clients {
-                    b.put_u32(c.client.0);
-                    b.put_u8(c.ladders.len() as u8);
-                    for (kind, ladder) in &c.ladders {
-                        put_kind(&mut b, *kind);
-                        b.put_u16(ladder.len() as u16);
-                        for s in ladder.specs() {
-                            b.put_u16(s.resolution.0);
-                            b.put_u64(s.bitrate.as_bps());
-                            b.put_f64(s.qoe);
-                        }
-                    }
-                    b.put_u16(c.intents.len() as u16);
-                    for i in &c.intents {
-                        b.put_u32(i.source.client.0);
-                        put_kind(&mut b, i.source.kind);
-                        b.put_u16(i.max_resolution.0);
-                        b.put_u8(i.tag);
-                    }
-                    b.put_u64(c.uplink.as_bps());
-                    b.put_u64(c.downlink.as_bps());
+                    put_snapshot(&mut b, c);
                 }
+            }
+            CtrlMessage::ShardHeartbeat { epoch, seq } => {
+                b.put_u8(15);
+                b.put_u32(*epoch);
+                b.put_u64(*seq);
+            }
+            CtrlMessage::SnapshotDelta { delta } => {
+                b.put_u8(16);
+                b.put_u32(delta.epoch);
+                b.put_u64(delta.base_seq);
+                b.put_u64(delta.seq);
+                b.put_u64(delta.digest);
+                b.put_u16(delta.changed.len() as u16);
+                for c in &delta.changed {
+                    put_snapshot(&mut b, c);
+                }
+                b.put_u16(delta.removed.len() as u16);
+                for id in &delta.removed {
+                    b.put_u32(id.0);
+                }
+            }
+            CtrlMessage::SnapshotNack { have_seq } => {
+                b.put_u8(17);
+                b.put_u64(*have_seq);
+            }
+            CtrlMessage::Fence { epoch } => {
+                b.put_u8(18);
+                b.put_u32(*epoch);
             }
         }
         b.freeze()
@@ -337,20 +438,26 @@ impl CtrlMessage {
                 let raw = b.get_u32();
                 CtrlMessage::Speaker { client: (raw > 0).then(|| ClientId(raw - 1)) }
             }
-            7 | 8 => {
+            7 => {
+                need(b, 12)?;
+                let epoch = b.get_u32();
+                let client = ClientId(b.get_u32());
+                let len = b.get_u32() as usize;
+                need(b, len)?;
+                let rtcp = b.copy_to_bytes(len);
+                CtrlMessage::ConfigPush { epoch, client, rtcp }
+            }
+            8 => {
                 need(b, 8)?;
                 let client = ClientId(b.get_u32());
                 let len = b.get_u32() as usize;
                 need(b, len)?;
                 let rtcp = b.copy_to_bytes(len);
-                if tag == 7 {
-                    CtrlMessage::ConfigPush { client, rtcp }
-                } else {
-                    CtrlMessage::AckRelay { client, rtcp }
-                }
+                CtrlMessage::AckRelay { client, rtcp }
             }
             9 => {
-                need(b, 4)?;
+                need(b, 8)?;
+                let epoch = b.get_u32();
                 let n = b.get_u32() as usize;
                 need(b, n.checked_mul(22)?)?;
                 let mut rules = Vec::with_capacity(n);
@@ -369,7 +476,7 @@ impl CtrlMessage {
                         bitrate,
                     });
                 }
-                CtrlMessage::Rules { rules }
+                CtrlMessage::Rules { epoch, rules }
             }
             10 => {
                 need(b, 5)?;
@@ -389,51 +496,61 @@ impl CtrlMessage {
                     CtrlMessage::SdpAnswer { client, sdp }
                 }
             }
-            13 => CtrlMessage::ResyncRequest,
+            13 => {
+                need(b, 4)?;
+                CtrlMessage::ResyncRequest { epoch: b.get_u32() }
+            }
             14 => {
                 need(b, 2)?;
                 let n = b.get_u16() as usize;
                 let mut clients = Vec::with_capacity(n.min(256));
                 for _ in 0..n {
-                    need(b, 5)?;
-                    let client = ClientId(b.get_u32());
-                    let nl = b.get_u8() as usize;
-                    let mut ladders = Vec::with_capacity(nl);
-                    for _ in 0..nl {
-                        need(b, 3)?;
-                        let kind = get_kind(b)?;
-                        let m = b.get_u16() as usize;
-                        need(b, m.checked_mul(18)?)?;
-                        let mut specs = Vec::with_capacity(m);
-                        for _ in 0..m {
-                            let res = Resolution(b.get_u16());
-                            let rate = Bitrate::from_bps(b.get_u64());
-                            let qoe = b.get_f64();
-                            specs.push(StreamSpec::new(res, rate, qoe));
-                        }
-                        ladders.push((kind, Ladder::new(specs).ok()?));
-                    }
-                    need(b, 2)?;
-                    let ni = b.get_u16() as usize;
-                    need(b, ni.checked_mul(8)?)?;
-                    let mut intents = Vec::with_capacity(ni);
-                    for _ in 0..ni {
-                        let pub_client = ClientId(b.get_u32());
-                        let kind = get_kind(b)?;
-                        let max_resolution = Resolution(b.get_u16());
-                        let tag = b.get_u8();
-                        intents.push(SubscribeIntent {
-                            source: SourceId { client: pub_client, kind },
-                            max_resolution,
-                            tag,
-                        });
-                    }
-                    need(b, 16)?;
-                    let uplink = Bitrate::from_bps(b.get_u64());
-                    let downlink = Bitrate::from_bps(b.get_u64());
-                    clients.push(ClientSnapshot { client, ladders, intents, uplink, downlink });
+                    clients.push(get_snapshot(b)?);
                 }
                 CtrlMessage::ResyncState { clients }
+            }
+            15 => {
+                need(b, 12)?;
+                let epoch = b.get_u32();
+                let seq = b.get_u64();
+                CtrlMessage::ShardHeartbeat { epoch, seq }
+            }
+            16 => {
+                need(b, 30)?;
+                let epoch = b.get_u32();
+                let base_seq = b.get_u64();
+                let seq = b.get_u64();
+                let digest = b.get_u64();
+                let n = b.get_u16() as usize;
+                let mut changed = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    changed.push(get_snapshot(b)?);
+                }
+                need(b, 2)?;
+                let nr = b.get_u16() as usize;
+                need(b, nr.checked_mul(4)?)?;
+                let mut removed = Vec::with_capacity(nr);
+                for _ in 0..nr {
+                    removed.push(ClientId(b.get_u32()));
+                }
+                CtrlMessage::SnapshotDelta {
+                    delta: gso_cluster::SnapshotDelta {
+                        epoch,
+                        base_seq,
+                        seq,
+                        changed,
+                        removed,
+                        digest,
+                    },
+                }
+            }
+            17 => {
+                need(b, 8)?;
+                CtrlMessage::SnapshotNack { have_seq: b.get_u64() }
+            }
+            18 => {
+                need(b, 4)?;
+                CtrlMessage::Fence { epoch: b.get_u32() }
             }
             _ => return None,
         })
@@ -473,9 +590,14 @@ mod tests {
             CtrlMessage::DownlinkReport { client: ClientId(1), bitrate: Bitrate::from_kbps(999) },
             CtrlMessage::Speaker { client: Some(ClientId(0)) },
             CtrlMessage::Speaker { client: None },
-            CtrlMessage::ConfigPush { client: ClientId(4), rtcp: Bytes::from_static(b"abc") },
+            CtrlMessage::ConfigPush {
+                epoch: 3,
+                client: ClientId(4),
+                rtcp: Bytes::from_static(b"abc"),
+            },
             CtrlMessage::AckRelay { client: ClientId(4), rtcp: Bytes::from_static(b"xyz0") },
             CtrlMessage::Rules {
+                epoch: u32::MAX,
                 rules: vec![ForwardingRule {
                     subscriber: ClientId(2),
                     source: SourceId::video(ClientId(1)),
@@ -487,7 +609,7 @@ mod tests {
             CtrlMessage::KeyframeRequest { source: SourceId::screen(ClientId(5)) },
             CtrlMessage::SdpOffer { client: ClientId(6), sdp: "v=0\r\n".into() },
             CtrlMessage::SdpAnswer { client: ClientId(6), sdp: "v=0\r\na=ssrc:1\r\n".into() },
-            CtrlMessage::ResyncRequest,
+            CtrlMessage::ResyncRequest { epoch: 2 },
             CtrlMessage::ResyncState {
                 clients: vec![
                     ClientSnapshot {
@@ -510,6 +632,35 @@ mod tests {
                     },
                 ],
             },
+            CtrlMessage::ShardHeartbeat { epoch: 9, seq: u64::MAX - 1 },
+            CtrlMessage::SnapshotDelta {
+                delta: gso_cluster::SnapshotDelta {
+                    epoch: 1,
+                    base_seq: 41,
+                    seq: 42,
+                    changed: vec![ClientSnapshot {
+                        client: ClientId(3),
+                        ladders: vec![(StreamKind::Video, ladders::coarse3())],
+                        intents: vec![],
+                        uplink: Bitrate::from_kbps(700),
+                        downlink: Bitrate::ZERO,
+                    }],
+                    removed: vec![ClientId(1), ClientId(9)],
+                    digest: 0xdead_beef_cafe_f00d,
+                },
+            },
+            CtrlMessage::SnapshotDelta {
+                delta: gso_cluster::SnapshotDelta {
+                    epoch: 0,
+                    base_seq: 0,
+                    seq: 1,
+                    changed: vec![],
+                    removed: vec![],
+                    digest: 7,
+                },
+            },
+            CtrlMessage::SnapshotNack { have_seq: 40 },
+            CtrlMessage::Fence { epoch: 5 },
         ];
         for m in msgs {
             let wire = m.serialize();
@@ -529,9 +680,37 @@ mod tests {
 
     #[test]
     fn truncated_embedded_rtcp_rejected() {
-        let m = CtrlMessage::ConfigPush { client: ClientId(1), rtcp: Bytes::from_static(b"hello") };
+        let m = CtrlMessage::ConfigPush {
+            epoch: 0,
+            client: ClientId(1),
+            rtcp: Bytes::from_static(b"hello"),
+        };
         let wire = m.serialize();
         let cut = wire.slice(0..wire.len() - 2);
         assert!(CtrlMessage::parse(cut).is_none());
+    }
+
+    #[test]
+    fn truncated_snapshot_delta_rejected() {
+        let m = CtrlMessage::SnapshotDelta {
+            delta: gso_cluster::SnapshotDelta {
+                epoch: 1,
+                base_seq: 1,
+                seq: 2,
+                changed: vec![ClientSnapshot {
+                    client: ClientId(3),
+                    ladders: vec![(StreamKind::Video, ladders::coarse3())],
+                    intents: vec![],
+                    uplink: Bitrate::from_kbps(700),
+                    downlink: Bitrate::ZERO,
+                }],
+                removed: vec![ClientId(1)],
+                digest: 99,
+            },
+        };
+        let wire = m.serialize();
+        for cut in [wire.len() - 1, wire.len() / 2, 3] {
+            assert!(CtrlMessage::parse(wire.slice(0..cut)).is_none(), "cut at {cut}");
+        }
     }
 }

@@ -43,6 +43,7 @@ pub fn fig12(seed: u64, duration_secs: u64) -> Samples {
         duration: SimDuration::from_secs(duration_secs),
         clients,
         speaker_schedule: Vec::new(),
+        standby: false,
     };
     s.subscribe_all_to_all(Resolution::R720);
     let r = s.run();

@@ -114,6 +114,7 @@ pub fn run_one_traced(mode: PolicyMode, cap: Bitrate, seed: u64) -> TransientTra
         duration: RUN_FOR,
         clients: vec![ClientScenario::clean(publisher, base, base, ladder), sub],
         speaker_schedule: Vec::new(),
+        standby: false,
     };
     // Only the subscriber watches; the publisher receives nothing (the
     // paper's one-way setup).

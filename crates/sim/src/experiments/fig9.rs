@@ -70,7 +70,8 @@ pub fn run_cpu(app: AppScenario, mode: PolicyMode, seed: u64, quick: bool) -> Cp
             c
         })
         .collect();
-    let mut s = Scenario { seed, mode, duration, clients, speaker_schedule: Vec::new() };
+    let mut s =
+        Scenario { seed, mode, duration, clients, speaker_schedule: Vec::new(), standby: false };
     if app != AppScenario::Audio {
         s.subscribe_all_to_all(Resolution::R720);
     }

@@ -65,6 +65,11 @@ pub struct Scenario {
     /// Scripted active-speaker changes: at each time, the given client (or
     /// nobody) becomes the speaker, boosting its camera subscriptions (§4.4).
     pub speaker_schedule: Vec<(SimTime, Option<ClientId>)>,
+    /// Pair the conference node with a standby shard: the active streams
+    /// heartbeats and replication deltas to it, and on lease expiry the
+    /// standby promotes itself under a bumped epoch and re-homes the
+    /// accessing nodes (§7 failover). GSO mode only; inert for baselines.
+    pub standby: bool,
 }
 
 impl Scenario {
@@ -200,6 +205,37 @@ impl Scenario {
                 access.set_telemetry(telemetry.clone());
             }
         }
+
+        // Optional standby shard: heartbeat/replication target for the
+        // active, linked to every accessing node so a promotion can re-home
+        // the access layer without new wiring.
+        let standby = (self.standby && self.mode == PolicyMode::Gso).then(|| {
+            let sb = sim.add_node(Box::new(ConferenceNode::new_standby(
+                ControllerConfig::paper_defaults(),
+                ans.clone(),
+                gso_cluster::LeaseConfig { seed: self.seed, ..Default::default() },
+            )));
+            sim.add_duplex_link(
+                cn,
+                sb,
+                LinkConfig::clean(Bitrate::from_mbps(1_000), SimDuration::from_millis(2)),
+            );
+            for &an in &ans {
+                sim.add_duplex_link(
+                    an,
+                    sb,
+                    LinkConfig::clean(Bitrate::from_mbps(1_000), SimDuration::from_millis(2)),
+                );
+            }
+            if let Some(conference) = sim.node_mut::<ConferenceNode>(cn) {
+                conference.set_standby(sb);
+            }
+            if let Some(node) = sim.node_mut::<ConferenceNode>(sb) {
+                node.set_telemetry(telemetry.clone());
+            }
+            ConferenceNode::schedule_boot(sb, &mut sim);
+            sb
+        });
         for i in 0..ans.len() {
             for j in (i + 1)..ans.len() {
                 // Inter-region backbone: fat but not instantaneous.
@@ -255,7 +291,7 @@ impl Scenario {
             sim.schedule_timer(cn, at, token);
         }
 
-        WiredConference { sim, telemetry, cn, endpoints, ans }
+        WiredConference { sim, telemetry, cn, standby, endpoints, ans }
     }
 
     /// Harvest metrics from a wired conference that has been run to `end`.
@@ -317,6 +353,8 @@ pub struct WiredConference {
     pub telemetry: Telemetry,
     /// The conference node's id.
     pub cn: NodeId,
+    /// The standby shard's id, when [`Scenario::standby`] asked for one.
+    pub standby: Option<NodeId>,
     /// Client id → its endpoint node id.
     pub endpoints: BTreeMap<ClientId, NodeId>,
     /// Accessing-node ids, indexed by region.
@@ -397,6 +435,7 @@ mod tests {
                 ),
             ],
             speaker_schedule: Vec::new(),
+            standby: false,
         };
         s.subscribe_all_to_all(Resolution::R720);
         s
@@ -487,6 +526,7 @@ mod region_tests {
             duration: SimDuration::from_secs(20),
             clients,
             speaker_schedule: Vec::new(),
+            standby: false,
         };
         s.subscribe_all_to_all(Resolution::R720);
         let r = s.run();
@@ -526,6 +566,7 @@ mod region_tests {
             duration: SimDuration::from_secs(20),
             clients,
             speaker_schedule: Vec::new(),
+            standby: false,
         };
         s.subscribe_all_to_all(Resolution::R720);
         let r = s.run();

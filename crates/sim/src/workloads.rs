@@ -153,6 +153,7 @@ pub fn slow_link_scenario(mode: PolicyMode, case: SlowLinkCase, seed: u64) -> Sc
         duration: SimDuration::from_secs(60),
         clients,
         speaker_schedule: Vec::new(),
+        standby: false,
     };
     s.subscribe_all_to_all(Resolution::R720);
     s

@@ -180,6 +180,7 @@ impl<'a> CallGraph<'a> {
 
     /// Index of the function whose qualified name ends with `suffix`
     /// (path-separated), e.g. `"McState::solve_flat"`.
+    // sentinel: cold_path(reason = "analyzer-side lookup helper; it lands in runtime hot cones only via name-matching unrelated iterator `find` calls, and it never runs inside the simulator")
     #[must_use]
     pub fn find(&self, suffix: &str) -> Option<usize> {
         let want: Vec<&str> = suffix.split("::").collect();

@@ -86,6 +86,7 @@ impl FnInfo {
     }
 
     /// Path segments of the qualified name, for suffix matching.
+    // sentinel: cold_path(reason = "analyzer-side name materialization; it lands in runtime hot cones only via name-matching unrelated `segments` method calls, and it never runs inside the simulator")
     #[must_use]
     pub fn segments(&self) -> Vec<&str> {
         let mut segs: Vec<&str> = vec![&self.krate];

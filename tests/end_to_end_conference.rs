@@ -26,6 +26,7 @@ fn meeting(mode: PolicyMode, n: u32, seed: u64, secs: u64) -> Scenario {
         duration: SimDuration::from_secs(secs),
         clients,
         speaker_schedule: Vec::new(),
+        standby: false,
     };
     s.subscribe_all_to_all(Resolution::R720);
     s

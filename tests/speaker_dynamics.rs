@@ -35,6 +35,7 @@ fn speaker_boost_shifts_allocation_on_a_tight_downlink() {
             (SimTime::from_secs(5), Some(ClientId(2))),
             (SimTime::from_secs(22), Some(ClientId(3))),
         ],
+        standby: false,
     };
     s.subscribe_all_to_all(Resolution::R720);
     let r = s.run();
